@@ -1,0 +1,91 @@
+#ifndef NEWSDIFF_BENCH_ACCURACY_TABLE_COMMON_H_
+#define NEWSDIFF_BENCH_ACCURACY_TABLE_COMMON_H_
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/strings.h"
+#include "common/table_printer.h"
+
+namespace newsdiff::bench {
+
+/// Paper values for Tables 8 (likes) and 9 (retweets):
+/// variant -> {MLP 1, MLP 2, CNN 1, CNN 2}.
+inline const std::map<std::string, std::vector<double>>& PaperLikes() {
+  static const auto* kTable = new std::map<std::string, std::vector<double>>{
+      {"A1", {0.74, 0.75, 0.76, 0.76}}, {"A2", {0.83, 0.83, 0.82, 0.84}},
+      {"B1", {0.74, 0.75, 0.75, 0.73}}, {"B2", {0.83, 0.84, 0.82, 0.83}},
+      {"C1", {0.77, 0.74, 0.78, 0.78}}, {"C2", {0.83, 0.82, 0.83, 0.83}},
+      {"D1", {0.73, 0.74, 0.75, 0.74}}, {"D2", {0.82, 0.83, 0.82, 0.83}},
+  };
+  return *kTable;
+}
+
+inline const std::map<std::string, std::vector<double>>& PaperRetweets() {
+  static const auto* kTable = new std::map<std::string, std::vector<double>>{
+      {"A1", {0.77, 0.78, 0.78, 0.79}}, {"A2", {0.84, 0.84, 0.85, 0.84}},
+      {"B1", {0.75, 0.74, 0.73, 0.73}}, {"B2", {0.84, 0.84, 0.83, 0.83}},
+      {"C1", {0.76, 0.77, 0.79, 0.80}}, {"C2", {0.82, 0.82, 0.84, 0.84}},
+      {"D1", {0.74, 0.74, 0.76, 0.79}}, {"D2", {0.82, 0.82, 0.82, 0.84}},
+  };
+  return *kTable;
+}
+
+inline const std::vector<std::string>& NetworkNames() {
+  static const auto* kNames =
+      new std::vector<std::string>{"MLP 1", "MLP 2", "CNN 1", "CNN 2"};
+  return *kNames;
+}
+
+/// Prints the measured grid next to the paper grid and the key shape
+/// statistic: the mean metadata lift (X2 minus X1, averaged over letters
+/// and networks). Returns 0 when the lift is positive, as in the paper.
+inline int PrintAccuracyTable(
+    const std::string& title, const std::vector<AccuracyCell>& grid,
+    const std::map<std::string, std::vector<double>>& paper) {
+  TablePrinter table({"Dataset", "MLP 1", "MLP 2", "CNN 1", "CNN 2",
+                      "paper MLP1/MLP2/CNN1/CNN2"});
+  for (const auto& [variant, paper_row] : paper) {
+    std::vector<std::string> row{variant};
+    for (const std::string& net : NetworkNames()) {
+      const AccuracyCell* cell = FindCell(grid, variant, net);
+      row.push_back(cell != nullptr ? newsdiff::FormatDouble(cell->accuracy, 2)
+                                    : "-");
+    }
+    std::string ref;
+    for (size_t i = 0; i < paper_row.size(); ++i) {
+      if (i > 0) ref += " / ";
+      ref += newsdiff::FormatDouble(paper_row[i], 2);
+    }
+    row.push_back(ref);
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", title.c_str());
+  table.Print();
+
+  // Metadata lift.
+  double lift = 0.0;
+  size_t n = 0;
+  for (const char* letter : {"A", "B", "C", "D"}) {
+    for (const std::string& net : NetworkNames()) {
+      const AccuracyCell* lo = FindCell(grid, std::string(letter) + "1", net);
+      const AccuracyCell* hi = FindCell(grid, std::string(letter) + "2", net);
+      if (lo != nullptr && hi != nullptr) {
+        lift += hi->accuracy - lo->accuracy;
+        ++n;
+      }
+    }
+  }
+  lift = n > 0 ? lift / static_cast<double>(n) : 0.0;
+  std::printf("\nMean metadata lift (X2 - X1): %+0.3f  "
+              "(paper: roughly +0.05 to +0.09; must be positive)\n",
+              lift);
+  return lift > 0.0 ? 0 : 1;
+}
+
+}  // namespace newsdiff::bench
+
+#endif  // NEWSDIFF_BENCH_ACCURACY_TABLE_COMMON_H_

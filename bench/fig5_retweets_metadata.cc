@@ -1,0 +1,38 @@
+// Reproduces Figure 5 (§5.6): retweets accuracy, without vs with metadata,
+// as grouped ASCII bars. Reuses the cached Table 9 grid when available.
+#include <cstdio>
+
+#include "bench/accuracy_table_common.h"
+
+using namespace newsdiff;
+
+int main() {
+  std::printf(
+      "=== Figure 5: Retweets accuracy, without vs with metadata ===\n\n");
+  bench::BenchContext ctx;
+  std::vector<bench::AccuracyCell> grid =
+      bench::AccuracyGrid(ctx, "retweets");
+
+  int failures = 0;
+  for (const std::string& net : bench::NetworkNames()) {
+    std::printf("%s\n", net.c_str());
+    for (const char* letter : {"A", "B", "C", "D"}) {
+      const bench::AccuracyCell* lo =
+          bench::FindCell(grid, std::string(letter) + "1", net);
+      const bench::AccuracyCell* hi =
+          bench::FindCell(grid, std::string(letter) + "2", net);
+      if (lo == nullptr || hi == nullptr) continue;
+      std::printf("  %s1 |%s| %.2f\n", letter,
+                  bench::AsciiBar(lo->accuracy, 1.0, 40).c_str(),
+                  lo->accuracy);
+      std::printf("  %s2 |%s| %.2f %s\n", letter,
+                  bench::AsciiBar(hi->accuracy, 1.0, 40).c_str(),
+                  hi->accuracy, hi->accuracy > lo->accuracy ? "" : "  <-- no lift");
+      if (hi->accuracy <= lo->accuracy) ++failures;
+    }
+    std::printf("\n");
+  }
+  std::printf("Paper shape: every metadata bar exceeds its plain twin. "
+              "Violations here: %d/16\n", failures);
+  return failures <= 2 ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+// Reproduces Figure 6 (§5.7): per-epoch training time for the four
+// networks at Doc2Vec size 300 as the number of Twitter events grows.
+// Reuses the cached Table 10 sweep when available.
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace newsdiff;
+
+namespace {
+
+int RenderFigure(size_t doc2vec_size) {
+  bench::BenchContext ctx;
+  std::vector<bench::ScalabilityRow> rows = bench::ScalabilitySweep(ctx);
+
+  double max_ms = 0.0;
+  for (const bench::ScalabilityRow& r : rows) {
+    if (r.doc2vec_size == doc2vec_size && r.millis_per_epoch > max_ms) {
+      max_ms = r.millis_per_epoch;
+    }
+  }
+
+  for (const char* net : {"MLP 1", "MLP 2", "CNN 1", "CNN 2"}) {
+    std::printf("%s\n", net);
+    for (size_t events : {size_t{500}, size_t{2500}, size_t{5000}}) {
+      for (const bench::ScalabilityRow& r : rows) {
+        if (r.doc2vec_size == doc2vec_size && r.network == net &&
+            r.num_events == events) {
+          std::printf("  %5zu events |%s| %.1f ms/epoch (%zu epochs)\n",
+                      events,
+                      bench::AsciiBar(r.millis_per_epoch, max_ms, 40).c_str(),
+                      r.millis_per_epoch, r.epochs);
+        }
+      }
+    }
+    std::printf("\n");
+  }
+
+  // Shape: CNN per-epoch time grows with events; MLP grows much less.
+  auto ms_at = [&](const char* net, size_t events) {
+    for (const bench::ScalabilityRow& r : rows) {
+      if (r.doc2vec_size == doc2vec_size && r.network == net &&
+          r.num_events == events) {
+        return r.millis_per_epoch;
+      }
+    }
+    return 0.0;
+  };
+  double cnn_growth = ms_at("CNN 1", 5000) / std::max(ms_at("CNN 1", 500), 1e-9);
+  std::printf("CNN 1 per-epoch growth 500 -> 5000 events: %.1fx "
+              "(paper: ~4.8x; must grow)\n", cnn_growth);
+  return cnn_growth > 1.5 ? 0 : 1;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 6: Performance time, 300-dimension Doc2Vec ===\n\n");
+  return RenderFigure(300);
+}

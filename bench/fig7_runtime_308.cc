@@ -1,0 +1,65 @@
+// Reproduces Figure 7 (§5.7): per-epoch training time for the four
+// networks at Doc2Vec size 308 (embedding + metadata) as the number of
+// Twitter events grows. Reuses the cached Table 10 sweep.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace newsdiff;
+
+int main() {
+  std::printf("=== Figure 7: Performance time, 308-dimension Doc2Vec ===\n\n");
+  bench::BenchContext ctx;
+  std::vector<bench::ScalabilityRow> rows = bench::ScalabilitySweep(ctx);
+
+  double max_ms = 0.0;
+  for (const bench::ScalabilityRow& r : rows) {
+    if (r.doc2vec_size == 308 && r.millis_per_epoch > max_ms) {
+      max_ms = r.millis_per_epoch;
+    }
+  }
+
+  for (const char* net : {"MLP 1", "MLP 2", "CNN 1", "CNN 2"}) {
+    std::printf("%s\n", net);
+    for (size_t events : {size_t{500}, size_t{2500}, size_t{5000}}) {
+      for (const bench::ScalabilityRow& r : rows) {
+        if (r.doc2vec_size == 308 && r.network == net &&
+            r.num_events == events) {
+          std::printf("  %5zu events |%s| %.1f ms/epoch (%zu epochs)\n",
+                      events,
+                      bench::AsciiBar(r.millis_per_epoch, max_ms, 40).c_str(),
+                      r.millis_per_epoch, r.epochs);
+        }
+      }
+    }
+    std::printf("\n");
+  }
+
+  // Shape: at 308 dimensions (as at 300), the CNN epoch grows with the
+  // event count and stays costlier than the MLP epoch at every scale.
+  // (The paper's 308-vs-300 delta is ~3% of an epoch — below single-run
+  // timing noise here, so the cross-dimension comparison is reported above
+  // but not gated on.)
+  auto ms_at = [&](const char* net, size_t events) {
+    for (const bench::ScalabilityRow& r : rows) {
+      if (r.doc2vec_size == 308 && r.network == net &&
+          r.num_events == events) {
+        return r.millis_per_epoch;
+      }
+    }
+    return 0.0;
+  };
+  double cnn_growth =
+      ms_at("CNN 1", 5000) / std::max(ms_at("CNN 1", 500), 1e-9);
+  bool cnn_above_mlp = true;
+  for (size_t events : {size_t{500}, size_t{2500}, size_t{5000}}) {
+    if (ms_at("CNN 1", events) < ms_at("MLP 1", events)) {
+      cnn_above_mlp = false;
+    }
+  }
+  std::printf("CNN 1 per-epoch growth 500 -> 5000 events at 308d: %.1fx; "
+              "CNN epoch costlier than MLP at every scale: %s\n",
+              cnn_growth, cnn_above_mlp ? "yes" : "no");
+  return (cnn_growth > 1.5 && cnn_above_mlp) ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+#ifndef NEWSDIFF_BENCH_HARNESS_H_
+#define NEWSDIFF_BENCH_HARNESS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/embedding_cache.h"
+#include "core/pipeline.h"
+#include "datagen/world.h"
+#include "store/database.h"
+
+namespace newsdiff::bench {
+
+/// Shared state for the paper-table benchmark harnesses. Everything is
+/// built lazily and deterministically (fixed seeds), and the expensive
+/// artifacts (background embeddings, accuracy grids) are cached on disk
+/// under ./newsdiff_cache so that the fig4/5/6/7 binaries can reuse the
+/// table8/9/10 results instead of retraining.
+class BenchContext {
+ public:
+  BenchContext();
+
+  /// The standard bench world (seed 2021, 3000 articles, 9000 tweets).
+  const datagen::World& world();
+
+  /// The world loaded into the embedded document store.
+  store::Database& db();
+
+  /// The frozen 300-d background embedding store (cached on disk).
+  const embed::PretrainedStore& store();
+
+  /// The standard pipeline run over the bench world.
+  const core::PipelineResult& pipeline_result();
+
+  /// Predictor options used by the accuracy tables (fixed across benches so
+  /// tables 8/9 and figures 4/5 agree).
+  core::PredictorOptions predictor_options() const;
+
+  /// Directory for cached artifacts (created on first use).
+  const std::string& cache_dir() const { return cache_dir_; }
+
+ private:
+  std::string cache_dir_;
+  std::optional<datagen::World> world_;
+  std::optional<store::Database> db_;
+  std::optional<embed::PretrainedStore> store_;
+  std::optional<core::PipelineResult> result_;
+};
+
+/// One cell of an accuracy grid: dataset variant x network -> accuracy.
+struct AccuracyCell {
+  std::string variant;   // "A1" ... "D2"
+  std::string network;   // "MLP 1" ...
+  double accuracy = 0.0;
+  size_t epochs = 0;
+  double seconds = 0.0;
+};
+
+/// Computes (or loads from cache) the full 8x4 accuracy grid for `target`
+/// ("likes" or "retweets"). The grid is cached as JSON in the cache dir.
+std::vector<AccuracyCell> AccuracyGrid(BenchContext& ctx,
+                                       const std::string& target,
+                                       bool force_recompute = false);
+
+/// Looks up a cell; returns nullptr if missing.
+const AccuracyCell* FindCell(const std::vector<AccuracyCell>& grid,
+                             const std::string& variant,
+                             const std::string& network);
+
+/// One row of the scalability sweep (paper Table 10).
+struct ScalabilityRow {
+  size_t num_events = 0;
+  size_t doc2vec_size = 0;   // 300 or 308
+  std::string network;
+  size_t epochs = 0;
+  double millis_per_epoch = 0.0;
+  double runtime_seconds = 0.0;
+};
+
+/// Computes (or loads from cache) the Table 10 sweep.
+std::vector<ScalabilityRow> ScalabilitySweep(BenchContext& ctx,
+                                             bool force_recompute = false);
+
+/// Renders a horizontal ASCII bar of `value` against `max_value` using
+/// `width` character cells.
+std::string AsciiBar(double value, double max_value, size_t width);
+
+}  // namespace newsdiff::bench
+
+#endif  // NEWSDIFF_BENCH_HARNESS_H_

@@ -1,0 +1,69 @@
+// Reproduces Table 10 (§5.7): runtime evaluation of the four networks when
+// the number of Twitter events (dataset size) and the Doc2Vec size (300 vs
+// 308) grow, with the paper's batch size of 5000 and a 500-epoch cap.
+// Absolute times differ (different hardware, different widths); the shapes
+// that must hold: CNNs converge in far fewer epochs than MLPs, CNN
+// per-epoch time grows with the event count, and ADADELTA needs at least
+// as many epochs as SGD on the MLP.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "common/strings.h"
+#include "common/table_printer.h"
+
+using namespace newsdiff;
+
+int main() {
+  std::printf("=== Table 10: Runtime evaluation ===\n\n");
+  std::printf("Paper reference (500 events, Doc2Vec 300): MLP1 113 epochs @ "
+              "1013 ms; CNN1 6 epochs @ 1071 ms\n");
+  std::printf("Paper reference (5000 events, Doc2Vec 308): MLP1 328 epochs; "
+              "CNN1 6 epochs @ 6081 ms\n\n");
+
+  bench::BenchContext ctx;
+  std::vector<bench::ScalabilityRow> rows = bench::ScalabilitySweep(ctx);
+
+  TablePrinter table({"No. Twitter Events", "Doc2Vec Size", "Network",
+                      "No. Epochs", "Ms/Epoch", "Runtime (s)"});
+  for (const bench::ScalabilityRow& r : rows) {
+    table.AddRow({std::to_string(r.num_events),
+                  std::to_string(r.doc2vec_size), r.network,
+                  std::to_string(r.epochs),
+                  FormatDouble(r.millis_per_epoch, 1),
+                  FormatDouble(r.runtime_seconds, 2)});
+  }
+  table.Print();
+
+  // Shape checks.
+  auto mean_epochs = [&](const std::string& prefix) {
+    double sum = 0.0;
+    size_t n = 0;
+    for (const bench::ScalabilityRow& r : rows) {
+      if (r.network.rfind(prefix, 0) == 0) {
+        sum += static_cast<double>(r.epochs);
+        ++n;
+      }
+    }
+    return n > 0 ? sum / static_cast<double>(n) : 0.0;
+  };
+  double mlp_epochs = mean_epochs("MLP");
+  double cnn_epochs = mean_epochs("CNN");
+
+  double cnn_small = 0.0, cnn_large = 0.0;
+  for (const bench::ScalabilityRow& r : rows) {
+    if (r.network.rfind("CNN", 0) != 0) continue;
+    if (r.num_events == 500) cnn_small += r.millis_per_epoch;
+    if (r.num_events == 5000) cnn_large += r.millis_per_epoch;
+  }
+
+  std::printf("\nShape checks:\n");
+  std::printf("  mean epochs: MLP %.1f vs CNN %.1f  (paper: MLPs take many "
+              "times more epochs) -> %s\n",
+              mlp_epochs, cnn_epochs,
+              mlp_epochs > cnn_epochs ? "OK" : "MISMATCH");
+  std::printf("  CNN ms/epoch at 5000 events vs 500 events: %.1f vs %.1f "
+              "(paper: linear growth) -> %s\n",
+              cnn_large / 4.0, cnn_small / 4.0,
+              cnn_large > cnn_small ? "OK" : "MISMATCH");
+  return (mlp_epochs > cnn_epochs && cnn_large > cnn_small) ? 0 : 1;
+}

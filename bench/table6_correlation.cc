@@ -1,0 +1,86 @@
+// Reproduces Table 6 (§5.5): the correlation between news topics, news
+// events, and Twitter events, plus the paper's three headline findings:
+//   * trending news topics = <topic, news event> pairs with sim > 0.7
+//   * <trending, Twitter event> pairs need sim > 0.65 and a start date
+//     within 5 days of the news event's start
+//   * the reverse correlation yields the SAME pair set, and every trending
+//     topic matches at least one Twitter event.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "common/strings.h"
+#include "common/table_printer.h"
+
+using namespace newsdiff;
+
+int main() {
+  std::printf("=== Table 6: Correlation between topics and events ===\n\n");
+  std::printf("Paper reference: 83 trending news topics (sim > 0.7), 421\n"
+              "<trending, Twitter event> pairs (sim > 0.65, 5-day window);\n"
+              "NT-NE similarities 0.73-0.90, NE-TE similarities 0.69-0.89.\n\n");
+
+  bench::BenchContext ctx;
+  const core::PipelineResult& r = ctx.pipeline_result();
+
+  std::printf("Measured: %zu topics, %zu news events, %zu twitter events ->\n"
+              "%zu trending news topics, %zu correlation pairs "
+              "(%.2fs trending + %.2fs correlation)\n\n",
+              r.topics.size(), r.news_events.size(), r.twitter_events.size(),
+              r.trending.size(), r.correlations.size(), r.trending_seconds,
+              r.correlation_seconds);
+
+  // Best Twitter match per trending topic for the table.
+  TablePrinter table({"#NT", "#NE", "#TE", "Sim NT NE", "Sim NE TE"});
+  size_t shown = 0;
+  for (size_t ti = 0; ti < r.trending.size() && shown < 10; ++ti) {
+    const core::TrendingNewsTopic& t = r.trending[ti];
+    double best = -1.0;
+    size_t best_te = 0;
+    for (const core::EventCorrelation& p : r.correlations) {
+      if (p.trending == ti && p.similarity > best) {
+        best = p.similarity;
+        best_te = p.twitter_event;
+      }
+    }
+    if (best < 0.0) continue;
+    table.AddRow({std::to_string(t.topic_id + 1),
+                  std::to_string(t.news_event + 1),
+                  std::to_string(best_te + 1), FormatDouble(t.similarity, 2),
+                  FormatDouble(best, 2)});
+    ++shown;
+  }
+  table.Print();
+
+  // Finding 1: every trending topic matches at least one Twitter event.
+  size_t trending_with_match = 0;
+  for (size_t ti = 0; ti < r.trending.size(); ++ti) {
+    for (const core::EventCorrelation& p : r.correlations) {
+      if (p.trending == ti) {
+        ++trending_with_match;
+        break;
+      }
+    }
+  }
+  std::printf("\nQ1 check: %zu/%zu trending news topics correlate with at "
+              "least one Twitter event (paper: all).\n",
+              trending_with_match, r.trending.size());
+
+  // Finding 2: the reverse correlation yields the same pair set.
+  std::vector<core::EventCorrelation> reverse =
+      core::CorrelateTwitterWithTrending(r.trending, r.news_events,
+                                         r.twitter_events, ctx.store(),
+                                         core::CorrelationOptions{});
+  bool same = reverse.size() == r.correlations.size();
+  if (same) {
+    for (size_t i = 0; i < reverse.size(); ++i) {
+      if (reverse[i].trending != r.correlations[i].trending ||
+          reverse[i].twitter_event != r.correlations[i].twitter_event) {
+        same = false;
+        break;
+      }
+    }
+  }
+  std::printf("Q2 check: reverse correlation (TE -> trending) pair set is "
+              "%s (paper: identical).\n", same ? "IDENTICAL" : "DIFFERENT");
+  return same ? 0 : 1;
+}

@@ -1,0 +1,18 @@
+// Reproduces Table 8 (§5.6): validation accuracy for predicting the
+// Table-2 *likes* class over the eight dataset variants (A1..D2) and the
+// four tuned networks (MLP/CNN x SGD/ADADELTA). The absolute numbers track
+// the paper's 0.73-0.85 band; the load-bearing shape is that every
+// metadata-enhanced variant (A2..D2) beats its plain twin (A1..D1).
+#include <cstdio>
+
+#include "bench/accuracy_table_common.h"
+
+using namespace newsdiff;
+
+int main() {
+  std::printf("=== Table 8: Likes accuracy of correlated results ===\n\n");
+  bench::BenchContext ctx;
+  std::vector<bench::AccuracyCell> grid = bench::AccuracyGrid(ctx, "likes");
+  return bench::PrintAccuracyTable("Measured (validation accuracy, likes):",
+                                   grid, bench::PaperLikes());
+}

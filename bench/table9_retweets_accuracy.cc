@@ -1,0 +1,18 @@
+// Reproduces Table 9 (§5.6): validation accuracy for predicting the
+// Table-2 *retweets* class over the eight dataset variants and the four
+// tuned networks.
+#include <cstdio>
+
+#include "bench/accuracy_table_common.h"
+
+using namespace newsdiff;
+
+int main() {
+  std::printf("=== Table 9: Retweets accuracy of correlated results ===\n\n");
+  bench::BenchContext ctx;
+  std::vector<bench::AccuracyCell> grid =
+      bench::AccuracyGrid(ctx, "retweets");
+  return bench::PrintAccuracyTable(
+      "Measured (validation accuracy, retweets):", grid,
+      bench::PaperRetweets());
+}

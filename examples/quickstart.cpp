@@ -1,0 +1,95 @@
+// Quickstart: generate a synthetic world, run the full audience-interest
+// pipeline (topics -> events -> trending -> correlation), train one
+// predictor, and print a summary.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include <fstream>
+
+#include "core/embedding_cache.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "datagen/world.h"
+
+using namespace newsdiff;
+
+int main() {
+  // 1. Synthesise the world and load it into the embedded document store
+  //    (the paper crawls News River / NewsAPI / Twitter into MongoDB).
+  datagen::WorldOptions wopts;
+  wopts.seed = 2021;
+  wopts.num_articles = 3000;
+  wopts.num_tweets = 9000;
+  datagen::World world = datagen::GenerateWorld(wopts);
+  store::Database db;
+  world.LoadInto(db);
+  std::printf("world: %zu articles, %zu tweets, %zu users, %zu events\n",
+              world.articles.size(), world.tweets.size(), world.users.size(),
+              world.events.size());
+
+  // 2. The frozen background embedding store (Google News substitute).
+  auto store_or = core::LoadOrTrainPretrained("newsdiff_cache/pretrained_300d.txt");
+  if (!store_or.ok()) {
+    std::fprintf(stderr, "embeddings: %s\n",
+                 store_or.status().ToString().c_str());
+    return 1;
+  }
+  const embed::PretrainedStore& pretrained = *store_or;
+
+  // 3. Run the analysis pipeline.
+  core::PipelineOptions popts;
+  core::Pipeline pipeline(popts);
+  auto result_or = pipeline.Run(db, pretrained);
+  if (!result_or.ok()) {
+    std::fprintf(stderr, "pipeline: %s\n",
+                 result_or.status().ToString().c_str());
+    return 1;
+  }
+  const core::PipelineResult& r = *result_or;
+  std::printf("topics=%zu news_events=%zu twitter_events=%zu trending=%zu "
+              "correlations=%zu unrelated=%zu assigned_events=%zu\n",
+              r.topics.size(), r.news_events.size(), r.twitter_events.size(),
+              r.trending.size(), r.correlations.size(),
+              r.unrelated_twitter_events.size(), r.assignments.size());
+  for (size_t i = 0; i < r.topics.size() && i < 5; ++i) {
+    std::printf("  topic %zu: ", i);
+    for (const auto& kw : r.topics[i].keywords) std::printf("%s ", kw.c_str());
+    std::printf("\n");
+  }
+  for (size_t i = 0; i < r.twitter_events.size() && i < 5; ++i) {
+    const auto& ev = r.twitter_events[i];
+    std::printf("  twitter event '%s': support=%zu related=%zu\n",
+                ev.main_word.c_str(), ev.support, ev.related_words.size());
+  }
+  size_t rows = 0;
+  for (const auto& a : r.assignments) rows += a.tweet_indices.size();
+  std::printf("dataset rows (before variant build): %zu\n", rows);
+
+  // 4. Build the A1 and A2 datasets and train MLP 1 on likes.
+  for (core::DatasetVariant v :
+       {core::DatasetVariant::kA1, core::DatasetVariant::kA2}) {
+    core::TrainingDataset ds =
+        core::BuildDataset(v, r.assignments, r.twitter_events, r.twitter_ed,
+                           r.tweets, pretrained);
+    core::PredictorOptions pred;
+    auto outcome = core::TrainAndEvaluate(ds.x, ds.likes,
+                                          core::NetworkKind::kMlp1, pred);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "train: %s\n",
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s likes accuracy (MLP 1): %.3f  (epochs=%zu rows=%zu)\n",
+                core::DatasetVariantName(v), outcome->accuracy,
+                outcome->history.epochs_run, ds.x.rows());
+  }
+
+  // 5. Export the machine-readable run report.
+  {
+    std::ofstream out("quickstart_report.json");
+    out << core::ReportJson(r) << '\n';
+  }
+  std::printf("full run report written to quickstart_report.json\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+#ifndef NEWSDIFF_COMMON_LOGGING_H_
+#define NEWSDIFF_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace newsdiff {
+
+/// Log severities, lowest to highest.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum severity; messages below it are dropped.
+/// Default is kInfo. Thread-compatible (set once at startup).
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace newsdiff
+
+#define NEWSDIFF_LOG(severity)                                        \
+  ::newsdiff::internal_logging::LogMessage(                           \
+      ::newsdiff::LogLevel::k##severity, __FILE__, __LINE__)
+
+#endif  // NEWSDIFF_COMMON_LOGGING_H_

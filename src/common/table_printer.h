@@ -1,0 +1,32 @@
+#ifndef NEWSDIFF_COMMON_TABLE_PRINTER_H_
+#define NEWSDIFF_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace newsdiff {
+
+/// Fixed-width ASCII table renderer used by the benchmark harnesses to print
+/// paper-style result tables (paper value next to measured value).
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a data row; must have the same arity as the headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table (header, separator, rows) to a string.
+  std::string ToString() const;
+
+  /// Renders and writes the table to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace newsdiff
+
+#endif  // NEWSDIFF_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,80 @@
+#include "common/time.h"
+
+#include <cstdio>
+
+namespace newsdiff {
+namespace {
+
+struct CivilDate {
+  int year;
+  int month;  // 1-12
+  int day;    // 1-31
+};
+
+// Howard Hinnant's days-from-civil / civil-from-days algorithms.
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153u * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+CivilDate CivilFromDays(int64_t z) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  return {static_cast<int>(y + (m <= 2)), static_cast<int>(m),
+          static_cast<int>(d)};
+}
+
+}  // namespace
+
+int DayOfWeek(UnixSeconds t) {
+  int64_t days = t / kSecondsPerDay;
+  if (t < 0 && t % kSecondsPerDay != 0) --days;
+  // Day 0 (1970-01-01) was a Thursday == index 3 with Monday = 0.
+  int64_t dow = (days + 3) % 7;
+  if (dow < 0) dow += 7;
+  return static_cast<int>(dow);
+}
+
+std::string FormatTimestamp(UnixSeconds t) {
+  int64_t days = t / kSecondsPerDay;
+  int64_t rem = t % kSecondsPerDay;
+  if (rem < 0) {
+    rem += kSecondsPerDay;
+    --days;
+  }
+  CivilDate cd = CivilFromDays(days);
+  int hh = static_cast<int>(rem / kSecondsPerHour);
+  int mm = static_cast<int>((rem % kSecondsPerHour) / kSecondsPerMinute);
+  int ss = static_cast<int>(rem % kSecondsPerMinute);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d", cd.year,
+                cd.month, cd.day, hh, mm, ss);
+  return std::string(buf);
+}
+
+UnixSeconds ParseTimestamp(const std::string& s) {
+  int y, mo, d, hh, mm, ss;
+  if (std::sscanf(s.c_str(), "%d-%d-%d %d:%d:%d", &y, &mo, &d, &hh, &mm,
+                  &ss) != 6) {
+    return -1;
+  }
+  if (mo < 1 || mo > 12 || d < 1 || d > 31 || hh < 0 || hh > 23 || mm < 0 ||
+      mm > 59 || ss < 0 || ss > 60) {
+    return -1;
+  }
+  return DaysFromCivil(y, mo, d) * kSecondsPerDay + hh * kSecondsPerHour +
+         mm * kSecondsPerMinute + ss;
+}
+
+}  // namespace newsdiff

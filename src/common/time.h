@@ -1,0 +1,51 @@
+#ifndef NEWSDIFF_COMMON_TIME_H_
+#define NEWSDIFF_COMMON_TIME_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace newsdiff {
+
+/// Seconds since the Unix epoch. All timestamps in the library (articles,
+/// tweets, event intervals) use this representation.
+using UnixSeconds = int64_t;
+
+constexpr int64_t kSecondsPerMinute = 60;
+constexpr int64_t kSecondsPerHour = 3600;
+constexpr int64_t kSecondsPerDay = 86400;
+
+/// Day of week for a Unix timestamp, 0 = Monday ... 6 = Sunday.
+/// (1970-01-01 was a Thursday.)
+int DayOfWeek(UnixSeconds t);
+
+/// Formats as "YYYY-MM-DD HH:MM:SS" (UTC). Valid for t >= 0.
+std::string FormatTimestamp(UnixSeconds t);
+
+/// Parses "YYYY-MM-DD HH:MM:SS" (UTC). Returns -1 on malformed input.
+UnixSeconds ParseTimestamp(const std::string& s);
+
+/// Wall-clock stopwatch used by the benchmark harnesses.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace newsdiff
+
+#endif  // NEWSDIFF_COMMON_TIME_H_

@@ -1,0 +1,110 @@
+#include "core/assignment.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace newsdiff::core {
+
+StatusOr<std::vector<int>> SolveAssignment(const la::Matrix& cost) {
+  const size_t n = cost.rows();
+  const size_t m = cost.cols();
+  if (n == 0) return std::vector<int>{};
+  if (n > m) {
+    return Status::InvalidArgument(
+        "assignment requires rows <= cols (pad the matrix)");
+  }
+  // Hungarian algorithm with potentials, 1-indexed internal arrays
+  // (the classic e-maxx formulation).
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
+  std::vector<size_t> p(m + 1, 0);     // p[j]: row matched to column j
+  std::vector<size_t> way(m + 1, 0);
+
+  for (size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    size_t j0 = 0;
+    std::vector<double> minv(m + 1, kInf);
+    std::vector<bool> used(m + 1, false);
+    do {
+      used[j0] = true;
+      size_t i0 = p[j0];
+      size_t j1 = 0;
+      double delta = kInf;
+      for (size_t j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> row_to_col(n, -1);
+  for (size_t j = 1; j <= m; ++j) {
+    if (p[j] > 0) row_to_col[p[j] - 1] = static_cast<int>(j - 1);
+  }
+  return row_to_col;
+}
+
+std::vector<TrendingNewsTopic> ExtractTrendingTopicsOptimal(
+    const std::vector<topic::Topic>& topics,
+    const std::vector<event::Event>& news_events,
+    const embed::PretrainedStore& store, const TrendingOptions& options) {
+  std::vector<TrendingNewsTopic> out;
+  if (topics.empty() || news_events.empty()) return out;
+
+  // Similarity matrix; assignment minimises cost, so negate. Pad columns
+  // with zero-similarity dummies when there are more topics than events so
+  // rows <= cols holds (dummy matches fall below the threshold anyway).
+  const size_t rows = topics.size();
+  const size_t cols = std::max(news_events.size(), rows);
+  la::Matrix sim(rows, news_events.size());
+  std::vector<std::vector<double>> event_vecs;
+  event_vecs.reserve(news_events.size());
+  for (const event::Event& ev : news_events) {
+    event_vecs.push_back(EncodeEvent(ev, store));
+  }
+  la::Matrix cost(rows, cols, 0.0);
+  for (size_t t = 0; t < rows; ++t) {
+    std::vector<double> tv = EncodeTopic(topics[t], store);
+    for (size_t e = 0; e < news_events.size(); ++e) {
+      double s = la::CosineSimilarity(tv, event_vecs[e]);
+      sim(t, e) = s;
+      cost(t, e) = -s;
+    }
+  }
+
+  StatusOr<std::vector<int>> assignment = SolveAssignment(cost);
+  if (!assignment.ok()) return out;
+  for (size_t t = 0; t < rows; ++t) {
+    int e = (*assignment)[t];
+    if (e < 0 || static_cast<size_t>(e) >= news_events.size()) continue;
+    double s = sim(t, static_cast<size_t>(e));
+    if (s > options.min_similarity) {
+      out.push_back({topics[t].id, static_cast<size_t>(e), s});
+    }
+  }
+  return out;
+}
+
+}  // namespace newsdiff::core

@@ -1,0 +1,35 @@
+#ifndef NEWSDIFF_CORE_ASSIGNMENT_H_
+#define NEWSDIFF_CORE_ASSIGNMENT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/trending.h"
+#include "la/matrix.h"
+
+namespace newsdiff::core {
+
+/// Optimal bipartite matching — the paper's future-work direction (§6:
+/// "we plan to use other matching techniques, e.g., Minimum Cost Flow, to
+/// correlate news topics, news events, and Twitter events"). A linear
+/// assignment is the special case of min-cost flow with unit capacities,
+/// solved here with the Hungarian algorithm (Jonker-Volgenant potentials,
+/// O(n^2 m)).
+
+/// Minimises total cost over a rows x cols matrix, assigning each row to
+/// at most one column and vice versa. Requires rows <= cols. Returns for
+/// each row the assigned column.
+StatusOr<std::vector<int>> SolveAssignment(const la::Matrix& cost);
+
+/// One-to-one topic-to-news-event matching maximising total similarity,
+/// keeping only pairs above `options.min_similarity`. Unlike the deployed
+/// greedy matcher (ExtractTrendingTopics), no two topics may claim the
+/// same news event; the `ablation_matching` benchmark compares the two.
+std::vector<TrendingNewsTopic> ExtractTrendingTopicsOptimal(
+    const std::vector<topic::Topic>& topics,
+    const std::vector<event::Event>& news_events,
+    const embed::PretrainedStore& store, const TrendingOptions& options);
+
+}  // namespace newsdiff::core
+
+#endif  // NEWSDIFF_CORE_ASSIGNMENT_H_

@@ -1,0 +1,215 @@
+#include "core/checkpoint.h"
+
+namespace newsdiff::core {
+namespace {
+
+store::Value StringsToArray(const std::vector<std::string>& strings) {
+  store::Array arr;
+  arr.reserve(strings.size());
+  for (const std::string& s : strings) arr.emplace_back(s);
+  return store::Value(std::move(arr));
+}
+
+store::Value DoublesToArray(const std::vector<double>& values) {
+  store::Array arr;
+  arr.reserve(values.size());
+  for (double v : values) arr.emplace_back(v);
+  return store::Value(std::move(arr));
+}
+
+Status ReadStrings(const store::Value& doc, const std::string& key,
+                   std::vector<std::string>* out) {
+  const store::Value* v = doc.Find(key);
+  if (v == nullptr || !v->is_array()) {
+    return Status::ParseError("missing array field " + key);
+  }
+  for (const store::Value& item : v->array()) {
+    out->push_back(item.AsString());
+  }
+  return Status::OK();
+}
+
+Status ReadDoubles(const store::Value& doc, const std::string& key,
+                   std::vector<double>* out) {
+  const store::Value* v = doc.Find(key);
+  if (v == nullptr || !v->is_array()) {
+    return Status::ParseError("missing array field " + key);
+  }
+  for (const store::Value& item : v->array()) {
+    out->push_back(item.AsDouble());
+  }
+  return Status::OK();
+}
+
+store::Value EventToDoc(const event::Event& ev) {
+  return store::MakeObject({
+      {"main_word", ev.main_word},
+      {"related_words", StringsToArray(ev.related_words)},
+      {"related_weights", DoublesToArray(ev.related_weights)},
+      {"start_time", ev.start_time},
+      {"end_time", ev.end_time},
+      {"magnitude", ev.magnitude},
+      {"support", static_cast<int64_t>(ev.support)},
+  });
+}
+
+StatusOr<event::Event> EventFromDoc(const store::Value& doc) {
+  event::Event ev;
+  if (const store::Value* v = doc.Find("main_word")) {
+    ev.main_word = v->AsString();
+  } else {
+    return Status::ParseError("event missing main_word");
+  }
+  NEWSDIFF_RETURN_IF_ERROR(
+      ReadStrings(doc, "related_words", &ev.related_words));
+  NEWSDIFF_RETURN_IF_ERROR(
+      ReadDoubles(doc, "related_weights", &ev.related_weights));
+  if (const store::Value* v = doc.Find("start_time")) {
+    ev.start_time = v->AsInt();
+  }
+  if (const store::Value* v = doc.Find("end_time")) ev.end_time = v->AsInt();
+  if (const store::Value* v = doc.Find("magnitude")) {
+    ev.magnitude = v->AsDouble();
+  }
+  if (const store::Value* v = doc.Find("support")) {
+    ev.support = static_cast<size_t>(v->AsInt());
+  }
+  return ev;
+}
+
+Status SaveEvents(const std::vector<event::Event>& events,
+                  store::Collection& coll) {
+  for (const event::Event& ev : events) {
+    StatusOr<store::DocId> id = coll.Insert(EventToDoc(ev));
+    if (!id.ok()) return id.status();
+  }
+  return Status::OK();
+}
+
+Status LoadEvents(const store::Collection& coll,
+                  std::vector<event::Event>* out) {
+  Status status = Status::OK();
+  coll.ForEach(store::Filter(), [&](store::DocId, const store::Value& doc) {
+    StatusOr<event::Event> ev = EventFromDoc(doc);
+    if (!ev.ok()) {
+      status = ev.status();
+      return false;
+    }
+    out->push_back(std::move(ev).value());
+    return true;
+  });
+  return status;
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const PipelineResult& result, store::Database& db) {
+  for (const char* name :
+       {kTopicsCollection, kNewsEventsCollection, kTwitterEventsCollection,
+        kTrendingCollection, kCorrelationsCollection}) {
+    db.Drop(name);
+  }
+
+  store::Collection& topics = db.GetOrCreate(kTopicsCollection);
+  for (const topic::Topic& t : result.topics) {
+    StatusOr<store::DocId> id = topics.Insert(store::MakeObject({
+        {"topic_id", static_cast<int64_t>(t.id)},
+        {"keywords", StringsToArray(t.keywords)},
+        {"weights", DoublesToArray(t.weights)},
+    }));
+    if (!id.ok()) return id.status();
+  }
+
+  NEWSDIFF_RETURN_IF_ERROR(
+      SaveEvents(result.news_events, db.GetOrCreate(kNewsEventsCollection)));
+  NEWSDIFF_RETURN_IF_ERROR(SaveEvents(
+      result.twitter_events, db.GetOrCreate(kTwitterEventsCollection)));
+
+  store::Collection& trending = db.GetOrCreate(kTrendingCollection);
+  for (const TrendingNewsTopic& t : result.trending) {
+    StatusOr<store::DocId> id = trending.Insert(store::MakeObject({
+        {"topic_id", static_cast<int64_t>(t.topic_id)},
+        {"news_event", static_cast<int64_t>(t.news_event)},
+        {"similarity", t.similarity},
+    }));
+    if (!id.ok()) return id.status();
+  }
+
+  store::Collection& correlations = db.GetOrCreate(kCorrelationsCollection);
+  for (const EventCorrelation& c : result.correlations) {
+    StatusOr<store::DocId> id = correlations.Insert(store::MakeObject({
+        {"trending", static_cast<int64_t>(c.trending)},
+        {"twitter_event", static_cast<int64_t>(c.twitter_event)},
+        {"similarity", c.similarity},
+    }));
+    if (!id.ok()) return id.status();
+  }
+  return Status::OK();
+}
+
+StatusOr<CheckpointData> LoadCheckpoint(const store::Database& db) {
+  CheckpointData data;
+  const store::Collection* topics = db.Get(kTopicsCollection);
+  if (topics == nullptr) return Status::NotFound("no checkpoint in store");
+  Status status = Status::OK();
+  topics->ForEach(store::Filter(), [&](store::DocId, const store::Value& doc) {
+    topic::Topic t;
+    if (const store::Value* v = doc.Find("topic_id")) {
+      t.id = static_cast<size_t>(v->AsInt());
+    }
+    status = ReadStrings(doc, "keywords", &t.keywords);
+    if (!status.ok()) return false;
+    status = ReadDoubles(doc, "weights", &t.weights);
+    if (!status.ok()) return false;
+    data.topics.push_back(std::move(t));
+    return true;
+  });
+  NEWSDIFF_RETURN_IF_ERROR(status);
+
+  const store::Collection* news_events = db.Get(kNewsEventsCollection);
+  const store::Collection* twitter_events = db.Get(kTwitterEventsCollection);
+  if (news_events == nullptr || twitter_events == nullptr) {
+    return Status::ParseError("checkpoint is missing event collections");
+  }
+  NEWSDIFF_RETURN_IF_ERROR(LoadEvents(*news_events, &data.news_events));
+  NEWSDIFF_RETURN_IF_ERROR(LoadEvents(*twitter_events, &data.twitter_events));
+
+  if (const store::Collection* trending = db.Get(kTrendingCollection)) {
+    trending->ForEach(store::Filter(),
+                      [&](store::DocId, const store::Value& doc) {
+                        TrendingNewsTopic t;
+                        if (const store::Value* v = doc.Find("topic_id")) {
+                          t.topic_id = static_cast<size_t>(v->AsInt());
+                        }
+                        if (const store::Value* v = doc.Find("news_event")) {
+                          t.news_event = static_cast<size_t>(v->AsInt());
+                        }
+                        if (const store::Value* v = doc.Find("similarity")) {
+                          t.similarity = v->AsDouble();
+                        }
+                        data.trending.push_back(t);
+                        return true;
+                      });
+  }
+  if (const store::Collection* correlations =
+          db.Get(kCorrelationsCollection)) {
+    correlations->ForEach(
+        store::Filter(), [&](store::DocId, const store::Value& doc) {
+          EventCorrelation c;
+          if (const store::Value* v = doc.Find("trending")) {
+            c.trending = static_cast<size_t>(v->AsInt());
+          }
+          if (const store::Value* v = doc.Find("twitter_event")) {
+            c.twitter_event = static_cast<size_t>(v->AsInt());
+          }
+          if (const store::Value* v = doc.Find("similarity")) {
+            c.similarity = v->AsDouble();
+          }
+          data.correlations.push_back(c);
+          return true;
+        });
+  }
+  return data;
+}
+
+}  // namespace newsdiff::core

@@ -1,0 +1,47 @@
+#ifndef NEWSDIFF_CORE_CHECKPOINT_H_
+#define NEWSDIFF_CORE_CHECKPOINT_H_
+
+#include "common/status.h"
+#include "core/pipeline.h"
+#include "store/database.h"
+
+namespace newsdiff::core {
+
+/// Stage-output checkpointing (§4.9): the deployed system refreshes its
+/// datasets every two hours and resumes "from checkpoints or from scratch"
+/// after each update. These helpers persist the analysis outputs (topics,
+/// events, trending topics, correlations) into the same document store the
+/// raw data lives in, so a restarted process — or a dashboard — can read
+/// the previous results without recomputation.
+///
+/// Corpora and tweet/news records are NOT checkpointed (they are already in
+/// the store as raw collections); a loaded checkpoint therefore restores the
+/// analysis outputs only, which is exactly what the correlation/report
+/// consumers need.
+
+/// Collection names used by the checkpoint.
+inline constexpr char kTopicsCollection[] = "ckpt_topics";
+inline constexpr char kNewsEventsCollection[] = "ckpt_news_events";
+inline constexpr char kTwitterEventsCollection[] = "ckpt_twitter_events";
+inline constexpr char kTrendingCollection[] = "ckpt_trending";
+inline constexpr char kCorrelationsCollection[] = "ckpt_correlations";
+
+/// Writes the analysis outputs of `result` into `db`, replacing any
+/// previous checkpoint.
+Status SaveCheckpoint(const PipelineResult& result, store::Database& db);
+
+/// Analysis outputs restored from a checkpoint.
+struct CheckpointData {
+  std::vector<topic::Topic> topics;
+  std::vector<event::Event> news_events;
+  std::vector<event::Event> twitter_events;
+  std::vector<TrendingNewsTopic> trending;
+  std::vector<EventCorrelation> correlations;
+};
+
+/// Reads a checkpoint previously written by SaveCheckpoint.
+StatusOr<CheckpointData> LoadCheckpoint(const store::Database& db);
+
+}  // namespace newsdiff::core
+
+#endif  // NEWSDIFF_CORE_CHECKPOINT_H_

@@ -1,0 +1,72 @@
+#include "core/collection.h"
+
+#include <unordered_map>
+
+#include "datagen/world.h"
+
+namespace newsdiff::core {
+
+StatusOr<std::vector<NewsRecord>> LoadNews(const store::Database& db) {
+  const store::Collection* coll = db.Get("news");
+  if (coll == nullptr) return Status::NotFound("no 'news' collection");
+  std::vector<NewsRecord> out;
+  out.reserve(coll->size());
+  coll->ForEach(store::Filter(), [&](store::DocId, const store::Value& doc) {
+    NewsRecord rec;
+    if (const store::Value* v = doc.Find("article_id")) rec.id = v->AsInt();
+    if (const store::Value* v = doc.Find("title")) rec.title = v->AsString();
+    if (const store::Value* v = doc.Find("body")) rec.body = v->AsString();
+    if (const store::Value* v = doc.Find("published")) {
+      rec.published = v->AsInt();
+    }
+    out.push_back(std::move(rec));
+    return true;
+  });
+  return out;
+}
+
+StatusOr<std::vector<TweetRecord>> LoadTweets(store::Database& db) {
+  store::Collection* tweets = db.Get("tweets");
+  if (tweets == nullptr) return Status::NotFound("no 'tweets' collection");
+  store::Collection* users = db.Get("users");
+  if (users == nullptr) return Status::NotFound("no 'users' collection");
+  users->CreateIndex("user_id");
+
+  // Resolve follower counts once per user.
+  std::unordered_map<int64_t, int64_t> followers_by_user;
+  std::vector<TweetRecord> out;
+  out.reserve(tweets->size());
+  Status error = Status::OK();
+  tweets->ForEach(store::Filter(), [&](store::DocId, const store::Value& doc) {
+    TweetRecord rec;
+    if (const store::Value* v = doc.Find("tweet_id")) rec.id = v->AsInt();
+    if (const store::Value* v = doc.Find("user_id")) rec.user_id = v->AsInt();
+    if (const store::Value* v = doc.Find("text")) rec.text = v->AsString();
+    if (const store::Value* v = doc.Find("created")) rec.created = v->AsInt();
+    if (const store::Value* v = doc.Find("likes")) rec.likes = v->AsInt();
+    if (const store::Value* v = doc.Find("retweets")) {
+      rec.retweets = v->AsInt();
+    }
+    auto it = followers_by_user.find(rec.user_id);
+    if (it == followers_by_user.end()) {
+      StatusOr<store::Value> user = users->FindOne(
+          store::Filter().Eq("user_id", store::Value(rec.user_id)));
+      int64_t followers = 0;
+      if (user.ok()) {
+        if (const store::Value* v = user->Find("followers")) {
+          followers = v->AsInt();
+        }
+      }
+      it = followers_by_user.emplace(rec.user_id, followers).first;
+    }
+    rec.followers = it->second;
+    rec.follower_class = datagen::EncodeCountClass(rec.followers);
+    rec.follower_bucket = datagen::FollowerBucket7(rec.followers);
+    out.push_back(std::move(rec));
+    return true;
+  });
+  if (!error.ok()) return error;
+  return out;
+}
+
+}  // namespace newsdiff::core

@@ -1,0 +1,106 @@
+#include "core/correlation.h"
+
+#include <algorithm>
+
+#include "la/matrix.h"
+
+namespace newsdiff::core {
+namespace {
+
+std::vector<std::vector<double>> EncodeAll(
+    const std::vector<event::Event>& events,
+    const embed::PretrainedStore& store) {
+  std::vector<std::vector<double>> vecs;
+  vecs.reserve(events.size());
+  for (const event::Event& ev : events) {
+    vecs.push_back(EncodeEvent(ev, store));
+  }
+  return vecs;
+}
+
+bool InWindow(const event::Event& news_ev, const event::Event& twitter_ev,
+              int64_t window) {
+  return twitter_ev.start_time >= news_ev.start_time &&
+         twitter_ev.start_time <= news_ev.start_time + window;
+}
+
+void SortPairs(std::vector<EventCorrelation>& pairs) {
+  std::sort(pairs.begin(), pairs.end(),
+            [](const EventCorrelation& a, const EventCorrelation& b) {
+              if (a.trending != b.trending) return a.trending < b.trending;
+              return a.twitter_event < b.twitter_event;
+            });
+}
+
+}  // namespace
+
+std::vector<EventCorrelation> CorrelateTrendingWithTwitter(
+    const std::vector<TrendingNewsTopic>& trending,
+    const std::vector<event::Event>& news_events,
+    const std::vector<event::Event>& twitter_events,
+    const embed::PretrainedStore& store, const CorrelationOptions& options) {
+  std::vector<EventCorrelation> pairs;
+  std::vector<std::vector<double>> twitter_vecs =
+      EncodeAll(twitter_events, store);
+  for (size_t ti = 0; ti < trending.size(); ++ti) {
+    const event::Event& news_ev = news_events[trending[ti].news_event];
+    std::vector<double> nv = EncodeEvent(news_ev, store);
+    for (size_t te = 0; te < twitter_events.size(); ++te) {
+      if (!InWindow(news_ev, twitter_events[te],
+                    options.start_window_seconds)) {
+        continue;
+      }
+      double sim = la::CosineSimilarity(nv, twitter_vecs[te]);
+      if (sim > options.min_similarity) {
+        pairs.push_back({ti, te, sim});
+      }
+    }
+  }
+  SortPairs(pairs);
+  return pairs;
+}
+
+std::vector<EventCorrelation> CorrelateTwitterWithTrending(
+    const std::vector<TrendingNewsTopic>& trending,
+    const std::vector<event::Event>& news_events,
+    const std::vector<event::Event>& twitter_events,
+    const embed::PretrainedStore& store, const CorrelationOptions& options) {
+  std::vector<EventCorrelation> pairs;
+  std::vector<std::vector<double>> trending_vecs;
+  trending_vecs.reserve(trending.size());
+  for (const TrendingNewsTopic& t : trending) {
+    trending_vecs.push_back(
+        EncodeEvent(news_events[t.news_event], store));
+  }
+  for (size_t te = 0; te < twitter_events.size(); ++te) {
+    std::vector<double> tv = EncodeEvent(twitter_events[te], store);
+    for (size_t ti = 0; ti < trending.size(); ++ti) {
+      const event::Event& news_ev = news_events[trending[ti].news_event];
+      if (!InWindow(news_ev, twitter_events[te],
+                    options.start_window_seconds)) {
+        continue;
+      }
+      double sim = la::CosineSimilarity(tv, trending_vecs[ti]);
+      if (sim > options.min_similarity) {
+        pairs.push_back({ti, te, sim});
+      }
+    }
+  }
+  SortPairs(pairs);
+  return pairs;
+}
+
+std::vector<size_t> UnrelatedTwitterEvents(
+    const std::vector<EventCorrelation>& pairs, size_t num_twitter_events) {
+  std::vector<bool> related(num_twitter_events, false);
+  for (const EventCorrelation& p : pairs) {
+    if (p.twitter_event < num_twitter_events) related[p.twitter_event] = true;
+  }
+  std::vector<size_t> out;
+  for (size_t i = 0; i < num_twitter_events; ++i) {
+    if (!related[i]) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace newsdiff::core

@@ -1,0 +1,51 @@
+#ifndef NEWSDIFF_CORE_CORRELATION_H_
+#define NEWSDIFF_CORE_CORRELATION_H_
+
+#include <vector>
+
+#include "core/trending.h"
+
+namespace newsdiff::core {
+
+/// A correlated <trending news topic, Twitter event> pair (§4.6, §5.5).
+struct EventCorrelation {
+  size_t trending = 0;       // index into the trending-topic list
+  size_t twitter_event = 0;  // index into the Twitter-event list
+  double similarity = 0.0;
+};
+
+struct CorrelationOptions {
+  /// Minimum similarity to keep a pair (the paper uses > 0.65).
+  double min_similarity = 0.65;
+  /// A Twitter event may start at most this long after the news event
+  /// (S_TE in [S_NE, S_NE + window]; the paper uses 5 days).
+  int64_t start_window_seconds = 5 * kSecondsPerDay;
+};
+
+/// Finds all pairs satisfying the time-window constraint and the similarity
+/// threshold: trending news topics -> Twitter events.
+std::vector<EventCorrelation> CorrelateTrendingWithTwitter(
+    const std::vector<TrendingNewsTopic>& trending,
+    const std::vector<event::Event>& news_events,
+    const std::vector<event::Event>& twitter_events,
+    const embed::PretrainedStore& store, const CorrelationOptions& options);
+
+/// The reverse correlation (Twitter events -> trending news topics): for
+/// each Twitter event, all trending topics whose news event starts within
+/// the window before it, above the threshold. The paper observes this
+/// yields the same pair set; the symmetric constraints make that exact
+/// here, and the benches verify it.
+std::vector<EventCorrelation> CorrelateTwitterWithTrending(
+    const std::vector<TrendingNewsTopic>& trending,
+    const std::vector<event::Event>& news_events,
+    const std::vector<event::Event>& twitter_events,
+    const embed::PretrainedStore& store, const CorrelationOptions& options);
+
+/// Indices of Twitter events that appear in no correlation pair
+/// (the generic-chatter events of Table 7).
+std::vector<size_t> UnrelatedTwitterEvents(
+    const std::vector<EventCorrelation>& pairs, size_t num_twitter_events);
+
+}  // namespace newsdiff::core
+
+#endif  // NEWSDIFF_CORE_CORRELATION_H_

@@ -1,0 +1,31 @@
+#ifndef NEWSDIFF_CORE_CROSS_VALIDATION_H_
+#define NEWSDIFF_CORE_CROSS_VALIDATION_H_
+
+#include <vector>
+
+#include "core/predictor.h"
+
+namespace newsdiff::core {
+
+/// Result of a k-fold cross-validation run (§5.6: the paper selects its
+/// four network configurations "after hyperparameter tuning and cross
+/// validation").
+struct CrossValidationResult {
+  std::vector<double> fold_accuracies;
+  double mean_accuracy = 0.0;
+  double stddev_accuracy = 0.0;
+  size_t folds = 0;
+};
+
+/// Seeded k-fold cross-validation of one network configuration: the data is
+/// shuffled once, split into `folds` contiguous folds, and each fold serves
+/// as the validation set exactly once while the rest trains a fresh model.
+StatusOr<CrossValidationResult> CrossValidate(const la::Matrix& x,
+                                              const std::vector<int>& y,
+                                              NetworkKind kind,
+                                              const PredictorOptions& options,
+                                              size_t folds = 5);
+
+}  // namespace newsdiff::core
+
+#endif  // NEWSDIFF_CORE_CROSS_VALIDATION_H_

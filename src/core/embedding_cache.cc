@@ -1,0 +1,51 @@
+#include "core/embedding_cache.h"
+
+#include <filesystem>
+
+#include "common/logging.h"
+#include "common/time.h"
+#include "datagen/world.h"
+
+namespace newsdiff::core {
+
+StatusOr<embed::PretrainedStore> LoadOrTrainPretrained(
+    const std::string& cache_path, const PretrainedConfig& config) {
+  if (!cache_path.empty() && std::filesystem::exists(cache_path)) {
+    StatusOr<embed::PretrainedStore> loaded =
+        embed::PretrainedStore::LoadText(cache_path);
+    if (loaded.ok() && loaded->dimension() == config.dimension) {
+      return loaded;
+    }
+    NEWSDIFF_LOG(Warning) << "ignoring stale embedding cache " << cache_path;
+  }
+  WallTimer timer;
+  std::vector<std::vector<std::string>> background =
+      datagen::BackgroundSentences(config.background_sentences, config.seed);
+  embed::Word2VecOptions opts;
+  opts.dimension = config.dimension;
+  opts.epochs = config.epochs;
+  opts.min_count = 2;
+  opts.mode = embed::Word2VecMode::kSkipGram;
+  opts.seed = config.seed;
+  StatusOr<embed::PretrainedStore> store =
+      embed::PretrainedStore::TrainFromBackground(background, opts);
+  if (!store.ok()) return store.status();
+  NEWSDIFF_LOG(Info) << "trained background embeddings ("
+                     << store->size() << " words, " << config.dimension
+                     << "d) in " << timer.ElapsedSeconds() << "s";
+  if (!cache_path.empty()) {
+    std::filesystem::path parent =
+        std::filesystem::path(cache_path).parent_path();
+    if (!parent.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(parent, ec);
+    }
+    Status s = store->SaveText(cache_path);
+    if (!s.ok()) {
+      NEWSDIFF_LOG(Warning) << "could not cache embeddings: " << s.ToString();
+    }
+  }
+  return store;
+}
+
+}  // namespace newsdiff::core

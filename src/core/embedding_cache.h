@@ -1,0 +1,29 @@
+#ifndef NEWSDIFF_CORE_EMBEDDING_CACHE_H_
+#define NEWSDIFF_CORE_EMBEDDING_CACHE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "embed/pretrained.h"
+
+namespace newsdiff::core {
+
+/// Configuration for the frozen background embedding store (the pretrained
+/// Google News substitute; see DESIGN.md).
+struct PretrainedConfig {
+  size_t dimension = 300;          // the paper's Doc2Vec size
+  size_t background_sentences = 8000;
+  size_t epochs = 3;
+  uint64_t seed = 4242;
+};
+
+/// Loads the store from `cache_path` if present; otherwise trains it on the
+/// synthetic background corpus and writes the cache. Pass an empty path to
+/// skip caching. The store is deterministic for a fixed config, so the
+/// cache is safe to share across benches and examples.
+StatusOr<embed::PretrainedStore> LoadOrTrainPretrained(
+    const std::string& cache_path, const PretrainedConfig& config = {});
+
+}  // namespace newsdiff::core
+
+#endif  // NEWSDIFF_CORE_EMBEDDING_CACHE_H_

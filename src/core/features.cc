@@ -1,0 +1,168 @@
+#include "core/features.h"
+
+#include <cassert>
+
+#include "datagen/world.h"
+
+namespace newsdiff::core {
+
+const char* DatasetVariantName(DatasetVariant v) {
+  switch (v) {
+    case DatasetVariant::kA1:
+      return "A1";
+    case DatasetVariant::kA2:
+      return "A2";
+    case DatasetVariant::kB1:
+      return "B1";
+    case DatasetVariant::kB2:
+      return "B2";
+    case DatasetVariant::kC1:
+      return "C1";
+    case DatasetVariant::kC2:
+      return "C2";
+    case DatasetVariant::kD1:
+      return "D1";
+    case DatasetVariant::kD2:
+      return "D2";
+  }
+  return "?";
+}
+
+const std::vector<DatasetVariant>& AllDatasetVariants() {
+  static const auto* kAll = new std::vector<DatasetVariant>{
+      DatasetVariant::kA1, DatasetVariant::kA2, DatasetVariant::kB1,
+      DatasetVariant::kB2, DatasetVariant::kC1, DatasetVariant::kC2,
+      DatasetVariant::kD1, DatasetVariant::kD2,
+  };
+  return *kAll;
+}
+
+std::vector<EventTweetAssignment> AssignTweetsToEvents(
+    const corpus::Corpus& twitter_corpus,
+    const std::vector<event::Event>& twitter_events,
+    const std::vector<size_t>& event_indices, const FeatureOptions& options) {
+  std::vector<EventTweetAssignment> out;
+  for (size_t ei : event_indices) {
+    const event::Event& ev = twitter_events[ei];
+    EventTweetAssignment assign;
+    assign.twitter_event = ei;
+    for (size_t d = 0; d < twitter_corpus.size(); ++d) {
+      if (event::Mabed::DocumentBelongsToEvent(twitter_corpus.doc(d), ev,
+                                               options.related_fraction)) {
+        assign.tweet_indices.push_back(d);
+      }
+    }
+    if (assign.tweet_indices.size() >= options.min_event_tweets) {
+      out.push_back(std::move(assign));
+    }
+  }
+  return out;
+}
+
+embed::EventWordWeights EventContextWeights(const event::Event& ev) {
+  embed::EventWordWeights weights;
+  weights.emplace(ev.main_word, 1.0);
+  for (size_t i = 0; i < ev.related_words.size(); ++i) {
+    weights.emplace(ev.related_words[i], ev.related_weights[i]);
+  }
+  return weights;
+}
+
+namespace {
+
+embed::Doc2VecVariant EmbeddingOf(DatasetVariant v) {
+  switch (v) {
+    case DatasetVariant::kB1:
+    case DatasetVariant::kB2:
+      return embed::Doc2VecVariant::kRnd;
+    case DatasetVariant::kC1:
+    case DatasetVariant::kC2:
+      return embed::Doc2VecVariant::kSwm;
+    default:
+      return embed::Doc2VecVariant::kSw;
+  }
+}
+
+bool HasMetadata(DatasetVariant v) {
+  switch (v) {
+    case DatasetVariant::kA2:
+    case DatasetVariant::kB2:
+    case DatasetVariant::kC2:
+    case DatasetVariant::kD2:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool HasFollowersFeature(DatasetVariant v) {
+  return v == DatasetVariant::kD2;
+}
+
+constexpr size_t kMetadataDim = 8;  // 7 one-hot buckets + day of week
+
+}  // namespace
+
+TrainingDataset BuildDataset(
+    DatasetVariant variant,
+    const std::vector<EventTweetAssignment>& assignments,
+    const std::vector<event::Event>& twitter_events,
+    const corpus::Corpus& twitter_corpus,
+    const std::vector<TweetRecord>& tweets,
+    const embed::PretrainedStore& store) {
+  assert(twitter_corpus.size() == tweets.size());
+  const embed::Doc2VecVariant emb = EmbeddingOf(variant);
+  const bool metadata = HasMetadata(variant);
+  const bool followers_feature = HasFollowersFeature(variant);
+
+  TrainingDataset ds;
+  ds.embedding_dim = store.dimension();
+  ds.feature_dim = ds.embedding_dim + (metadata ? kMetadataDim : 0) +
+                   (followers_feature ? 1 : 0);
+
+  size_t rows = 0;
+  for (const EventTweetAssignment& a : assignments) {
+    rows += a.tweet_indices.size();
+  }
+  ds.x.Resize(rows, ds.feature_dim);
+  ds.likes.reserve(rows);
+  ds.retweets.reserve(rows);
+
+  size_t row = 0;
+  std::vector<std::string> token_strings;
+  for (const EventTweetAssignment& a : assignments) {
+    const event::Event& ev = twitter_events[a.twitter_event];
+    embed::EventWordWeights weights = EventContextWeights(ev);
+    for (size_t tweet_idx : a.tweet_indices) {
+      const corpus::Document& doc = twitter_corpus.doc(tweet_idx);
+      const TweetRecord& rec = tweets[tweet_idx];
+      token_strings.clear();
+      token_strings.reserve(doc.tokens.size());
+      for (uint32_t t : doc.tokens) {
+        token_strings.push_back(twitter_corpus.vocabulary().Term(t));
+      }
+      std::vector<double> vec =
+          embed::EmbedDocument(token_strings, store, emb, &weights);
+      double* out = ds.x.RowPtr(row);
+      std::copy(vec.begin(), vec.end(), out);
+      size_t cursor = ds.embedding_dim;
+      if (metadata) {
+        out[cursor + static_cast<size_t>(rec.follower_bucket)] = 1.0;
+        out[cursor + 7] =
+            static_cast<double>(DayOfWeek(rec.created)) / 6.0;
+        cursor += kMetadataDim;
+      }
+      if (followers_feature) {
+        out[cursor] = static_cast<double>(rec.follower_class);
+        ++cursor;
+      }
+      ds.likes.push_back(datagen::EncodeCountClass(rec.likes));
+      ds.retweets.push_back(datagen::EncodeCountClass(rec.retweets));
+      ++row;
+    }
+  }
+  assert(row == rows);
+  return ds;
+}
+
+}  // namespace newsdiff::core

@@ -1,0 +1,85 @@
+#ifndef NEWSDIFF_CORE_FEATURES_H_
+#define NEWSDIFF_CORE_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/correlation.h"
+#include "core/types.h"
+#include "embed/doc2vec.h"
+#include "la/matrix.h"
+
+namespace newsdiff::core {
+
+/// The eight experimental datasets of §5.6. The letter selects the
+/// document-embedding variant; the digit selects whether the metadata
+/// vector is concatenated.
+enum class DatasetVariant {
+  kA1,  // SW_Doc2Vec
+  kA2,  // SW_Doc2Vec + metadata
+  kB1,  // RND_Doc2Vec
+  kB2,  // RND_Doc2Vec + metadata
+  kC1,  // SWM_Doc2Vec
+  kC2,  // SWM_Doc2Vec + metadata
+  kD1,  // SW_Doc2Vec (the D pair isolates the followers-count feature)
+  kD2,  // SW_Doc2Vec + metadata + author followers-count feature
+};
+
+/// Short name ("A1" ... "D2").
+const char* DatasetVariantName(DatasetVariant v);
+/// All eight variants in paper order.
+const std::vector<DatasetVariant>& AllDatasetVariants();
+
+struct FeatureOptions {
+  /// A tweet belongs to an event if posted in its interval, containing the
+  /// main word and at least this fraction of the related words (§4.7).
+  double related_fraction = 0.2;
+  /// Events with fewer assigned tweets are dropped (§4.7: >= 10 records).
+  size_t min_event_tweets = 10;
+};
+
+/// Tweets assigned to one Twitter event.
+struct EventTweetAssignment {
+  size_t twitter_event = 0;           // index into the Twitter-event list
+  std::vector<size_t> tweet_indices;  // indices into the tweet record list
+};
+
+/// Assigns tweets to each listed Twitter event under the §4.7 rule and
+/// drops under-supported events. `twitter_corpus` must be index-aligned
+/// with the tweet records used later.
+std::vector<EventTweetAssignment> AssignTweetsToEvents(
+    const corpus::Corpus& twitter_corpus,
+    const std::vector<event::Event>& twitter_events,
+    const std::vector<size_t>& event_indices, const FeatureOptions& options);
+
+/// A training dataset: one row per (event, tweet) membership — tweets in
+/// several events contribute several rows, which is how the paper's
+/// dataset grows (§5.6).
+struct TrainingDataset {
+  la::Matrix x;
+  std::vector<int> likes;     // Table 2 classes
+  std::vector<int> retweets;  // Table 2 classes
+  size_t embedding_dim = 0;   // leading Doc2Vec columns
+  size_t feature_dim = 0;     // total columns
+};
+
+/// Builds the feature matrix for `variant` over the event-tweet
+/// assignments. The metadata vector (size 8) is a 7-way one-hot of the
+/// author's follower-magnitude bucket plus the day-of-week (scaled to
+/// [0, 1]); D2 appends the Table-2 followers class as a ninth extra
+/// feature.
+TrainingDataset BuildDataset(
+    DatasetVariant variant,
+    const std::vector<EventTweetAssignment>& assignments,
+    const std::vector<event::Event>& twitter_events,
+    const corpus::Corpus& twitter_corpus,
+    const std::vector<TweetRecord>& tweets,
+    const embed::PretrainedStore& store);
+
+/// The §4.7 event-context word weights for SWM: main word 1.0, related
+/// words their MABED weights.
+embed::EventWordWeights EventContextWeights(const event::Event& ev);
+
+}  // namespace newsdiff::core
+
+#endif  // NEWSDIFF_CORE_FEATURES_H_

@@ -1,0 +1,97 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/time.h"
+
+namespace newsdiff::core {
+
+std::vector<size_t> PipelineResult::CorrelatedTwitterEventIndices() const {
+  std::vector<size_t> out;
+  for (const EventCorrelation& p : correlations) out.push_back(p.twitter_event);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+StatusOr<PipelineResult> Pipeline::Run(
+    store::Database& db, const embed::PretrainedStore& store) const {
+  PipelineResult result;
+
+  // (i) Collection: read back what the crawlers stored.
+  StatusOr<std::vector<NewsRecord>> news = LoadNews(db);
+  if (!news.ok()) return news.status();
+  result.news = std::move(news).value();
+  StatusOr<std::vector<TweetRecord>> tweets = LoadTweets(db);
+  if (!tweets.ok()) return tweets.status();
+  result.tweets = std::move(tweets).value();
+  if (result.news.empty()) return Status::FailedPrecondition("no news");
+  if (result.tweets.empty()) return Status::FailedPrecondition("no tweets");
+
+  // Preprocessing (§4.2): the three corpora.
+  result.news_tm = BuildNewsTM(result.news);
+  result.news_ed = BuildNewsED(result.news);
+  result.twitter_ed = BuildTwitterED(result.tweets);
+
+  WallTimer timer;
+
+  // (ii) Topic modeling (§4.3).
+  StatusOr<topic::TopicModel> model =
+      topic::TopicModel::Fit(result.news_tm, options_.topics);
+  if (!model.ok()) return model.status();
+  result.topics = model->topics();
+  result.topic_seconds = timer.ElapsedSeconds();
+  timer.Restart();
+
+  // (iii) News event detection (§4.4).
+  event::Mabed news_mabed(options_.news_mabed);
+  StatusOr<std::vector<event::Event>> news_events =
+      news_mabed.Detect(result.news_ed);
+  if (!news_events.ok()) return news_events.status();
+  result.news_events = std::move(news_events).value();
+  result.news_event_seconds = timer.ElapsedSeconds();
+  timer.Restart();
+
+  // (iv) Twitter event detection.
+  event::Mabed twitter_mabed(options_.twitter_mabed);
+  StatusOr<std::vector<event::Event>> twitter_events =
+      twitter_mabed.Detect(result.twitter_ed);
+  if (!twitter_events.ok()) return twitter_events.status();
+  result.twitter_events = std::move(twitter_events).value();
+  result.twitter_event_seconds = timer.ElapsedSeconds();
+  timer.Restart();
+
+  // Trending news topics (§4.5).
+  result.trending = ExtractTrendingTopics(result.topics, result.news_events,
+                                          store, options_.trending);
+  result.trending_seconds = timer.ElapsedSeconds();
+  timer.Restart();
+
+  // Correlation with Twitter events (§4.6).
+  result.correlations = CorrelateTrendingWithTwitter(
+      result.trending, result.news_events, result.twitter_events, store,
+      options_.correlation);
+  result.unrelated_twitter_events =
+      UnrelatedTwitterEvents(result.correlations, result.twitter_events.size());
+  result.correlation_seconds = timer.ElapsedSeconds();
+  timer.Restart();
+
+  // Feature creation prerequisites (§4.7): tweet-event assignment over the
+  // correlated Twitter events.
+  result.assignments =
+      AssignTweetsToEvents(result.twitter_ed, result.twitter_events,
+                           result.CorrelatedTwitterEventIndices(),
+                           options_.features);
+  result.assignment_seconds = timer.ElapsedSeconds();
+
+  NEWSDIFF_LOG(Info) << "pipeline: " << result.topics.size() << " topics, "
+                     << result.news_events.size() << " news events, "
+                     << result.twitter_events.size() << " twitter events, "
+                     << result.trending.size() << " trending, "
+                     << result.correlations.size() << " correlations, "
+                     << result.assignments.size() << " assigned events";
+  return result;
+}
+
+}  // namespace newsdiff::core

@@ -1,0 +1,105 @@
+#ifndef NEWSDIFF_CORE_PIPELINE_H_
+#define NEWSDIFF_CORE_PIPELINE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/collection.h"
+#include "core/correlation.h"
+#include "core/features.h"
+#include "core/predictor.h"
+#include "core/preprocess.h"
+#include "core/trending.h"
+#include "embed/pretrained.h"
+#include "event/mabed.h"
+#include "topic/topic_model.h"
+
+namespace newsdiff::core {
+
+/// End-to-end configuration of the architecture in the paper's Fig. 1.
+/// Defaults are scaled for a single-core reproduction; benches override
+/// individual fields where a paper experiment pins a value (e.g. 60-minute
+/// news slices, 30-minute tweet slices, similarity thresholds).
+struct PipelineOptions {
+  topic::TopicModelOptions topics = [] {
+    topic::TopicModelOptions o;
+    o.num_topics = 24;
+    o.keywords_per_topic = 10;
+    o.nmf.max_iterations = 120;
+    o.dtm.min_doc_freq = 3;
+    o.dtm.max_doc_fraction = 0.5;
+    return o;
+  }();
+  event::MabedOptions news_mabed = [] {
+    event::MabedOptions o;
+    o.time_slice_seconds = 60 * kSecondsPerMinute;  // paper: 60 min
+    o.max_events = 100;
+    o.min_support = 10;
+    return o;
+  }();
+  event::MabedOptions twitter_mabed = [] {
+    event::MabedOptions o;
+    o.time_slice_seconds = 30 * kSecondsPerMinute;  // paper: 30 min
+    o.max_events = 150;
+    o.min_support = 10;
+    return o;
+  }();
+  TrendingOptions trending;        // sim > 0.7
+  CorrelationOptions correlation;  // sim > 0.65, 5-day window
+  FeatureOptions features;         // >= 10 tweets, 20% related words
+};
+
+/// Everything the pipeline produced, kept for the prediction stage and the
+/// benchmark harnesses.
+struct PipelineResult {
+  // Stage inputs/corpora (index-aligned with the record vectors).
+  std::vector<NewsRecord> news;
+  std::vector<TweetRecord> tweets;
+  corpus::Corpus news_tm;
+  corpus::Corpus news_ed;
+  corpus::Corpus twitter_ed;
+
+  // Stage outputs.
+  std::vector<topic::Topic> topics;
+  std::vector<event::Event> news_events;
+  std::vector<event::Event> twitter_events;
+  std::vector<TrendingNewsTopic> trending;
+  std::vector<EventCorrelation> correlations;
+  std::vector<size_t> unrelated_twitter_events;
+  std::vector<EventTweetAssignment> assignments;
+
+  // Timing breakdown (seconds).
+  double topic_seconds = 0.0;
+  double news_event_seconds = 0.0;
+  double twitter_event_seconds = 0.0;
+  double trending_seconds = 0.0;
+  double correlation_seconds = 0.0;
+  double assignment_seconds = 0.0;
+
+  /// Indices (into twitter_events) of the distinct correlated events.
+  std::vector<size_t> CorrelatedTwitterEventIndices() const;
+};
+
+/// Orchestrates steps (i)-(iv) of the proposed solution: collection ->
+/// preprocessing -> topics -> news events -> Twitter events -> trending
+/// topics -> correlation -> event-tweet assignment. Step (v), prediction,
+/// is run on top via BuildDataset + TrainAndEvaluate so callers can sweep
+/// dataset variants and networks.
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineOptions options) : options_(std::move(options)) {}
+
+  /// Runs the full analysis over the store contents using the frozen
+  /// embedding store.
+  StatusOr<PipelineResult> Run(store::Database& db,
+                               const embed::PretrainedStore& store) const;
+
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  PipelineOptions options_;
+};
+
+}  // namespace newsdiff::core
+
+#endif  // NEWSDIFF_CORE_PIPELINE_H_

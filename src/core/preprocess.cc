@@ -1,0 +1,34 @@
+#include "core/preprocess.h"
+
+#include "text/pipeline.h"
+
+namespace newsdiff::core {
+
+corpus::Corpus BuildNewsTM(const std::vector<NewsRecord>& news) {
+  corpus::Corpus corp;
+  for (const NewsRecord& rec : news) {
+    std::string full = rec.title + " " + rec.body;
+    corp.AddDocument(text::PreprocessNewsTM(full), rec.published, rec.id);
+  }
+  return corp;
+}
+
+corpus::Corpus BuildNewsED(const std::vector<NewsRecord>& news) {
+  corpus::Corpus corp;
+  for (const NewsRecord& rec : news) {
+    std::string full = rec.title + " " + rec.body;
+    corp.AddDocument(text::PreprocessNewsED(full), rec.published, rec.id);
+  }
+  return corp;
+}
+
+corpus::Corpus BuildTwitterED(const std::vector<TweetRecord>& tweets) {
+  corpus::Corpus corp;
+  for (const TweetRecord& rec : tweets) {
+    corp.AddDocument(text::PreprocessTwitterED(rec.text), rec.created,
+                     rec.id);
+  }
+  return corp;
+}
+
+}  // namespace newsdiff::core

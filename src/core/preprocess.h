@@ -1,0 +1,29 @@
+#ifndef NEWSDIFF_CORE_PREPROCESS_H_
+#define NEWSDIFF_CORE_PREPROCESS_H_
+
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "core/types.h"
+
+namespace newsdiff::core {
+
+/// The preprocessing module (§4.2): turns store records into the three
+/// corpora the downstream algorithms consume. Document order in each corpus
+/// matches the input record order, so corpus index i refers back to
+/// records[i].
+
+/// NewsTM: title + body through the topic-modeling recipe (entity folding,
+/// lemmas, stopword removal).
+corpus::Corpus BuildNewsTM(const std::vector<NewsRecord>& news);
+
+/// NewsED: title + body through the minimal event-detection recipe.
+corpus::Corpus BuildNewsED(const std::vector<NewsRecord>& news);
+
+/// TwitterED: tweet text through the tweet event-detection recipe
+/// (URL / mention / hashtag cleanup + tokenisation).
+corpus::Corpus BuildTwitterED(const std::vector<TweetRecord>& tweets);
+
+}  // namespace newsdiff::core
+
+#endif  // NEWSDIFF_CORE_PREPROCESS_H_

@@ -1,0 +1,90 @@
+#include "core/report.h"
+
+#include "common/time.h"
+#include "store/json.h"
+
+namespace newsdiff::core {
+namespace {
+
+store::Value EventSummary(const event::Event& ev) {
+  store::Array keywords;
+  for (const std::string& w : ev.related_words) keywords.emplace_back(w);
+  return store::MakeObject({
+      {"label", ev.main_word},
+      {"start", FormatTimestamp(ev.start_time)},
+      {"end", FormatTimestamp(ev.end_time)},
+      {"support", static_cast<int64_t>(ev.support)},
+      {"magnitude", ev.magnitude},
+      {"keywords", store::Value(std::move(keywords))},
+  });
+}
+
+}  // namespace
+
+store::Value BuildReport(const PipelineResult& result) {
+  store::Value report = store::MakeObject({
+      {"articles", static_cast<int64_t>(result.news.size())},
+      {"tweets", static_cast<int64_t>(result.tweets.size())},
+  });
+
+  store::Array topics;
+  for (const topic::Topic& t : result.topics) {
+    store::Array keywords;
+    for (const std::string& kw : t.keywords) keywords.emplace_back(kw);
+    topics.push_back(store::MakeObject({
+        {"id", static_cast<int64_t>(t.id)},
+        {"keywords", store::Value(std::move(keywords))},
+    }));
+  }
+  report.Set("topics", store::Value(std::move(topics)));
+
+  store::Array news_events;
+  for (const event::Event& ev : result.news_events) {
+    news_events.push_back(EventSummary(ev));
+  }
+  report.Set("news_events", store::Value(std::move(news_events)));
+
+  store::Array twitter_events;
+  for (const event::Event& ev : result.twitter_events) {
+    twitter_events.push_back(EventSummary(ev));
+  }
+  report.Set("twitter_events", store::Value(std::move(twitter_events)));
+
+  store::Array trending;
+  for (size_t ti = 0; ti < result.trending.size(); ++ti) {
+    const TrendingNewsTopic& t = result.trending[ti];
+    store::Array echoes;
+    for (const EventCorrelation& c : result.correlations) {
+      if (c.trending != ti) continue;
+      echoes.push_back(store::MakeObject({
+          {"twitter_event",
+           result.twitter_events[c.twitter_event].main_word},
+          {"similarity", c.similarity},
+      }));
+    }
+    trending.push_back(store::MakeObject({
+        {"topic_id", static_cast<int64_t>(t.topic_id)},
+        {"news_event", result.news_events[t.news_event].main_word},
+        {"similarity", t.similarity},
+        {"twitter_echoes", store::Value(std::move(echoes))},
+    }));
+  }
+  report.Set("trending_news_topics", store::Value(std::move(trending)));
+
+  report.Set("timings_seconds",
+             store::MakeObject({
+                 {"topics", result.topic_seconds},
+                 {"news_events", result.news_event_seconds},
+                 {"twitter_events", result.twitter_event_seconds},
+                 {"trending", result.trending_seconds},
+                 {"correlation", result.correlation_seconds},
+                 {"assignment", result.assignment_seconds},
+             }));
+  return report;
+}
+
+std::string ReportJson(const PipelineResult& result) {
+  return store::ToPrettyJson(BuildReport(result));
+}
+
+}  // namespace newsdiff::core

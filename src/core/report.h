@@ -1,0 +1,23 @@
+#ifndef NEWSDIFF_CORE_REPORT_H_
+#define NEWSDIFF_CORE_REPORT_H_
+
+#include <string>
+
+#include "core/pipeline.h"
+#include "store/value.h"
+
+namespace newsdiff::core {
+
+/// Renders a pipeline run as a JSON document: dataset sizes, per-stage
+/// counts and timings, the topics with keywords, the top events, the
+/// trending topics with their correlations. This is the machine-readable
+/// surface a dashboard (or the start-up deployment the paper mentions)
+/// would consume.
+store::Value BuildReport(const PipelineResult& result);
+
+/// Convenience: BuildReport rendered as pretty JSON.
+std::string ReportJson(const PipelineResult& result);
+
+}  // namespace newsdiff::core
+
+#endif  // NEWSDIFF_CORE_REPORT_H_

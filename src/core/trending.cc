@@ -1,0 +1,53 @@
+#include "core/trending.h"
+
+#include "embed/doc2vec.h"
+#include "la/matrix.h"
+
+namespace newsdiff::core {
+
+std::vector<double> EncodeEvent(const event::Event& ev,
+                                const embed::PretrainedStore& store) {
+  std::vector<std::string> words;
+  words.reserve(ev.related_words.size() + 1);
+  words.push_back(ev.main_word);
+  for (const std::string& w : ev.related_words) words.push_back(w);
+  return embed::EmbedKeywords(words, store);
+}
+
+std::vector<double> EncodeTopic(const topic::Topic& t,
+                                const embed::PretrainedStore& store) {
+  return embed::EmbedKeywords(t.keywords, store);
+}
+
+std::vector<TrendingNewsTopic> ExtractTrendingTopics(
+    const std::vector<topic::Topic>& topics,
+    const std::vector<event::Event>& news_events,
+    const embed::PretrainedStore& store, const TrendingOptions& options) {
+  std::vector<TrendingNewsTopic> out;
+  if (news_events.empty()) return out;
+
+  std::vector<std::vector<double>> event_vecs;
+  event_vecs.reserve(news_events.size());
+  for (const event::Event& ev : news_events) {
+    event_vecs.push_back(EncodeEvent(ev, store));
+  }
+
+  for (size_t t = 0; t < topics.size(); ++t) {
+    std::vector<double> tv = EncodeTopic(topics[t], store);
+    double best = -1.0;
+    size_t best_ev = 0;
+    for (size_t e = 0; e < news_events.size(); ++e) {
+      double sim = la::CosineSimilarity(tv, event_vecs[e]);
+      if (sim > best) {
+        best = sim;
+        best_ev = e;
+      }
+    }
+    if (best > options.min_similarity) {
+      out.push_back({t, best_ev, best});
+    }
+  }
+  return out;
+}
+
+}  // namespace newsdiff::core

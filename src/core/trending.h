@@ -1,0 +1,43 @@
+#ifndef NEWSDIFF_CORE_TRENDING_H_
+#define NEWSDIFF_CORE_TRENDING_H_
+
+#include <vector>
+
+#include "embed/pretrained.h"
+#include "event/mabed.h"
+#include "topic/topic_model.h"
+
+namespace newsdiff::core {
+
+/// A <news topic, news event> pair with high Doc2Vec cosine similarity —
+/// the paper's *trending news topic* (§4.5, §5.5).
+struct TrendingNewsTopic {
+  size_t topic_id = 0;      // index into the topic list
+  size_t news_event = 0;    // index into the news-event list
+  double similarity = 0.0;  // NewsTopic2Vec . NewsEvent2Vec cosine
+};
+
+struct TrendingOptions {
+  /// Minimum similarity to qualify (the paper keeps pairs > 0.7).
+  double min_similarity = 0.7;
+};
+
+/// Encodes an event's main + related words as a single vector
+/// (NewsEvent2Vec / TwitterEvent2Vec of §4.5-§4.6).
+std::vector<double> EncodeEvent(const event::Event& ev,
+                                const embed::PretrainedStore& store);
+
+/// Encodes a topic's keywords (NewsTopic2Vec).
+std::vector<double> EncodeTopic(const topic::Topic& t,
+                                const embed::PretrainedStore& store);
+
+/// For each topic, finds the best-matching news event; keeps pairs whose
+/// similarity clears the threshold. One pair per topic at most.
+std::vector<TrendingNewsTopic> ExtractTrendingTopics(
+    const std::vector<topic::Topic>& topics,
+    const std::vector<event::Event>& news_events,
+    const embed::PretrainedStore& store, const TrendingOptions& options);
+
+}  // namespace newsdiff::core
+
+#endif  // NEWSDIFF_CORE_TRENDING_H_

@@ -1,0 +1,54 @@
+#include "core/tuning.h"
+
+namespace newsdiff::core {
+
+StatusOr<TuningResult> TunePredictor(
+    const la::Matrix& x, const std::vector<int>& y,
+    const std::vector<TuningCandidate>& candidates, size_t folds) {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no candidates to tune over");
+  }
+  TuningResult result;
+  double best = -1.0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    StatusOr<CrossValidationResult> cv =
+        CrossValidate(x, y, candidates[i].kind, candidates[i].options, folds);
+    if (!cv.ok()) return cv.status();
+    if (cv->mean_accuracy > best) {
+      best = cv->mean_accuracy;
+      result.best_index = i;
+    }
+    result.per_candidate.push_back(std::move(cv).value());
+  }
+  return result;
+}
+
+std::vector<TuningCandidate> PaperSearchSpace(const PredictorOptions& base) {
+  std::vector<TuningCandidate> out;
+  for (NetworkKind arch : {NetworkKind::kMlp1, NetworkKind::kCnn1}) {
+    const char* arch_name =
+        (arch == NetworkKind::kMlp1) ? "MLP" : "CNN";
+    for (double lr : {0.1, 0.5}) {
+      TuningCandidate c;
+      c.label = std::string(arch_name) + " + SGD lr=" +
+                (lr == 0.1 ? "0.1" : "0.5");
+      c.kind = arch;  // the *1 kinds select SGD
+      c.options = base;
+      c.options.sgd_learning_rate = lr;
+      out.push_back(std::move(c));
+    }
+    for (double lr : {1.0, 2.0}) {
+      TuningCandidate c;
+      c.label = std::string(arch_name) + " + ADADELTA lr=" +
+                (lr == 1.0 ? "1" : "2");
+      c.kind = (arch == NetworkKind::kMlp1) ? NetworkKind::kMlp2
+                                            : NetworkKind::kCnn2;
+      c.options = base;
+      c.options.adadelta_learning_rate = lr;
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+}  // namespace newsdiff::core

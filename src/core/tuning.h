@@ -1,0 +1,42 @@
+#ifndef NEWSDIFF_CORE_TUNING_H_
+#define NEWSDIFF_CORE_TUNING_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cross_validation.h"
+
+namespace newsdiff::core {
+
+/// One hyperparameter configuration to try: a label plus the options to
+/// evaluate.
+struct TuningCandidate {
+  std::string label;
+  NetworkKind kind = NetworkKind::kMlp1;
+  PredictorOptions options;
+};
+
+/// Outcome of a grid search over candidates (§5.6: the paper fixes its
+/// four configurations "after hyperparameter tuning and cross validation";
+/// this utility is that step).
+struct TuningResult {
+  /// Mean CV accuracy per candidate, aligned with the input order.
+  std::vector<CrossValidationResult> per_candidate;
+  /// Index of the best candidate by mean accuracy (ties: first).
+  size_t best_index = 0;
+};
+
+/// Cross-validates every candidate on (x, y) and returns the scores and
+/// the winner. `folds` as in CrossValidate.
+StatusOr<TuningResult> TunePredictor(
+    const la::Matrix& x, const std::vector<int>& y,
+    const std::vector<TuningCandidate>& candidates, size_t folds = 3);
+
+/// The paper's §5.6 search space: MLP/CNN crossed with SGD (lr 0.1/0.5)
+/// and ADADELTA (lr 1/2), as described in the tuning discussion.
+std::vector<TuningCandidate> PaperSearchSpace(
+    const PredictorOptions& base = {});
+
+}  // namespace newsdiff::core
+
+#endif  // NEWSDIFF_CORE_TUNING_H_

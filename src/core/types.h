@@ -1,0 +1,38 @@
+#ifndef NEWSDIFF_CORE_TYPES_H_
+#define NEWSDIFF_CORE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace newsdiff::core {
+
+/// A news article as read back from the document store (§4.1).
+struct NewsRecord {
+  int64_t id = 0;
+  std::string title;
+  std::string body;
+  UnixSeconds published = 0;
+};
+
+/// A tweet as read back from the document store, joined with its author's
+/// profile (follower count and derived encodings).
+struct TweetRecord {
+  int64_t id = 0;
+  int64_t user_id = 0;
+  std::string text;
+  UnixSeconds created = 0;
+  int64_t likes = 0;
+  int64_t retweets = 0;
+  int64_t followers = 0;
+  /// Table 2 class of the author's follower count (0/1/2).
+  int follower_class = 0;
+  /// 7-way follower-magnitude bucket for the metadata one-hot.
+  int follower_bucket = 0;
+};
+
+}  // namespace newsdiff::core
+
+#endif  // NEWSDIFF_CORE_TYPES_H_

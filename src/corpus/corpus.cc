@@ -1,0 +1,35 @@
+#include "corpus/corpus.h"
+
+#include <algorithm>
+
+namespace newsdiff::corpus {
+
+size_t Corpus::AddDocument(const std::vector<std::string>& tokens,
+                           UnixSeconds timestamp, int64_t external_id) {
+  Document doc;
+  doc.external_id = external_id;
+  doc.timestamp = timestamp;
+  doc.tokens.reserve(tokens.size());
+  for (const std::string& t : tokens) {
+    doc.tokens.push_back(vocab_.GetOrAdd(t));
+  }
+  doc.length = static_cast<uint32_t>(doc.tokens.size());
+  total_tokens_ += doc.length;
+
+  // Build the sorted bag of counts.
+  std::vector<uint32_t> sorted = doc.tokens;
+  std::sort(sorted.begin(), sorted.end());
+  size_t i = 0;
+  while (i < sorted.size()) {
+    size_t j = i + 1;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    doc.counts.push_back({sorted[i], static_cast<uint32_t>(j - i)});
+    vocab_.IncrementDocFreq(sorted[i]);
+    vocab_.AddTermFreq(sorted[i], j - i);
+    i = j;
+  }
+  docs_.push_back(std::move(doc));
+  return docs_.size() - 1;
+}
+
+}  // namespace newsdiff::corpus

@@ -1,0 +1,121 @@
+#include "corpus/weighting.h"
+
+#include <cmath>
+
+namespace newsdiff::corpus {
+
+const char* WeightingSchemeName(WeightingScheme scheme) {
+  switch (scheme) {
+    case WeightingScheme::kTf:
+      return "TF";
+    case WeightingScheme::kTfIdf:
+      return "TFIDF";
+    case WeightingScheme::kTfIdfNormalized:
+      return "TFIDF_N";
+    case WeightingScheme::kBoolean:
+      return "Boolean";
+    case WeightingScheme::kLogTf:
+      return "LogTF";
+    case WeightingScheme::kOkapiBm25:
+      return "BM25";
+  }
+  return "?";
+}
+
+double Idf(const Corpus& corpus, uint32_t term) {
+  uint32_t df = corpus.vocabulary().doc_freq(term);
+  if (df == 0) return 0.0;
+  return std::log2(static_cast<double>(corpus.size()) /
+                   static_cast<double>(df));
+}
+
+double Bm25Idf(const Corpus& corpus, uint32_t term) {
+  double n = static_cast<double>(corpus.size());
+  double df = static_cast<double>(corpus.vocabulary().doc_freq(term));
+  return std::log((n - df + 0.5) / (df + 0.5) + 1.0);
+}
+
+DocumentTermMatrix BuildDocumentTermMatrix(const Corpus& corpus,
+                                           const DtmOptions& options) {
+  const Vocabulary& vocab = corpus.vocabulary();
+  const size_t n_docs = corpus.size();
+  const double max_df =
+      options.max_doc_fraction * static_cast<double>(n_docs);
+
+  // Select surviving terms and assign contiguous columns.
+  DocumentTermMatrix out;
+  std::vector<uint32_t> term_to_col(vocab.size(), kUnknownTerm);
+  for (uint32_t t = 0; t < vocab.size(); ++t) {
+    uint32_t df = vocab.doc_freq(t);
+    if (df < options.min_doc_freq) continue;
+    if (static_cast<double>(df) > max_df) continue;
+    term_to_col[t] = static_cast<uint32_t>(out.column_terms.size());
+    out.column_terms.push_back(t);
+  }
+
+  // Precompute per-column IDF where the scheme needs it.
+  const bool uses_idf = options.scheme == WeightingScheme::kTfIdf ||
+                        options.scheme == WeightingScheme::kTfIdfNormalized;
+  const bool uses_bm25 = options.scheme == WeightingScheme::kOkapiBm25;
+  std::vector<double> idf(out.column_terms.size(), 0.0);
+  if (uses_idf || uses_bm25) {
+    for (size_t c = 0; c < out.column_terms.size(); ++c) {
+      idf[c] = uses_bm25 ? Bm25Idf(corpus, out.column_terms[c])
+                         : Idf(corpus, out.column_terms[c]);
+    }
+  }
+  const double avg_doc_len =
+      n_docs > 0 ? static_cast<double>(corpus.total_tokens()) /
+                       static_cast<double>(n_docs)
+                 : 1.0;
+
+  std::vector<la::Triplet> triplets;
+  for (size_t d = 0; d < n_docs; ++d) {
+    const Document& doc = corpus.doc(d);
+    size_t row_start = triplets.size();
+    double sq_sum = 0.0;
+    for (const TermCount& tc : doc.counts) {
+      uint32_t col = term_to_col[tc.term];
+      if (col == kUnknownTerm) continue;
+      double tf = static_cast<double>(tc.count);  // Eq. (1)
+      double w = 0.0;
+      switch (options.scheme) {
+        case WeightingScheme::kTf:
+          w = tf;
+          break;
+        case WeightingScheme::kBoolean:
+          w = 1.0;
+          break;
+        case WeightingScheme::kLogTf:
+          w = 1.0 + std::log2(tf);
+          break;
+        case WeightingScheme::kTfIdf:
+        case WeightingScheme::kTfIdfNormalized:
+          w = tf * idf[col];  // Eq. (3)
+          break;
+        case WeightingScheme::kOkapiBm25: {
+          double k1 = options.bm25_k1;
+          double b = options.bm25_b;
+          double norm = k1 * (1.0 - b + b * static_cast<double>(doc.length) /
+                                             std::max(avg_doc_len, 1e-9));
+          w = idf[col] * tf * (k1 + 1.0) / (tf + norm);
+          break;
+        }
+      }
+      if (w == 0.0) continue;
+      triplets.push_back({static_cast<uint32_t>(d), col, w});
+      sq_sum += w * w;
+    }
+    if (options.scheme == WeightingScheme::kTfIdfNormalized && sq_sum > 0.0) {
+      double inv_norm = 1.0 / std::sqrt(sq_sum);  // Eq. (4)-(5)
+      for (size_t i = row_start; i < triplets.size(); ++i) {
+        triplets[i].value *= inv_norm;
+      }
+    }
+  }
+  out.matrix = la::CsrMatrix::FromTriplets(n_docs, out.column_terms.size(),
+                                           std::move(triplets));
+  return out;
+}
+
+}  // namespace newsdiff::corpus

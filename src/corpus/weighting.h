@@ -1,0 +1,69 @@
+#ifndef NEWSDIFF_CORPUS_WEIGHTING_H_
+#define NEWSDIFF_CORPUS_WEIGHTING_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "la/sparse.h"
+
+namespace newsdiff::corpus {
+
+/// Term-weighting schemes. The first three are the paper's §3.1 (Eq. 1-5);
+/// the rest come from the comparison study the paper bases its topic-model
+/// design choice on (Truică et al. [35], "Comparing different term
+/// weighting schemas for Topic Modeling") and back the
+/// `ablation_weighting` benchmark.
+enum class WeightingScheme {
+  /// Raw term frequency, Eq. (1).
+  kTf,
+  /// TF * IDF with IDF = log2(n / n_ij), Eq. (3).
+  kTfIdf,
+  /// TFIDF l2-normalised per document into [0, 1], Eq. (4)-(5). This is the
+  /// scheme the paper feeds to NMF.
+  kTfIdfNormalized,
+  /// Presence indicator: 1 if the term occurs in the document.
+  kBoolean,
+  /// Sublinear TF: 1 + log2(tf).
+  kLogTf,
+  /// Okapi BM25 with k1 = 1.2, b = 0.75 and the standard smoothed IDF.
+  kOkapiBm25,
+};
+
+/// Short stable name for a scheme ("TFIDF_N", "BM25", ...).
+const char* WeightingSchemeName(WeightingScheme scheme);
+
+/// Options for building a document-term matrix.
+struct DtmOptions {
+  WeightingScheme scheme = WeightingScheme::kTfIdfNormalized;
+  /// Drop terms appearing in fewer than this many documents.
+  uint32_t min_doc_freq = 1;
+  /// Drop terms appearing in more than this fraction of documents
+  /// (1.0 disables the cutoff).
+  double max_doc_fraction = 1.0;
+  /// BM25 parameters (used only by kOkapiBm25).
+  double bm25_k1 = 1.2;
+  double bm25_b = 0.75;
+};
+
+/// Result of building a document-term matrix: the matrix plus the mapping
+/// from matrix columns back to vocabulary term ids (columns may be a
+/// filtered subset of the vocabulary).
+struct DocumentTermMatrix {
+  la::CsrMatrix matrix;                 // n_docs x n_kept_terms
+  std::vector<uint32_t> column_terms;   // column -> vocab term id
+};
+
+/// IDF of a term: log2(n / n_ij) per Eq. (2). Returns 0 for unseen terms.
+double Idf(const Corpus& corpus, uint32_t term);
+
+/// BM25's smoothed IDF: ln((n - df + 0.5) / (df + 0.5) + 1).
+double Bm25Idf(const Corpus& corpus, uint32_t term);
+
+/// Builds the weighted document-term matrix A of §3.1 over the corpus.
+DocumentTermMatrix BuildDocumentTermMatrix(const Corpus& corpus,
+                                           const DtmOptions& options = {});
+
+}  // namespace newsdiff::corpus
+
+#endif  // NEWSDIFF_CORPUS_WEIGHTING_H_

@@ -1,0 +1,171 @@
+#include "datagen/feeds.h"
+
+#include <algorithm>
+
+namespace newsdiff::datagen {
+namespace {
+
+/// First sentence of a body (up to and including the first period).
+std::string FirstParagraph(const std::string& body) {
+  size_t pos = body.find(". ");
+  if (pos == std::string::npos) return body;
+  return body.substr(0, pos + 1);
+}
+
+}  // namespace
+
+std::vector<ArticleHeader> NewsApiClient::FetchLatest(
+    UnixSeconds now, UnixSeconds older_than) const {
+  // world_->articles is sorted by publish time ascending.
+  const auto& articles = world_->articles;
+  UnixSeconds upper = older_than > 0 ? std::min(now, older_than - 1) : now;
+  // Find the last article published <= upper.
+  auto it = std::upper_bound(
+      articles.begin(), articles.end(), upper,
+      [](UnixSeconds t, const NewsArticle& a) { return t < a.published; });
+  std::vector<ArticleHeader> page;
+  while (it != articles.begin() && page.size() < kPageLimit) {
+    --it;
+    ArticleHeader header;
+    header.article_id = it->id;
+    header.outlet = it->outlet;
+    header.title = it->title;
+    header.first_paragraph = FirstParagraph(it->body);
+    header.published = it->published;
+    page.push_back(std::move(header));
+  }
+  return page;  // newest first
+}
+
+StatusOr<std::string> ArticleScraper::FetchBody(int64_t article_id) const {
+  for (const NewsArticle& a : world_->articles) {
+    if (a.id == article_id) return a.body;
+  }
+  return Status::NotFound("no article with id " + std::to_string(article_id));
+}
+
+std::vector<TweetPayload> TwitterClient::Search(
+    const std::vector<std::string>& keywords, UnixSeconds since,
+    UnixSeconds until, int64_t since_id) const {
+  std::vector<TweetPayload> page;
+  for (const Tweet& t : world_->tweets) {  // sorted ascending by (time, id)
+    if (t.created < since) continue;
+    if (t.created == since && t.id <= since_id) continue;
+    if (t.created > until) break;
+    if (!keywords.empty()) {
+      bool hit = false;
+      for (const std::string& kw : keywords) {
+        if (t.text.find(kw) != std::string::npos) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) continue;
+    }
+    TweetPayload payload;
+    payload.tweet_id = t.id;
+    payload.user_id = t.user;
+    payload.text = t.text;
+    payload.created = t.created;
+    payload.likes = t.likes;
+    payload.retweets = t.retweets;
+    payload.author_followers = world_->users[t.user].followers;
+    page.push_back(std::move(payload));
+    if (page.size() >= kPageLimit) break;
+  }
+  return page;
+}
+
+FeedCrawler::FeedCrawler(const World& world, store::Database& db)
+    : world_(&world),
+      db_(&db),
+      news_api_(world),
+      scraper_(world),
+      twitter_(world),
+      cursor_(world.options.start_time - 1) {}
+
+void FeedCrawler::EnsureUsersLoaded() {
+  if (users_loaded_) return;
+  store::Collection& users = db_->GetOrCreate("users");
+  for (const UserProfile& u : world_->users) {
+    users.Insert(store::MakeObject({
+        {"user_id", static_cast<int64_t>(u.id)},
+        {"handle", u.handle},
+        {"followers", u.followers},
+    }));
+  }
+  users_loaded_ = true;
+}
+
+FeedCrawler::CrawlStats FeedCrawler::CrawlUntil(UnixSeconds now) {
+  EnsureUsersLoaded();
+  CrawlStats stats;
+  store::Collection& news = db_->GetOrCreate("news");
+  store::Collection& tweets = db_->GetOrCreate("tweets");
+
+  while (cursor_ < now) {
+    UnixSeconds cycle_end = std::min<UnixSeconds>(cursor_ + kCycleSeconds, now);
+    ++stats.cycles;
+
+    // News: page backwards through FetchLatest until we cross the cursor.
+    std::vector<ArticleHeader> fresh;
+    UnixSeconds older_than = 0;
+    while (true) {
+      std::vector<ArticleHeader> page =
+          news_api_.FetchLatest(cycle_end, older_than);
+      if (page.empty()) break;
+      bool crossed = false;
+      for (const ArticleHeader& h : page) {
+        if (h.published <= cursor_) {
+          crossed = true;
+          break;
+        }
+        fresh.push_back(h);
+      }
+      if (crossed || page.size() < NewsApiClient::kPageLimit) break;
+      older_than = page.back().published;
+      if (older_than <= cursor_) break;
+    }
+    // Insert oldest-first so store order matches publish order; the header
+    // body is truncated, so scrape the full text (as the paper did).
+    for (auto it = fresh.rbegin(); it != fresh.rend(); ++it) {
+      StatusOr<std::string> body = scraper_.FetchBody(it->article_id);
+      news.Insert(store::MakeObject({
+          {"article_id", it->article_id},
+          {"outlet", it->outlet},
+          {"title", it->title},
+          {"body", body.ok() ? *body : it->first_paragraph},
+          {"published", it->published},
+      }));
+      ++stats.articles;
+    }
+
+    // Tweets: page forward through Search, keyed by (created, id) so
+    // same-second tweets at a page boundary are never skipped.
+    UnixSeconds since = cursor_;
+    int64_t since_id = 9223372036854775807LL;  // cursor_ second fully done
+    while (true) {
+      std::vector<TweetPayload> page =
+          twitter_.Search({}, since, cycle_end, since_id);
+      for (const TweetPayload& t : page) {
+        tweets.Insert(store::MakeObject({
+            {"tweet_id", t.tweet_id},
+            {"user_id", t.user_id},
+            {"text", t.text},
+            {"created", t.created},
+            {"likes", t.likes},
+            {"retweets", t.retweets},
+        }));
+        ++stats.tweets;
+        since = t.created;
+        since_id = t.tweet_id;
+      }
+      if (page.size() < TwitterClient::kPageLimit) break;
+    }
+
+    cursor_ = cycle_end;
+  }
+  return stats;
+}
+
+}  // namespace newsdiff::datagen

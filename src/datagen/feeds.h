@@ -1,0 +1,126 @@
+#ifndef NEWSDIFF_DATAGEN_FEEDS_H_
+#define NEWSDIFF_DATAGEN_FEEDS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/world.h"
+#include "store/database.h"
+
+namespace newsdiff::datagen {
+
+/// API-shaped feed clients backed by the synthetic world — the simulated
+/// counterparts of the paper's data-collection modules (§4.1): News River
+/// API, NewsAPI (first paragraph only + scraper), and the Twitter API.
+/// Each client serves documents in time order with the page limits the
+/// real services impose, so the crawler exercises genuine pagination and
+/// incremental-fetch logic.
+
+/// A page of article headers as NewsAPI returns them: metadata plus only
+/// the first paragraph of content (the paper notes NewsAPI truncates the
+/// body, which is why the original system needed a scraper).
+struct ArticleHeader {
+  int64_t article_id = 0;
+  std::string outlet;
+  std::string title;
+  std::string first_paragraph;
+  UnixSeconds published = 0;
+};
+
+/// NewsAPI simulation: "the latest 100 news" per request.
+class NewsApiClient {
+ public:
+  /// The client holds a reference to the world; it must outlive the client.
+  explicit NewsApiClient(const World& world) : world_(&world) {}
+
+  static constexpr size_t kPageLimit = 100;
+
+  /// Latest articles published at or before `now`, newest first, at most
+  /// kPageLimit. `older_than` (exclusive, 0 = disabled) pages further back.
+  std::vector<ArticleHeader> FetchLatest(UnixSeconds now,
+                                         UnixSeconds older_than = 0) const;
+
+ private:
+  const World* world_;
+};
+
+/// Article scraper simulation: resolves an article id to its full body
+/// (the paper: "We developed a scrapper to obtain the entire content").
+class ArticleScraper {
+ public:
+  explicit ArticleScraper(const World& world) : world_(&world) {}
+
+  /// Full body text, or NotFound for an unknown id.
+  StatusOr<std::string> FetchBody(int64_t article_id) const;
+
+ private:
+  const World* world_;
+};
+
+/// A tweet as the Twitter API returns it.
+struct TweetPayload {
+  int64_t tweet_id = 0;
+  int64_t user_id = 0;
+  std::string text;
+  UnixSeconds created = 0;
+  int64_t likes = 0;
+  int64_t retweets = 0;
+  int64_t author_followers = 0;
+};
+
+/// Twitter API simulation: keyword search over tweets in a time range.
+class TwitterClient {
+ public:
+  explicit TwitterClient(const World& world) : world_(&world) {}
+
+  static constexpr size_t kPageLimit = 100;
+
+  /// Tweets created in (since, until] whose text contains any of
+  /// `keywords` (empty = all tweets), oldest first, at most kPageLimit.
+  /// `since_id` breaks ties among tweets sharing the `since` timestamp, so
+  /// pagination never skips same-second tweets.
+  std::vector<TweetPayload> Search(const std::vector<std::string>& keywords,
+                                   UnixSeconds since, UnixSeconds until,
+                                   int64_t since_id = -1) const;
+
+ private:
+  const World* world_;
+};
+
+/// The crawler of §4.1/§4.9: every `interval` of simulated time it pulls
+/// new articles (headers + scraped bodies) and tweets and appends them to
+/// the store collections the pipeline reads. Keeps fetch cursors so each
+/// cycle only ingests new documents.
+class FeedCrawler {
+ public:
+  FeedCrawler(const World& world, store::Database& db);
+
+  /// Ingests everything up to `now` in 2-hour cycles (the paper's refresh
+  /// interval); returns the number of (articles, tweets) added.
+  struct CrawlStats {
+    size_t articles = 0;
+    size_t tweets = 0;
+    size_t cycles = 0;
+  };
+  CrawlStats CrawlUntil(UnixSeconds now);
+
+  /// The paper's refresh interval.
+  static constexpr int64_t kCycleSeconds = 2 * kSecondsPerHour;
+
+ private:
+  void EnsureUsersLoaded();
+
+  const World* world_;
+  store::Database* db_;
+  NewsApiClient news_api_;
+  ArticleScraper scraper_;
+  TwitterClient twitter_;
+  UnixSeconds cursor_;
+  bool users_loaded_ = false;
+};
+
+}  // namespace newsdiff::datagen
+
+#endif  // NEWSDIFF_DATAGEN_FEEDS_H_

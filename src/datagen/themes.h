@@ -1,0 +1,36 @@
+#ifndef NEWSDIFF_DATAGEN_THEMES_H_
+#define NEWSDIFF_DATAGEN_THEMES_H_
+
+#include <string>
+#include <vector>
+
+namespace newsdiff::datagen {
+
+/// A thematic domain: a named vocabulary of content words plus named
+/// entities. Themes mirror the news domains visible in the paper's
+/// Tables 3-5 (Brexit, trade war, Huawei, Iran, Gaza, Japan, impeachment,
+/// the Kentucky derby, ...), so the reproduced tables read like the
+/// originals.
+struct Theme {
+  std::string name;
+  /// Content words (lowercase) characteristic of the theme.
+  std::vector<std::string> words;
+  /// Multi-word named entities in surface form ("Theresa May").
+  std::vector<std::string> entities;
+  /// True for generic-chatter themes (food, TV...) that the paper's
+  /// Table 7 shows as Twitter events unrelated to any news topic.
+  bool chatter = false;
+};
+
+/// The built-in news themes (12).
+const std::vector<Theme>& NewsThemes();
+
+/// The built-in chatter themes (5), used only for tweets.
+const std::vector<Theme>& ChatterThemes();
+
+/// Generic filler vocabulary shared by all documents.
+const std::vector<std::string>& GenericWords();
+
+}  // namespace newsdiff::datagen
+
+#endif  // NEWSDIFF_DATAGEN_THEMES_H_

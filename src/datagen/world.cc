@@ -1,0 +1,415 @@
+#include "datagen/world.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "store/value.h"
+
+namespace newsdiff::datagen {
+namespace {
+
+constexpr const char* kOutlets[] = {
+    "The Daily Chronicle", "Global Wire",      "Metro Herald",
+    "The Evening Post",    "National Gazette", "The Observer Times",
+};
+
+/// Picks `count` distinct items from `pool` (count <= pool.size()).
+std::vector<std::string> SampleDistinct(const std::vector<std::string>& pool,
+                                        size_t count, Rng& rng) {
+  std::vector<size_t> idx(pool.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  rng.Shuffle(idx);
+  count = std::min(count, pool.size());
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(pool[idx[i]]);
+  return out;
+}
+
+/// Word-source mixture for one document.
+struct WordMix {
+  const std::vector<std::string>* event_keywords = nullptr;
+  const Theme* theme = nullptr;
+  double p_event = 0.0;
+  double p_theme = 0.35;
+  double p_entity = 0.05;
+  // remainder: generic
+};
+
+std::string DrawWord(const WordMix& mix, Rng& rng) {
+  double u = rng.NextDouble();
+  if (mix.event_keywords != nullptr && !mix.event_keywords->empty() &&
+      u < mix.p_event) {
+    return (*mix.event_keywords)[rng.NextBelow(mix.event_keywords->size())];
+  }
+  u -= mix.p_event;
+  if (mix.theme != nullptr && !mix.theme->words.empty() && u < mix.p_theme) {
+    return mix.theme->words[rng.NextBelow(mix.theme->words.size())];
+  }
+  u -= mix.p_theme;
+  if (mix.theme != nullptr && !mix.theme->entities.empty() &&
+      u < mix.p_entity) {
+    return mix.theme->entities[rng.NextBelow(mix.theme->entities.size())];
+  }
+  const auto& generic = GenericWords();
+  return generic[rng.NextBelow(generic.size())];
+}
+
+std::string CapitalizeFirst(std::string s) {
+  if (!s.empty() && s[0] >= 'a' && s[0] <= 'z') {
+    s[0] = static_cast<char>(s[0] - 'a' + 'A');
+  }
+  return s;
+}
+
+/// Renders a sentence of `len` words from the mix, capitalised and
+/// period-terminated.
+std::string MakeSentence(const WordMix& mix, size_t len, Rng& rng) {
+  std::string out;
+  for (size_t i = 0; i < len; ++i) {
+    std::string w = DrawWord(mix, rng);
+    if (i == 0) w = CapitalizeFirst(std::move(w));
+    if (!out.empty()) out += ' ';
+    out += w;
+    if (i + 2 == len && rng.Bernoulli(0.15)) out += ',';
+  }
+  out += '.';
+  return out;
+}
+
+/// Triangular burst: density peaks early in the interval.
+UnixSeconds DrawBurstTime(UnixSeconds start, UnixSeconds end, Rng& rng) {
+  double u = rng.NextDouble();
+  double v = rng.NextDouble();
+  double frac = std::min(u, v);  // density decreasing over the interval
+  return start + static_cast<int64_t>(
+                     frac * static_cast<double>(end - start));
+}
+
+int64_t DrawEngagement(double log_mean, double noise, Rng& rng) {
+  double g = rng.Gaussian(log_mean, noise);
+  double v = std::exp(g);
+  if (v < 0.0) v = 0.0;
+  if (v > 5e6) v = 5e6;
+  return static_cast<int64_t>(v);
+}
+
+const char* const kRareTokens[] = {
+    "w00t",   "yolo",   "smh",    "tbh",    "fomo",   "lowkey", "highkey",
+    "sus",    "vibes",  "stan",   "based",  "deadass", "finna",  "bruh",
+    "oof",    "yeet",   "bffr",   "hmu",    "imo",     "irl",
+};
+
+}  // namespace
+
+int EncodeCountClass(int64_t count) {
+  if (count < 100) return 0;
+  if (count <= 1000) return 1;
+  return 2;
+}
+
+int FollowerBucket7(int64_t followers) {
+  if (followers < 100) return 0;
+  if (followers < 300) return 1;
+  if (followers < 1000) return 2;
+  if (followers < 3000) return 3;
+  if (followers < 10000) return 4;
+  if (followers < 100000) return 5;
+  return 6;
+}
+
+World GenerateWorld(const WorldOptions& options) {
+  World world;
+  world.options = options;
+  Rng rng(options.seed);
+  const UnixSeconds t0 = options.start_time;
+  const UnixSeconds t1 = t0 + options.duration_days * kSecondsPerDay;
+
+  // --- Users: log-normal follower counts, heavy tail. ---
+  world.users.reserve(options.num_users);
+  for (uint32_t i = 0; i < options.num_users; ++i) {
+    UserProfile u;
+    u.id = i;
+    u.handle = "user_" + std::to_string(i);
+    double lf = rng.Gaussian(4.2, 1.9);
+    u.followers = static_cast<int64_t>(std::exp(lf));
+    if (u.followers < 1) u.followers = 1;
+    if (u.followers > 2000000) u.followers = 2000000;
+    u.follower_class = EncodeCountClass(u.followers);
+    u.follower_bucket = FollowerBucket7(u.followers);
+    world.users.push_back(std::move(u));
+  }
+
+  // --- Planted news events. ---
+  const auto& news_themes = NewsThemes();
+  const auto& chatter_themes = ChatterThemes();
+  int next_event_id = 0;
+  for (size_t e = 0; e < options.num_news_events; ++e) {
+    PlantedEvent ev;
+    ev.id = next_event_id++;
+    ev.theme = e % news_themes.size();  // cover every theme
+    ev.chatter = false;
+    ev.keywords = SampleDistinct(news_themes[ev.theme].words,
+                                 6 + rng.NextBelow(5), rng);
+    int64_t news_len = (3 + static_cast<int64_t>(rng.NextBelow(10))) *
+                       kSecondsPerDay;
+    int64_t latest_start = (t1 - t0) - news_len - 12 * kSecondsPerDay;
+    ev.news_start =
+        t0 + static_cast<int64_t>(rng.NextBelow(
+                 static_cast<uint64_t>(std::max<int64_t>(latest_start, 1))));
+    ev.news_end = ev.news_start + news_len;
+    // Twitter echo starts within the paper's 5-day correlation window and
+    // outlives the news cycle.
+    ev.twitter_start = ev.news_start + static_cast<int64_t>(rng.NextBelow(
+                           4 * kSecondsPerDay));
+    ev.twitter_end = ev.news_end + (2 + static_cast<int64_t>(
+                                        rng.NextBelow(9))) * kSecondsPerDay;
+    if (ev.twitter_end > t1) ev.twitter_end = t1;
+    ev.intensity = rng.Uniform(0.6, 1.8);
+    // Engagement bases cluster around the Table-2 class centres with
+    // jitter, so the event (content) is usually decisive while the
+    // author/day effects tip the borderline tweets.
+    {
+      static constexpr double kCenters[3] = {3.2, 5.1, 6.7};
+      size_t c = rng.Categorical({0.40, 0.40, 0.20});
+      ev.virality = kCenters[c] + rng.Uniform(-0.6, 0.6);
+    }
+    world.events.push_back(std::move(ev));
+  }
+
+  // --- Planted chatter events (tweets only; Table 7 material). ---
+  for (size_t e = 0; e < options.num_chatter_events; ++e) {
+    PlantedEvent ev;
+    ev.id = next_event_id++;
+    ev.theme = e % chatter_themes.size();
+    ev.chatter = true;
+    ev.keywords = SampleDistinct(chatter_themes[ev.theme].words,
+                                 6 + rng.NextBelow(5), rng);
+    int64_t len = (10 + static_cast<int64_t>(rng.NextBelow(50))) *
+                  kSecondsPerDay;
+    if (len > (t1 - t0) - kSecondsPerDay) len = (t1 - t0) - kSecondsPerDay;
+    ev.twitter_start = t0 + static_cast<int64_t>(rng.NextBelow(
+                           static_cast<uint64_t>((t1 - t0) - len)));
+    ev.twitter_end = ev.twitter_start + len;
+    ev.intensity = rng.Uniform(0.5, 1.2);
+    ev.virality = rng.Uniform(2.6, 5.2);
+    world.events.push_back(std::move(ev));
+  }
+
+  // --- Articles. ---
+  std::vector<const PlantedEvent*> news_events;
+  double total_intensity = 0.0;
+  for (const PlantedEvent& ev : world.events) {
+    if (!ev.chatter) {
+      news_events.push_back(&ev);
+      total_intensity += ev.intensity;
+    }
+  }
+  const size_t n_articles = options.num_articles;
+  world.articles.reserve(n_articles);
+  for (size_t a = 0; a < n_articles; ++a) {
+    NewsArticle art;
+    art.id = static_cast<int64_t>(a);
+    art.outlet = kOutlets[rng.NextBelow(std::size(kOutlets))];
+    bool event_driven =
+        !news_events.empty() && rng.Bernoulli(options.event_article_fraction);
+    WordMix mix;
+    if (event_driven) {
+      // Pick an event proportionally to intensity.
+      double x = rng.NextDouble() * total_intensity;
+      const PlantedEvent* chosen = news_events.back();
+      for (const PlantedEvent* ev : news_events) {
+        x -= ev->intensity;
+        if (x <= 0.0) {
+          chosen = ev;
+          break;
+        }
+      }
+      art.event_id = chosen->id;
+      art.theme = chosen->theme;
+      art.published = DrawBurstTime(chosen->news_start, chosen->news_end, rng);
+      mix.event_keywords = &chosen->keywords;
+      mix.p_event = 0.35;
+      mix.theme = &news_themes[chosen->theme];
+    } else {
+      art.event_id = -1;
+      art.theme = rng.NextBelow(news_themes.size());
+      art.published =
+          t0 + static_cast<int64_t>(rng.NextBelow(
+                   static_cast<uint64_t>(t1 - t0)));
+      mix.theme = &news_themes[art.theme];
+    }
+    art.title = MakeSentence(mix, 6 + rng.NextBelow(5), rng);
+    size_t sentences = 6 + rng.NextBelow(10);
+    for (size_t s = 0; s < sentences; ++s) {
+      if (!art.body.empty()) art.body += ' ';
+      art.body += MakeSentence(mix, 8 + rng.NextBelow(8), rng);
+    }
+    world.articles.push_back(std::move(art));
+  }
+
+  // --- Tweets. ---
+  std::vector<const PlantedEvent*> all_events;
+  double tweet_intensity = 0.0;
+  for (const PlantedEvent& ev : world.events) {
+    all_events.push_back(&ev);
+    tweet_intensity += ev.intensity;
+  }
+  const size_t n_tweets = options.num_tweets;
+  world.tweets.reserve(n_tweets);
+  for (size_t i = 0; i < n_tweets; ++i) {
+    Tweet tw;
+    tw.id = static_cast<int64_t>(i);
+    tw.user = static_cast<uint32_t>(rng.NextBelow(world.users.size()));
+    const UserProfile& author = world.users[tw.user];
+    bool event_driven =
+        !all_events.empty() && rng.Bernoulli(options.event_tweet_fraction);
+    WordMix mix;
+    const PlantedEvent* chosen = nullptr;
+    if (event_driven) {
+      double x = rng.NextDouble() * tweet_intensity;
+      chosen = all_events.back();
+      for (const PlantedEvent* ev : all_events) {
+        x -= ev->intensity;
+        if (x <= 0.0) {
+          chosen = ev;
+          break;
+        }
+      }
+      tw.event_id = chosen->id;
+      tw.theme = chosen->theme;
+      tw.chatter = chosen->chatter;
+      tw.created =
+          DrawBurstTime(chosen->twitter_start, chosen->twitter_end, rng);
+      mix.event_keywords = &chosen->keywords;
+      mix.p_event = 0.45;
+      mix.theme = chosen->chatter ? &chatter_themes[chosen->theme]
+                                  : &news_themes[chosen->theme];
+    } else {
+      tw.event_id = -1;
+      bool chat = rng.Bernoulli(0.5);
+      tw.chatter = chat;
+      tw.theme = chat ? rng.NextBelow(chatter_themes.size())
+                      : rng.NextBelow(news_themes.size());
+      tw.created = t0 + static_cast<int64_t>(rng.NextBelow(
+                            static_cast<uint64_t>(t1 - t0)));
+      mix.theme = chat ? &chatter_themes[tw.theme] : &news_themes[tw.theme];
+    }
+
+    // Tweet text: 10-24 words; the first event keyword is the anchor and
+    // appears with high probability so the burst has a clear main word.
+    size_t len = 10 + rng.NextBelow(15);
+    std::string text;
+    if (chosen != nullptr && !chosen->keywords.empty() &&
+        rng.Bernoulli(0.9)) {
+      text = chosen->keywords[0];
+    }
+    for (size_t w = text.empty() ? 0 : 1; w < len; ++w) {
+      if (!text.empty()) text += ' ';
+      text += DrawWord(mix, rng);
+    }
+    if (rng.Bernoulli(options.rare_token_prob)) {
+      text += ' ';
+      text += kRareTokens[rng.NextBelow(std::size(kRareTokens))];
+    }
+    if (rng.Bernoulli(0.25) && mix.event_keywords != nullptr &&
+        !mix.event_keywords->empty()) {
+      text += " #" + (*mix.event_keywords)[rng.NextBelow(
+                         mix.event_keywords->size())];
+    }
+    if (rng.Bernoulli(0.2)) {
+      text += " https://news.example/" + std::to_string(tw.id);
+    }
+    tw.text = std::move(text);
+
+    // Engagement: virality + influencer effect + day-of-week effect.
+    double base = chosen != nullptr ? chosen->virality : rng.Uniform(2.2, 4.0);
+    int dow = DayOfWeek(tw.created);
+    double g_like = base + options.author_boost[author.follower_class] +
+                    options.dow_boost[dow];
+    tw.likes = DrawEngagement(g_like, options.like_noise, rng);
+    double g_rt = options.retweet_virality_weight * base +
+                  options.retweet_intercept +
+                  options.retweet_author_boost[author.follower_class] +
+                  options.dow_boost[dow];
+    tw.retweets = DrawEngagement(g_rt, options.retweet_noise, rng);
+    world.tweets.push_back(std::move(tw));
+  }
+
+  // Sort corpora by time, as a crawler writing to the store would.
+  std::sort(world.articles.begin(), world.articles.end(),
+            [](const NewsArticle& a, const NewsArticle& b) {
+              if (a.published != b.published) return a.published < b.published;
+              return a.id < b.id;
+            });
+  std::sort(world.tweets.begin(), world.tweets.end(),
+            [](const Tweet& a, const Tweet& b) {
+              if (a.created != b.created) return a.created < b.created;
+              return a.id < b.id;
+            });
+  return world;
+}
+
+void World::LoadInto(store::Database& db) const {
+  store::Collection& users_coll = db.GetOrCreate("users");
+  for (const UserProfile& u : users) {
+    users_coll.Insert(store::MakeObject({
+        {"user_id", static_cast<int64_t>(u.id)},
+        {"handle", u.handle},
+        {"followers", u.followers},
+    }));
+  }
+  store::Collection& news_coll = db.GetOrCreate("news");
+  for (const NewsArticle& a : articles) {
+    news_coll.Insert(store::MakeObject({
+        {"article_id", a.id},
+        {"outlet", a.outlet},
+        {"title", a.title},
+        {"body", a.body},
+        {"published", a.published},
+    }));
+  }
+  store::Collection& tweets_coll = db.GetOrCreate("tweets");
+  for (const Tweet& t : tweets) {
+    tweets_coll.Insert(store::MakeObject({
+        {"tweet_id", t.id},
+        {"user_id", static_cast<int64_t>(t.user)},
+        {"text", t.text},
+        {"created", t.created},
+        {"likes", t.likes},
+        {"retweets", t.retweets},
+    }));
+  }
+}
+
+std::vector<std::vector<std::string>> BackgroundSentences(size_t count,
+                                                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<std::string>> sentences;
+  sentences.reserve(count);
+  const auto& news_themes = NewsThemes();
+  const auto& chatter_themes = ChatterThemes();
+  for (size_t i = 0; i < count; ++i) {
+    // Each background sentence mixes one theme with generic vocabulary, so
+    // theme words cluster in embedding space.
+    bool chat = rng.Bernoulli(0.3);
+    const Theme& theme = chat
+        ? chatter_themes[rng.NextBelow(chatter_themes.size())]
+        : news_themes[rng.NextBelow(news_themes.size())];
+    WordMix mix;
+    mix.theme = &theme;
+    // Moderate thematic clustering: strong enough that same-theme words are
+    // similar, weak enough that topic/event similarities stay in the
+    // paper's 0.7-0.9 band instead of saturating at 1.0.
+    mix.p_theme = 0.45;
+    mix.p_entity = 0.0;
+    size_t len = 8 + rng.NextBelow(10);
+    std::vector<std::string> sent;
+    sent.reserve(len);
+    for (size_t w = 0; w < len; ++w) sent.push_back(DrawWord(mix, rng));
+    sentences.push_back(std::move(sent));
+  }
+  return sentences;
+}
+
+}  // namespace newsdiff::datagen

@@ -1,0 +1,142 @@
+#ifndef NEWSDIFF_DATAGEN_WORLD_H_
+#define NEWSDIFF_DATAGEN_WORLD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "datagen/themes.h"
+#include "store/database.h"
+
+namespace newsdiff::datagen {
+
+/// A synthetic social-media user. Follower counts follow a heavy-tailed
+/// distribution; the top of the tail are the paper's *influencers*.
+struct UserProfile {
+  uint32_t id = 0;
+  std::string handle;
+  int64_t followers = 0;
+  /// Table 2 encoding of the follower count: 0 (<100), 1 ([100, 1000]),
+  /// 2 (>1000).
+  int follower_class = 0;
+  /// Finer-grained follower-magnitude bucket in [0, 7) used for the
+  /// one-hot part of the metadata vector (§4.7/§5.6).
+  int follower_bucket = 0;
+};
+
+/// Ground truth for one planted bursty event. News coverage bursts over
+/// [news_start, news_end]; the Twitter echo bursts over
+/// [twitter_start, twitter_end] with twitter_start in
+/// [news_start, news_start + 5 days] (the correlation window of §5.5).
+/// Chatter events have no news interval.
+struct PlantedEvent {
+  int id = 0;
+  size_t theme = 0;        // index into NewsThemes() or ChatterThemes()
+  bool chatter = false;
+  std::vector<std::string> keywords;  // burst vocabulary (theme subset)
+  UnixSeconds news_start = 0;
+  UnixSeconds news_end = 0;
+  UnixSeconds twitter_start = 0;
+  UnixSeconds twitter_end = 0;
+  /// Relative article/tweet volume.
+  double intensity = 1.0;
+  /// Base engagement level on the log scale; the "does it go viral" factor.
+  double virality = 4.0;
+};
+
+/// A synthetic news article.
+struct NewsArticle {
+  int64_t id = 0;
+  std::string outlet;
+  std::string title;
+  std::string body;
+  UnixSeconds published = 0;
+  int event_id = -1;   // -1 for background coverage
+  size_t theme = 0;
+};
+
+/// A synthetic tweet with engagement counts.
+struct Tweet {
+  int64_t id = 0;
+  uint32_t user = 0;
+  std::string text;
+  UnixSeconds created = 0;
+  int64_t likes = 0;
+  int64_t retweets = 0;
+  int event_id = -1;   // -1 for unplanted chatter
+  size_t theme = 0;
+  bool chatter = false;
+};
+
+/// Generator knobs. Defaults produce a laptop-scale world with the same
+/// qualitative structure as the paper's 5-month crawl.
+struct WorldOptions {
+  uint64_t seed = 2021;
+  /// Timeline start (2019-04-01, matching the paper's collection window).
+  UnixSeconds start_time = 1554076800;
+  int64_t duration_days = 150;  // ~5 months
+  size_t num_users = 1500;
+  size_t num_articles = 6000;
+  size_t num_tweets = 16000;
+  /// One event per theme by default: distinct events then occupy distinct
+  /// regions of embedding space, as distinct real-world stories do.
+  size_t num_news_events = 12;
+  size_t num_chatter_events = 5;
+  /// Fraction of articles / tweets attached to planted events.
+  double event_article_fraction = 0.6;
+  double event_tweet_fraction = 0.75;
+  /// Engagement model coefficients (log scale). Likes:
+  ///   g = virality + author_boost[class] + dow_boost[dow] + N(0, noise)
+  double like_noise = 0.65;
+  /// Retweets propagate through the author's network, so they weigh the
+  /// author's reach more and the content's appeal less than likes do:
+  ///   g_rt = retweet_virality_weight * virality + retweet_intercept
+  ///        + retweet_author_boost[class] + dow_boost[dow] + N(0, noise)
+  double retweet_virality_weight = 0.6;
+  double retweet_intercept = 0.8;
+  double retweet_noise = 0.55;
+  double retweet_author_boost[3] = {0.0, 1.1, 2.2};
+  /// Additive boost per Table-2 follower class {0, 1, 2} (likes).
+  double author_boost[3] = {0.0, 0.8, 1.7};
+  /// Additive boost per day of week (Mon..Sun) — the day-of-week
+  /// consumption effect of Bentley et al. the paper leans on.
+  double dow_boost[7] = {0.0, -0.1, -0.2, 0.0, 0.3, 0.7, 0.6};
+  /// Probability that a tweet carries a rare token absent from the
+  /// background corpus (exercises the OOV path of RND_Doc2Vec).
+  double rare_token_prob = 0.12;
+};
+
+/// The generated world: ground truth plus the raw corpora.
+struct World {
+  WorldOptions options;
+  std::vector<UserProfile> users;
+  std::vector<PlantedEvent> events;
+  std::vector<NewsArticle> articles;
+  std::vector<Tweet> tweets;
+
+  /// Bulk-loads the world into `db` as the collections "users", "news",
+  /// and "tweets" (the shapes the pipeline's collection modules expect).
+  void LoadInto(store::Database& db) const;
+};
+
+/// Generates a deterministic world from `options`.
+World GenerateWorld(const WorldOptions& options);
+
+/// Builds a large background corpus over the full theme + generic
+/// vocabulary, used to train the frozen PretrainedStore (the Google News
+/// substitute). Disjoint from any particular world's documents, but shares
+/// the vocabulary except for rare tokens.
+std::vector<std::vector<std::string>> BackgroundSentences(size_t count,
+                                                          uint64_t seed);
+
+/// Table 2 encoding of a count: 0 (<100), 1 ([100, 1000]), 2 (>1000).
+int EncodeCountClass(int64_t count);
+
+/// Finer 7-way follower-magnitude bucket for the metadata one-hot.
+int FollowerBucket7(int64_t followers);
+
+}  // namespace newsdiff::datagen
+
+#endif  // NEWSDIFF_DATAGEN_WORLD_H_

@@ -1,0 +1,42 @@
+#include "embed/doc2vec.h"
+
+namespace newsdiff::embed {
+
+std::vector<double> EmbedDocument(const std::vector<std::string>& tokens,
+                                  const PretrainedStore& store,
+                                  Doc2VecVariant variant,
+                                  const EventWordWeights* event_vocabulary) {
+  const size_t dim = store.dimension();
+  std::vector<double> sum(dim, 0.0);
+  size_t contributors = 0;
+  for (const std::string& tok : tokens) {
+    double event_weight = 1.0;
+    if (event_vocabulary != nullptr) {
+      auto it = event_vocabulary->find(tok);
+      if (it == event_vocabulary->end()) continue;
+      event_weight = it->second;
+    }
+    const std::vector<double>* vec = store.Get(tok);
+    if (vec != nullptr) {
+      double w = (variant == Doc2VecVariant::kSwm) ? event_weight : 1.0;
+      for (size_t d = 0; d < dim; ++d) sum[d] += w * (*vec)[d];
+      ++contributors;
+    } else if (variant == Doc2VecVariant::kRnd) {
+      std::vector<double> rnd = RandomVectorForToken(tok, dim);
+      for (size_t d = 0; d < dim; ++d) sum[d] += rnd[d];
+      ++contributors;
+    }
+  }
+  if (contributors > 0) {
+    double inv = 1.0 / static_cast<double>(contributors);
+    for (double& v : sum) v *= inv;
+  }
+  return sum;
+}
+
+std::vector<double> EmbedKeywords(const std::vector<std::string>& keywords,
+                                  const PretrainedStore& store) {
+  return EmbedDocument(keywords, store, Doc2VecVariant::kSw, nullptr);
+}
+
+}  // namespace newsdiff::embed

@@ -1,0 +1,45 @@
+#ifndef NEWSDIFF_EMBED_DOC2VEC_H_
+#define NEWSDIFF_EMBED_DOC2VEC_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "embed/pretrained.h"
+
+namespace newsdiff::embed {
+
+/// The three custom averaged document-embedding variants of §4.7.
+enum class Doc2VecVariant {
+  /// SW_Doc2Vec: only words found in the pretrained model contribute.
+  kSw,
+  /// RND_Doc2Vec: out-of-vocabulary words contribute a deterministic
+  /// pseudo-random vector in [-1, 1]^dim.
+  kRnd,
+  /// SWM_Doc2Vec: in-vocabulary word vectors are multiplied by the word's
+  /// magnitude in the event context before averaging.
+  kSwm,
+};
+
+/// Per-word "magnitude in the context of the event": the MABED related-word
+/// weight (the main word carries weight 1).
+using EventWordWeights = std::unordered_map<std::string, double>;
+
+/// Averages word vectors for `tokens` restricted to `event_vocabulary`
+/// (the event's main + related words; pass nullptr to use all tokens),
+/// following `variant`. Returns a zero vector when nothing contributes.
+std::vector<double> EmbedDocument(
+    const std::vector<std::string>& tokens, const PretrainedStore& store,
+    Doc2VecVariant variant,
+    const EventWordWeights* event_vocabulary = nullptr);
+
+/// Averages the store vectors for a plain keyword list (no event
+/// restriction, SW semantics). Used by the trending-news and correlation
+/// modules to encode topic keywords (NewsTopic2Vec) and event terms
+/// (NewsEvent2Vec / TwitterEvent2Vec) per §4.5-§4.6.
+std::vector<double> EmbedKeywords(const std::vector<std::string>& keywords,
+                                  const PretrainedStore& store);
+
+}  // namespace newsdiff::embed
+
+#endif  // NEWSDIFF_EMBED_DOC2VEC_H_

@@ -1,0 +1,85 @@
+#include "embed/pretrained.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace newsdiff::embed {
+
+StatusOr<PretrainedStore> PretrainedStore::TrainFromBackground(
+    const std::vector<std::vector<std::string>>& sentences,
+    const Word2VecOptions& options) {
+  StatusOr<WordVectors> vectors = TrainWord2Vec(sentences, options);
+  if (!vectors.ok()) return vectors.status();
+  return PretrainedStore(std::move(vectors).value());
+}
+
+Status PretrainedStore::SaveText(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << vectors_.size() << ' ' << vectors_.dimension() << '\n';
+  char buf[32];
+  for (const auto& [word, vec] : vectors_.table()) {
+    out << word;
+    for (double v : vec) {
+      std::snprintf(buf, sizeof(buf), " %.6g", v);
+      out << buf;
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+StatusOr<PretrainedStore> PretrainedStore::LoadText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  size_t count = 0, dim = 0;
+  std::string header;
+  if (!std::getline(in, header)) return Status::ParseError("empty file");
+  {
+    std::istringstream hs(header);
+    if (!(hs >> count >> dim) || dim == 0) {
+      return Status::ParseError("malformed header in " + path);
+    }
+  }
+  std::unordered_map<std::string, std::vector<double>> table;
+  table.reserve(count);
+  std::string line;
+  size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) {
+      return Status::ParseError(path + ":" + std::to_string(lineno));
+    }
+    std::vector<double> vec(dim);
+    for (size_t d = 0; d < dim; ++d) {
+      if (!(ls >> vec[d])) {
+        return Status::ParseError(path + ":" + std::to_string(lineno) +
+                                  ": short vector");
+      }
+    }
+    table.emplace(std::move(word), std::move(vec));
+  }
+  if (table.size() != count) {
+    return Status::ParseError("header count " + std::to_string(count) +
+                              " != parsed " + std::to_string(table.size()));
+  }
+  return PretrainedStore(WordVectors(dim, std::move(table)));
+}
+
+std::vector<double> RandomVectorForToken(const std::string& token,
+                                         size_t dimension) {
+  Rng rng(Fnv1a64(token));
+  std::vector<double> v(dimension);
+  for (double& x : v) x = rng.Uniform(-1.0, 1.0);
+  return v;
+}
+
+}  // namespace newsdiff::embed

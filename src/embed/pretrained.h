@@ -1,0 +1,62 @@
+#ifndef NEWSDIFF_EMBED_PRETRAINED_H_
+#define NEWSDIFF_EMBED_PRETRAINED_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "embed/word2vec.h"
+
+namespace newsdiff::embed {
+
+/// A frozen word-embedding store — the stand-in for the pretrained
+/// Google News word2vec model the paper uses (§4.9, "design choices").
+///
+/// In the original system the embedding model is trained once on a corpus
+/// far larger than the collected datasets and never updated. We reproduce
+/// that: the store is trained on a large synthetic *background* corpus
+/// (disjoint from the evaluation data), then frozen. Tokens outside the
+/// background vocabulary are out-of-vocabulary, which is what the RND
+/// Doc2Vec variant exercises.
+class PretrainedStore {
+ public:
+  /// Wraps already-trained vectors.
+  explicit PretrainedStore(WordVectors vectors)
+      : vectors_(std::move(vectors)) {}
+
+  /// Trains the store from background sentences.
+  static StatusOr<PretrainedStore> TrainFromBackground(
+      const std::vector<std::vector<std::string>>& sentences,
+      const Word2VecOptions& options);
+
+  size_t dimension() const { return vectors_.dimension(); }
+  size_t size() const { return vectors_.size(); }
+  bool Contains(const std::string& word) const {
+    return vectors_.Contains(word);
+  }
+  const std::vector<double>* Get(const std::string& word) const {
+    return vectors_.Get(word);
+  }
+  const WordVectors& vectors() const { return vectors_; }
+
+  /// Writes the store in the word2vec text format:
+  ///   <count> <dim>\n
+  ///   <word> <v1> ... <vdim>\n ...
+  Status SaveText(const std::string& path) const;
+
+  /// Loads a store previously written by SaveText.
+  static StatusOr<PretrainedStore> LoadText(const std::string& path);
+
+ private:
+  WordVectors vectors_;
+};
+
+/// Deterministic pseudo-random vector in [-1, 1]^dim for an
+/// out-of-vocabulary token, seeded from the token bytes — the RND_Doc2Vec
+/// device of §4.7. The same token always yields the same vector.
+std::vector<double> RandomVectorForToken(const std::string& token,
+                                         size_t dimension);
+
+}  // namespace newsdiff::embed
+
+#endif  // NEWSDIFF_EMBED_PRETRAINED_H_

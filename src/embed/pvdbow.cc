@@ -1,0 +1,251 @@
+#include "embed/pvdbow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace newsdiff::embed {
+namespace {
+
+constexpr size_t kUnigramTableSize = 1 << 18;
+
+double SigmoidClamped(double x) {
+  if (x > 6.0) return 1.0;
+  if (x < -6.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+}  // namespace
+
+StatusOr<PvDbowResult> TrainPvDbow(
+    const std::vector<std::vector<std::string>>& documents,
+    const PvDbowOptions& options) {
+  if (options.dimension == 0) {
+    return Status::InvalidArgument("dimension must be positive");
+  }
+  if (documents.empty()) {
+    return Status::InvalidArgument("no documents");
+  }
+
+  // Vocabulary with counts.
+  std::unordered_map<std::string, uint64_t> counts;
+  for (const auto& doc : documents) {
+    for (const std::string& w : doc) ++counts[w];
+  }
+  std::vector<std::pair<std::string, uint64_t>> vocab;
+  for (auto& [w, c] : counts) {
+    if (c >= options.min_count) vocab.emplace_back(w, c);
+  }
+  if (vocab.empty()) {
+    return Status::InvalidArgument("no words meet min_count");
+  }
+  std::sort(vocab.begin(), vocab.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::unordered_map<std::string, uint32_t> index;
+  for (uint32_t i = 0; i < vocab.size(); ++i) index[vocab[i].first] = i;
+  const size_t v = vocab.size();
+  const size_t dim = options.dimension;
+
+  // Unigram table (count^0.75).
+  std::vector<uint32_t> unigram(kUnigramTableSize);
+  {
+    double norm = 0.0;
+    for (const auto& e : vocab) norm += std::pow(e.second, 0.75);
+    size_t i = 0;
+    double cum = std::pow(vocab[0].second, 0.75) / norm;
+    for (size_t t = 0; t < kUnigramTableSize; ++t) {
+      unigram[t] = static_cast<uint32_t>(i);
+      if (static_cast<double>(t) / kUnigramTableSize > cum && i + 1 < v) {
+        ++i;
+        cum += std::pow(vocab[i].second, 0.75) / norm;
+      }
+    }
+  }
+
+  Rng rng(options.seed);
+  PvDbowResult result;
+  result.doc_vectors.Resize(documents.size(), dim);
+  for (double& x : result.doc_vectors.data()) {
+    x = (rng.NextDouble() - 0.5) / static_cast<double>(dim);
+  }
+  la::Matrix word_out(v, dim);  // output word vectors, zero-init
+
+  uint64_t total_tokens = 0;
+  for (const auto& doc : documents) total_tokens += doc.size();
+  const uint64_t total_steps =
+      options.epochs * std::max<uint64_t>(total_tokens, 1);
+  uint64_t steps = 0;
+
+  std::vector<double> grad(dim);
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    for (size_t d = 0; d < documents.size(); ++d) {
+      double* dv = result.doc_vectors.RowPtr(d);
+      for (const std::string& w : documents[d]) {
+        ++steps;
+        auto it = index.find(w);
+        if (it == index.end()) continue;
+        double lr = options.learning_rate *
+                    (1.0 - static_cast<double>(steps) /
+                               static_cast<double>(total_steps + 1));
+        lr = std::max(lr, options.min_learning_rate);
+        std::fill(grad.begin(), grad.end(), 0.0);
+        for (size_t neg = 0; neg <= options.negative_samples; ++neg) {
+          uint32_t target;
+          double label;
+          if (neg == 0) {
+            target = it->second;
+            label = 1.0;
+          } else {
+            target = unigram[rng.NextBelow(kUnigramTableSize)];
+            if (target == it->second) continue;
+            label = 0.0;
+          }
+          double* out = word_out.RowPtr(target);
+          double dot = 0.0;
+          for (size_t i = 0; i < dim; ++i) dot += dv[i] * out[i];
+          double g = (label - SigmoidClamped(dot)) * lr;
+          for (size_t i = 0; i < dim; ++i) {
+            grad[i] += g * out[i];
+            out[i] += g * dv[i];
+          }
+        }
+        for (size_t i = 0; i < dim; ++i) dv[i] += grad[i];
+      }
+    }
+  }
+  return result;
+}
+
+StatusOr<PvDbowResult> TrainPvDm(
+    const std::vector<std::vector<std::string>>& documents,
+    const PvDbowOptions& options) {
+  if (options.dimension == 0) {
+    return Status::InvalidArgument("dimension must be positive");
+  }
+  if (documents.empty()) {
+    return Status::InvalidArgument("no documents");
+  }
+
+  std::unordered_map<std::string, uint64_t> counts;
+  for (const auto& doc : documents) {
+    for (const std::string& w : doc) ++counts[w];
+  }
+  std::vector<std::pair<std::string, uint64_t>> vocab;
+  for (auto& [w, c] : counts) {
+    if (c >= options.min_count) vocab.emplace_back(w, c);
+  }
+  if (vocab.empty()) {
+    return Status::InvalidArgument("no words meet min_count");
+  }
+  std::sort(vocab.begin(), vocab.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::unordered_map<std::string, uint32_t> index;
+  for (uint32_t i = 0; i < vocab.size(); ++i) index[vocab[i].first] = i;
+  const size_t v = vocab.size();
+  const size_t dim = options.dimension;
+  constexpr size_t kWindow = 4;
+
+  std::vector<uint32_t> unigram(kUnigramTableSize);
+  {
+    double norm = 0.0;
+    for (const auto& e : vocab) norm += std::pow(e.second, 0.75);
+    size_t i = 0;
+    double cum = std::pow(vocab[0].second, 0.75) / norm;
+    for (size_t t = 0; t < kUnigramTableSize; ++t) {
+      unigram[t] = static_cast<uint32_t>(i);
+      if (static_cast<double>(t) / kUnigramTableSize > cum && i + 1 < v) {
+        ++i;
+        cum += std::pow(vocab[i].second, 0.75) / norm;
+      }
+    }
+  }
+
+  Rng rng(options.seed);
+  PvDbowResult result;
+  result.doc_vectors.Resize(documents.size(), dim);
+  for (double& x : result.doc_vectors.data()) {
+    x = (rng.NextDouble() - 0.5) / static_cast<double>(dim);
+  }
+  la::Matrix word_in(v, dim);
+  for (double& x : word_in.data()) {
+    x = (rng.NextDouble() - 0.5) / static_cast<double>(dim);
+  }
+  la::Matrix word_out(v, dim);
+
+  uint64_t total_tokens = 0;
+  for (const auto& doc : documents) total_tokens += doc.size();
+  const uint64_t total_steps =
+      options.epochs * std::max<uint64_t>(total_tokens, 1);
+  uint64_t steps = 0;
+
+  std::vector<double> hidden(dim), grad(dim);
+  std::vector<uint32_t> ids;
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    for (size_t d = 0; d < documents.size(); ++d) {
+      double* dv = result.doc_vectors.RowPtr(d);
+      ids.clear();
+      for (const std::string& w : documents[d]) {
+        auto it = index.find(w);
+        if (it != index.end()) ids.push_back(it->second);
+      }
+      for (size_t pos = 0; pos < ids.size(); ++pos) {
+        ++steps;
+        double lr = options.learning_rate *
+                    (1.0 - static_cast<double>(steps) /
+                               static_cast<double>(total_steps + 1));
+        lr = std::max(lr, options.min_learning_rate);
+        // Hidden state: mean of doc vector and context word vectors.
+        size_t lo = pos >= kWindow ? pos - kWindow : 0;
+        size_t hi = std::min(ids.size() - 1, pos + kWindow);
+        std::copy(dv, dv + dim, hidden.begin());
+        size_t contributors = 1;
+        for (size_t c = lo; c <= hi; ++c) {
+          if (c == pos) continue;
+          const double* wv = word_in.RowPtr(ids[c]);
+          for (size_t i = 0; i < dim; ++i) hidden[i] += wv[i];
+          ++contributors;
+        }
+        double inv = 1.0 / static_cast<double>(contributors);
+        for (size_t i = 0; i < dim; ++i) hidden[i] *= inv;
+
+        std::fill(grad.begin(), grad.end(), 0.0);
+        for (size_t neg = 0; neg <= options.negative_samples; ++neg) {
+          uint32_t target;
+          double label;
+          if (neg == 0) {
+            target = ids[pos];
+            label = 1.0;
+          } else {
+            target = unigram[rng.NextBelow(kUnigramTableSize)];
+            if (target == ids[pos]) continue;
+            label = 0.0;
+          }
+          double* out = word_out.RowPtr(target);
+          double dot = 0.0;
+          for (size_t i = 0; i < dim; ++i) dot += hidden[i] * out[i];
+          double g = (label - SigmoidClamped(dot)) * lr;
+          for (size_t i = 0; i < dim; ++i) {
+            grad[i] += g * out[i];
+            out[i] += g * hidden[i];
+          }
+        }
+        // Distribute the hidden gradient to the doc vector and contexts.
+        for (size_t i = 0; i < dim; ++i) dv[i] += grad[i] * inv;
+        for (size_t c = lo; c <= hi; ++c) {
+          if (c == pos) continue;
+          double* wv = word_in.RowPtr(ids[c]);
+          for (size_t i = 0; i < dim; ++i) wv[i] += grad[i] * inv;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace newsdiff::embed

@@ -1,0 +1,54 @@
+#ifndef NEWSDIFF_EMBED_PVDBOW_H_
+#define NEWSDIFF_EMBED_PVDBOW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace newsdiff::embed {
+
+/// Paragraph Vectors - Distributed Bag of Words (Le & Mikolov 2014).
+///
+/// The paper (§3.4, §4.9) describes PV-DM and PV-DBOW and *rejects* them:
+/// trained only on the small collected corpus they "do not manage to
+/// generalize the document representation", which is why the deployed
+/// system averages frozen pretrained word vectors instead. This trainer
+/// exists so the `ablation_pvdbow` benchmark can verify that choice: on the
+/// laptop-scale corpus, PV-DBOW document vectors should classify audience
+/// interest no better than the frozen-store Doc2Vec averages.
+struct PvDbowOptions {
+  size_t dimension = 100;
+  size_t negative_samples = 5;
+  size_t epochs = 10;
+  double learning_rate = 0.025;
+  double min_learning_rate = 1e-4;
+  size_t min_count = 2;
+  uint64_t seed = 23;
+};
+
+struct PvDbowResult {
+  /// One row per input document, in input order.
+  la::Matrix doc_vectors;
+};
+
+/// Trains document vectors: for each document, its vector is optimised to
+/// predict the document's own words against negative samples (the PV-DBOW
+/// objective, without the optional word-vector training).
+StatusOr<PvDbowResult> TrainPvDbow(
+    const std::vector<std::vector<std::string>>& documents,
+    const PvDbowOptions& options);
+
+/// Paragraph Vectors - Distributed Memory (the PV-DM variant of §3.4):
+/// the document vector is averaged with the context word vectors to
+/// predict the centre word, so word order/context participates (unlike
+/// PV-DBOW). Same options struct; `window` is fixed at 4.
+StatusOr<PvDbowResult> TrainPvDm(
+    const std::vector<std::vector<std::string>>& documents,
+    const PvDbowOptions& options);
+
+}  // namespace newsdiff::embed
+
+#endif  // NEWSDIFF_EMBED_PVDBOW_H_

@@ -1,0 +1,255 @@
+#include "embed/word2vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/matrix.h"
+
+namespace newsdiff::embed {
+namespace {
+
+constexpr size_t kUnigramTableSize = 1 << 20;
+constexpr double kMaxExp = 6.0;
+
+/// Precomputed logistic table, as in the reference implementation.
+class SigmoidTable {
+ public:
+  SigmoidTable() {
+    for (size_t i = 0; i < kSize; ++i) {
+      double x = (static_cast<double>(i) / kSize * 2.0 - 1.0) * kMaxExp;
+      table_[i] = 1.0 / (1.0 + std::exp(-x));
+    }
+  }
+  double operator()(double x) const {
+    if (x >= kMaxExp) return 1.0;
+    if (x <= -kMaxExp) return 0.0;
+    size_t i = static_cast<size_t>((x + kMaxExp) / (2.0 * kMaxExp) * kSize);
+    if (i >= kSize) i = kSize - 1;
+    return table_[i];
+  }
+
+ private:
+  static constexpr size_t kSize = 4096;
+  double table_[kSize];
+};
+
+struct VocabEntry {
+  std::string word;
+  uint64_t count;
+};
+
+}  // namespace
+
+const std::vector<double>* WordVectors::Get(const std::string& word) const {
+  auto it = table_.find(word);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+double WordVectors::Similarity(const std::string& a,
+                               const std::string& b) const {
+  const std::vector<double>* va = Get(a);
+  const std::vector<double>* vb = Get(b);
+  if (va == nullptr || vb == nullptr) return 0.0;
+  return la::CosineSimilarity(*va, *vb);
+}
+
+std::vector<std::pair<std::string, double>> WordVectors::MostSimilar(
+    const std::string& word, size_t k) const {
+  const std::vector<double>* v = Get(word);
+  if (v == nullptr) return {};
+  std::vector<std::pair<std::string, double>> scored;
+  scored.reserve(table_.size());
+  for (const auto& [w, vec] : table_) {
+    if (w == word) continue;
+    scored.emplace_back(w, la::CosineSimilarity(*v, vec));
+  }
+  size_t top = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + top, scored.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  scored.resize(top);
+  return scored;
+}
+
+StatusOr<WordVectors> TrainWord2Vec(
+    const std::vector<std::vector<std::string>>& sentences,
+    const Word2VecOptions& options) {
+  if (options.dimension == 0) {
+    return Status::InvalidArgument("dimension must be positive");
+  }
+
+  // --- Vocabulary with counts. ---
+  std::unordered_map<std::string, uint64_t> raw_counts;
+  uint64_t total_tokens = 0;
+  for (const auto& sent : sentences) {
+    for (const std::string& w : sent) {
+      ++raw_counts[w];
+      ++total_tokens;
+    }
+  }
+  std::vector<VocabEntry> vocab;
+  for (auto& [w, c] : raw_counts) {
+    if (c >= options.min_count) vocab.push_back({w, c});
+  }
+  if (vocab.empty()) {
+    return Status::InvalidArgument(
+        "no words meet min_count; corpus too small");
+  }
+  std::sort(vocab.begin(), vocab.end(), [](const auto& a, const auto& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.word < b.word;
+  });
+  std::unordered_map<std::string, uint32_t> index;
+  uint64_t kept_tokens = 0;
+  for (uint32_t i = 0; i < vocab.size(); ++i) {
+    index[vocab[i].word] = i;
+    kept_tokens += vocab[i].count;
+  }
+  const size_t v = vocab.size();
+  const size_t dim = options.dimension;
+
+  // --- Unigram table for negative sampling (count^0.75). ---
+  std::vector<uint32_t> unigram(kUnigramTableSize);
+  {
+    double norm = 0.0;
+    for (const VocabEntry& e : vocab) norm += std::pow(e.count, 0.75);
+    size_t i = 0;
+    double cum = std::pow(vocab[0].count, 0.75) / norm;
+    for (size_t t = 0; t < kUnigramTableSize; ++t) {
+      unigram[t] = static_cast<uint32_t>(i);
+      if (static_cast<double>(t) / kUnigramTableSize > cum &&
+          i + 1 < v) {
+        ++i;
+        cum += std::pow(vocab[i].count, 0.75) / norm;
+      }
+    }
+  }
+
+  // --- Parameter matrices. ---
+  Rng rng(options.seed);
+  la::Matrix syn0(v, dim);  // input vectors
+  la::Matrix syn1(v, dim);  // output vectors (stay zero-initialised)
+  for (size_t i = 0; i < v; ++i) {
+    double* row = syn0.RowPtr(i);
+    for (size_t d = 0; d < dim; ++d) {
+      row[d] = (rng.NextDouble() - 0.5) / static_cast<double>(dim);
+    }
+  }
+
+  static const SigmoidTable sigmoid;
+  const uint64_t total_steps =
+      options.epochs * std::max<uint64_t>(kept_tokens, 1);
+  uint64_t steps = 0;
+  std::vector<double> neu1(dim), neu1e(dim);
+  std::vector<uint32_t> sent_ids;
+
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    for (const auto& sent : sentences) {
+      // Map to ids, apply subsampling.
+      sent_ids.clear();
+      for (const std::string& w : sent) {
+        auto it = index.find(w);
+        if (it == index.end()) continue;
+        if (options.subsample > 0.0) {
+          double f = static_cast<double>(vocab[it->second].count) /
+                     static_cast<double>(kept_tokens);
+          double keep = (std::sqrt(f / options.subsample) + 1.0) *
+                        options.subsample / f;
+          if (keep < 1.0 && rng.NextDouble() > keep) continue;
+        }
+        sent_ids.push_back(it->second);
+      }
+      for (size_t pos = 0; pos < sent_ids.size(); ++pos) {
+        ++steps;
+        double lr = options.learning_rate *
+                    (1.0 - static_cast<double>(steps) /
+                               static_cast<double>(total_steps + 1));
+        lr = std::max(lr, options.min_learning_rate);
+        size_t reduced = rng.NextBelow(options.window) ;
+        size_t b = reduced;  // dynamic window shrink, as in word2vec.c
+        size_t win = options.window - b;
+        size_t lo = pos >= win ? pos - win : 0;
+        size_t hi = std::min(sent_ids.size() - 1, pos + win);
+        uint32_t center = sent_ids[pos];
+
+        if (options.mode == Word2VecMode::kSkipGram) {
+          for (size_t cpos = lo; cpos <= hi; ++cpos) {
+            if (cpos == pos) continue;
+            uint32_t context = sent_ids[cpos];
+            double* in = syn0.RowPtr(context);
+            std::fill(neu1e.begin(), neu1e.end(), 0.0);
+            for (size_t neg = 0; neg <= options.negative_samples; ++neg) {
+              uint32_t target;
+              double label;
+              if (neg == 0) {
+                target = center;
+                label = 1.0;
+              } else {
+                target = unigram[rng.NextBelow(kUnigramTableSize)];
+                if (target == center) continue;
+                label = 0.0;
+              }
+              double* out = syn1.RowPtr(target);
+              double dot = 0.0;
+              for (size_t d = 0; d < dim; ++d) dot += in[d] * out[d];
+              double g = (label - sigmoid(dot)) * lr;
+              for (size_t d = 0; d < dim; ++d) {
+                neu1e[d] += g * out[d];
+                out[d] += g * in[d];
+              }
+            }
+            for (size_t d = 0; d < dim; ++d) in[d] += neu1e[d];
+          }
+        } else {  // CBOW
+          std::fill(neu1.begin(), neu1.end(), 0.0);
+          size_t cw = 0;
+          for (size_t cpos = lo; cpos <= hi; ++cpos) {
+            if (cpos == pos) continue;
+            const double* in = syn0.RowPtr(sent_ids[cpos]);
+            for (size_t d = 0; d < dim; ++d) neu1[d] += in[d];
+            ++cw;
+          }
+          if (cw == 0) continue;
+          for (size_t d = 0; d < dim; ++d) neu1[d] /= static_cast<double>(cw);
+          std::fill(neu1e.begin(), neu1e.end(), 0.0);
+          for (size_t neg = 0; neg <= options.negative_samples; ++neg) {
+            uint32_t target;
+            double label;
+            if (neg == 0) {
+              target = center;
+              label = 1.0;
+            } else {
+              target = unigram[rng.NextBelow(kUnigramTableSize)];
+              if (target == center) continue;
+              label = 0.0;
+            }
+            double* out = syn1.RowPtr(target);
+            double dot = 0.0;
+            for (size_t d = 0; d < dim; ++d) dot += neu1[d] * out[d];
+            double g = (label - sigmoid(dot)) * lr;
+            for (size_t d = 0; d < dim; ++d) {
+              neu1e[d] += g * out[d];
+              out[d] += g * neu1[d];
+            }
+          }
+          for (size_t cpos = lo; cpos <= hi; ++cpos) {
+            if (cpos == pos) continue;
+            double* in = syn0.RowPtr(sent_ids[cpos]);
+            for (size_t d = 0; d < dim; ++d) in[d] += neu1e[d];
+          }
+        }
+      }
+    }
+  }
+
+  std::unordered_map<std::string, std::vector<double>> table;
+  table.reserve(v);
+  for (size_t i = 0; i < v; ++i) {
+    table.emplace(vocab[i].word, syn0.Row(i));
+  }
+  return WordVectors(dim, std::move(table));
+}
+
+}  // namespace newsdiff::embed

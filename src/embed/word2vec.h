@@ -1,0 +1,78 @@
+#ifndef NEWSDIFF_EMBED_WORD2VEC_H_
+#define NEWSDIFF_EMBED_WORD2VEC_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace newsdiff::embed {
+
+/// Training regime (§3.4): CBOW predicts the centre word from averaged
+/// context vectors; skip-gram predicts context words from the centre word.
+enum class Word2VecMode { kSkipGram, kCbow };
+
+/// Word2Vec hyperparameters (negative-sampling objective).
+struct Word2VecOptions {
+  size_t dimension = 100;
+  size_t window = 5;
+  size_t negative_samples = 5;
+  size_t epochs = 5;
+  double learning_rate = 0.025;
+  double min_learning_rate = 1e-4;
+  /// Words with fewer total occurrences are dropped from the vocabulary.
+  size_t min_count = 2;
+  /// Frequent-word subsampling threshold (0 disables).
+  double subsample = 1e-3;
+  Word2VecMode mode = Word2VecMode::kSkipGram;
+  uint64_t seed = 7;
+};
+
+/// Immutable word-vector table produced by training (or loaded from disk).
+class WordVectors {
+ public:
+  WordVectors() : dimension_(0) {}
+  WordVectors(size_t dimension,
+              std::unordered_map<std::string, std::vector<double>> table)
+      : dimension_(dimension), table_(std::move(table)) {}
+
+  size_t dimension() const { return dimension_; }
+  size_t size() const { return table_.size(); }
+
+  bool Contains(const std::string& word) const {
+    return table_.count(word) > 0;
+  }
+
+  /// Vector for `word`, or nullptr if absent.
+  const std::vector<double>* Get(const std::string& word) const;
+
+  /// Cosine similarity between two words; 0 if either is missing.
+  double Similarity(const std::string& a, const std::string& b) const;
+
+  /// The k nearest in-vocabulary words to `word` by cosine similarity
+  /// (excluding `word` itself). Empty if `word` is unknown.
+  std::vector<std::pair<std::string, double>> MostSimilar(
+      const std::string& word, size_t k) const;
+
+  /// Iteration access for serialisation.
+  const std::unordered_map<std::string, std::vector<double>>& table() const {
+    return table_;
+  }
+
+ private:
+  size_t dimension_;
+  std::unordered_map<std::string, std::vector<double>> table_;
+};
+
+/// Trains word vectors on tokenised sentences with stochastic gradient
+/// descent over the negative-sampling objective. Deterministic for a fixed
+/// seed (single-threaded by design).
+StatusOr<WordVectors> TrainWord2Vec(
+    const std::vector<std::vector<std::string>>& sentences,
+    const Word2VecOptions& options);
+
+}  // namespace newsdiff::embed
+
+#endif  // NEWSDIFF_EMBED_WORD2VEC_H_

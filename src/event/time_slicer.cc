@@ -1,0 +1,22 @@
+#include "event/time_slicer.h"
+
+#include <cassert>
+
+namespace newsdiff::event {
+
+TimeSlicer::TimeSlicer(UnixSeconds start, UnixSeconds end,
+                       int64_t width_seconds)
+    : start_(start), width_(width_seconds) {
+  assert(width_seconds > 0);
+  assert(end >= start);
+  num_slices_ = static_cast<size_t>((end - start) / width_seconds) + 1;
+}
+
+size_t TimeSlicer::SliceOf(UnixSeconds t) const {
+  if (t <= start_) return 0;
+  size_t i = static_cast<size_t>((t - start_) / width_);
+  if (i >= num_slices_) i = num_slices_ - 1;
+  return i;
+}
+
+}  // namespace newsdiff::event

@@ -1,0 +1,42 @@
+#ifndef NEWSDIFF_EVENT_TIME_SLICER_H_
+#define NEWSDIFF_EVENT_TIME_SLICER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/time.h"
+
+namespace newsdiff::event {
+
+/// Partitions a time range into fixed-width slices; MABED's first stage.
+/// Slice i covers [start + i*width, start + (i+1)*width).
+class TimeSlicer {
+ public:
+  /// Covers [start, end] with slices of `width_seconds` (> 0). The last
+  /// slice is extended to include `end`.
+  TimeSlicer(UnixSeconds start, UnixSeconds end, int64_t width_seconds);
+
+  size_t num_slices() const { return num_slices_; }
+  UnixSeconds start() const { return start_; }
+  int64_t width_seconds() const { return width_; }
+
+  /// Slice index for timestamp t; clamped to [0, num_slices()-1].
+  size_t SliceOf(UnixSeconds t) const;
+
+  /// Start timestamp of slice i.
+  UnixSeconds SliceStart(size_t i) const {
+    return start_ + static_cast<int64_t>(i) * width_;
+  }
+
+  /// End timestamp (exclusive) of slice i.
+  UnixSeconds SliceEnd(size_t i) const { return SliceStart(i) + width_; }
+
+ private:
+  UnixSeconds start_;
+  int64_t width_;
+  size_t num_slices_;
+};
+
+}  // namespace newsdiff::event
+
+#endif  // NEWSDIFF_EVENT_TIME_SLICER_H_

@@ -1,0 +1,68 @@
+#include "event/tracker.h"
+
+#include <algorithm>
+
+namespace newsdiff::event {
+
+bool EventTracker::Matches(const Event& a, const Event& b) {
+  bool word_clash = a.main_word == b.main_word;
+  if (!word_clash) {
+    for (const std::string& w : a.related_words) {
+      if (w == b.main_word) {
+        word_clash = true;
+        break;
+      }
+    }
+  }
+  if (!word_clash) {
+    for (const std::string& w : b.related_words) {
+      if (w == a.main_word) {
+        word_clash = true;
+        break;
+      }
+    }
+  }
+  if (!word_clash) return false;
+  return a.start_time <= b.end_time && b.start_time <= a.end_time;
+}
+
+std::vector<int64_t> EventTracker::Update(const std::vector<Event>& events) {
+  for (TrackedEvent& t : tracks_) t.active = false;
+  std::vector<int64_t> assigned;
+  assigned.reserve(events.size());
+  for (const Event& ev : events) {
+    TrackedEvent* match = nullptr;
+    for (TrackedEvent& t : tracks_) {
+      if (t.active) continue;  // one observation per track per run
+      if (Matches(t.latest, ev)) {
+        match = &t;
+        break;
+      }
+    }
+    if (match != nullptr) {
+      match->latest = ev;
+      ++match->observations;
+      match->active = true;
+      assigned.push_back(match->track_id);
+    } else {
+      TrackedEvent fresh;
+      fresh.track_id = next_id_++;
+      fresh.latest = ev;
+      fresh.active = true;
+      tracks_.push_back(std::move(fresh));
+      assigned.push_back(tracks_.back().track_id);
+    }
+  }
+  return assigned;
+}
+
+std::vector<const EventTracker::TrackedEvent*> EventTracker::ActiveTracks()
+    const {
+  std::vector<const TrackedEvent*> out;
+  for (const TrackedEvent& t : tracks_) {
+    if (t.active) out.push_back(&t);
+  }
+  return out;
+}
+
+}  // namespace newsdiff::event

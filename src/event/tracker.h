@@ -1,0 +1,54 @@
+#ifndef NEWSDIFF_EVENT_TRACKER_H_
+#define NEWSDIFF_EVENT_TRACKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "event/mabed.h"
+
+namespace newsdiff::event {
+
+/// Links events across successive pipeline runs. The deployed system
+/// (§4.9) re-runs detection every two hours over the growing dataset; the
+/// tracker gives events stable identities across runs so dashboards and
+/// checkpoints can say "this is still the same story" (the *tracking* half
+/// of Guille & Favre's mention-anomaly-based detection *and tracking*).
+///
+/// Matching rule: a new event continues a known one when they share the
+/// main word, or one's main word appears among the other's related words,
+/// AND their intervals overlap.
+class EventTracker {
+ public:
+  /// A tracked event: the latest observation plus its stable id.
+  struct TrackedEvent {
+    int64_t track_id = 0;
+    Event latest;
+    /// Number of runs in which this track has been observed.
+    size_t observations = 1;
+    /// True if the latest Update saw this track again.
+    bool active = false;
+  };
+
+  EventTracker() = default;
+
+  /// Ingests one run's detected events. Each event either continues an
+  /// existing track (updating its latest observation) or starts a new one.
+  /// Returns the track ids assigned to `events`, in order.
+  std::vector<int64_t> Update(const std::vector<Event>& events);
+
+  /// All tracks, in creation order.
+  const std::vector<TrackedEvent>& tracks() const { return tracks_; }
+
+  /// Tracks observed in the most recent Update.
+  std::vector<const TrackedEvent*> ActiveTracks() const;
+
+ private:
+  static bool Matches(const Event& a, const Event& b);
+
+  std::vector<TrackedEvent> tracks_;
+  int64_t next_id_ = 0;
+};
+
+}  // namespace newsdiff::event
+
+#endif  // NEWSDIFF_EVENT_TRACKER_H_

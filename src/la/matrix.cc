@@ -1,0 +1,229 @@
+#include "la/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace newsdiff::la {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    assert(rows[r].size() == m.cols_);
+    std::copy(rows[r].begin(), rows[r].end(), m.RowPtr(r));
+  }
+  return m;
+}
+
+Matrix Matrix::Random(size_t rows, size_t cols, double lo, double hi,
+                      Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data_) v = rng.Uniform(lo, hi);
+  return m;
+}
+
+Matrix Matrix::RandomNormal(size_t rows, size_t cols, double stddev,
+                            Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data_) v = rng.Gaussian(0.0, stddev);
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+void Matrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::Resize(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* src = RowPtr(r);
+    for (size_t c = 0; c < cols_; ++c) t.data_[c * rows_ + r] = src[c];
+  }
+  return t;
+}
+
+void Matrix::Add(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Sub(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Matrix::Scale(double s) {
+  for (double& v : data_) v *= s;
+}
+
+void Matrix::HadamardInPlace(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+}
+
+void Matrix::DivideInPlace(const Matrix& other, double eps) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] /= (other.data_[i] + eps);
+  }
+}
+
+void Matrix::ClampMin(double lo) {
+  for (double& v : data_) {
+    if (v < lo) v = lo;
+  }
+}
+
+double Matrix::Sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double Matrix::RowNorm(size_t r) const {
+  const double* p = RowPtr(r);
+  double s = 0.0;
+  for (size_t c = 0; c < cols_; ++c) s += p[c] * p[c];
+  return std::sqrt(s);
+}
+
+std::vector<double> Matrix::Row(size_t r) const {
+  const double* p = RowPtr(r);
+  return std::vector<double>(p, p + cols_);
+}
+
+void Matrix::SetRow(size_t r, const std::vector<double>& v) {
+  assert(v.size() == cols_);
+  std::copy(v.begin(), v.end(), RowPtr(r));
+}
+
+std::string Matrix::ToString(int max_rows, int max_cols) const {
+  std::string out = "Matrix(" + std::to_string(rows_) + "x" +
+                    std::to_string(cols_) + ")\n";
+  size_t show_r = std::min<size_t>(rows_, static_cast<size_t>(max_rows));
+  size_t show_c = std::min<size_t>(cols_, static_cast<size_t>(max_cols));
+  char buf[32];
+  for (size_t r = 0; r < show_r; ++r) {
+    out += "  [";
+    for (size_t c = 0; c < show_c; ++c) {
+      std::snprintf(buf, sizeof(buf), "%9.4f", (*this)(r, c));
+      out += buf;
+      if (c + 1 < show_c) out += ", ";
+    }
+    if (show_c < cols_) out += ", ...";
+    out += "]\n";
+  }
+  if (show_r < rows_) out += "  ...\n";
+  return out;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  const size_t n = a.rows(), k = a.cols(), m = b.cols();
+  // ikj loop order: streams through b and out rows, cache-friendly.
+  for (size_t i = 0; i < n; ++i) {
+    const double* arow = a.RowPtr(i);
+    double* orow = out.RowPtr(i);
+    for (size_t p = 0; p < k; ++p) {
+      const double av = arow[p];
+      if (av == 0.0) continue;
+      const double* brow = b.RowPtr(p);
+      for (size_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix out(a.cols(), b.cols());
+  const size_t k = a.rows(), n = a.cols(), m = b.cols();
+  for (size_t p = 0; p < k; ++p) {
+    const double* arow = a.RowPtr(p);
+    const double* brow = b.RowPtr(p);
+    for (size_t i = 0; i < n; ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* orow = out.RowPtr(i);
+      for (size_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix out(a.rows(), b.rows());
+  const size_t n = a.rows(), k = a.cols(), m = b.rows();
+  for (size_t i = 0; i < n; ++i) {
+    const double* arow = a.RowPtr(i);
+    double* orow = out.RowPtr(i);
+    for (size_t j = 0; j < m; ++j) {
+      const double* brow = b.RowPtr(j);
+      double s = 0.0;
+      for (size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+      orow[j] = s;
+    }
+  }
+  return out;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double Norm2(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+void AxpyInPlace(std::vector<double>& a, const std::vector<double>& b,
+                 double scale) {
+  assert(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) a[i] += scale * b[i];
+}
+
+}  // namespace newsdiff::la

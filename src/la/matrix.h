@@ -1,0 +1,149 @@
+#ifndef NEWSDIFF_LA_MATRIX_H_
+#define NEWSDIFF_LA_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace newsdiff::la {
+
+/// Dense row-major matrix of doubles. The workhorse for NMF factors and
+/// neural-network activations/parameters. Copyable and movable.
+class Matrix {
+ public:
+  /// Creates an empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// Creates a rows x cols matrix initialised to zero.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Creates a rows x cols matrix filled with `value`.
+  Matrix(size_t rows, size_t cols, double value)
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+  /// Creates a matrix from nested initializer data (rows of equal length).
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  /// Creates a rows x cols matrix with entries uniform in [lo, hi).
+  static Matrix Random(size_t rows, size_t cols, double lo, double hi,
+                       Rng& rng);
+
+  /// Creates a rows x cols matrix with N(0, stddev^2) entries.
+  static Matrix RandomNormal(size_t rows, size_t cols, double stddev,
+                             Rng& rng);
+
+  /// Identity matrix of size n x n.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw pointer to row r (cols() contiguous doubles).
+  double* RowPtr(size_t r) {
+    assert(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const double* RowPtr(size_t r) const {
+    assert(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// Sets every entry to `value`.
+  void Fill(double value);
+
+  /// Resizes to rows x cols, zero-filling (contents are discarded).
+  void Resize(size_t rows, size_t cols);
+
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+  /// this += other (same shape).
+  void Add(const Matrix& other);
+
+  /// this -= other (same shape).
+  void Sub(const Matrix& other);
+
+  /// this *= scalar.
+  void Scale(double s);
+
+  /// this = this .* other, elementwise (same shape).
+  void HadamardInPlace(const Matrix& other);
+
+  /// this = this ./ (other + eps), elementwise (same shape).
+  void DivideInPlace(const Matrix& other, double eps);
+
+  /// Clamps all entries to be >= lo.
+  void ClampMin(double lo);
+
+  /// Sum of all entries.
+  double Sum() const;
+
+  /// Frobenius norm sqrt(sum of squares).
+  double FrobeniusNorm() const;
+
+  /// Maximum absolute entry.
+  double MaxAbs() const;
+
+  /// l2 norm of row r.
+  double RowNorm(size_t r) const;
+
+  /// Returns row r copied into a vector.
+  std::vector<double> Row(size_t r) const;
+
+  /// Overwrites row r from `v` (must have cols() entries).
+  void SetRow(size_t r, const std::vector<double>& v);
+
+  /// Human-readable rendering (for debugging small matrices).
+  std::string ToString(int max_rows = 8, int max_cols = 8) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// out = a * b. Shapes: (n x k) * (k x m) -> (n x m).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// out = a^T * b. Shapes: (k x n)^T * (k x m) -> (n x m).
+Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+
+/// out = a * b^T. Shapes: (n x k) * (m x k)^T -> (n x m).
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+/// Dot product of equal-length vectors.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// l2 norm of a vector.
+double Norm2(const std::vector<double>& v);
+
+/// Cosine similarity of two equal-length vectors (Eq. 11 of the paper).
+/// Returns 0 when either vector has zero norm.
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// a += b (equal length).
+void AxpyInPlace(std::vector<double>& a, const std::vector<double>& b,
+                 double scale);
+
+}  // namespace newsdiff::la
+
+#endif  // NEWSDIFF_LA_MATRIX_H_

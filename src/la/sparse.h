@@ -1,0 +1,74 @@
+#ifndef NEWSDIFF_LA_SPARSE_H_
+#define NEWSDIFF_LA_SPARSE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace newsdiff::la {
+
+/// A single nonzero entry, used to assemble sparse matrices.
+struct Triplet {
+  uint32_t row;
+  uint32_t col;
+  double value;
+};
+
+/// Compressed sparse row matrix of doubles. Built once from triplets
+/// (duplicates are summed), then read-only. Backs the document-term matrix
+/// consumed by NMF, where n_docs x vocab is far too large to hold densely.
+class CsrMatrix {
+ public:
+  /// Creates an empty 0x0 matrix.
+  CsrMatrix() : rows_(0), cols_(0) {}
+
+  /// Builds from triplets; duplicate (row, col) entries are summed and
+  /// resulting zeros are kept (harmless). Triplets may be in any order.
+  static CsrMatrix FromTriplets(size_t rows, size_t cols,
+                                std::vector<Triplet> triplets);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t nnz() const { return values_.size(); }
+
+  /// CSR internals, exposed for kernel implementations and tests.
+  const std::vector<size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<uint32_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Value at (r, c); O(log nnz_row). Zero if absent.
+  double At(size_t r, size_t c) const;
+
+  /// Sum of squares of all stored values.
+  double SquaredFrobeniusNorm() const;
+
+  /// Dense copy (for tests on small matrices only).
+  Matrix ToDense() const;
+
+  /// out = this * d. Shapes: (n x m) * (m x k) -> (n x k).
+  Matrix MultiplyDense(const Matrix& d) const;
+
+  /// out = this^T * d. Shapes: (n x m)^T * (n x k) -> (m x k).
+  Matrix TransposeMultiplyDense(const Matrix& d) const;
+
+  /// out = this * d^T. Shapes: (n x m) * (k x m)^T -> (n x k).
+  Matrix MultiplyDenseTransposed(const Matrix& d) const;
+
+  /// sum_{(i,j) in nnz} this(i,j) * w_row(i) . h_col(j), i.e. the inner
+  /// product <A, W*H> computed only over A's sparsity pattern. Used for the
+  /// O(nnz * k) evaluation of the NMF Frobenius objective.
+  double InnerProductWithProduct(const Matrix& w, const Matrix& h) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<size_t> row_ptr_;     // size rows_+1
+  std::vector<uint32_t> col_idx_;   // size nnz
+  std::vector<double> values_;      // size nnz
+};
+
+}  // namespace newsdiff::la
+
+#endif  // NEWSDIFF_LA_SPARSE_H_

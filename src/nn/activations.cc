@@ -1,0 +1,80 @@
+#include "nn/activations.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace newsdiff::nn {
+
+double ReluScalar(double z) { return z > 0.0 ? z : 0.0; }
+
+double SigmoidScalar(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+double TanhScalar(double z) { return std::tanh(z); }
+
+la::Matrix Activation::Forward(const la::Matrix& input, bool training) {
+  la::Matrix out = input;
+  switch (kind_) {
+    case ActivationKind::kRelu:
+      for (double& v : out.data()) v = ReluScalar(v);
+      break;
+    case ActivationKind::kSigmoid:
+      for (double& v : out.data()) v = SigmoidScalar(v);
+      break;
+    case ActivationKind::kTanh:
+      for (double& v : out.data()) v = TanhScalar(v);
+      break;
+  }
+  if (training) output_ = out;
+  return out;
+}
+
+la::Matrix Activation::Backward(const la::Matrix& grad_output) {
+  la::Matrix grad = grad_output;
+  const auto& y = output_.data();
+  auto& g = grad.data();
+  switch (kind_) {
+    case ActivationKind::kRelu:
+      for (size_t i = 0; i < g.size(); ++i) {
+        if (y[i] <= 0.0) g[i] = 0.0;
+      }
+      break;
+    case ActivationKind::kSigmoid:
+      for (size_t i = 0; i < g.size(); ++i) g[i] *= y[i] * (1.0 - y[i]);
+      break;
+    case ActivationKind::kTanh:
+      for (size_t i = 0; i < g.size(); ++i) g[i] *= 1.0 - y[i] * y[i];
+      break;
+  }
+  return grad;
+}
+
+std::string Activation::Name() const {
+  switch (kind_) {
+    case ActivationKind::kRelu:
+      return "ReLU";
+    case ActivationKind::kSigmoid:
+      return "Sigmoid";
+    case ActivationKind::kTanh:
+      return "Tanh";
+  }
+  return "Activation";
+}
+
+la::Matrix Softmax(const la::Matrix& logits) {
+  la::Matrix out = logits;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    double* row = out.RowPtr(r);
+    double mx = row[0];
+    for (size_t c = 1; c < out.cols(); ++c) mx = std::max(mx, row[c]);
+    double sum = 0.0;
+    for (size_t c = 0; c < out.cols(); ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    double inv = 1.0 / sum;
+    for (size_t c = 0; c < out.cols(); ++c) row[c] *= inv;
+  }
+  return out;
+}
+
+}  // namespace newsdiff::nn

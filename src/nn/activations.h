@@ -1,0 +1,41 @@
+#ifndef NEWSDIFF_NN_ACTIVATIONS_H_
+#define NEWSDIFF_NN_ACTIVATIONS_H_
+
+#include <string>
+
+#include "nn/layer.h"
+
+namespace newsdiff::nn {
+
+/// The activation functions of the paper's Table 1 as layers (softmax is
+/// fused into the cross-entropy loss; see loss.h).
+enum class ActivationKind { kRelu, kSigmoid, kTanh };
+
+/// Elementwise activation layer.
+class Activation : public Layer {
+ public:
+  explicit Activation(ActivationKind kind) : kind_(kind) {}
+
+  la::Matrix Forward(const la::Matrix& input, bool training) override;
+  la::Matrix Backward(const la::Matrix& grad_output) override;
+  size_t OutputSize(size_t input_size) const override { return input_size; }
+  std::string Name() const override;
+
+  ActivationKind kind() const { return kind_; }
+
+ private:
+  ActivationKind kind_;
+  la::Matrix output_;  // cached activations (backward uses f'(x) via f(x))
+};
+
+/// Scalar activation values (Table 1), exposed for tests.
+double ReluScalar(double z);
+double SigmoidScalar(double z);
+double TanhScalar(double z);
+
+/// Row-wise softmax of `logits` (numerically stabilised).
+la::Matrix Softmax(const la::Matrix& logits);
+
+}  // namespace newsdiff::nn
+
+#endif  // NEWSDIFF_NN_ACTIVATIONS_H_

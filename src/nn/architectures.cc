@@ -1,0 +1,41 @@
+#include "nn/architectures.h"
+
+#include <memory>
+
+#include "nn/activations.h"
+#include "nn/conv1d.h"
+#include "nn/dense.h"
+
+namespace newsdiff::nn {
+
+Model BuildMlp(const MlpConfig& config) {
+  Rng rng(config.seed);
+  Model model(config.input_size);
+  size_t in = config.input_size;
+  for (size_t h : config.hidden_sizes) {
+    model.Add(std::make_unique<Dense>(in, h, rng));
+    model.Add(std::make_unique<Activation>(ActivationKind::kRelu));
+    in = h;
+  }
+  model.Add(std::make_unique<Dense>(in, config.num_classes, rng));
+  return model;
+}
+
+Model BuildCnn(const CnnConfig& config) {
+  Rng rng(config.seed);
+  Model model(config.input_size);
+  model.Add(std::make_unique<Conv1D>(config.input_size, /*in_channels=*/1,
+                                     config.filters, config.kernel_size,
+                                     rng));
+  model.Add(std::make_unique<Activation>(ActivationKind::kRelu));
+  size_t conv_len = config.input_size - config.kernel_size + 1;
+  model.Add(
+      std::make_unique<MaxPool1D>(conv_len, config.filters, config.pool_size));
+  size_t flat = (conv_len / config.pool_size) * config.filters;
+  model.Add(std::make_unique<Dense>(flat, config.dense_size, rng));
+  model.Add(std::make_unique<Activation>(ActivationKind::kRelu));
+  model.Add(std::make_unique<Dense>(config.dense_size, config.num_classes, rng));
+  return model;
+}
+
+}  // namespace newsdiff::nn

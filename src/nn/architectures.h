@@ -1,0 +1,38 @@
+#ifndef NEWSDIFF_NN_ARCHITECTURES_H_
+#define NEWSDIFF_NN_ARCHITECTURES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace newsdiff::nn {
+
+/// The MLP architecture of the paper's Fig. 2: stacked fully-connected
+/// ReLU hidden layers ending in a `num_classes` softmax head (softmax is
+/// applied by the loss / PredictProba).
+struct MlpConfig {
+  size_t input_size = 300;
+  std::vector<size_t> hidden_sizes = {128, 64};
+  size_t num_classes = 3;
+  uint64_t seed = 11;
+};
+Model BuildMlp(const MlpConfig& config);
+
+/// The CNN architecture of Fig. 3: one Conv1D layer (ReLU) over the
+/// document-embedding vector treated as a 1-channel sequence, max pooling,
+/// then a fully-connected ReLU layer and the softmax head.
+struct CnnConfig {
+  size_t input_size = 300;
+  size_t filters = 16;
+  size_t kernel_size = 8;
+  size_t pool_size = 4;
+  size_t dense_size = 64;
+  size_t num_classes = 3;
+  uint64_t seed = 13;
+};
+Model BuildCnn(const CnnConfig& config);
+
+}  // namespace newsdiff::nn
+
+#endif  // NEWSDIFF_NN_ARCHITECTURES_H_

@@ -1,0 +1,153 @@
+#include "nn/conv1d.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace newsdiff::nn {
+
+Conv1D::Conv1D(size_t input_length, size_t in_channels, size_t filters,
+               size_t kernel_size, Rng& rng)
+    : input_length_(input_length),
+      in_channels_(in_channels),
+      filters_(filters),
+      kernel_size_(kernel_size),
+      output_length_(input_length - kernel_size + 1),
+      w_(filters, kernel_size * in_channels),
+      b_(1, filters),
+      dw_(filters, kernel_size * in_channels),
+      db_(1, filters) {
+  assert(kernel_size <= input_length);
+  double limit = std::sqrt(
+      6.0 / static_cast<double>(kernel_size * in_channels + filters));
+  for (double& v : w_.data()) v = rng.Uniform(-limit, limit);
+}
+
+la::Matrix Conv1D::Forward(const la::Matrix& input, bool training) {
+  assert(input.cols() == input_length_ * in_channels_);
+  if (training) input_ = input;
+  const size_t batch = input.rows();
+  la::Matrix out(batch, output_length_ * filters_);
+  const size_t kspan = kernel_size_ * in_channels_;
+  for (size_t n = 0; n < batch; ++n) {
+    const double* x = input.RowPtr(n);
+    double* y = out.RowPtr(n);
+    for (size_t pos = 0; pos < output_length_; ++pos) {
+      const double* window = x + pos * in_channels_;
+      for (size_t f = 0; f < filters_; ++f) {
+        const double* k = w_.RowPtr(f);
+        double acc = b_(0, f);
+        for (size_t i = 0; i < kspan; ++i) acc += k[i] * window[i];
+        y[pos * filters_ + f] = acc;
+      }
+    }
+  }
+  return out;
+}
+
+la::Matrix Conv1D::Backward(const la::Matrix& grad_output) {
+  const size_t batch = grad_output.rows();
+  assert(grad_output.cols() == output_length_ * filters_);
+  assert(input_.rows() == batch);
+  dw_.Fill(0.0);
+  db_.Fill(0.0);
+  la::Matrix grad_input(batch, input_length_ * in_channels_);
+  const size_t kspan = kernel_size_ * in_channels_;
+  for (size_t n = 0; n < batch; ++n) {
+    const double* x = input_.RowPtr(n);
+    const double* gy = grad_output.RowPtr(n);
+    double* gx = grad_input.RowPtr(n);
+    for (size_t pos = 0; pos < output_length_; ++pos) {
+      const double* window = x + pos * in_channels_;
+      double* gwindow = gx + pos * in_channels_;
+      for (size_t f = 0; f < filters_; ++f) {
+        double g = gy[pos * filters_ + f];
+        if (g == 0.0) continue;
+        db_(0, f) += g;
+        double* dk = dw_.RowPtr(f);
+        const double* k = w_.RowPtr(f);
+        for (size_t i = 0; i < kspan; ++i) {
+          dk[i] += g * window[i];
+          gwindow[i] += g * k[i];
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Param> Conv1D::Params() {
+  return {{&w_, &dw_, "conv1d.w"}, {&b_, &db_, "conv1d.b"}};
+}
+
+size_t Conv1D::OutputSize(size_t input_size) const {
+  assert(input_size == input_length_ * in_channels_);
+  (void)input_size;
+  return output_length_ * filters_;
+}
+
+MaxPool1D::MaxPool1D(size_t input_length, size_t channels, size_t pool_size)
+    : input_length_(input_length),
+      channels_(channels),
+      pool_size_(pool_size),
+      output_length_(input_length / pool_size) {
+  assert(pool_size >= 1);
+  assert(output_length_ >= 1);
+}
+
+la::Matrix MaxPool1D::Forward(const la::Matrix& input, bool training) {
+  assert(input.cols() == input_length_ * channels_);
+  const size_t batch = input.rows();
+  la::Matrix out(batch, output_length_ * channels_);
+  if (training) {
+    argmax_.assign(batch * output_length_ * channels_, 0);
+    last_batch_ = batch;
+  }
+  for (size_t n = 0; n < batch; ++n) {
+    const double* x = input.RowPtr(n);
+    double* y = out.RowPtr(n);
+    for (size_t opos = 0; opos < output_length_; ++opos) {
+      for (size_t c = 0; c < channels_; ++c) {
+        double best = -std::numeric_limits<double>::infinity();
+        uint32_t best_idx = 0;
+        for (size_t k = 0; k < pool_size_; ++k) {
+          size_t ipos = opos * pool_size_ + k;
+          size_t idx = ipos * channels_ + c;
+          if (x[idx] > best) {
+            best = x[idx];
+            best_idx = static_cast<uint32_t>(idx);
+          }
+        }
+        size_t oidx = opos * channels_ + c;
+        y[oidx] = best;
+        if (training) {
+          argmax_[n * output_length_ * channels_ + oidx] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+la::Matrix MaxPool1D::Backward(const la::Matrix& grad_output) {
+  const size_t batch = grad_output.rows();
+  assert(batch == last_batch_);
+  la::Matrix grad_input(batch, input_length_ * channels_);
+  const size_t out_features = output_length_ * channels_;
+  for (size_t n = 0; n < batch; ++n) {
+    const double* gy = grad_output.RowPtr(n);
+    double* gx = grad_input.RowPtr(n);
+    for (size_t o = 0; o < out_features; ++o) {
+      gx[argmax_[n * out_features + o]] += gy[o];
+    }
+  }
+  return grad_input;
+}
+
+size_t MaxPool1D::OutputSize(size_t input_size) const {
+  assert(input_size == input_length_ * channels_);
+  (void)input_size;
+  return output_length_ * channels_;
+}
+
+}  // namespace newsdiff::nn

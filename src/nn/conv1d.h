@@ -1,0 +1,71 @@
+#ifndef NEWSDIFF_NN_CONV1D_H_
+#define NEWSDIFF_NN_CONV1D_H_
+
+#include <string>
+
+#include "nn/layer.h"
+
+namespace newsdiff::nn {
+
+/// 1-D convolution over a (length x channels) signal stored flattened
+/// channel-major per position: feature index = pos * channels + channel.
+/// Valid padding, stride 1. This is the convolution layer of the paper's
+/// CNN architecture (Fig. 3), which slides kernels over the document
+/// embedding vector.
+class Conv1D : public Layer {
+ public:
+  /// `input_length` positions with `in_channels` channels each;
+  /// `filters` output channels with kernels of width `kernel_size`.
+  Conv1D(size_t input_length, size_t in_channels, size_t filters,
+         size_t kernel_size, Rng& rng);
+
+  la::Matrix Forward(const la::Matrix& input, bool training) override;
+  la::Matrix Backward(const la::Matrix& grad_output) override;
+  std::vector<Param> Params() override;
+  size_t OutputSize(size_t input_size) const override;
+  std::string Name() const override { return "Conv1D"; }
+
+  size_t output_length() const { return output_length_; }
+  size_t filters() const { return filters_; }
+
+ private:
+  size_t input_length_;
+  size_t in_channels_;
+  size_t filters_;
+  size_t kernel_size_;
+  size_t output_length_;
+  // Kernels: filters x (kernel_size * in_channels).
+  la::Matrix w_;
+  la::Matrix b_;  // 1 x filters
+  la::Matrix dw_;
+  la::Matrix db_;
+  la::Matrix input_;
+};
+
+/// Max pooling over non-overlapping windows of `pool_size` positions
+/// (stride == pool_size), per channel. Trailing positions that do not fill
+/// a window are dropped, matching Keras' default.
+class MaxPool1D : public Layer {
+ public:
+  MaxPool1D(size_t input_length, size_t channels, size_t pool_size);
+
+  la::Matrix Forward(const la::Matrix& input, bool training) override;
+  la::Matrix Backward(const la::Matrix& grad_output) override;
+  size_t OutputSize(size_t input_size) const override;
+  std::string Name() const override { return "MaxPool1D"; }
+
+  size_t output_length() const { return output_length_; }
+
+ private:
+  size_t input_length_;
+  size_t channels_;
+  size_t pool_size_;
+  size_t output_length_;
+  // argmax positions from the last forward pass: batch x output features.
+  std::vector<uint32_t> argmax_;
+  size_t last_batch_ = 0;
+};
+
+}  // namespace newsdiff::nn
+
+#endif  // NEWSDIFF_NN_CONV1D_H_

@@ -1,0 +1,56 @@
+#include "nn/dense.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace newsdiff::nn {
+
+Dense::Dense(size_t in_features, size_t out_features, Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      w_(in_features, out_features),
+      b_(1, out_features),
+      dw_(in_features, out_features),
+      db_(1, out_features) {
+  // Glorot/Xavier uniform: U(-limit, limit), limit = sqrt(6 / (in + out)).
+  double limit =
+      std::sqrt(6.0 / static_cast<double>(in_features + out_features));
+  for (double& v : w_.data()) v = rng.Uniform(-limit, limit);
+}
+
+la::Matrix Dense::Forward(const la::Matrix& input, bool training) {
+  assert(input.cols() == in_features_);
+  if (training) input_ = input;
+  la::Matrix out = la::MatMul(input, w_);
+  for (size_t r = 0; r < out.rows(); ++r) {
+    double* row = out.RowPtr(r);
+    const double* bias = b_.RowPtr(0);
+    for (size_t c = 0; c < out.cols(); ++c) row[c] += bias[c];
+  }
+  return out;
+}
+
+la::Matrix Dense::Backward(const la::Matrix& grad_output) {
+  assert(grad_output.cols() == out_features_);
+  assert(input_.rows() == grad_output.rows());
+  dw_ = la::MatMulTransA(input_, grad_output);
+  db_.Fill(0.0);
+  double* db = db_.RowPtr(0);
+  for (size_t r = 0; r < grad_output.rows(); ++r) {
+    const double* g = grad_output.RowPtr(r);
+    for (size_t c = 0; c < out_features_; ++c) db[c] += g[c];
+  }
+  return la::MatMulTransB(grad_output, w_);
+}
+
+std::vector<Param> Dense::Params() {
+  return {{&w_, &dw_, "dense.w"}, {&b_, &db_, "dense.b"}};
+}
+
+size_t Dense::OutputSize(size_t input_size) const {
+  assert(input_size == in_features_);
+  (void)input_size;
+  return out_features_;
+}
+
+}  // namespace newsdiff::nn

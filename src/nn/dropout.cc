@@ -1,0 +1,35 @@
+#include "nn/dropout.h"
+
+#include <cassert>
+
+namespace newsdiff::nn {
+
+Dropout::Dropout(double rate, uint64_t seed) : rate_(rate), rng_(seed) {
+  assert(rate >= 0.0 && rate < 1.0);
+}
+
+la::Matrix Dropout::Forward(const la::Matrix& input, bool training) {
+  if (!training || rate_ == 0.0) return input;
+  const double keep = 1.0 - rate_;
+  const double scale = 1.0 / keep;
+  mask_.Resize(input.rows(), input.cols());
+  la::Matrix out = input;
+  for (size_t i = 0; i < out.size(); ++i) {
+    double m = rng_.Bernoulli(keep) ? scale : 0.0;
+    mask_.data()[i] = m;
+    out.data()[i] *= m;
+  }
+  return out;
+}
+
+la::Matrix Dropout::Backward(const la::Matrix& grad_output) {
+  assert(grad_output.rows() == mask_.rows() &&
+         grad_output.cols() == mask_.cols());
+  la::Matrix grad = grad_output;
+  for (size_t i = 0; i < grad.size(); ++i) {
+    grad.data()[i] *= mask_.data()[i];
+  }
+  return grad;
+}
+
+}  // namespace newsdiff::nn

@@ -1,0 +1,34 @@
+#ifndef NEWSDIFF_NN_DROPOUT_H_
+#define NEWSDIFF_NN_DROPOUT_H_
+
+#include <string>
+
+#include "nn/layer.h"
+
+namespace newsdiff::nn {
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `rate` and the survivors are scaled by 1/(1-rate); at
+/// inference the layer is the identity. Deterministic for a fixed seed
+/// (the mask stream advances with every training batch).
+class Dropout : public Layer {
+ public:
+  /// `rate` in [0, 1).
+  Dropout(double rate, uint64_t seed);
+
+  la::Matrix Forward(const la::Matrix& input, bool training) override;
+  la::Matrix Backward(const la::Matrix& grad_output) override;
+  size_t OutputSize(size_t input_size) const override { return input_size; }
+  std::string Name() const override { return "Dropout"; }
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  Rng rng_;
+  la::Matrix mask_;  // 0 or 1/(1-rate) per activation, from last Forward
+};
+
+}  // namespace newsdiff::nn
+
+#endif  // NEWSDIFF_NN_DROPOUT_H_

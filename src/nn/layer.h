@@ -1,0 +1,47 @@
+#ifndef NEWSDIFF_NN_LAYER_H_
+#define NEWSDIFF_NN_LAYER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "la/matrix.h"
+
+namespace newsdiff::nn {
+
+/// A trainable parameter: value and the gradient from the last backward
+/// pass. Both live inside the owning layer; the optimizer mutates `value`.
+struct Param {
+  la::Matrix* value;
+  la::Matrix* grad;
+  std::string name;
+};
+
+/// Base class for network layers. Data flows as row-major batches:
+/// each row of the activation matrix is one example. Layers cache whatever
+/// they need between Forward and Backward (single-stream training).
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output for `input` (batch x in_features).
+  virtual la::Matrix Forward(const la::Matrix& input, bool training) = 0;
+
+  /// Given dLoss/dOutput, accumulates parameter gradients and returns
+  /// dLoss/dInput. Must be called after Forward on the same batch.
+  virtual la::Matrix Backward(const la::Matrix& grad_output) = 0;
+
+  /// Trainable parameters (empty for activations/pooling).
+  virtual std::vector<Param> Params() { return {}; }
+
+  /// Output feature count for a given input feature count; layers with
+  /// shape constraints validate here (called once at build time).
+  virtual size_t OutputSize(size_t input_size) const = 0;
+
+  /// Human-readable layer name for summaries.
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace newsdiff::nn
+
+#endif  // NEWSDIFF_NN_LAYER_H_

@@ -1,0 +1,205 @@
+#include "nn/model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/time.h"
+#include "nn/activations.h"
+#include "nn/loss.h"
+
+namespace newsdiff::nn {
+
+Model& Model::Add(std::unique_ptr<Layer> layer) {
+  size_t in = layers_.empty() ? input_size_ : output_size_;
+  output_size_ = layer->OutputSize(in);
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+size_t Model::ParameterCount() {
+  size_t n = 0;
+  for (const Param& p : AllParams()) n += p.value->size();
+  return n;
+}
+
+la::Matrix Model::Forward(const la::Matrix& x, bool training) {
+  la::Matrix h = x;
+  for (auto& layer : layers_) h = layer->Forward(h, training);
+  return h;
+}
+
+la::Matrix Model::PredictProba(const la::Matrix& x) {
+  return Softmax(Forward(x, /*training=*/false));
+}
+
+std::vector<int> Model::Predict(const la::Matrix& x) {
+  return ArgmaxRows(Forward(x, /*training=*/false));
+}
+
+std::vector<Param> Model::AllParams() {
+  std::vector<Param> params;
+  for (auto& layer : layers_) {
+    for (Param& p : layer->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+std::pair<double, double> Model::Evaluate(const la::Matrix& x,
+                                          const std::vector<int>& labels) {
+  la::Matrix logits = Forward(x, /*training=*/false);
+  LossResult lr = SoftmaxCrossEntropy(logits, labels);
+  std::vector<int> pred = ArgmaxRows(logits);
+  return {lr.loss, Accuracy(labels, pred)};
+}
+
+StatusOr<FitHistory> Model::Fit(const la::Matrix& x,
+                                const std::vector<int>& labels,
+                                Optimizer& optimizer,
+                                const FitOptions& options) {
+  if (x.rows() != labels.size()) {
+    return Status::InvalidArgument("x rows != label count");
+  }
+  if (x.rows() == 0) return Status::InvalidArgument("empty training set");
+  if (x.cols() != input_size_) {
+    return Status::InvalidArgument("x cols != model input size");
+  }
+  if (layers_.empty()) {
+    return Status::FailedPrecondition("model has no layers");
+  }
+  for (int label : labels) {
+    if (label < 0 || static_cast<size_t>(label) >= output_size_) {
+      return Status::InvalidArgument("label out of range");
+    }
+  }
+
+  // Optional validation split: last fraction of the (pre-shuffle) data.
+  size_t n = x.rows();
+  size_t n_val = static_cast<size_t>(options.validation_split *
+                                     static_cast<double>(n));
+  size_t n_train = n - n_val;
+  if (n_train == 0) {
+    return Status::InvalidArgument("validation_split leaves no training data");
+  }
+
+  la::Matrix val_x;
+  std::vector<int> val_y;
+  if (n_val > 0) {
+    val_x.Resize(n_val, x.cols());
+    val_y.resize(n_val);
+    for (size_t i = 0; i < n_val; ++i) {
+      std::copy(x.RowPtr(n_train + i), x.RowPtr(n_train + i) + x.cols(),
+                val_x.RowPtr(i));
+      val_y[i] = labels[n_train + i];
+    }
+  }
+
+  Rng rng(options.seed);
+  std::vector<size_t> order(n_train);
+  std::iota(order.begin(), order.end(), 0);
+
+  FitHistory history;
+  WallTimer total_timer;
+  double best_loss = 0.0;
+  size_t epochs_without_improvement = 0;
+
+  const size_t batch = std::max<size_t>(1, options.batch_size);
+  la::Matrix bx;
+  std::vector<int> by;
+
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    WallTimer epoch_timer;
+    if (options.shuffle) rng.Shuffle(order);
+    double epoch_loss = 0.0;
+    size_t correct = 0;
+
+    for (size_t start = 0; start < n_train; start += batch) {
+      size_t sz = std::min(batch, n_train - start);
+      bx.Resize(sz, x.cols());
+      by.resize(sz);
+      for (size_t i = 0; i < sz; ++i) {
+        size_t src = order[start + i];
+        std::copy(x.RowPtr(src), x.RowPtr(src) + x.cols(), bx.RowPtr(i));
+        by[i] = labels[src];
+      }
+      la::Matrix logits = Forward(bx, /*training=*/true);
+      LossResult lr = SoftmaxCrossEntropy(logits, by);
+      epoch_loss += lr.loss * static_cast<double>(sz);
+      std::vector<int> pred = ArgmaxRows(logits);
+      for (size_t i = 0; i < sz; ++i) {
+        if (pred[i] == by[i]) ++correct;
+      }
+      la::Matrix grad = lr.grad;
+      for (size_t li = layers_.size(); li-- > 0;) {
+        grad = layers_[li]->Backward(grad);
+      }
+      std::vector<Param> params = AllParams();
+      if (options.clip_norm > 0.0) {
+        double sq = 0.0;
+        for (const Param& p : params) {
+          for (double g : p.grad->data()) sq += g * g;
+        }
+        double norm = std::sqrt(sq);
+        if (norm > options.clip_norm) {
+          double scale = options.clip_norm / norm;
+          for (const Param& p : params) p.grad->Scale(scale);
+        }
+      }
+      optimizer.Step(params);
+    }
+
+    epoch_loss /= static_cast<double>(n_train);
+    double epoch_acc =
+        static_cast<double>(correct) / static_cast<double>(n_train);
+    history.train_loss.push_back(epoch_loss);
+    history.train_accuracy.push_back(epoch_acc);
+    if (n_val > 0) {
+      auto [vl, va] = Evaluate(val_x, val_y);
+      history.val_loss.push_back(vl);
+      history.val_accuracy.push_back(va);
+    }
+    history.epoch_millis.push_back(epoch_timer.ElapsedMillis());
+    history.epochs_run = epoch + 1;
+
+    if (options.verbose_every > 0 && (epoch + 1) % options.verbose_every == 0) {
+      NEWSDIFF_LOG(Info) << "epoch " << (epoch + 1) << " loss=" << epoch_loss
+                         << " acc=" << epoch_acc;
+    }
+
+    if (options.early_stopping.enabled) {
+      if (epoch == 0 ||
+          best_loss - epoch_loss > options.early_stopping.min_delta) {
+        best_loss = epoch_loss;
+        epochs_without_improvement = 0;
+      } else {
+        ++epochs_without_improvement;
+        if (epochs_without_improvement >= options.early_stopping.patience) {
+          history.stopped_early = true;
+          break;
+        }
+      }
+    }
+  }
+
+  history.total_seconds = total_timer.ElapsedSeconds();
+  return history;
+}
+
+std::string Model::Summary() {
+  std::string out = "Model(input=" + std::to_string(input_size_) + ")\n";
+  size_t in = input_size_;
+  for (auto& layer : layers_) {
+    size_t next = layer->OutputSize(in);
+    size_t params = 0;
+    for (const Param& p : layer->Params()) params += p.value->size();
+    out += "  " + layer->Name() + ": " + std::to_string(in) + " -> " +
+           std::to_string(next) + " (" + std::to_string(params) +
+           " params)\n";
+    in = next;
+  }
+  return out;
+}
+
+}  // namespace newsdiff::nn

@@ -1,0 +1,116 @@
+#ifndef NEWSDIFF_NN_MODEL_H_
+#define NEWSDIFF_NN_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "nn/layer.h"
+#include "nn/metrics.h"
+#include "nn/optimizer.h"
+
+namespace newsdiff::nn {
+
+/// Early-stopping configuration: stop when the training loss fails to
+/// improve by at least `min_delta` for `patience` consecutive epochs —
+/// the "no change in the loss function from one epoch to the next"
+/// mechanism of §5.6.
+struct EarlyStoppingOptions {
+  bool enabled = true;
+  double min_delta = 1e-4;
+  size_t patience = 3;
+};
+
+/// Training configuration.
+struct FitOptions {
+  size_t epochs = 500;
+  size_t batch_size = 5000;  // the paper's batch size (§5.7)
+  EarlyStoppingOptions early_stopping;
+  /// Shuffle the training set each epoch.
+  bool shuffle = true;
+  /// Clip the global gradient norm to this value before each optimizer
+  /// step (0 disables). Keeps large-learning-rate configurations (the
+  /// paper's SGD lr = 0.5) stable.
+  double clip_norm = 5.0;
+  uint64_t seed = 123;
+  /// Optional held-out fraction evaluated (but not trained on) each epoch.
+  double validation_split = 0.0;
+  /// Log progress every N epochs (0 = silent).
+  size_t verbose_every = 0;
+};
+
+/// Per-run training history.
+struct FitHistory {
+  std::vector<double> train_loss;
+  std::vector<double> train_accuracy;
+  std::vector<double> val_loss;      // empty when validation_split == 0
+  std::vector<double> val_accuracy;
+  std::vector<double> epoch_millis;
+  size_t epochs_run = 0;
+  bool stopped_early = false;
+  double total_seconds = 0.0;
+};
+
+/// A sequential feed-forward classifier trained with softmax cross-entropy.
+/// Owns its layers; not copyable.
+class Model {
+ public:
+  /// `input_size` is the feature count of each example row.
+  explicit Model(size_t input_size) : input_size_(input_size) {}
+
+  Model(const Model&) = delete;
+  Model& operator=(const Model&) = delete;
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+
+  /// Appends a layer; returns *this for chaining. The layer's expected
+  /// input size must match the current output size (checked via
+  /// OutputSize's assertions at add time).
+  Model& Add(std::unique_ptr<Layer> layer);
+
+  /// Current output feature count (input_size if no layers yet).
+  size_t output_size() const { return output_size_; }
+  size_t input_size() const { return input_size_; }
+  size_t num_layers() const { return layers_.size(); }
+
+  /// Total trainable scalar parameters.
+  size_t ParameterCount();
+
+  /// Forward pass producing logits (no softmax).
+  la::Matrix Forward(const la::Matrix& x, bool training = false);
+
+  /// Class probabilities (softmax of Forward).
+  la::Matrix PredictProba(const la::Matrix& x);
+
+  /// Hard class predictions.
+  std::vector<int> Predict(const la::Matrix& x);
+
+  /// Trains on (x, labels) with minibatch gradient descent.
+  /// Returns the history, or an error for malformed inputs.
+  StatusOr<FitHistory> Fit(const la::Matrix& x, const std::vector<int>& labels,
+                           Optimizer& optimizer, const FitOptions& options);
+
+  /// Mean loss + accuracy on a dataset without updating parameters.
+  std::pair<double, double> Evaluate(const la::Matrix& x,
+                                     const std::vector<int>& labels);
+
+  /// One-line per layer architecture summary.
+  std::string Summary();
+
+  /// All trainable parameters in layer order (used by serialization and
+  /// custom training loops).
+  std::vector<Param> Parameters() { return AllParams(); }
+
+ private:
+  std::vector<Param> AllParams();
+
+  size_t input_size_;
+  size_t output_size_ = 0;
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace newsdiff::nn
+
+#endif  // NEWSDIFF_NN_MODEL_H_

@@ -1,0 +1,86 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace newsdiff::nn {
+
+void Optimizer::Step(const std::vector<Param>& params) {
+  for (const Param& p : params) {
+    std::vector<la::Matrix>& state = state_[p.value];
+    if (state.size() != StateSlots()) {
+      state.assign(StateSlots(),
+                   la::Matrix(p.value->rows(), p.value->cols()));
+    }
+    UpdateOne(*p.value, *p.grad, state);
+  }
+}
+
+void Sgd::UpdateOne(la::Matrix& value, const la::Matrix& grad,
+                    std::vector<la::Matrix>& state) {
+  la::Matrix& velocity = state[0];
+  auto& v = velocity.data();
+  auto& w = value.data();
+  const auto& g = grad.data();
+  for (size_t i = 0; i < w.size(); ++i) {
+    v[i] = options_.momentum * v[i] - options_.learning_rate * g[i];
+    w[i] += v[i];
+  }
+}
+
+void Adagrad::UpdateOne(la::Matrix& value, const la::Matrix& grad,
+                        std::vector<la::Matrix>& state) {
+  la::Matrix& accum = state[0];
+  auto& acc = accum.data();
+  auto& w = value.data();
+  const auto& g = grad.data();
+  for (size_t i = 0; i < w.size(); ++i) {
+    acc[i] += g[i] * g[i];
+    w[i] -= options_.learning_rate * g[i] /
+            (std::sqrt(acc[i]) + options_.epsilon);
+  }
+}
+
+void Adadelta::UpdateOne(la::Matrix& value, const la::Matrix& grad,
+                         std::vector<la::Matrix>& state) {
+  la::Matrix& eg2 = state[0];   // E[g^2]
+  la::Matrix& edw2 = state[1];  // E[dw^2]
+  auto& g2 = eg2.data();
+  auto& d2 = edw2.data();
+  auto& w = value.data();
+  const auto& g = grad.data();
+  const double rho = options_.rho;
+  const double eps = options_.epsilon;
+  for (size_t i = 0; i < w.size(); ++i) {
+    g2[i] = rho * g2[i] + (1.0 - rho) * g[i] * g[i];
+    double dw = -std::sqrt((d2[i] + eps) / (g2[i] + eps)) * g[i];
+    d2[i] = rho * d2[i] + (1.0 - rho) * dw * dw;
+    w[i] += options_.learning_rate * dw;
+  }
+}
+
+void Adam::UpdateOne(la::Matrix& value, const la::Matrix& grad,
+                     std::vector<la::Matrix>& state) {
+  la::Matrix& m = state[0];  // first moment
+  la::Matrix& v = state[1];  // second moment
+  la::Matrix& t = state[2];  // step counter in (0,0)
+  t(0, 0) += 1.0;
+  const double step = t(0, 0);
+  const double b1 = options_.beta1;
+  const double b2 = options_.beta2;
+  const double bias1 = 1.0 - std::pow(b1, step);
+  const double bias2 = 1.0 - std::pow(b2, step);
+  auto& mv = m.data();
+  auto& vv = v.data();
+  auto& w = value.data();
+  const auto& g = grad.data();
+  for (size_t i = 0; i < w.size(); ++i) {
+    mv[i] = b1 * mv[i] + (1.0 - b1) * g[i];
+    vv[i] = b2 * vv[i] + (1.0 - b2) * g[i] * g[i];
+    double mhat = mv[i] / bias1;
+    double vhat = vv[i] / bias2;
+    w[i] -= options_.learning_rate * mhat /
+            (std::sqrt(vhat) + options_.epsilon);
+  }
+}
+
+}  // namespace newsdiff::nn

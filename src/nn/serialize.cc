@@ -1,0 +1,74 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace newsdiff::nn {
+
+namespace {
+constexpr const char* kMagic = "newsdiff-model";
+constexpr int kVersion = 1;
+}  // namespace
+
+Status SaveWeights(Model& model, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  std::vector<Param> params = model.Parameters();
+  out << kMagic << ' ' << kVersion << '\n';
+  out << params.size() << '\n';
+  char buf[40];
+  for (const Param& p : params) {
+    out << p.name << ' ' << p.value->rows() << ' ' << p.value->cols() << '\n';
+    const auto& data = p.value->data();
+    for (size_t i = 0; i < data.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%.17g", data[i]);
+      out << buf << ((i + 1) % 8 == 0 || i + 1 == data.size() ? '\n' : ' ');
+    }
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Status LoadWeights(Model& model, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kMagic) {
+    return Status::ParseError("not a newsdiff model file: " + path);
+  }
+  if (version != kVersion) {
+    return Status::ParseError("unsupported model version " +
+                              std::to_string(version));
+  }
+  size_t count = 0;
+  if (!(in >> count)) return Status::ParseError("missing parameter count");
+  std::vector<Param> params = model.Parameters();
+  if (count != params.size()) {
+    return Status::FailedPrecondition(
+        "architecture mismatch: file has " + std::to_string(count) +
+        " parameters, model has " + std::to_string(params.size()));
+  }
+  for (Param& p : params) {
+    std::string name;
+    size_t rows = 0, cols = 0;
+    if (!(in >> name >> rows >> cols)) {
+      return Status::ParseError("truncated parameter header");
+    }
+    if (name != p.name || rows != p.value->rows() ||
+        cols != p.value->cols()) {
+      return Status::FailedPrecondition(
+          "parameter mismatch: expected " + p.name + " " +
+          std::to_string(p.value->rows()) + "x" +
+          std::to_string(p.value->cols()) + ", file has " + name + " " +
+          std::to_string(rows) + "x" + std::to_string(cols));
+    }
+    for (double& v : p.value->data()) {
+      if (!(in >> v)) return Status::ParseError("truncated parameter data");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace newsdiff::nn

@@ -1,0 +1,32 @@
+#ifndef NEWSDIFF_NN_SERIALIZE_H_
+#define NEWSDIFF_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/model.h"
+
+namespace newsdiff::nn {
+
+/// Model-weight checkpointing. The paper's deployment (§4.9) continues
+/// training from checkpoints whenever new data arrives instead of starting
+/// from scratch; these helpers persist and restore a model's parameters.
+///
+/// The format is a plain text file:
+///   newsdiff-model 1
+///   <num_params>
+///   <name> <rows> <cols>
+///   v v v ...          (rows*cols doubles, row-major)
+///   ...
+/// Loading requires a model with the same architecture (identical parameter
+/// names and shapes, in order); mismatches produce a FailedPrecondition.
+
+/// Writes every trainable parameter of `model` to `path`.
+Status SaveWeights(Model& model, const std::string& path);
+
+/// Restores parameters previously written by SaveWeights into `model`.
+Status LoadWeights(Model& model, const std::string& path);
+
+}  // namespace newsdiff::nn
+
+#endif  // NEWSDIFF_NN_SERIALIZE_H_

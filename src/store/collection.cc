@@ -1,0 +1,307 @@
+#include "store/collection.h"
+
+#include <algorithm>
+
+#include "store/json.h"
+
+namespace newsdiff::store {
+
+Filter& Filter::Eq(std::string field, Value v) {
+  conditions_.push_back({std::move(field), FilterOp::kEq, std::move(v)});
+  return *this;
+}
+Filter& Filter::Ne(std::string field, Value v) {
+  conditions_.push_back({std::move(field), FilterOp::kNe, std::move(v)});
+  return *this;
+}
+Filter& Filter::Lt(std::string field, Value v) {
+  conditions_.push_back({std::move(field), FilterOp::kLt, std::move(v)});
+  return *this;
+}
+Filter& Filter::Lte(std::string field, Value v) {
+  conditions_.push_back({std::move(field), FilterOp::kLte, std::move(v)});
+  return *this;
+}
+Filter& Filter::Gt(std::string field, Value v) {
+  conditions_.push_back({std::move(field), FilterOp::kGt, std::move(v)});
+  return *this;
+}
+Filter& Filter::Gte(std::string field, Value v) {
+  conditions_.push_back({std::move(field), FilterOp::kGte, std::move(v)});
+  return *this;
+}
+Filter& Filter::Exists(std::string field) {
+  conditions_.push_back({std::move(field), FilterOp::kExists, Value()});
+  return *this;
+}
+Filter& Filter::Contains(std::string field, std::string substring) {
+  conditions_.push_back(
+      {std::move(field), FilterOp::kContains, Value(std::move(substring))});
+  return *this;
+}
+
+bool Filter::Matches(const Value& doc) const {
+  for (const Condition& c : conditions_) {
+    const Value* f = doc.Find(c.field);
+    if (f == nullptr) {
+      if (c.op == FilterOp::kNe) continue;  // absent != anything
+      return false;
+    }
+    switch (c.op) {
+      case FilterOp::kEq:
+        if (!f->Equals(c.value)) return false;
+        break;
+      case FilterOp::kNe:
+        if (f->Equals(c.value)) return false;
+        break;
+      case FilterOp::kLt:
+        if (f->Compare(c.value) >= 0) return false;
+        break;
+      case FilterOp::kLte:
+        if (f->Compare(c.value) > 0) return false;
+        break;
+      case FilterOp::kGt:
+        if (f->Compare(c.value) <= 0) return false;
+        break;
+      case FilterOp::kGte:
+        if (f->Compare(c.value) < 0) return false;
+        break;
+      case FilterOp::kExists:
+        break;  // presence already checked
+      case FilterOp::kContains:
+        if (!f->is_string() || !c.value.is_string()) return false;
+        if (f->string_value().find(c.value.string_value()) ==
+            std::string::npos) {
+          return false;
+        }
+        break;
+    }
+  }
+  return true;
+}
+
+Collection::Collection(std::string name) : name_(std::move(name)) {}
+
+std::string Collection::IndexKey(const Value& v) { return ToJson(v); }
+
+StatusOr<DocId> Collection::Insert(Value doc) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("Insert requires an object document");
+  }
+  DocId id = static_cast<DocId>(slots_.size());
+  doc.Set("_id", Value(id));
+  IndexInsert(id, doc);
+  slots_.push_back({std::move(doc), true});
+  ++live_count_;
+  return id;
+}
+
+StatusOr<Value> Collection::Get(DocId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= slots_.size() ||
+      !slots_[static_cast<size_t>(id)].live) {
+    return Status::NotFound("no document with _id " + std::to_string(id));
+  }
+  return slots_[static_cast<size_t>(id)].doc;
+}
+
+std::vector<DocId> Collection::Candidates(const Filter& filter,
+                                          bool& used_index) const {
+  used_index = false;
+  for (const Condition& c : filter.conditions()) {
+    if (c.op != FilterOp::kEq) continue;
+    auto idx_it = indexes_.find(c.field);
+    if (idx_it == indexes_.end()) continue;
+    used_index = true;
+    auto bucket = idx_it->second.find(IndexKey(c.value));
+    if (bucket == idx_it->second.end()) return {};
+    return bucket->second;
+  }
+  std::vector<DocId> all;
+  all.reserve(live_count_);
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].live) all.push_back(static_cast<DocId>(i));
+  }
+  return all;
+}
+
+std::vector<Value> Collection::Find(const Filter& filter) const {
+  std::vector<Value> out;
+  ForEach(filter, [&](DocId, const Value& doc) {
+    out.push_back(doc);
+    return true;
+  });
+  return out;
+}
+
+std::vector<Value> Collection::Find(const Filter& filter,
+                                    const FindOptions& options) const {
+  std::vector<Value> matches = Find(filter);
+  if (!options.sort_field.empty()) {
+    static const Value kNull;
+    std::stable_sort(matches.begin(), matches.end(),
+                     [&](const Value& a, const Value& b) {
+                       const Value* va = a.Find(options.sort_field);
+                       const Value* vb = b.Find(options.sort_field);
+                       int cmp = (va != nullptr ? *va : kNull)
+                                     .Compare(vb != nullptr ? *vb : kNull);
+                       return options.descending ? cmp > 0 : cmp < 0;
+                     });
+  }
+  if (options.skip > 0) {
+    if (options.skip >= matches.size()) {
+      matches.clear();
+    } else {
+      matches.erase(matches.begin(),
+                    matches.begin() + static_cast<ptrdiff_t>(options.skip));
+    }
+  }
+  if (matches.size() > options.limit) matches.resize(options.limit);
+  if (!options.projection.empty()) {
+    for (Value& doc : matches) {
+      Object projected;
+      for (const auto& [key, value] : doc.object()) {
+        bool keep = key == "_id";
+        for (const std::string& field : options.projection) {
+          if (key == field) {
+            keep = true;
+            break;
+          }
+        }
+        if (keep) projected.emplace_back(key, value);
+      }
+      doc = Value(std::move(projected));
+    }
+  }
+  return matches;
+}
+
+std::map<std::string, size_t> Collection::CountBy(
+    const Filter& filter, const std::string& field) const {
+  std::map<std::string, size_t> groups;
+  ForEach(filter, [&](DocId, const Value& doc) {
+    const Value* v = doc.Find(field);
+    ++groups[v != nullptr ? IndexKey(*v) : "null"];
+    return true;
+  });
+  return groups;
+}
+
+StatusOr<Value> Collection::FindOne(const Filter& filter) const {
+  StatusOr<Value> result = Status::NotFound("no matching document");
+  ForEach(filter, [&](DocId, const Value& doc) {
+    result = doc;
+    return false;
+  });
+  return result;
+}
+
+void Collection::ForEach(
+    const Filter& filter,
+    const std::function<bool(DocId, const Value&)>& fn) const {
+  bool used_index = false;
+  std::vector<DocId> cands = Candidates(filter, used_index);
+  for (DocId id : cands) {
+    const Slot& slot = slots_[static_cast<size_t>(id)];
+    if (!slot.live) continue;
+    if (!filter.Matches(slot.doc)) continue;
+    if (!fn(id, slot.doc)) return;
+  }
+}
+
+size_t Collection::Count(const Filter& filter) const {
+  size_t n = 0;
+  ForEach(filter, [&](DocId, const Value&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+size_t Collection::UpdateSet(const Filter& filter, const std::string& field,
+                             Value v) {
+  bool used_index = false;
+  std::vector<DocId> cands = Candidates(filter, used_index);
+  size_t n = 0;
+  for (DocId id : cands) {
+    Slot& slot = slots_[static_cast<size_t>(id)];
+    if (!slot.live || !filter.Matches(slot.doc)) continue;
+    IndexRemove(id, slot.doc);
+    slot.doc.Set(field, v);
+    IndexInsert(id, slot.doc);
+    ++n;
+  }
+  return n;
+}
+
+StatusOr<DocId> Collection::Upsert(const Filter& filter, Value doc) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("Upsert requires an object document");
+  }
+  DocId target = -1;
+  ForEach(filter, [&](DocId id, const Value&) {
+    target = id;
+    return false;
+  });
+  if (target < 0) return Insert(std::move(doc));
+  Slot& slot = slots_[static_cast<size_t>(target)];
+  IndexRemove(target, slot.doc);
+  doc.Set("_id", Value(target));
+  slot.doc = std::move(doc);
+  IndexInsert(target, slot.doc);
+  return target;
+}
+
+size_t Collection::Remove(const Filter& filter) {
+  bool used_index = false;
+  std::vector<DocId> cands = Candidates(filter, used_index);
+  size_t n = 0;
+  for (DocId id : cands) {
+    Slot& slot = slots_[static_cast<size_t>(id)];
+    if (!slot.live || !filter.Matches(slot.doc)) continue;
+    IndexRemove(id, slot.doc);
+    slot.live = false;
+    slot.doc = Value();
+    --live_count_;
+    ++n;
+  }
+  return n;
+}
+
+void Collection::CreateIndex(const std::string& field) {
+  if (indexes_.count(field) > 0) return;
+  auto& index = indexes_[field];
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].live) continue;
+    const Value* f = slots_[i].doc.Find(field);
+    if (f != nullptr) {
+      index[IndexKey(*f)].push_back(static_cast<DocId>(i));
+    }
+  }
+}
+
+bool Collection::HasIndex(const std::string& field) const {
+  return indexes_.count(field) > 0;
+}
+
+std::vector<Value> Collection::All() const { return Find(Filter()); }
+
+void Collection::IndexInsert(DocId id, const Value& doc) {
+  for (auto& [field, index] : indexes_) {
+    const Value* f = doc.Find(field);
+    if (f != nullptr) index[IndexKey(*f)].push_back(id);
+  }
+}
+
+void Collection::IndexRemove(DocId id, const Value& doc) {
+  for (auto& [field, index] : indexes_) {
+    const Value* f = doc.Find(field);
+    if (f == nullptr) continue;
+    auto bucket = index.find(IndexKey(*f));
+    if (bucket == index.end()) continue;
+    auto& ids = bucket->second;
+    ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+    if (ids.empty()) index.erase(bucket);
+  }
+}
+
+}  // namespace newsdiff::store

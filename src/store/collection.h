@@ -1,0 +1,169 @@
+#ifndef NEWSDIFF_STORE_COLLECTION_H_
+#define NEWSDIFF_STORE_COLLECTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "store/value.h"
+
+namespace newsdiff::store {
+
+/// Comparison / predicate operators supported by filters.
+enum class FilterOp {
+  kEq,        // field == value
+  kNe,        // field != value
+  kLt,        // field < value
+  kLte,       // field <= value
+  kGt,        // field > value
+  kGte,       // field >= value
+  kExists,    // field present (value ignored)
+  kContains,  // string field contains value (substring)
+};
+
+/// One condition on a top-level field.
+struct Condition {
+  std::string field;
+  FilterOp op;
+  Value value;
+};
+
+/// A conjunction of conditions (MongoDB's implicit AND semantics).
+class Filter {
+ public:
+  Filter() = default;
+
+  /// Fluent builders; each returns *this for chaining.
+  Filter& Eq(std::string field, Value v);
+  Filter& Ne(std::string field, Value v);
+  Filter& Lt(std::string field, Value v);
+  Filter& Lte(std::string field, Value v);
+  Filter& Gt(std::string field, Value v);
+  Filter& Gte(std::string field, Value v);
+  Filter& Exists(std::string field);
+  Filter& Contains(std::string field, std::string substring);
+
+  const std::vector<Condition>& conditions() const { return conditions_; }
+
+  /// True if `doc` satisfies every condition. Missing fields fail all
+  /// operators except kNe (which succeeds, as in MongoDB).
+  bool Matches(const Value& doc) const;
+
+ private:
+  std::vector<Condition> conditions_;
+};
+
+/// Document id assigned by the collection on insert.
+using DocId = int64_t;
+
+/// Query modifiers for Find: sorting, pagination, and projection
+/// (mirroring MongoDB's sort/skip/limit/projection options).
+struct FindOptions {
+  /// Field to order by; empty keeps insertion order. Documents missing the
+  /// field sort first (their value compares as null).
+  std::string sort_field;
+  bool descending = false;
+  /// Skip this many matches, then return at most `limit`.
+  size_t skip = 0;
+  size_t limit = SIZE_MAX;
+  /// Keep only these fields (plus "_id"); empty keeps every field.
+  std::vector<std::string> projection;
+};
+
+/// An in-memory collection of JSON documents with optional hash indexes on
+/// top-level fields. Insert assigns a monotonically increasing "_id".
+/// Equality conditions on indexed fields are served from the index; other
+/// queries scan. Not thread-safe (single-writer model, like the pipeline).
+class Collection {
+ public:
+  /// Creates an empty collection named `name`.
+  explicit Collection(std::string name);
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return live_count_; }
+
+  /// Inserts `doc` (must be an object). A fresh "_id" field is added
+  /// (replacing any caller-provided one). Returns the id.
+  StatusOr<DocId> Insert(Value doc);
+
+  /// Returns the document with the given id, or NotFound.
+  StatusOr<Value> Get(DocId id) const;
+
+  /// Returns copies of all documents matching `filter`, in insertion order.
+  std::vector<Value> Find(const Filter& filter) const;
+
+  /// Find with sort / pagination / projection modifiers.
+  std::vector<Value> Find(const Filter& filter,
+                          const FindOptions& options) const;
+
+  /// Groups matches by the value of `field` (serialised as compact JSON)
+  /// and counts each group. Documents missing the field group under "null".
+  std::map<std::string, size_t> CountBy(const Filter& filter,
+                                        const std::string& field) const;
+
+  /// Returns the first match, or NotFound.
+  StatusOr<Value> FindOne(const Filter& filter) const;
+
+  /// Calls `fn` for each matching document (no copies). Stops early if `fn`
+  /// returns false.
+  void ForEach(const Filter& filter,
+               const std::function<bool(DocId, const Value&)>& fn) const;
+
+  /// Counts matches.
+  size_t Count(const Filter& filter) const;
+
+  /// Sets `field` to `v` on all documents matching `filter`; returns the
+  /// number updated.
+  size_t UpdateSet(const Filter& filter, const std::string& field, Value v);
+
+  /// Replaces the first document matching `filter` with `doc` (its "_id" is
+  /// preserved); inserts `doc` when nothing matches. Returns the affected
+  /// document's id.
+  StatusOr<DocId> Upsert(const Filter& filter, Value doc);
+
+  /// Removes matching documents; returns the number removed.
+  size_t Remove(const Filter& filter);
+
+  /// Builds a hash index on a top-level field. Subsequent equality
+  /// conditions on that field use the index. Indexing an already-indexed
+  /// field is a no-op.
+  void CreateIndex(const std::string& field);
+
+  /// True if `field` has an index.
+  bool HasIndex(const std::string& field) const;
+
+  /// All live documents in insertion order (copies).
+  std::vector<Value> All() const;
+
+ private:
+  struct Slot {
+    Value doc;
+    bool live = false;
+  };
+
+  // Key for index buckets: serialised form of the field value.
+  static std::string IndexKey(const Value& v);
+
+  void IndexInsert(DocId id, const Value& doc);
+  void IndexRemove(DocId id, const Value& doc);
+
+  // Returns candidate slot ids for the filter: either an index bucket or
+  // all ids. `used_index` reports whether an index was applied.
+  std::vector<DocId> Candidates(const Filter& filter, bool& used_index) const;
+
+  std::string name_;
+  std::vector<Slot> slots_;  // slot index == DocId
+  size_t live_count_ = 0;
+  // field -> (index key -> doc ids)
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, std::vector<DocId>>>
+      indexes_;
+};
+
+}  // namespace newsdiff::store
+
+#endif  // NEWSDIFF_STORE_COLLECTION_H_

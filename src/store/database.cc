@@ -1,0 +1,103 @@
+#include "store/database.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "store/json.h"
+
+namespace newsdiff::store {
+
+namespace fs = std::filesystem;
+
+Collection& Database::GetOrCreate(const std::string& name) {
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    it = collections_.emplace(name, std::make_unique<Collection>(name)).first;
+  }
+  return *it->second;
+}
+
+Collection* Database::Get(const std::string& name) {
+  auto it = collections_.find(name);
+  return it == collections_.end() ? nullptr : it->second.get();
+}
+
+const Collection* Database::Get(const std::string& name) const {
+  auto it = collections_.find(name);
+  return it == collections_.end() ? nullptr : it->second.get();
+}
+
+bool Database::Drop(const std::string& name) {
+  return collections_.erase(name) > 0;
+}
+
+std::vector<std::string> Database::CollectionNames() const {
+  std::vector<std::string> names;
+  names.reserve(collections_.size());
+  for (const auto& [name, _] : collections_) names.push_back(name);
+  return names;
+}
+
+Status Database::SaveToDir(const std::string& dir) const {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create " + dir + ": " + ec.message());
+  for (const auto& [name, coll] : collections_) {
+    // Write-to-temp then rename, so a crash mid-write never leaves a
+    // truncated collection file behind.
+    fs::path final_path = fs::path(dir) / (name + ".jsonl");
+    fs::path tmp_path = fs::path(dir) / (name + ".jsonl.tmp");
+    {
+      std::ofstream out(tmp_path, std::ios::trunc);
+      if (!out) {
+        return Status::IoError("cannot open " + tmp_path.string() +
+                               " for writing");
+      }
+      for (const Value& doc : coll->All()) {
+        out << ToJson(doc) << '\n';
+      }
+      out.flush();
+      if (!out) return Status::IoError("write failed for " + tmp_path.string());
+    }
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) {
+      return Status::IoError("cannot replace " + final_path.string() + ": " +
+                             ec.message());
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::LoadFromDir(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::NotFound(dir + " is not a directory");
+  }
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (ec) return Status::IoError("cannot list " + dir + ": " + ec.message());
+    if (!entry.is_regular_file()) continue;
+    fs::path p = entry.path();
+    if (p.extension() != ".jsonl") continue;
+    std::string name = p.stem().string();
+    std::ifstream in(p);
+    if (!in) return Status::IoError("cannot open " + p.string());
+    Drop(name);
+    Collection& coll = GetOrCreate(name);
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty()) continue;
+      StatusOr<Value> doc = ParseJson(line);
+      if (!doc.ok()) {
+        return Status::ParseError(p.string() + ":" + std::to_string(lineno) +
+                                  ": " + doc.status().message());
+      }
+      StatusOr<DocId> id = coll.Insert(std::move(doc).value());
+      if (!id.ok()) return id.status();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace newsdiff::store

@@ -1,0 +1,56 @@
+#ifndef NEWSDIFF_STORE_DATABASE_H_
+#define NEWSDIFF_STORE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "store/collection.h"
+
+namespace newsdiff::store {
+
+/// A named set of collections with JSONL persistence — the embedded
+/// substitute for the paper's MongoDB deployment. Collections are created
+/// on first access. Persistence writes one `<collection>.jsonl` file per
+/// collection under a directory; loading replays the documents in order
+/// (fresh "_id"s are assigned, preserving relative order).
+class Database {
+ public:
+  /// Creates an empty in-memory database.
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  /// Returns the collection, creating it if absent.
+  Collection& GetOrCreate(const std::string& name);
+
+  /// Returns the collection or nullptr if it does not exist.
+  Collection* Get(const std::string& name);
+  const Collection* Get(const std::string& name) const;
+
+  /// Drops a collection; returns true if it existed.
+  bool Drop(const std::string& name);
+
+  /// Names of all collections, sorted.
+  std::vector<std::string> CollectionNames() const;
+
+  /// Writes every collection to `dir/<name>.jsonl` (one compact JSON
+  /// document per line). Creates `dir` if needed.
+  Status SaveToDir(const std::string& dir) const;
+
+  /// Loads every `*.jsonl` file in `dir` into a same-named collection,
+  /// replacing any existing collection of that name.
+  Status LoadFromDir(const std::string& dir);
+
+ private:
+  std::map<std::string, std::unique_ptr<Collection>> collections_;
+};
+
+}  // namespace newsdiff::store
+
+#endif  // NEWSDIFF_STORE_DATABASE_H_

@@ -1,0 +1,369 @@
+#include "store/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace newsdiff::store {
+namespace {
+
+void AppendEscaped(const std::string& s, std::string& out) {
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendNumber(double d, std::string& out) {
+  if (!std::isfinite(d)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out += buf;
+}
+
+void Serialize(const Value& v, std::string& out, int indent, int depth) {
+  auto newline = [&]() {
+    if (indent >= 0) {
+      out += '\n';
+      out.append(static_cast<size_t>(indent * depth), ' ');
+    }
+  };
+  switch (v.type()) {
+    case Value::Type::kNull:
+      out += "null";
+      break;
+    case Value::Type::kBool:
+      out += v.bool_value() ? "true" : "false";
+      break;
+    case Value::Type::kInt:
+      out += std::to_string(v.int_value());
+      break;
+    case Value::Type::kDouble:
+      AppendNumber(v.double_value(), out);
+      break;
+    case Value::Type::kString:
+      AppendEscaped(v.string_value(), out);
+      break;
+    case Value::Type::kArray: {
+      const Array& arr = v.array();
+      if (arr.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (size_t i = 0; i < arr.size(); ++i) {
+        if (i > 0) out += ',';
+        ++depth;
+        newline();
+        --depth;
+        Serialize(arr[i], out, indent, depth + 1);
+      }
+      newline();
+      out += ']';
+      break;
+    }
+    case Value::Type::kObject: {
+      const Object& obj = v.object();
+      if (obj.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (size_t i = 0; i < obj.size(); ++i) {
+        if (i > 0) out += ',';
+        ++depth;
+        newline();
+        --depth;
+        AppendEscaped(obj[i].first, out);
+        out += ':';
+        if (indent >= 0) out += ' ';
+        Serialize(obj[i].second, out, indent, depth + 1);
+      }
+      newline();
+      out += '}';
+      break;
+    }
+  }
+}
+
+/// Recursive-descent JSON parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text), pos_(0) {}
+
+  StatusOr<Value> Parse() {
+    SkipWs();
+    StatusOr<Value> v = ParseValue(0);
+    if (!v.ok()) return v;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing characters at offset " +
+                                std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status Err(const std::string& what) {
+    return Status::ParseError(what + " at offset " + std::to_string(pos_));
+  }
+
+  StatusOr<Value> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Err("nesting too deep");
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case 'n':
+        if (ConsumeLiteral("null")) return Value();
+        return Err("invalid literal");
+      case 't':
+        if (ConsumeLiteral("true")) return Value(true);
+        return Err("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return Value(false);
+        return Err("invalid literal");
+      case '"':
+        return ParseString();
+      case '[':
+        return ParseArray(depth);
+      case '{':
+        return ParseObject(depth);
+      default:
+        return ParseNumber();
+    }
+  }
+
+  StatusOr<Value> ParseString() {
+    if (!Consume('"')) return Err("expected string");
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Value(std::move(out));
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Err("dangling escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Err("short \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Err("bad \\u escape");
+              }
+            }
+            // Encode as UTF-8 (surrogate pairs are passed through as two
+            // 3-byte sequences; sufficient for the store's needs).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Err("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  StatusOr<Value> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        // '+'/'-' only valid after e/E, but strtod validates for us.
+        is_double = is_double || c == '.' || c == 'e' || c == 'E';
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Err("expected value");
+    std::string tok(text_.substr(start, pos_ - start));
+    if (!is_double) {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(tok.c_str(), &end, 10);
+      if (errno == 0 && end == tok.c_str() + tok.size()) {
+        return Value(static_cast<int64_t>(v));
+      }
+      // Overflowed int64: fall through to double.
+    }
+    errno = 0;
+    char* end = nullptr;
+    double d = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) return Err("malformed number");
+    if (errno == ERANGE && (d == HUGE_VAL || d == -HUGE_VAL)) {
+      return Err("number out of range");
+    }
+    return Value(d);
+  }
+
+  StatusOr<Value> ParseArray(int depth) {
+    Consume('[');
+    Array arr;
+    SkipWs();
+    if (Consume(']')) return Value(std::move(arr));
+    while (true) {
+      SkipWs();
+      StatusOr<Value> v = ParseValue(depth + 1);
+      if (!v.ok()) return v;
+      arr.push_back(std::move(v).value());
+      SkipWs();
+      if (Consume(']')) return Value(std::move(arr));
+      if (!Consume(',')) return Err("expected ',' or ']'");
+    }
+  }
+
+  StatusOr<Value> ParseObject(int depth) {
+    Consume('{');
+    Object obj;
+    SkipWs();
+    if (Consume('}')) return Value(std::move(obj));
+    while (true) {
+      SkipWs();
+      StatusOr<Value> key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWs();
+      if (!Consume(':')) return Err("expected ':'");
+      SkipWs();
+      StatusOr<Value> v = ParseValue(depth + 1);
+      if (!v.ok()) return v;
+      obj.emplace_back(key->string_value(), std::move(v).value());
+      SkipWs();
+      if (Consume('}')) return Value(std::move(obj));
+      if (!Consume(',')) return Err("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_;
+};
+
+}  // namespace
+
+std::string ToJson(const Value& v) {
+  std::string out;
+  Serialize(v, out, -1, 0);
+  return out;
+}
+
+std::string ToPrettyJson(const Value& v) {
+  std::string out;
+  Serialize(v, out, 2, 0);
+  return out;
+}
+
+StatusOr<Value> ParseJson(std::string_view text) {
+  Parser p(text);
+  return p.Parse();
+}
+
+}  // namespace newsdiff::store

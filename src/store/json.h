@@ -1,0 +1,27 @@
+#ifndef NEWSDIFF_STORE_JSON_H_
+#define NEWSDIFF_STORE_JSON_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "store/value.h"
+
+namespace newsdiff::store {
+
+/// Serialises `v` to compact JSON (no extra whitespace). Non-finite doubles
+/// are emitted as null, matching MongoDB's JSON export behaviour.
+std::string ToJson(const Value& v);
+
+/// Serialises with 2-space indentation, for human consumption.
+std::string ToPrettyJson(const Value& v);
+
+/// Parses one JSON value from `text`. The whole input must be consumed
+/// (modulo trailing whitespace). Supports the JSON core grammar: null, true,
+/// false, numbers (int64 when exactly representable, double otherwise),
+/// strings with \" \\ \/ \b \f \n \r \t \uXXXX escapes, arrays, objects.
+StatusOr<Value> ParseJson(std::string_view text);
+
+}  // namespace newsdiff::store
+
+#endif  // NEWSDIFF_STORE_JSON_H_

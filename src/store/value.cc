@@ -1,0 +1,104 @@
+#include "store/value.h"
+
+#include <cmath>
+
+namespace newsdiff::store {
+
+double Value::AsDouble(double fallback) const {
+  if (is_int()) return static_cast<double>(int_value());
+  if (is_double()) return double_value();
+  return fallback;
+}
+
+int64_t Value::AsInt(int64_t fallback) const {
+  if (is_int()) return int_value();
+  if (is_double()) return static_cast<int64_t>(double_value());
+  return fallback;
+}
+
+std::string Value::AsString(std::string fallback) const {
+  if (is_string()) return string_value();
+  return fallback;
+}
+
+const Value* Value::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : object()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Value::Set(const std::string& key, Value v) {
+  if (is_null()) data_ = Object{};
+  Object& obj = object();
+  for (auto& [k, existing] : obj) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  obj.emplace_back(key, std::move(v));
+}
+
+bool Value::Equals(const Value& other) const { return Compare(other) == 0; }
+
+int Value::Compare(const Value& other) const {
+  // Numbers compare across int/double; otherwise order by type first.
+  if (is_number() && other.is_number()) {
+    double a = AsDouble();
+    double b = other.AsDouble();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (type() != other.type()) {
+    return static_cast<int>(type()) < static_cast<int>(other.type()) ? -1 : 1;
+  }
+  switch (type()) {
+    case Type::kNull:
+      return 0;
+    case Type::kBool:
+      return static_cast<int>(bool_value()) - static_cast<int>(other.bool_value());
+    case Type::kString:
+      return string_value().compare(other.string_value());
+    case Type::kArray: {
+      const Array& a = array();
+      const Array& b = other.array();
+      size_t n = std::min(a.size(), b.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = a[i].Compare(b[i]);
+        if (c != 0) return c;
+      }
+      if (a.size() < b.size()) return -1;
+      if (a.size() > b.size()) return 1;
+      return 0;
+    }
+    case Type::kObject: {
+      const Object& a = object();
+      const Object& b = other.object();
+      size_t n = std::min(a.size(), b.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = a[i].first.compare(b[i].first);
+        if (c != 0) return c;
+        c = a[i].second.Compare(b[i].second);
+        if (c != 0) return c;
+      }
+      if (a.size() < b.size()) return -1;
+      if (a.size() > b.size()) return 1;
+      return 0;
+    }
+    default:
+      return 0;  // numbers handled above
+  }
+}
+
+Value MakeObject(
+    std::initializer_list<std::pair<std::string, Value>> fields) {
+  Object obj;
+  obj.reserve(fields.size());
+  for (const auto& f : fields) obj.push_back(f);
+  return Value(std::move(obj));
+}
+
+}  // namespace newsdiff::store

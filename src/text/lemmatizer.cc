@@ -1,0 +1,143 @@
+#include "text/lemmatizer.h"
+
+#include <unordered_map>
+
+namespace newsdiff::text {
+namespace {
+
+bool IsVowel(char c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+}
+
+bool HasVowel(std::string_view s) {
+  for (char c : s) {
+    if (IsVowel(c)) return true;
+  }
+  return false;
+}
+
+bool EndsWith(std::string_view s, std::string_view suf) {
+  return s.size() >= suf.size() && s.substr(s.size() - suf.size()) == suf;
+}
+
+const std::unordered_map<std::string_view, std::string_view>& Irregulars() {
+  static const auto* kMap =
+      new std::unordered_map<std::string_view, std::string_view>{
+          {"am", "be"},        {"is", "be"},        {"are", "be"},
+          {"was", "be"},       {"were", "be"},      {"been", "be"},
+          {"being", "be"},     {"has", "have"},     {"had", "have"},
+          {"having", "have"},  {"does", "do"},      {"did", "do"},
+          {"done", "do"},      {"goes", "go"},      {"went", "go"},
+          {"gone", "go"},      {"said", "say"},     {"says", "say"},
+          {"made", "make"},    {"making", "make"},  {"took", "take"},
+          {"taken", "take"},   {"got", "get"},      {"gotten", "get"},
+          {"gave", "give"},    {"given", "give"},   {"came", "come"},
+          {"saw", "see"},      {"seen", "see"},     {"knew", "know"},
+          {"known", "know"},   {"thought", "think"}, {"told", "tell"},
+          {"found", "find"},   {"left", "leave"},   {"felt", "feel"},
+          {"kept", "keep"},    {"held", "hold"},    {"brought", "bring"},
+          {"began", "begin"},  {"begun", "begin"},  {"wrote", "write"},
+          {"written", "write"}, {"ran", "run"},     {"running", "run"},
+          {"spoke", "speak"},  {"spoken", "speak"}, {"met", "meet"},
+          {"led", "lead"},     {"paid", "pay"},     {"sent", "send"},
+          {"built", "build"},  {"lost", "lose"},    {"meant", "mean"},
+          {"set", "set"},      {"sat", "sit"},      {"stood", "stand"},
+          {"won", "win"},      {"bought", "buy"},   {"caught", "catch"},
+          {"voting", "vote"},  {"voted", "vote"},   {"racing", "race"},
+          {"taught", "teach"}, {"sold", "sell"},    {"fell", "fall"},
+          {"fallen", "fall"},  {"drew", "draw"},    {"drawn", "draw"},
+          {"drove", "drive"},  {"driven", "drive"}, {"broke", "break"},
+          {"broken", "break"}, {"chose", "choose"}, {"chosen", "choose"},
+          {"rose", "rise"},    {"risen", "rise"},   {"grew", "grow"},
+          {"grown", "grow"},   {"threw", "throw"},  {"thrown", "throw"},
+          {"flew", "fly"},     {"flown", "fly"},    {"showed", "show"},
+          {"shown", "show"},   {"heard", "hear"},   {"read", "read"},
+          {"men", "man"},      {"women", "woman"},  {"children", "child"},
+          {"people", "person"}, {"feet", "foot"},   {"teeth", "tooth"},
+          {"mice", "mouse"},   {"geese", "goose"},  {"lives", "life"},
+          {"wives", "wife"},   {"knives", "knife"}, {"leaves", "leaf"},
+          {"wolves", "wolf"},  {"shelves", "shelf"}, {"halves", "half"},
+          {"better", "good"},  {"best", "good"},    {"worse", "bad"},
+          {"worst", "bad"},    {"less", "little"},  {"least", "little"},
+          {"further", "far"},  {"farther", "far"},  {"elections", "election"},
+          {"media", "media"},  {"data", "data"},    {"news", "news"},
+          {"series", "series"}, {"species", "species"},
+      };
+  return *kMap;
+}
+
+// Words ending in -ss, -us, -is that the plural rule must not touch.
+bool ProtectedSEnding(std::string_view s) {
+  return EndsWith(s, "ss") || EndsWith(s, "us") || EndsWith(s, "is") ||
+         EndsWith(s, "'s");
+}
+
+// Doubled final consonant after stripping ("stopped" -> "stopp" -> "stop").
+std::string UndoubleIfNeeded(std::string s) {
+  size_t n = s.size();
+  if (n >= 3 && s[n - 1] == s[n - 2] && !IsVowel(s[n - 1]) &&
+      s[n - 1] != 'l' && s[n - 1] != 's' && s[n - 1] != 'z') {
+    s.pop_back();
+  }
+  return s;
+}
+
+// Restores a silent 'e' after stripping -ing/-ed when the stem looks like it
+// needs one: CVCe pattern words ("making" -> "mak" -> "make").
+std::string MaybeRestoreE(std::string s) {
+  size_t n = s.size();
+  if (n >= 2 && !IsVowel(s[n - 1]) && IsVowel(s[n - 2]) &&
+      (s[n - 1] == 'c' || s[n - 1] == 'g' || s[n - 1] == 's' ||
+       s[n - 1] == 'v' || s[n - 1] == 'z' || s[n - 1] == 'u')) {
+    s += 'e';
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string Lemmatize(std::string_view token) {
+  auto it = Irregulars().find(token);
+  if (it != Irregulars().end()) return std::string(it->second);
+  if (token.size() < 3) return std::string(token);
+
+  std::string s(token);
+
+  // Plural nouns / 3rd-person verbs.
+  if (EndsWith(s, "ies") && s.size() > 4) {
+    return s.substr(0, s.size() - 3) + "y";  // parties -> party
+  }
+  if (EndsWith(s, "xes") || EndsWith(s, "ches") || EndsWith(s, "shes") ||
+      EndsWith(s, "sses") || EndsWith(s, "zes")) {
+    return s.substr(0, s.size() - 2);  // boxes -> box, matches -> match
+  }
+  if (EndsWith(s, "s") && !ProtectedSEnding(s) && s.size() > 3 &&
+      HasVowel(std::string_view(s).substr(0, s.size() - 1))) {
+    return s.substr(0, s.size() - 1);  // topics -> topic
+  }
+
+  // Progressive.
+  if (EndsWith(s, "ing") && s.size() > 5) {
+    std::string stem = s.substr(0, s.size() - 3);
+    if (!HasVowel(stem)) return s;  // "ring", "king" guarded by length, but
+                                    // also e.g. "sthing"-like stems
+    stem = UndoubleIfNeeded(std::move(stem));
+    return MaybeRestoreE(std::move(stem));
+  }
+
+  // Past tense.
+  if (EndsWith(s, "ied") && s.size() > 4) {
+    return s.substr(0, s.size() - 3) + "y";  // tried -> try
+  }
+  if (EndsWith(s, "ed") && s.size() > 4) {
+    std::string stem = s.substr(0, s.size() - 2);
+    if (!HasVowel(stem)) return s;
+    if (stem.back() == 'i') return s;  // already handled / odd shapes
+    stem = UndoubleIfNeeded(std::move(stem));
+    return MaybeRestoreE(std::move(stem));
+  }
+
+  return s;
+}
+
+}  // namespace newsdiff::text

@@ -1,0 +1,21 @@
+#ifndef NEWSDIFF_TEXT_LEMMATIZER_H_
+#define NEWSDIFF_TEXT_LEMMATIZER_H_
+
+#include <string>
+#include <string_view>
+
+namespace newsdiff::text {
+
+/// Rule-based English lemmatizer: a table of common irregular forms plus
+/// conservative suffix rules (plural -s/-es/-ies, past -ed, progressive
+/// -ing, comparative -er/-est with doubling and silent-e restoration).
+/// It replaces the SpaCy lemmatizer used in the paper's NewsTM recipe; the
+/// goal is vocabulary compaction, not linguistic perfection, and the rules
+/// below are deliberately conservative (unknown shapes pass through).
+///
+/// Input must already be lowercase.
+std::string Lemmatize(std::string_view token);
+
+}  // namespace newsdiff::text
+
+#endif  // NEWSDIFF_TEXT_LEMMATIZER_H_

@@ -1,0 +1,134 @@
+#include "text/ner.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+#include "text/stopwords.h"
+
+namespace newsdiff::text {
+namespace {
+
+struct RawToken {
+  std::string word;
+  size_t begin;   // byte offset in input
+  size_t end;     // one past last byte
+  bool sentence_start;
+};
+
+bool IsCapitalized(const std::string& w) {
+  return !w.empty() && std::isupper(static_cast<unsigned char>(w[0]));
+}
+
+bool AllUpper(const std::string& w) {
+  if (w.empty()) return false;
+  for (char c : w) {
+    if (std::islower(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+std::vector<RawToken> Scan(std::string_view input) {
+  std::vector<RawToken> tokens;
+  const size_t n = input.size();
+  size_t i = 0;
+  bool sentence_start = true;
+  while (i < n) {
+    unsigned char c = static_cast<unsigned char>(input[i]);
+    if (std::isalpha(c)) {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '\'')) {
+        ++i;
+      }
+      tokens.push_back({std::string(input.substr(start, i - start)), start, i,
+                        sentence_start});
+      sentence_start = false;
+    } else {
+      if (c == '.' || c == '!' || c == '?') sentence_start = true;
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace
+
+std::vector<Entity> ExtractEntities(std::string_view input) {
+  std::vector<RawToken> tokens = Scan(input);
+  std::vector<Entity> entities;
+  size_t i = 0;
+  while (i < tokens.size()) {
+    if (!IsCapitalized(tokens[i].word)) {
+      ++i;
+      continue;
+    }
+    // A sentence-initial capitalised word only begins an entity if it is
+    // followed by another capitalised word, is all-caps (an acronym), or is
+    // not a common word; otherwise it is ordinary sentence case.
+    bool next_cap =
+        i + 1 < tokens.size() && IsCapitalized(tokens[i + 1].word);
+    if (tokens[i].sentence_start && !next_cap && !AllUpper(tokens[i].word)) {
+      ++i;
+      continue;
+    }
+    std::string lower = ToLowerAscii(tokens[i].word);
+    // A lone capitalised stopword ("The", "It") is not an entity, but a
+    // capitalised stopword-spelled word followed by another capital can
+    // begin one ("New York").
+    if (IsStopword(lower) && !next_cap) {
+      ++i;
+      continue;
+    }
+    // Extend the run across capitalised words, allowing one lowercase
+    // linker ("of", "the", "de") between capitalised words.
+    size_t j = i + 1;
+    size_t last_cap = i;
+    while (j < tokens.size()) {
+      if (IsCapitalized(tokens[j].word)) {
+        last_cap = j;
+        ++j;
+        continue;
+      }
+      std::string lw = ToLowerAscii(tokens[j].word);
+      bool linker = (lw == "of" || lw == "the" || lw == "de" || lw == "von");
+      if (linker && j + 1 < tokens.size() &&
+          IsCapitalized(tokens[j + 1].word)) {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    // Build the entity over [i, last_cap].
+    std::vector<std::string> parts;
+    for (size_t k = i; k <= last_cap; ++k) {
+      parts.push_back(ToLowerAscii(tokens[k].word));
+    }
+    Entity e;
+    e.concept_token = Join(parts, "_");
+    e.surface = std::string(
+        input.substr(tokens[i].begin, tokens[last_cap].end - tokens[i].begin));
+    entities.push_back(std::move(e));
+    i = last_cap + 1;
+  }
+  return entities;
+}
+
+std::string FoldEntities(std::string_view input) {
+  std::vector<Entity> entities = ExtractEntities(input);
+  if (entities.empty()) return std::string(input);
+  std::string out;
+  size_t cursor = 0;
+  size_t search_from = 0;
+  for (const Entity& e : entities) {
+    size_t pos = input.find(e.surface, search_from);
+    if (pos == std::string_view::npos) continue;
+    out.append(input.substr(cursor, pos - cursor));
+    out.append(e.concept_token);
+    cursor = pos + e.surface.size();
+    search_from = cursor;
+  }
+  out.append(input.substr(cursor));
+  return out;
+}
+
+}  // namespace newsdiff::text

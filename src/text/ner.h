@@ -1,0 +1,31 @@
+#ifndef NEWSDIFF_TEXT_NER_H_
+#define NEWSDIFF_TEXT_NER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace newsdiff::text {
+
+/// A recognised entity span.
+struct Entity {
+  /// Concept token: Lowercase words joined with '_' ("new_york").
+  std::string concept_token;
+  /// The original surface form ("New York").
+  std::string surface;
+};
+
+/// Heuristic named-entity recogniser: maximal runs of capitalised words
+/// (optionally linked by "of"/"the") are treated as entities, excluding
+/// runs that start a sentence with a single stopword-like word. This stands
+/// in for SpaCy's NER in the paper's NewsTM recipe (§4.2), where entities
+/// are kept as single concept_token tokens rather than split into terms.
+std::vector<Entity> ExtractEntities(std::string_view input);
+
+/// Rewrites `input`, replacing each recognised entity's surface form with
+/// its single concept_token token, so a downstream tokenizer keeps it whole.
+std::string FoldEntities(std::string_view input);
+
+}  // namespace newsdiff::text
+
+#endif  // NEWSDIFF_TEXT_NER_H_

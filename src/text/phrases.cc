@@ -1,0 +1,84 @@
+#include "text/phrases.h"
+
+#include "text/stopwords.h"
+
+namespace newsdiff::text {
+
+void PhraseModel::Train(
+    const std::vector<std::vector<std::string>>& sentences) {
+  for (const auto& sent : sentences) {
+    for (size_t i = 0; i < sent.size(); ++i) {
+      ++unigram_[sent[i]];
+      ++total_tokens_;
+      if (i + 1 < sent.size()) {
+        if (options_.skip_stopwords &&
+            (IsStopword(sent[i]) || IsStopword(sent[i + 1]))) {
+          continue;
+        }
+        ++bigram_[sent[i] + " " + sent[i + 1]];
+      }
+    }
+  }
+}
+
+double PhraseModel::Score(const std::string& a, const std::string& b,
+                          size_t bigram_count) const {
+  if (bigram_count < options_.min_count) return 0.0;
+  auto ia = unigram_.find(a);
+  auto ib = unigram_.find(b);
+  if (ia == unigram_.end() || ib == unigram_.end()) return 0.0;
+  return (static_cast<double>(bigram_count) -
+          static_cast<double>(options_.min_count)) *
+         static_cast<double>(total_tokens_) /
+         (static_cast<double>(ia->second) * static_cast<double>(ib->second));
+}
+
+bool PhraseModel::IsPhrase(const std::string& a, const std::string& b) const {
+  auto it = bigram_.find(a + " " + b);
+  if (it == bigram_.end()) return false;
+  return Score(a, b, it->second) > options_.threshold;
+}
+
+size_t PhraseModel::PhraseCount() const {
+  size_t n = 0;
+  for (const auto& [key, count] : bigram_) {
+    size_t space = key.find(' ');
+    if (Score(key.substr(0, space), key.substr(space + 1), count) >
+        options_.threshold) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<std::string> PhraseModel::Apply(
+    const std::vector<std::string>& tokens) const {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  size_t i = 0;
+  while (i < tokens.size()) {
+    if (i + 1 < tokens.size() && IsPhrase(tokens[i], tokens[i + 1])) {
+      out.push_back(tokens[i] + "_" + tokens[i + 1]);
+      i += 2;
+    } else {
+      out.push_back(tokens[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> PhraseModel::Phrases() const {
+  std::vector<std::string> out;
+  for (const auto& [key, count] : bigram_) {
+    size_t space = key.find(' ');
+    std::string a = key.substr(0, space);
+    std::string b = key.substr(space + 1);
+    if (Score(a, b, count) > options_.threshold) {
+      out.push_back(a + "_" + b);
+    }
+  }
+  return out;
+}
+
+}  // namespace newsdiff::text

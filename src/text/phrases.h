@@ -1,0 +1,61 @@
+#ifndef NEWSDIFF_TEXT_PHRASES_H_
+#define NEWSDIFF_TEXT_PHRASES_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace newsdiff::text {
+
+/// Statistical collocation learner (the Mikolov/Gensim "Phrases" device):
+/// bigrams whose components co-occur far more than chance are promoted to
+/// single tokens ("prime_minister"). Complements the heuristic NER — NER
+/// catches capitalised entities, collocations catch lowercase multi-word
+/// concepts — and feeds the same downstream topic/embedding machinery.
+class PhraseModel {
+ public:
+  struct Options {
+    /// Bigram must occur at least this often to be considered.
+    size_t min_count = 5;
+    /// Promotion threshold on the Mikolov score
+    ///   score(a, b) = (count(ab) - min_count) * N / (count(a) * count(b))
+    double threshold = 10.0;
+    /// Words that never participate in a collocation (stopwords).
+    bool skip_stopwords = true;
+  };
+
+  PhraseModel() : options_(Options()) {}
+  explicit PhraseModel(const Options& options) : options_(options) {}
+
+  /// Counts unigrams and bigrams over tokenised sentences. May be called
+  /// repeatedly to accumulate.
+  void Train(const std::vector<std::vector<std::string>>& sentences);
+
+  /// Number of bigrams currently above the promotion threshold.
+  size_t PhraseCount() const;
+
+  /// True if "a b" is a learned collocation.
+  bool IsPhrase(const std::string& a, const std::string& b) const;
+
+  /// Rewrites a token stream, joining learned collocations with '_'
+  /// (left-to-right, non-overlapping, single pass).
+  std::vector<std::string> Apply(
+      const std::vector<std::string>& tokens) const;
+
+  /// All learned collocations as "a_b" strings (unordered).
+  std::vector<std::string> Phrases() const;
+
+ private:
+  double Score(const std::string& a, const std::string& b,
+               size_t bigram_count) const;
+
+  Options options_;
+  std::unordered_map<std::string, size_t> unigram_;
+  std::unordered_map<std::string, size_t> bigram_;  // key "a b"
+  size_t total_tokens_ = 0;
+};
+
+}  // namespace newsdiff::text
+
+#endif  // NEWSDIFF_TEXT_PHRASES_H_

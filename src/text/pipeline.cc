@@ -1,0 +1,101 @@
+#include "text/pipeline.h"
+
+#include <cctype>
+
+#include "text/lemmatizer.h"
+#include "text/ner.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace newsdiff::text {
+namespace {
+
+// Removes URLs, @mentions, and hashtag markers from tweet text.
+std::string CleanTweet(std::string_view input) {
+  std::string out;
+  out.reserve(input.size());
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    // URL: http:// or https:// up to whitespace.
+    if ((input.substr(i, 7) == "http://") ||
+        (input.substr(i, 8) == "https://") ||
+        (input.substr(i, 4) == "www.")) {
+      while (i < n && !std::isspace(static_cast<unsigned char>(input[i]))) {
+        ++i;
+      }
+      out += ' ';
+      continue;
+    }
+    char c = input[i];
+    if (c == '@') {
+      // Drop the whole mention.
+      ++i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      out += ' ';
+      continue;
+    }
+    if (c == '#') {
+      ++i;  // keep the tag word, drop the marker
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> PreprocessNewsTM(std::string_view input) {
+  // 1. Fold named entities into single concept tokens.
+  std::string folded = FoldEntities(input);
+  // 2. Tokenize (removes punctuation, lowercases).
+  TokenizerOptions opts;
+  opts.min_length = 2;
+  opts.keep_numbers = true;
+  std::vector<std::string> tokens = Tokenize(folded, opts);
+  // 3. Lemmatize and drop stopwords.
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const std::string& t : tokens) {
+    if (IsStopword(t)) continue;
+    // Concept tokens (contain '_') are kept verbatim.
+    std::string lemma =
+        t.find('_') == std::string::npos ? Lemmatize(t) : t;
+    if (IsStopword(lemma)) continue;
+    out.push_back(std::move(lemma));
+  }
+  return out;
+}
+
+std::vector<std::string> PreprocessNewsED(std::string_view input) {
+  TokenizerOptions opts;
+  opts.min_length = 2;
+  return Tokenize(input, opts);
+}
+
+std::vector<std::string> PreprocessTwitterED(std::string_view input) {
+  std::string cleaned = CleanTweet(input);
+  TokenizerOptions opts;
+  opts.min_length = 2;
+  return Tokenize(cleaned, opts);
+}
+
+std::vector<std::string> Preprocess(std::string_view input,
+                                    PipelineKind kind) {
+  switch (kind) {
+    case PipelineKind::kNewsTM:
+      return PreprocessNewsTM(input);
+    case PipelineKind::kNewsED:
+      return PreprocessNewsED(input);
+    case PipelineKind::kTwitterED:
+      return PreprocessTwitterED(input);
+  }
+  return {};
+}
+
+}  // namespace newsdiff::text

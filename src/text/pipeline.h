@@ -1,0 +1,34 @@
+#ifndef NEWSDIFF_TEXT_PIPELINE_H_
+#define NEWSDIFF_TEXT_PIPELINE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace newsdiff::text {
+
+/// The three preprocessing recipes of the paper (§4.2).
+enum class PipelineKind {
+  /// NewsTM: entity folding, lemmatisation, punctuation + stopword removal.
+  /// Used to build the topic-modeling corpus.
+  kNewsTM,
+  /// NewsED: punctuation removal + tokenisation only (MABED's original
+  /// preprocessing), applied to news articles.
+  kNewsED,
+  /// TwitterED: same minimal recipe applied to tweets; additionally strips
+  /// URLs, @mentions, and the '#' of hashtags (keeping the tag word).
+  kTwitterED,
+};
+
+/// Applies the selected recipe to raw text and returns the token stream.
+std::vector<std::string> Preprocess(std::string_view input,
+                                    PipelineKind kind);
+
+/// Convenience wrappers with the recipe in the name.
+std::vector<std::string> PreprocessNewsTM(std::string_view input);
+std::vector<std::string> PreprocessNewsED(std::string_view input);
+std::vector<std::string> PreprocessTwitterED(std::string_view input);
+
+}  // namespace newsdiff::text
+
+#endif  // NEWSDIFF_TEXT_PIPELINE_H_

@@ -1,0 +1,50 @@
+#include "text/stopwords.h"
+
+namespace newsdiff::text {
+
+const std::unordered_set<std::string_view>& EnglishStopwords() {
+  static const auto* kSet = new std::unordered_set<std::string_view>{
+      "a",       "about",   "above",   "after",   "again",   "against",
+      "all",     "also",    "am",      "an",      "and",     "any",
+      "are",     "aren't",  "as",      "at",      "back",    "be",
+      "because", "been",    "before",  "being",   "below",   "between",
+      "both",    "but",     "by",      "can",     "cannot",  "can't",
+      "could",   "couldn't", "did",    "didn't",  "do",      "does",
+      "doesn't", "doing",   "don't",   "down",    "during",  "each",
+      "even",    "ever",    "every",   "few",     "first",   "for",
+      "from",    "further", "get",     "go",      "got",     "had",
+      "hadn't",  "has",     "hasn't",  "have",    "haven't", "having",
+      "he",      "he'd",    "he'll",   "her",     "here",    "here's",
+      "hers",    "herself", "he's",    "him",     "himself", "his",
+      "how",     "how's",   "i",       "i'd",     "if",      "i'll",
+      "i'm",     "in",      "into",    "is",      "isn't",   "it",
+      "it's",    "its",     "itself",  "i've",    "just",    "last",
+      "let's",   "like",    "made",    "make",    "many",    "may",
+      "me",      "might",   "more",    "most",    "much",    "must",
+      "mustn't", "my",      "myself",  "never",   "new",     "no",
+      "nor",     "not",     "now",     "of",      "off",     "on",
+      "once",    "one",     "only",    "or",      "other",   "ought",
+      "our",     "ours",    "ourselves", "out",   "over",    "own",
+      "said",    "same",    "say",     "says",    "shan't",  "she",
+      "she'd",   "she'll",  "she's",   "should",  "shouldn't", "since",
+      "so",      "some",    "still",   "such",    "take",    "than",
+      "that",    "that's",  "the",     "their",   "theirs",  "them",
+      "themselves", "then", "there",   "there's", "these",   "they",
+      "they'd",  "they'll", "they're", "they've", "this",    "those",
+      "through", "to",      "too",     "two",     "under",   "until",
+      "up",      "upon",    "us",      "very",    "was",     "wasn't",
+      "way",     "we",      "we'd",    "well",    "we'll",   "were",
+      "we're",   "weren't", "we've",   "what",    "what's",  "when",
+      "when's",  "where",   "where's", "which",   "while",   "who",
+      "whom",    "who's",   "why",     "why's",   "will",    "with",
+      "won't",   "would",   "wouldn't", "you",    "you'd",   "you'll",
+      "your",    "you're",  "yours",   "yourself", "yourselves", "you've",
+  };
+  return *kSet;
+}
+
+bool IsStopword(std::string_view token) {
+  return EnglishStopwords().count(token) > 0;
+}
+
+}  // namespace newsdiff::text

@@ -1,0 +1,19 @@
+#ifndef NEWSDIFF_TEXT_STOPWORDS_H_
+#define NEWSDIFF_TEXT_STOPWORDS_H_
+
+#include <string_view>
+#include <unordered_set>
+
+namespace newsdiff::text {
+
+/// Returns the built-in English stopword set (lowercase). The set mirrors
+/// the common SpaCy/scikit-learn core list; it is embedded so the library
+/// has no data-file dependency.
+const std::unordered_set<std::string_view>& EnglishStopwords();
+
+/// True if the (already lowercased) token is a stopword.
+bool IsStopword(std::string_view token);
+
+}  // namespace newsdiff::text
+
+#endif  // NEWSDIFF_TEXT_STOPWORDS_H_

@@ -1,0 +1,40 @@
+#ifndef NEWSDIFF_TEXT_TOKENIZER_H_
+#define NEWSDIFF_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace newsdiff::text {
+
+/// Tokenizer options.
+struct TokenizerOptions {
+  /// Lowercase ASCII letters in tokens.
+  bool lowercase = true;
+  /// Keep tokens that are pure digit runs ("2019", "25").
+  bool keep_numbers = true;
+  /// Minimum token length in bytes; shorter tokens are dropped.
+  size_t min_length = 1;
+  /// Keep internal apostrophes ("don't" stays one token). When false the
+  /// apostrophe splits the token.
+  bool keep_apostrophes = true;
+};
+
+/// Splits `input` into word tokens on non-alphanumeric boundaries.
+/// Underscores are treated as word characters so that pre-joined concept
+/// tokens ("new_york") survive. Punctuation is removed, implementing the
+/// "remove punctuation + tokenization" step shared by all three of the
+/// paper's preprocessing recipes (§4.2).
+std::vector<std::string> Tokenize(std::string_view input,
+                                  const TokenizerOptions& options = {});
+
+/// Splits into sentences on '.', '!', '?' followed by whitespace or end of
+/// input. Abbreviation handling is intentionally minimal.
+std::vector<std::string> SplitSentences(std::string_view input);
+
+/// True if `token` is a pure number (digits, optionally one '.' or ',').
+bool IsNumericToken(std::string_view token);
+
+}  // namespace newsdiff::text
+
+#endif  // NEWSDIFF_TEXT_TOKENIZER_H_

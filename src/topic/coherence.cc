@@ -1,0 +1,61 @@
+#include "topic/coherence.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace newsdiff::topic {
+
+double UMassCoherence(const std::vector<std::string>& topic_keywords,
+                      const corpus::Corpus& reference) {
+  // Resolve keywords to term ids present in the reference vocabulary.
+  std::vector<uint32_t> terms;
+  for (const std::string& kw : topic_keywords) {
+    uint32_t id = reference.vocabulary().Get(kw);
+    if (id != corpus::kUnknownTerm && reference.vocabulary().doc_freq(id) > 0) {
+      terms.push_back(id);
+    }
+  }
+  if (terms.size() < 2) return 0.0;
+
+  // Co-document frequencies via one corpus pass over unique terms per doc.
+  const size_t k = terms.size();
+  std::vector<std::vector<uint32_t>> co(k, std::vector<uint32_t>(k, 0));
+  std::vector<int> position(reference.vocabulary().size(), -1);
+  for (size_t i = 0; i < k; ++i) position[terms[i]] = static_cast<int>(i);
+
+  std::vector<int> present;
+  for (const corpus::Document& doc : reference.docs()) {
+    present.clear();
+    for (const corpus::TermCount& tc : doc.counts) {
+      int pos = position[tc.term];
+      if (pos >= 0) present.push_back(pos);
+    }
+    for (size_t a = 0; a < present.size(); ++a) {
+      for (size_t b = a + 1; b < present.size(); ++b) {
+        ++co[static_cast<size_t>(present[a])][static_cast<size_t>(present[b])];
+        ++co[static_cast<size_t>(present[b])][static_cast<size_t>(present[a])];
+      }
+    }
+  }
+
+  double score = 0.0;
+  for (size_t i = 1; i < k; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      double dj = static_cast<double>(reference.vocabulary().doc_freq(terms[j]));
+      double dij = static_cast<double>(co[i][j]);
+      score += std::log((dij + 1.0) / dj);
+    }
+  }
+  return score;
+}
+
+double MeanUMassCoherence(
+    const std::vector<std::vector<std::string>>& topics,
+    const corpus::Corpus& reference) {
+  if (topics.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& t : topics) total += UMassCoherence(t, reference);
+  return total / static_cast<double>(topics.size());
+}
+
+}  // namespace newsdiff::topic

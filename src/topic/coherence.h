@@ -1,0 +1,30 @@
+#ifndef NEWSDIFF_TOPIC_COHERENCE_H_
+#define NEWSDIFF_TOPIC_COHERENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+
+namespace newsdiff::topic {
+
+/// UMass topic coherence (Mimno et al. 2011):
+///   C(t) = sum_{i=2..K} sum_{j<i} log( (D(w_i, w_j) + 1) / D(w_j) )
+/// where D(w) is the document frequency of w and D(w_i, w_j) the
+/// co-document frequency, both over the reference corpus. Higher (closer
+/// to 0) is more coherent. The paper's future work (§6) aims at "more
+/// coherent topics"; this metric makes that goal measurable, and the
+/// `ablation_topicmodels` benchmark reports it next to theme purity.
+///
+/// Keywords missing from the corpus vocabulary are skipped.
+double UMassCoherence(const std::vector<std::string>& topic_keywords,
+                      const corpus::Corpus& reference);
+
+/// Mean UMass coherence over a set of topics.
+double MeanUMassCoherence(
+    const std::vector<std::vector<std::string>>& topics,
+    const corpus::Corpus& reference);
+
+}  // namespace newsdiff::topic
+
+#endif  // NEWSDIFF_TOPIC_COHERENCE_H_

@@ -1,0 +1,151 @@
+#include "topic/lda.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace newsdiff::topic {
+
+StatusOr<LdaResult> FitLda(const corpus::Corpus& corp,
+                           const LdaOptions& options) {
+  const size_t k = options.num_topics;
+  const size_t n_docs = corp.size();
+  const size_t vocab = corp.vocabulary().size();
+  if (k == 0) return Status::InvalidArgument("num_topics must be positive");
+  if (n_docs == 0 || vocab == 0) {
+    return Status::InvalidArgument("corpus is empty");
+  }
+
+  Rng rng(options.seed);
+
+  // Flattened token stream with document boundaries.
+  std::vector<uint32_t> doc_of_token;
+  std::vector<uint32_t> word_of_token;
+  for (size_t d = 0; d < n_docs; ++d) {
+    for (uint32_t w : corp.doc(d).tokens) {
+      doc_of_token.push_back(static_cast<uint32_t>(d));
+      word_of_token.push_back(w);
+    }
+  }
+  const size_t n_tokens = word_of_token.size();
+  if (n_tokens == 0) return Status::InvalidArgument("corpus has no tokens");
+
+  // Count tables.
+  std::vector<uint32_t> topic_of_token(n_tokens);
+  std::vector<uint32_t> doc_topic(n_docs * k, 0);       // n_dk
+  std::vector<uint32_t> topic_word(k * vocab, 0);       // n_kw
+  std::vector<uint32_t> topic_total(k, 0);              // n_k
+
+  for (size_t t = 0; t < n_tokens; ++t) {
+    uint32_t z = static_cast<uint32_t>(rng.NextBelow(k));
+    topic_of_token[t] = z;
+    ++doc_topic[doc_of_token[t] * k + z];
+    ++topic_word[static_cast<size_t>(z) * vocab + word_of_token[t]];
+    ++topic_total[z];
+  }
+
+  const double alpha = options.alpha;
+  const double beta = options.beta;
+  const double vbeta = static_cast<double>(vocab) * beta;
+
+  LdaResult result;
+  std::vector<double> weights(k);
+  for (size_t iter = 0; iter < options.iterations; ++iter) {
+    for (size_t t = 0; t < n_tokens; ++t) {
+      const uint32_t d = doc_of_token[t];
+      const uint32_t w = word_of_token[t];
+      const uint32_t old_z = topic_of_token[t];
+      --doc_topic[d * k + old_z];
+      --topic_word[static_cast<size_t>(old_z) * vocab + w];
+      --topic_total[old_z];
+
+      double total = 0.0;
+      for (size_t z = 0; z < k; ++z) {
+        double wgt =
+            (static_cast<double>(doc_topic[d * k + z]) + alpha) *
+            (static_cast<double>(topic_word[z * vocab + w]) + beta) /
+            (static_cast<double>(topic_total[z]) + vbeta);
+        weights[z] = wgt;
+        total += wgt;
+      }
+      double x = rng.NextDouble() * total;
+      size_t new_z = k - 1;
+      double acc = 0.0;
+      for (size_t z = 0; z < k; ++z) {
+        acc += weights[z];
+        if (x < acc) {
+          new_z = z;
+          break;
+        }
+      }
+      topic_of_token[t] = static_cast<uint32_t>(new_z);
+      ++doc_topic[d * k + new_z];
+      ++topic_word[new_z * vocab + w];
+      ++topic_total[new_z];
+    }
+
+    if (iter % 10 == 9 || iter + 1 == options.iterations) {
+      // Token log-likelihood under the current counts (up to a constant).
+      double ll = 0.0;
+      for (size_t t = 0; t < n_tokens; ++t) {
+        const uint32_t d = doc_of_token[t];
+        const uint32_t w = word_of_token[t];
+        double p = 0.0;
+        double doc_len = static_cast<double>(corp.doc(d).length);
+        for (size_t z = 0; z < k; ++z) {
+          double theta = (static_cast<double>(doc_topic[d * k + z]) + alpha) /
+                         (doc_len + static_cast<double>(k) * alpha);
+          double phi =
+              (static_cast<double>(topic_word[z * vocab + w]) + beta) /
+              (static_cast<double>(topic_total[z]) + vbeta);
+          p += theta * phi;
+        }
+        ll += std::log(std::max(p, 1e-300));
+      }
+      result.log_likelihood.push_back(ll);
+    }
+  }
+
+  // Posterior means.
+  result.doc_topic.Resize(n_docs, k);
+  for (size_t d = 0; d < n_docs; ++d) {
+    double doc_len = static_cast<double>(corp.doc(d).length);
+    for (size_t z = 0; z < k; ++z) {
+      result.doc_topic(d, z) =
+          (static_cast<double>(doc_topic[d * k + z]) + alpha) /
+          (doc_len + static_cast<double>(k) * alpha);
+    }
+  }
+  result.topic_word.Resize(k, vocab);
+  for (size_t z = 0; z < k; ++z) {
+    for (size_t w = 0; w < vocab; ++w) {
+      result.topic_word(z, w) =
+          (static_cast<double>(topic_word[z * vocab + w]) + beta) /
+          (static_cast<double>(topic_total[z]) + vbeta);
+    }
+  }
+  return result;
+}
+
+std::vector<std::string> LdaTopicKeywords(const LdaResult& result,
+                                          const corpus::Corpus& corp,
+                                          size_t topic, size_t k) {
+  const la::Matrix& phi = result.topic_word;
+  std::vector<size_t> order(phi.cols());
+  std::iota(order.begin(), order.end(), 0);
+  size_t top = std::min(k, phi.cols());
+  std::partial_sort(order.begin(), order.begin() + top, order.end(),
+                    [&](size_t a, size_t b) {
+                      return phi(topic, a) > phi(topic, b);
+                    });
+  std::vector<std::string> out;
+  out.reserve(top);
+  for (size_t i = 0; i < top; ++i) {
+    out.push_back(corp.vocabulary().Term(static_cast<uint32_t>(order[i])));
+  }
+  return out;
+}
+
+}  // namespace newsdiff::topic

@@ -1,0 +1,53 @@
+#ifndef NEWSDIFF_TOPIC_LDA_H_
+#define NEWSDIFF_TOPIC_LDA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/corpus.h"
+#include "la/matrix.h"
+
+namespace newsdiff::topic {
+
+/// Latent Dirichlet Allocation via collapsed Gibbs sampling.
+///
+/// The paper (§4.9, citing Blei et al. and Truică et al. [35]) considers LDA
+/// as the alternative to NMF and chooses NMF because it "provides similar
+/// results on both small and large length texts in less time". This
+/// implementation exists to let the `ablation_topicmodels` benchmark verify
+/// that trade-off on the reproduced pipeline.
+struct LdaOptions {
+  size_t num_topics = 10;
+  /// Symmetric Dirichlet prior on document-topic proportions.
+  double alpha = 0.1;
+  /// Symmetric Dirichlet prior on topic-word distributions.
+  double beta = 0.01;
+  size_t iterations = 200;
+  uint64_t seed = 17;
+};
+
+struct LdaResult {
+  /// theta: n_docs x k, posterior mean document-topic proportions.
+  la::Matrix doc_topic;
+  /// phi: k x vocab, posterior mean topic-word distributions.
+  la::Matrix topic_word;
+  /// Per-checkpoint corpus log-likelihood (up to a constant), every 10
+  /// iterations; generally increases as sampling mixes.
+  std::vector<double> log_likelihood;
+};
+
+/// Fits LDA on the corpus by collapsed Gibbs sampling over token-topic
+/// assignments. Deterministic for a fixed seed.
+StatusOr<LdaResult> FitLda(const corpus::Corpus& corp,
+                           const LdaOptions& options);
+
+/// Top-k terms of topic `topic` from an LdaResult.
+std::vector<std::string> LdaTopicKeywords(const LdaResult& result,
+                                          const corpus::Corpus& corp,
+                                          size_t topic, size_t k);
+
+}  // namespace newsdiff::topic
+
+#endif  // NEWSDIFF_TOPIC_LDA_H_

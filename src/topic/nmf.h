@@ -1,0 +1,54 @@
+#ifndef NEWSDIFF_TOPIC_NMF_H_
+#define NEWSDIFF_TOPIC_NMF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "la/sparse.h"
+
+namespace newsdiff::topic {
+
+/// Options for the NMF solver.
+struct NmfOptions {
+  /// Number of latent topics (k in the paper's §3.2).
+  size_t components = 10;
+  /// Maximum number of multiplicative-update iterations.
+  size_t max_iterations = 200;
+  /// Relative improvement threshold: stop when
+  /// (F_prev - F) / F_initial < tolerance between objective checkpoints.
+  double tolerance = 1e-4;
+  /// Objective is evaluated every this many iterations (it costs O(nnz*k)).
+  size_t eval_every = 10;
+  /// Seed for the random initialisation of W and H.
+  uint64_t seed = 42;
+};
+
+/// Result of an NMF factorisation A ~= W * H with W >= 0, H >= 0.
+struct NmfResult {
+  la::Matrix w;  // n_docs x k, document-topic memberships
+  la::Matrix h;  // k x n_terms, topic-term importances
+  /// Frobenius objective F(W, H) = ||A - WH||_F^2 at each checkpoint.
+  std::vector<double> objective_history;
+  /// Iterations actually performed.
+  size_t iterations = 0;
+  /// Final objective value.
+  double final_objective = 0.0;
+};
+
+/// Factorises the sparse matrix `a` using the multiplicative update rules of
+/// Eq. (8):
+///   H <- H .* (W^T A) ./ (W^T W H)
+///   W <- W .* (A H^T) ./ (W H H^T)
+/// Entries are floored at a small epsilon to preserve non-negativity and
+/// avoid absorbing zeros. Deterministic for a fixed seed.
+StatusOr<NmfResult> Nmf(const la::CsrMatrix& a, const NmfOptions& options);
+
+/// Frobenius objective ||A - WH||_F^2 (Eq. 6), computed in O(nnz*k + k^2 m).
+double NmfObjective(const la::CsrMatrix& a, const la::Matrix& w,
+                    const la::Matrix& h);
+
+}  // namespace newsdiff::topic
+
+#endif  // NEWSDIFF_TOPIC_NMF_H_

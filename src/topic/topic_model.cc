@@ -1,0 +1,56 @@
+#include "topic/topic_model.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace newsdiff::topic {
+
+StatusOr<TopicModel> TopicModel::Fit(const corpus::Corpus& corp,
+                                     const TopicModelOptions& options) {
+  corpus::DocumentTermMatrix dtm =
+      corpus::BuildDocumentTermMatrix(corp, options.dtm);
+  if (dtm.matrix.rows() == 0 || dtm.matrix.cols() == 0) {
+    return Status::InvalidArgument("corpus produced an empty matrix");
+  }
+  NmfOptions nmf_opts = options.nmf;
+  nmf_opts.components = options.num_topics;
+  StatusOr<NmfResult> nmf = Nmf(dtm.matrix, nmf_opts);
+  if (!nmf.ok()) return nmf.status();
+
+  TopicModel model;
+  model.result_ = std::move(nmf).value();
+
+  const la::Matrix& h = model.result_.h;
+  model.topics_.reserve(options.num_topics);
+  for (size_t t = 0; t < h.rows(); ++t) {
+    Topic topic;
+    topic.id = t;
+    std::vector<size_t> order(h.cols());
+    std::iota(order.begin(), order.end(), 0);
+    size_t top_k = std::min(options.keywords_per_topic, h.cols());
+    std::partial_sort(order.begin(), order.begin() + top_k, order.end(),
+                      [&](size_t a, size_t b) { return h(t, a) > h(t, b); });
+    for (size_t i = 0; i < top_k; ++i) {
+      uint32_t term = dtm.column_terms[order[i]];
+      topic.keywords.push_back(corp.vocabulary().Term(term));
+      topic.weights.push_back(h(t, order[i]));
+    }
+    model.topics_.push_back(std::move(topic));
+  }
+  return model;
+}
+
+size_t TopicModel::DominantTopic(size_t doc) const {
+  const la::Matrix& w = result_.w;
+  size_t best = 0;
+  double best_v = w(doc, 0);
+  for (size_t t = 1; t < w.cols(); ++t) {
+    if (w(doc, t) > best_v) {
+      best_v = w(doc, t);
+      best = t;
+    }
+  }
+  return best;
+}
+
+}  // namespace newsdiff::topic

@@ -1,0 +1,61 @@
+#ifndef NEWSDIFF_TOPIC_TOPIC_MODEL_H_
+#define NEWSDIFF_TOPIC_TOPIC_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/corpus.h"
+#include "corpus/weighting.h"
+#include "topic/nmf.h"
+
+namespace newsdiff::topic {
+
+/// A discovered topic: ranked keywords with their topic-term weights.
+struct Topic {
+  size_t id = 0;
+  std::vector<std::string> keywords;   // descending weight
+  std::vector<double> weights;         // aligned with keywords
+};
+
+/// Options for the topic-modeling front end (§4.3: TFIDF_N + NMF).
+struct TopicModelOptions {
+  size_t num_topics = 100;
+  size_t keywords_per_topic = 10;
+  NmfOptions nmf;
+  corpus::DtmOptions dtm;
+};
+
+/// Fitted topic model over a corpus.
+class TopicModel {
+ public:
+  /// Fits NMF on the TFIDF_N document-term matrix of `corp`. The corpus must
+  /// outlive queries made through `Keywords`.
+  static StatusOr<TopicModel> Fit(const corpus::Corpus& corp,
+                                  const TopicModelOptions& options);
+
+  /// All topics with their top keywords.
+  const std::vector<Topic>& topics() const { return topics_; }
+
+  /// Document-topic membership matrix W (n_docs x k).
+  const la::Matrix& doc_topic() const { return result_.w; }
+
+  /// Topic-term matrix H (k x n_kept_terms).
+  const la::Matrix& topic_term() const { return result_.h; }
+
+  /// Index of the dominant topic for document `doc` (argmax of W row).
+  size_t DominantTopic(size_t doc) const;
+
+  /// The NMF solver diagnostics.
+  const NmfResult& nmf_result() const { return result_; }
+
+ private:
+  TopicModel() = default;
+
+  NmfResult result_;
+  std::vector<Topic> topics_;
+};
+
+}  // namespace newsdiff::topic
+
+#endif  // NEWSDIFF_TOPIC_TOPIC_MODEL_H_

@@ -1,0 +1,159 @@
+#include "core/assignment.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace newsdiff::core {
+namespace {
+
+TEST(AssignmentTest, EmptyAndInvalid) {
+  la::Matrix empty;
+  auto result = SolveAssignment(empty);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+
+  la::Matrix wide(3, 2);  // rows > cols
+  EXPECT_FALSE(SolveAssignment(wide).ok());
+}
+
+TEST(AssignmentTest, IdentityOnDiagonalMatrix) {
+  // Cheapest on the diagonal.
+  la::Matrix cost = la::Matrix::FromRows({
+      {0.0, 5.0, 5.0},
+      {5.0, 0.0, 5.0},
+      {5.0, 5.0, 0.0},
+  });
+  auto result = SolveAssignment(cost);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(AssignmentTest, AvoidsGreedyTrap) {
+  // Greedy would give row0 -> col0 (cost 1) forcing row1 -> col1 (cost 10),
+  // total 11; optimal is row0 -> col1 (2) + row1 -> col0 (3) = 5.
+  la::Matrix cost = la::Matrix::FromRows({
+      {1.0, 2.0},
+      {3.0, 10.0},
+  });
+  auto result = SolveAssignment(cost);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, (std::vector<int>{1, 0}));
+}
+
+TEST(AssignmentTest, RectangularLeavesColumnsFree) {
+  la::Matrix cost = la::Matrix::FromRows({
+      {9.0, 1.0, 9.0, 9.0},
+      {9.0, 9.0, 9.0, 1.0},
+  });
+  auto result = SolveAssignment(cost);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, (std::vector<int>{1, 3}));
+}
+
+TEST(AssignmentTest, NegativeCostsSupported) {
+  la::Matrix cost = la::Matrix::FromRows({
+      {-5.0, 0.0},
+      {0.0, -5.0},
+  });
+  auto result = SolveAssignment(cost);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, (std::vector<int>{0, 1}));
+}
+
+/// Property: the Hungarian result is never worse than brute force over all
+/// permutations (exact equality of totals) for random small matrices.
+class AssignmentBruteForceSweep : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(AssignmentBruteForceSweep, MatchesBruteForceOptimum) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t n = 2 + rng.NextBelow(4);  // 2..5
+    size_t m = n + rng.NextBelow(3);  // n..n+2
+    la::Matrix cost = la::Matrix::Random(n, m, -3.0, 3.0, rng);
+    auto result = SolveAssignment(cost);
+    ASSERT_TRUE(result.ok());
+    double total = 0.0;
+    std::vector<bool> used(m, false);
+    for (size_t r = 0; r < n; ++r) {
+      int c = (*result)[r];
+      ASSERT_GE(c, 0);
+      ASSERT_LT(static_cast<size_t>(c), m);
+      EXPECT_FALSE(used[static_cast<size_t>(c)]) << "column reused";
+      used[static_cast<size_t>(c)] = true;
+      total += cost(r, static_cast<size_t>(c));
+    }
+    // Brute force over column permutations.
+    std::vector<size_t> cols(m);
+    for (size_t c = 0; c < m; ++c) cols[c] = c;
+    double best = 1e18;
+    std::sort(cols.begin(), cols.end());
+    do {
+      double t = 0.0;
+      for (size_t r = 0; r < n; ++r) t += cost(r, cols[r]);
+      best = std::min(best, t);
+    } while (std::next_permutation(cols.begin(), cols.end()));
+    EXPECT_NEAR(total, best, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssignmentBruteForceSweep,
+                         ::testing::Values(11ull, 22ull, 33ull));
+
+TEST(OptimalTrendingTest, NoEventClaimedTwice) {
+  // Two topics both closest to event 0; greedy gives both to event 0, the
+  // optimal matcher must spread them.
+  std::unordered_map<std::string, std::vector<double>> table;
+  table["a"] = {1.0, 0.0};
+  table["b"] = {0.9, 0.1};
+  table["c"] = {0.8, 0.2};
+  embed::PretrainedStore store{embed::WordVectors(2, std::move(table))};
+
+  auto topic_of = [](size_t id, std::vector<std::string> kws) {
+    topic::Topic t;
+    t.id = id;
+    t.keywords = std::move(kws);
+    t.weights.assign(t.keywords.size(), 1.0);
+    return t;
+  };
+  auto event_of = [](const std::string& main_word,
+                     std::vector<std::string> related) {
+    event::Event ev;
+    ev.main_word = main_word;
+    ev.related_words = std::move(related);
+    ev.related_weights.assign(ev.related_words.size(), 0.8);
+    return ev;
+  };
+  std::vector<topic::Topic> topics = {topic_of(0, {"a"}), topic_of(1, {"b"})};
+  std::vector<event::Event> events = {event_of("a", {}), event_of("c", {})};
+
+  TrendingOptions opts;
+  opts.min_similarity = 0.5;
+  auto greedy = ExtractTrendingTopics(topics, events, store, opts);
+  ASSERT_EQ(greedy.size(), 2u);
+  EXPECT_EQ(greedy[0].news_event, greedy[1].news_event);  // both pick event 0
+
+  auto optimal = ExtractTrendingTopicsOptimal(topics, events, store, opts);
+  ASSERT_EQ(optimal.size(), 2u);
+  EXPECT_NE(optimal[0].news_event, optimal[1].news_event);
+}
+
+TEST(OptimalTrendingTest, ThresholdStillApplies) {
+  std::unordered_map<std::string, std::vector<double>> table;
+  table["x"] = {1.0, 0.0};
+  table["y"] = {0.0, 1.0};
+  embed::PretrainedStore store{embed::WordVectors(2, std::move(table))};
+  topic::Topic t;
+  t.id = 0;
+  t.keywords = {"x"};
+  t.weights = {1.0};
+  event::Event ev;
+  ev.main_word = "y";
+  TrendingOptions opts;
+  opts.min_similarity = 0.7;
+  EXPECT_TRUE(ExtractTrendingTopicsOptimal({t}, {ev}, store, opts).empty());
+}
+
+}  // namespace
+}  // namespace newsdiff::core

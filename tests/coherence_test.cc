@@ -1,0 +1,58 @@
+#include "topic/coherence.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace newsdiff::topic {
+namespace {
+
+corpus::Corpus CooccurrenceCorpus() {
+  corpus::Corpus corp;
+  // "sun" and "moon" always co-occur; "sun" and "fork" never do.
+  for (int i = 0; i < 10; ++i) corp.AddDocument({"sun", "moon", "sky"});
+  for (int i = 0; i < 10; ++i) corp.AddDocument({"fork", "spoon", "plate"});
+  return corp;
+}
+
+TEST(CoherenceTest, CoherentTopicScoresHigherThanIncoherent) {
+  corpus::Corpus corp = CooccurrenceCorpus();
+  double coherent = UMassCoherence({"sun", "moon", "sky"}, corp);
+  double incoherent = UMassCoherence({"sun", "fork", "plate"}, corp);
+  EXPECT_GT(coherent, incoherent);
+}
+
+TEST(CoherenceTest, PerfectCooccurrenceNearZero) {
+  corpus::Corpus corp = CooccurrenceCorpus();
+  // D(sun,moon)=10, D(moon)=10 -> log(11/10) > 0 per pair; close to 0.
+  double c = UMassCoherence({"sun", "moon"}, corp);
+  EXPECT_NEAR(c, std::log(11.0 / 10.0), 1e-12);
+}
+
+TEST(CoherenceTest, DisjointPairStronglyNegative) {
+  corpus::Corpus corp = CooccurrenceCorpus();
+  double c = UMassCoherence({"sun", "fork"}, corp);
+  EXPECT_NEAR(c, std::log(1.0 / 10.0), 1e-12);
+}
+
+TEST(CoherenceTest, UnknownKeywordsSkipped) {
+  corpus::Corpus corp = CooccurrenceCorpus();
+  double with_unknown = UMassCoherence({"sun", "moon", "zzz"}, corp);
+  double without = UMassCoherence({"sun", "moon"}, corp);
+  EXPECT_DOUBLE_EQ(with_unknown, without);
+  // Fewer than two known keywords -> 0.
+  EXPECT_DOUBLE_EQ(UMassCoherence({"zzz", "yyy"}, corp), 0.0);
+  EXPECT_DOUBLE_EQ(UMassCoherence({"sun"}, corp), 0.0);
+}
+
+TEST(CoherenceTest, MeanOverTopics) {
+  corpus::Corpus corp = CooccurrenceCorpus();
+  double a = UMassCoherence({"sun", "moon"}, corp);
+  double b = UMassCoherence({"fork", "spoon"}, corp);
+  double mean = MeanUMassCoherence({{"sun", "moon"}, {"fork", "spoon"}}, corp);
+  EXPECT_NEAR(mean, (a + b) / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(MeanUMassCoherence({}, corp), 0.0);
+}
+
+}  // namespace
+}  // namespace newsdiff::topic

@@ -1,0 +1,185 @@
+#include "store/collection.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace newsdiff::store {
+namespace {
+
+Value Doc(int64_t user, int64_t likes, const std::string& text) {
+  return MakeObject({{"user_id", user}, {"likes", likes}, {"text", text}});
+}
+
+class CollectionFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    coll_ = std::make_unique<Collection>("tweets");
+    coll_->Insert(Doc(1, 50, "brexit vote"));
+    coll_->Insert(Doc(1, 500, "trade war tariffs"));
+    coll_->Insert(Doc(2, 1500, "huawei ban"));
+    coll_->Insert(Doc(3, 10, "coffee morning"));
+  }
+  std::unique_ptr<Collection> coll_;
+};
+
+TEST_F(CollectionFixture, InsertAssignsSequentialIds) {
+  EXPECT_EQ(coll_->size(), 4u);
+  StatusOr<Value> doc = coll_->Get(0);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("_id")->AsInt(), 0);
+  EXPECT_EQ(coll_->Get(3)->Find("_id")->AsInt(), 3);
+}
+
+TEST_F(CollectionFixture, InsertRejectsNonObjects) {
+  EXPECT_FALSE(coll_->Insert(Value(5)).ok());
+  EXPECT_FALSE(coll_->Insert(Value("str")).ok());
+  EXPECT_FALSE(coll_->Insert(Value(Array{})).ok());
+}
+
+TEST_F(CollectionFixture, InsertOverridesCallerId) {
+  Value doc = MakeObject({{"_id", int64_t{999}}, {"x", 1}});
+  StatusOr<DocId> id = coll_->Insert(std::move(doc));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 4);
+  EXPECT_EQ(coll_->Get(4)->Find("_id")->AsInt(), 4);
+}
+
+TEST_F(CollectionFixture, GetMissing) {
+  EXPECT_FALSE(coll_->Get(99).ok());
+  EXPECT_FALSE(coll_->Get(-1).ok());
+}
+
+TEST_F(CollectionFixture, FindEq) {
+  auto docs = coll_->Find(Filter().Eq("user_id", Value(int64_t{1})));
+  EXPECT_EQ(docs.size(), 2u);
+}
+
+TEST_F(CollectionFixture, FindNe) {
+  auto docs = coll_->Find(Filter().Ne("user_id", Value(int64_t{1})));
+  EXPECT_EQ(docs.size(), 2u);
+}
+
+TEST_F(CollectionFixture, NeMatchesMissingField) {
+  coll_->Insert(MakeObject({{"other", 1}}));
+  auto docs = coll_->Find(Filter().Ne("user_id", Value(int64_t{1})));
+  EXPECT_EQ(docs.size(), 3u);
+}
+
+TEST_F(CollectionFixture, RangeOperators) {
+  EXPECT_EQ(coll_->Count(Filter().Lt("likes", Value(int64_t{100}))), 2u);
+  EXPECT_EQ(coll_->Count(Filter().Lte("likes", Value(int64_t{50}))), 2u);
+  EXPECT_EQ(coll_->Count(Filter().Gt("likes", Value(int64_t{1000}))), 1u);
+  EXPECT_EQ(coll_->Count(Filter().Gte("likes", Value(int64_t{500}))), 2u);
+}
+
+TEST_F(CollectionFixture, ConjunctionSemantics) {
+  auto docs = coll_->Find(Filter()
+                              .Eq("user_id", Value(int64_t{1}))
+                              .Gt("likes", Value(int64_t{100})));
+  ASSERT_EQ(docs.size(), 1u);
+  EXPECT_EQ(docs[0].Find("likes")->AsInt(), 500);
+}
+
+TEST_F(CollectionFixture, ExistsAndContains) {
+  EXPECT_EQ(coll_->Count(Filter().Exists("text")), 4u);
+  EXPECT_EQ(coll_->Count(Filter().Exists("nope")), 0u);
+  EXPECT_EQ(coll_->Count(Filter().Contains("text", "war")), 1u);
+  EXPECT_EQ(coll_->Count(Filter().Contains("text", "e")), 4u);
+  EXPECT_EQ(coll_->Count(Filter().Contains("likes", "5")), 0u);  // non-string
+}
+
+TEST_F(CollectionFixture, FindOne) {
+  StatusOr<Value> doc =
+      coll_->FindOne(Filter().Eq("user_id", Value(int64_t{2})));
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("likes")->AsInt(), 1500);
+  EXPECT_FALSE(coll_->FindOne(Filter().Eq("user_id", Value(int64_t{42}))).ok());
+}
+
+TEST_F(CollectionFixture, ForEachEarlyStop) {
+  size_t seen = 0;
+  coll_->ForEach(Filter(), [&](DocId, const Value&) {
+    ++seen;
+    return seen < 2;
+  });
+  EXPECT_EQ(seen, 2u);
+}
+
+TEST_F(CollectionFixture, UpdateSet) {
+  size_t n = coll_->UpdateSet(Filter().Eq("user_id", Value(int64_t{1})),
+                              "flag", Value(true));
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(coll_->Count(Filter().Eq("flag", Value(true))), 2u);
+}
+
+TEST_F(CollectionFixture, RemoveAndSize) {
+  size_t n = coll_->Remove(Filter().Lt("likes", Value(int64_t{100})));
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(coll_->size(), 2u);
+  // Removed ids are gone.
+  EXPECT_FALSE(coll_->Get(0).ok());
+  // Remaining docs still addressable.
+  EXPECT_TRUE(coll_->Get(1).ok());
+}
+
+TEST_F(CollectionFixture, IndexedEqualityMatchesScan) {
+  coll_->CreateIndex("user_id");
+  EXPECT_TRUE(coll_->HasIndex("user_id"));
+  auto docs = coll_->Find(Filter().Eq("user_id", Value(int64_t{1})));
+  EXPECT_EQ(docs.size(), 2u);
+  // Index stays correct across update and remove.
+  coll_->UpdateSet(Filter().Eq("user_id", Value(int64_t{1})), "user_id",
+                   Value(int64_t{9}));
+  EXPECT_EQ(coll_->Count(Filter().Eq("user_id", Value(int64_t{1}))), 0u);
+  EXPECT_EQ(coll_->Count(Filter().Eq("user_id", Value(int64_t{9}))), 2u);
+  coll_->Remove(Filter().Eq("user_id", Value(int64_t{9})));
+  EXPECT_EQ(coll_->Count(Filter().Eq("user_id", Value(int64_t{9}))), 0u);
+}
+
+TEST_F(CollectionFixture, IndexCreatedAfterInserts) {
+  coll_->CreateIndex("likes");
+  EXPECT_EQ(coll_->Count(Filter().Eq("likes", Value(int64_t{1500}))), 1u);
+}
+
+TEST_F(CollectionFixture, AllPreservesInsertionOrder) {
+  auto docs = coll_->All();
+  ASSERT_EQ(docs.size(), 4u);
+  for (size_t i = 0; i < docs.size(); ++i) {
+    EXPECT_EQ(docs[i].Find("_id")->AsInt(), static_cast<int64_t>(i));
+  }
+}
+
+/// Property: for random data, indexed equality queries return exactly the
+/// same documents as a full scan with the same filter.
+class IndexEquivalenceSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexEquivalenceSweep, IndexedEqualsScan) {
+  Rng rng(GetParam());
+  Collection indexed("indexed");
+  Collection scanned("scanned");
+  indexed.CreateIndex("k");
+  for (int i = 0; i < 300; ++i) {
+    Value doc = MakeObject({{"k", static_cast<int64_t>(rng.NextBelow(20))},
+                            {"v", static_cast<int64_t>(i)}});
+    indexed.Insert(doc);
+    scanned.Insert(doc);
+  }
+  // Mutate both identically.
+  indexed.Remove(Filter().Eq("k", Value(int64_t{3})));
+  scanned.Remove(Filter().Eq("k", Value(int64_t{3})));
+  for (int64_t k = 0; k < 20; ++k) {
+    auto a = indexed.Find(Filter().Eq("k", Value(k)));
+    auto b = scanned.Find(Filter().Eq("k", Value(k)));
+    ASSERT_EQ(a.size(), b.size()) << "k=" << k;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_TRUE(a[i].Find("v")->Equals(*b[i].Find("v")));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexEquivalenceSweep,
+                         ::testing::Values(1ull, 7ull, 2024ull));
+
+}  // namespace
+}  // namespace newsdiff::store

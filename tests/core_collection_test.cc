@@ -1,0 +1,143 @@
+#include "core/collection.h"
+
+#include <gtest/gtest.h>
+
+#include "core/preprocess.h"
+#include "datagen/world.h"
+
+namespace newsdiff::core {
+namespace {
+
+store::Database MakeDb() {
+  store::Database db;
+  store::Collection& users = db.GetOrCreate("users");
+  users.Insert(store::MakeObject({{"user_id", int64_t{0}},
+                                  {"handle", "user_0"},
+                                  {"followers", int64_t{50}}}));
+  users.Insert(store::MakeObject({{"user_id", int64_t{1}},
+                                  {"handle", "user_1"},
+                                  {"followers", int64_t{5000}}}));
+  store::Collection& news = db.GetOrCreate("news");
+  news.Insert(store::MakeObject({{"article_id", int64_t{10}},
+                                 {"title", "Vote delayed"},
+                                 {"body", "Parliament votes again."},
+                                 {"published", int64_t{1000}}}));
+  store::Collection& tweets = db.GetOrCreate("tweets");
+  tweets.Insert(store::MakeObject({{"tweet_id", int64_t{100}},
+                                   {"user_id", int64_t{1}},
+                                   {"text", "vote now #brexit"},
+                                   {"created", int64_t{1100}},
+                                   {"likes", int64_t{1200}},
+                                   {"retweets", int64_t{90}}}));
+  tweets.Insert(store::MakeObject({{"tweet_id", int64_t{101}},
+                                   {"user_id", int64_t{0}},
+                                   {"text", "coffee time"},
+                                   {"created", int64_t{1200}},
+                                   {"likes", int64_t{3}},
+                                   {"retweets", int64_t{0}}}));
+  return db;
+}
+
+TEST(LoadNewsTest, ReadsAllFields) {
+  store::Database db = MakeDb();
+  auto news = LoadNews(db);
+  ASSERT_TRUE(news.ok());
+  ASSERT_EQ(news->size(), 1u);
+  EXPECT_EQ((*news)[0].id, 10);
+  EXPECT_EQ((*news)[0].title, "Vote delayed");
+  EXPECT_EQ((*news)[0].body, "Parliament votes again.");
+  EXPECT_EQ((*news)[0].published, 1000);
+}
+
+TEST(LoadNewsTest, MissingCollectionFails) {
+  store::Database db;
+  EXPECT_FALSE(LoadNews(db).ok());
+}
+
+TEST(LoadTweetsTest, JoinsFollowerMetadata) {
+  store::Database db = MakeDb();
+  auto tweets = LoadTweets(db);
+  ASSERT_TRUE(tweets.ok());
+  ASSERT_EQ(tweets->size(), 2u);
+  const TweetRecord& influencer_tweet = (*tweets)[0];
+  EXPECT_EQ(influencer_tweet.id, 100);
+  EXPECT_EQ(influencer_tweet.followers, 5000);
+  EXPECT_EQ(influencer_tweet.follower_class, 2);
+  EXPECT_EQ(influencer_tweet.follower_bucket,
+            datagen::FollowerBucket7(5000));
+  const TweetRecord& small_tweet = (*tweets)[1];
+  EXPECT_EQ(small_tweet.followers, 50);
+  EXPECT_EQ(small_tweet.follower_class, 0);
+}
+
+TEST(LoadTweetsTest, UnknownUserGetsZeroFollowers) {
+  store::Database db = MakeDb();
+  db.Get("tweets")->Insert(store::MakeObject({{"tweet_id", int64_t{102}},
+                                              {"user_id", int64_t{77}},
+                                              {"text", "orphan"},
+                                              {"created", int64_t{1300}},
+                                              {"likes", int64_t{1}},
+                                              {"retweets", int64_t{0}}}));
+  auto tweets = LoadTweets(db);
+  ASSERT_TRUE(tweets.ok());
+  EXPECT_EQ((*tweets)[2].followers, 0);
+  EXPECT_EQ((*tweets)[2].follower_class, 0);
+}
+
+TEST(LoadTweetsTest, MissingCollectionsFail) {
+  store::Database db;
+  EXPECT_FALSE(LoadTweets(db).ok());
+  db.GetOrCreate("tweets");
+  EXPECT_FALSE(LoadTweets(db).ok());  // still no users
+}
+
+TEST(PreprocessTest, CorporaAlignWithRecords) {
+  store::Database db = MakeDb();
+  auto news = LoadNews(db);
+  auto tweets = LoadTweets(db);
+  ASSERT_TRUE(news.ok() && tweets.ok());
+
+  corpus::Corpus news_tm = BuildNewsTM(*news);
+  corpus::Corpus news_ed = BuildNewsED(*news);
+  corpus::Corpus twitter_ed = BuildTwitterED(*tweets);
+
+  EXPECT_EQ(news_tm.size(), news->size());
+  EXPECT_EQ(news_ed.size(), news->size());
+  EXPECT_EQ(twitter_ed.size(), tweets->size());
+  // Alignment: external ids and timestamps carried over.
+  EXPECT_EQ(news_ed.doc(0).external_id, 10);
+  EXPECT_EQ(news_ed.doc(0).timestamp, 1000);
+  EXPECT_EQ(twitter_ed.doc(1).external_id, 101);
+  EXPECT_EQ(twitter_ed.doc(1).timestamp, 1200);
+  // NewsTM applied lemmatization + stopword removal; NewsED did not.
+  EXPECT_EQ(news_tm.vocabulary().Get("the"), corpus::kUnknownTerm);
+  EXPECT_NE(news_ed.vocabulary().Get("again"), corpus::kUnknownTerm);
+  // TwitterED kept the hashtag word.
+  EXPECT_NE(twitter_ed.vocabulary().Get("brexit"), corpus::kUnknownTerm);
+}
+
+TEST(RoundTripTest, WorldThroughStoreAndBack) {
+  datagen::WorldOptions opts;
+  opts.seed = 77;
+  opts.num_users = 50;
+  opts.num_articles = 40;
+  opts.num_tweets = 120;
+  datagen::World world = datagen::GenerateWorld(opts);
+  store::Database db;
+  world.LoadInto(db);
+  auto news = LoadNews(db);
+  auto tweets = LoadTweets(db);
+  ASSERT_TRUE(news.ok() && tweets.ok());
+  EXPECT_EQ(news->size(), world.articles.size());
+  EXPECT_EQ(tweets->size(), world.tweets.size());
+  // The store preserves engagement values and the join recovers follower
+  // classes identical to the generator's ground truth.
+  for (size_t i = 0; i < tweets->size(); ++i) {
+    EXPECT_EQ((*tweets)[i].likes, world.tweets[i].likes);
+    EXPECT_EQ((*tweets)[i].follower_class,
+              world.users[world.tweets[i].user].follower_class);
+  }
+}
+
+}  // namespace
+}  // namespace newsdiff::core

@@ -1,0 +1,207 @@
+// Tests for the feature-creation module (§4.7): tweet-event assignment,
+// the eight dataset variants, and the metadata vector layout.
+#include <gtest/gtest.h>
+
+#include "core/features.h"
+#include "datagen/world.h"
+
+namespace newsdiff::core {
+namespace {
+
+embed::PretrainedStore TinyStore() {
+  std::unordered_map<std::string, std::vector<double>> table;
+  table["quake"] = {1, 0, 0, 0};
+  table["rescue"] = {0, 1, 0, 0};
+  table["city"] = {0, 0, 1, 0};
+  table["filler"] = {0, 0, 0, 1};
+  return embed::PretrainedStore(embed::WordVectors(4, std::move(table)));
+}
+
+struct Fixture {
+  corpus::Corpus corp;
+  std::vector<event::Event> events;
+  std::vector<TweetRecord> tweets;
+
+  Fixture() {
+    // Tweets 0-11 belong to the event window; tweet 12 lacks the main word;
+    // tweet 13 is outside the window.
+    for (int i = 0; i < 12; ++i) {
+      corp.AddDocument({"quake", "rescue", "filler"}, 100 + i, i);
+      TweetRecord rec;
+      rec.id = i;
+      rec.created = 100 + i;
+      rec.likes = i < 6 ? 50 : 500;           // classes 0 and 1
+      rec.retweets = i < 6 ? 5 : 2000;        // classes 0 and 2
+      rec.followers = i % 2 == 0 ? 50 : 5000; // classes 0 and 2
+      rec.follower_class = ::newsdiff::datagen::EncodeCountClass(rec.followers);
+      rec.follower_bucket = ::newsdiff::datagen::FollowerBucket7(rec.followers);
+      tweets.push_back(rec);
+    }
+    corp.AddDocument({"rescue", "city"}, 105, 12);
+    TweetRecord no_main;
+    no_main.id = 12;
+    no_main.created = 105;
+    tweets.push_back(no_main);
+    corp.AddDocument({"quake", "rescue"}, 9999, 13);
+    TweetRecord late;
+    late.id = 13;
+    late.created = 9999;
+    tweets.push_back(late);
+
+    event::Event ev;
+    ev.main_word = "quake";
+    ev.main_term = corp.vocabulary().Get("quake");
+    ev.related_words = {"rescue", "city"};
+    ev.related_terms = {corp.vocabulary().Get("rescue"),
+                        corp.vocabulary().Get("city")};
+    ev.related_weights = {0.9, 0.8};
+    ev.start_time = 50;
+    ev.end_time = 200;
+    events.push_back(ev);
+  }
+};
+
+TEST(VariantNamesTest, AllEightInPaperOrder) {
+  const auto& all = AllDatasetVariants();
+  ASSERT_EQ(all.size(), 8u);
+  std::vector<std::string> names;
+  for (DatasetVariant v : all) names.push_back(DatasetVariantName(v));
+  EXPECT_EQ(names, (std::vector<std::string>{"A1", "A2", "B1", "B2", "C1",
+                                             "C2", "D1", "D2"}));
+}
+
+TEST(AssignTest, RuleAndMinSupport) {
+  Fixture f;
+  FeatureOptions opts;
+  opts.min_event_tweets = 10;
+  auto assignments = AssignTweetsToEvents(f.corp, f.events, {0}, opts);
+  ASSERT_EQ(assignments.size(), 1u);
+  EXPECT_EQ(assignments[0].twitter_event, 0u);
+  // Tweets 0-11 qualify; 12 (no main word) and 13 (late) do not.
+  EXPECT_EQ(assignments[0].tweet_indices.size(), 12u);
+
+  opts.min_event_tweets = 13;
+  EXPECT_TRUE(AssignTweetsToEvents(f.corp, f.events, {0}, opts).empty());
+}
+
+TEST(EventContextWeightsTest, MainWordWeightOne) {
+  Fixture f;
+  embed::EventWordWeights w = EventContextWeights(f.events[0]);
+  EXPECT_DOUBLE_EQ(w.at("quake"), 1.0);
+  EXPECT_DOUBLE_EQ(w.at("rescue"), 0.9);
+  EXPECT_DOUBLE_EQ(w.at("city"), 0.8);
+  EXPECT_EQ(w.size(), 3u);
+}
+
+class DatasetVariantSweep : public ::testing::TestWithParam<DatasetVariant> {
+};
+
+TEST_P(DatasetVariantSweep, DimensionsAndLabels) {
+  Fixture f;
+  embed::PretrainedStore store = TinyStore();
+  FeatureOptions opts;
+  auto assignments = AssignTweetsToEvents(f.corp, f.events, {0}, opts);
+  TrainingDataset ds = BuildDataset(GetParam(), assignments, f.events,
+                                    f.corp, f.tweets, store);
+  EXPECT_EQ(ds.embedding_dim, 4u);
+  size_t expected_dim = 4;
+  switch (GetParam()) {
+    case DatasetVariant::kA2:
+    case DatasetVariant::kB2:
+    case DatasetVariant::kC2:
+      expected_dim = 4 + 8;
+      break;
+    case DatasetVariant::kD2:
+      expected_dim = 4 + 8 + 1;
+      break;
+    default:
+      break;
+  }
+  EXPECT_EQ(ds.feature_dim, expected_dim);
+  EXPECT_EQ(ds.x.rows(), 12u);
+  EXPECT_EQ(ds.x.cols(), expected_dim);
+  ASSERT_EQ(ds.likes.size(), 12u);
+  ASSERT_EQ(ds.retweets.size(), 12u);
+  for (int y : ds.likes) {
+    EXPECT_GE(y, 0);
+    EXPECT_LE(y, 2);
+  }
+  // Labels follow Table 2 on the fixture's engagement values.
+  EXPECT_EQ(ds.likes[0], 0);
+  EXPECT_EQ(ds.likes[11], 1);
+  EXPECT_EQ(ds.retweets[0], 0);
+  EXPECT_EQ(ds.retweets[11], 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, DatasetVariantSweep,
+                         ::testing::ValuesIn(AllDatasetVariants()));
+
+TEST(DatasetTest, MetadataVectorLayout) {
+  Fixture f;
+  embed::PretrainedStore store = TinyStore();
+  auto assignments =
+      AssignTweetsToEvents(f.corp, f.events, {0}, FeatureOptions{});
+  TrainingDataset ds = BuildDataset(DatasetVariant::kA2, assignments,
+                                    f.events, f.corp, f.tweets, store);
+  for (size_t r = 0; r < ds.x.rows(); ++r) {
+    const double* meta = ds.x.RowPtr(r) + ds.embedding_dim;
+    // Exactly one of the 7 bucket cells is hot.
+    double onehot_sum = 0.0;
+    for (int b = 0; b < 7; ++b) {
+      EXPECT_TRUE(meta[b] == 0.0 || meta[b] == 1.0);
+      onehot_sum += meta[b];
+    }
+    EXPECT_DOUBLE_EQ(onehot_sum, 1.0);
+    // Day-of-week cell in [0, 1].
+    EXPECT_GE(meta[7], 0.0);
+    EXPECT_LE(meta[7], 1.0);
+    // The hot cell matches the tweet's follower bucket.
+    size_t tweet_idx = assignments[0].tweet_indices[r];
+    EXPECT_DOUBLE_EQ(meta[f.tweets[tweet_idx].follower_bucket], 1.0);
+  }
+}
+
+TEST(DatasetTest, D2AppendsFollowerClass) {
+  Fixture f;
+  embed::PretrainedStore store = TinyStore();
+  auto assignments =
+      AssignTweetsToEvents(f.corp, f.events, {0}, FeatureOptions{});
+  TrainingDataset ds = BuildDataset(DatasetVariant::kD2, assignments,
+                                    f.events, f.corp, f.tweets, store);
+  for (size_t r = 0; r < ds.x.rows(); ++r) {
+    size_t tweet_idx = assignments[0].tweet_indices[r];
+    double expected = static_cast<double>(f.tweets[tweet_idx].follower_class);
+    EXPECT_DOUBLE_EQ(ds.x(r, ds.feature_dim - 1), expected);
+  }
+}
+
+TEST(DatasetTest, SwmScalesEmbedding) {
+  Fixture f;
+  embed::PretrainedStore store = TinyStore();
+  auto assignments =
+      AssignTweetsToEvents(f.corp, f.events, {0}, FeatureOptions{});
+  TrainingDataset sw = BuildDataset(DatasetVariant::kA1, assignments,
+                                    f.events, f.corp, f.tweets, store);
+  TrainingDataset swm = BuildDataset(DatasetVariant::kC1, assignments,
+                                     f.events, f.corp, f.tweets, store);
+  // Tweets contain quake (w=1) and rescue (w=0.9): the rescue coordinate
+  // shrinks under SWM while quake's stays.
+  EXPECT_DOUBLE_EQ(swm.x(0, 0), sw.x(0, 0));
+  EXPECT_LT(swm.x(0, 1), sw.x(0, 1));
+}
+
+TEST(DatasetTest, TweetsInMultipleEventsDuplicateRows) {
+  Fixture f;
+  // A second identical event: every tweet belongs to both.
+  f.events.push_back(f.events[0]);
+  embed::PretrainedStore store = TinyStore();
+  auto assignments =
+      AssignTweetsToEvents(f.corp, f.events, {0, 1}, FeatureOptions{});
+  ASSERT_EQ(assignments.size(), 2u);
+  TrainingDataset ds = BuildDataset(DatasetVariant::kA1, assignments,
+                                    f.events, f.corp, f.tweets, store);
+  EXPECT_EQ(ds.x.rows(), 24u);  // the paper: the dataset grows
+}
+
+}  // namespace
+}  // namespace newsdiff::core

@@ -1,0 +1,169 @@
+// Tests for the trending-news and correlation modules (§4.5-§4.6) using a
+// hand-built embedding store, so similarities are exactly controllable.
+#include <gtest/gtest.h>
+
+#include "core/correlation.h"
+#include "core/trending.h"
+
+namespace newsdiff::core {
+namespace {
+
+embed::PretrainedStore AxisStore() {
+  // Three orthogonal concept groups.
+  std::unordered_map<std::string, std::vector<double>> table;
+  table["brexit"] = {1, 0, 0};
+  table["vote"] = {0.9, 0.1, 0};
+  table["tariff"] = {0, 1, 0};
+  table["trade"] = {0.1, 0.9, 0};
+  table["coffee"] = {0, 0, 1};
+  table["espresso"] = {0, 0.1, 0.9};
+  return embed::PretrainedStore(embed::WordVectors(3, std::move(table)));
+}
+
+event::Event MakeEvent(const std::string& main_word,
+                       std::vector<std::string> related,
+                       UnixSeconds start, UnixSeconds end) {
+  event::Event ev;
+  ev.main_word = main_word;
+  ev.related_words = std::move(related);
+  ev.related_weights.assign(ev.related_words.size(), 0.8);
+  ev.start_time = start;
+  ev.end_time = end;
+  return ev;
+}
+
+topic::Topic MakeTopic(size_t id, std::vector<std::string> keywords) {
+  topic::Topic t;
+  t.id = id;
+  t.keywords = std::move(keywords);
+  t.weights.assign(t.keywords.size(), 1.0);
+  return t;
+}
+
+TEST(EncodeTest, EventAndTopicVectors) {
+  embed::PretrainedStore store = AxisStore();
+  event::Event ev = MakeEvent("brexit", {"vote"}, 0, 10);
+  std::vector<double> v = EncodeEvent(ev, store);
+  EXPECT_GT(v[0], 0.9);
+  EXPECT_LT(v[2], 0.1);
+  topic::Topic t = MakeTopic(0, {"coffee", "espresso"});
+  std::vector<double> tv = EncodeTopic(t, store);
+  EXPECT_GT(tv[2], 0.9);
+}
+
+TEST(TrendingTest, MatchesTopicToBestEvent) {
+  embed::PretrainedStore store = AxisStore();
+  std::vector<topic::Topic> topics = {
+      MakeTopic(0, {"brexit", "vote"}),
+      MakeTopic(1, {"tariff", "trade"}),
+  };
+  std::vector<event::Event> events = {
+      MakeEvent("tariff", {"trade"}, 0, 10),
+      MakeEvent("brexit", {"vote"}, 0, 10),
+  };
+  TrendingOptions opts;
+  opts.min_similarity = 0.7;
+  auto trending = ExtractTrendingTopics(topics, events, store, opts);
+  ASSERT_EQ(trending.size(), 2u);
+  EXPECT_EQ(trending[0].topic_id, 0u);
+  EXPECT_EQ(trending[0].news_event, 1u);
+  EXPECT_EQ(trending[1].topic_id, 1u);
+  EXPECT_EQ(trending[1].news_event, 0u);
+  EXPECT_GT(trending[0].similarity, 0.9);
+}
+
+TEST(TrendingTest, ThresholdFiltersWeakMatches) {
+  embed::PretrainedStore store = AxisStore();
+  std::vector<topic::Topic> topics = {MakeTopic(0, {"coffee"})};
+  std::vector<event::Event> events = {MakeEvent("brexit", {"vote"}, 0, 10)};
+  TrendingOptions opts;
+  opts.min_similarity = 0.7;
+  EXPECT_TRUE(ExtractTrendingTopics(topics, events, store, opts).empty());
+}
+
+TEST(TrendingTest, EmptyInputs) {
+  embed::PretrainedStore store = AxisStore();
+  EXPECT_TRUE(ExtractTrendingTopics({}, {}, store, TrendingOptions{}).empty());
+  EXPECT_TRUE(ExtractTrendingTopics({MakeTopic(0, {"brexit"})}, {}, store,
+                                    TrendingOptions{})
+                  .empty());
+}
+
+class CorrelationFixture : public ::testing::Test {
+ protected:
+  CorrelationFixture() : store_(AxisStore()) {
+    news_events_ = {
+        MakeEvent("brexit", {"vote"}, Day(0), Day(4)),
+        MakeEvent("tariff", {"trade"}, Day(10), Day(14)),
+    };
+    trending_ = {{0, 0, 0.95}, {1, 1, 0.95}};
+    twitter_events_ = {
+        MakeEvent("vote", {"brexit"}, Day(2), Day(8)),     // matches NT0
+        MakeEvent("trade", {"tariff"}, Day(12), Day(20)),  // matches NT1
+        MakeEvent("coffee", {"espresso"}, Day(2), Day(30)),  // chatter
+        MakeEvent("vote", {"brexit"}, Day(20), Day(25)),   // outside window
+    };
+  }
+
+  static UnixSeconds Day(int d) { return d * kSecondsPerDay; }
+
+  embed::PretrainedStore store_;
+  std::vector<event::Event> news_events_;
+  std::vector<TrendingNewsTopic> trending_;
+  std::vector<event::Event> twitter_events_;
+};
+
+TEST_F(CorrelationFixture, ForwardCorrelationRespectsWindowAndSim) {
+  CorrelationOptions opts;
+  opts.min_similarity = 0.65;
+  opts.start_window_seconds = 5 * kSecondsPerDay;
+  auto pairs = CorrelateTrendingWithTwitter(trending_, news_events_,
+                                            twitter_events_, store_, opts);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].trending, 0u);
+  EXPECT_EQ(pairs[0].twitter_event, 0u);
+  EXPECT_EQ(pairs[1].trending, 1u);
+  EXPECT_EQ(pairs[1].twitter_event, 1u);
+}
+
+TEST_F(CorrelationFixture, ReverseCorrelationYieldsSamePairs) {
+  CorrelationOptions opts;
+  auto forward = CorrelateTrendingWithTwitter(trending_, news_events_,
+                                              twitter_events_, store_, opts);
+  auto reverse = CorrelateTwitterWithTrending(trending_, news_events_,
+                                              twitter_events_, store_, opts);
+  ASSERT_EQ(forward.size(), reverse.size());
+  for (size_t i = 0; i < forward.size(); ++i) {
+    EXPECT_EQ(forward[i].trending, reverse[i].trending);
+    EXPECT_EQ(forward[i].twitter_event, reverse[i].twitter_event);
+    EXPECT_NEAR(forward[i].similarity, reverse[i].similarity, 1e-12);
+  }
+}
+
+TEST_F(CorrelationFixture, UnrelatedEventsIdentified) {
+  CorrelationOptions opts;
+  auto pairs = CorrelateTrendingWithTwitter(trending_, news_events_,
+                                            twitter_events_, store_, opts);
+  auto unrelated = UnrelatedTwitterEvents(pairs, twitter_events_.size());
+  // The chatter event and the out-of-window event are unrelated.
+  EXPECT_EQ(unrelated, (std::vector<size_t>{2, 3}));
+}
+
+TEST_F(CorrelationFixture, WindowIsOneSided) {
+  // A Twitter event starting *before* the news event cannot match.
+  std::vector<event::Event> early = {
+      MakeEvent("vote", {"brexit"}, -Day(2), Day(2))};
+  CorrelationOptions opts;
+  auto pairs = CorrelateTrendingWithTwitter(trending_, news_events_, early,
+                                            store_, opts);
+  EXPECT_TRUE(pairs.empty());
+}
+
+TEST(UnrelatedTest, AllUnrelatedWhenNoPairs) {
+  auto unrelated = UnrelatedTwitterEvents({}, 3);
+  EXPECT_EQ(unrelated, (std::vector<size_t>{0, 1, 2}));
+  EXPECT_TRUE(UnrelatedTwitterEvents({}, 0).empty());
+}
+
+}  // namespace
+}  // namespace newsdiff::core

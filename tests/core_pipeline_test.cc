@@ -1,0 +1,264 @@
+// Integration tests: the full architecture (Fig. 1) on a small synthetic
+// world, checking the paper's qualitative findings end-to-end.
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/embedding_cache.h"
+#include "core/pipeline.h"
+#include "datagen/feeds.h"
+#include "datagen/world.h"
+
+namespace newsdiff::core {
+namespace {
+
+/// One shared small world + embedding store for all integration tests
+/// (building them is the expensive part).
+class PipelineIntegration : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::WorldOptions wopts;
+    wopts.seed = 31;
+    wopts.num_users = 400;
+    wopts.num_articles = 900;
+    wopts.num_tweets = 2600;
+    wopts.duration_days = 90;
+    wopts.num_news_events = 6;
+    wopts.num_chatter_events = 3;
+    world_ = new datagen::World(datagen::GenerateWorld(wopts));
+    db_ = new store::Database();
+    world_->LoadInto(*db_);
+
+    PretrainedConfig cfg;
+    cfg.dimension = 64;  // small store keeps the suite fast
+    cfg.background_sentences = 2500;
+    cfg.epochs = 2;
+    auto store = LoadOrTrainPretrained("", cfg);
+    ASSERT_TRUE(store.ok());
+    store_ = new embed::PretrainedStore(std::move(store).value());
+
+    PipelineOptions popts;
+    popts.topics.num_topics = 8;
+    popts.topics.nmf.max_iterations = 60;
+    popts.news_mabed.max_events = 40;
+    popts.twitter_mabed.max_events = 60;
+    Pipeline pipeline(popts);
+    auto result = pipeline.Run(*db_, *store_);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    result_ = new PipelineResult(std::move(result).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete result_;
+    delete store_;
+    delete db_;
+    delete world_;
+    result_ = nullptr;
+    store_ = nullptr;
+    db_ = nullptr;
+    world_ = nullptr;
+  }
+
+  static datagen::World* world_;
+  static store::Database* db_;
+  static embed::PretrainedStore* store_;
+  static PipelineResult* result_;
+};
+
+datagen::World* PipelineIntegration::world_ = nullptr;
+store::Database* PipelineIntegration::db_ = nullptr;
+embed::PretrainedStore* PipelineIntegration::store_ = nullptr;
+PipelineResult* PipelineIntegration::result_ = nullptr;
+
+TEST_F(PipelineIntegration, AllStagesProduceOutput) {
+  EXPECT_EQ(result_->news.size(), 900u);
+  EXPECT_EQ(result_->tweets.size(), 2600u);
+  EXPECT_EQ(result_->topics.size(), 8u);
+  EXPECT_FALSE(result_->news_events.empty());
+  EXPECT_FALSE(result_->twitter_events.empty());
+  EXPECT_FALSE(result_->trending.empty());
+  EXPECT_FALSE(result_->correlations.empty());
+  EXPECT_FALSE(result_->assignments.empty());
+}
+
+TEST_F(PipelineIntegration, CorporaAlignWithRecords) {
+  EXPECT_EQ(result_->news_tm.size(), result_->news.size());
+  EXPECT_EQ(result_->news_ed.size(), result_->news.size());
+  EXPECT_EQ(result_->twitter_ed.size(), result_->tweets.size());
+}
+
+TEST_F(PipelineIntegration, TrendingSimilaritiesAboveThreshold) {
+  for (const TrendingNewsTopic& t : result_->trending) {
+    EXPECT_GT(t.similarity, 0.7);
+    EXPECT_LT(t.topic_id, result_->topics.size());
+    EXPECT_LT(t.news_event, result_->news_events.size());
+  }
+}
+
+TEST_F(PipelineIntegration, CorrelationsRespectConstraints) {
+  for (const EventCorrelation& p : result_->correlations) {
+    EXPECT_GT(p.similarity, 0.65);
+    const event::Event& news_ev =
+        result_->news_events[result_->trending[p.trending].news_event];
+    const event::Event& twitter_ev =
+        result_->twitter_events[p.twitter_event];
+    EXPECT_GE(twitter_ev.start_time, news_ev.start_time);
+    EXPECT_LE(twitter_ev.start_time,
+              news_ev.start_time + 5 * kSecondsPerDay);
+  }
+}
+
+TEST_F(PipelineIntegration, ReverseCorrelationIdentical) {
+  auto reverse = CorrelateTwitterWithTrending(
+      result_->trending, result_->news_events, result_->twitter_events,
+      *store_, CorrelationOptions{});
+  ASSERT_EQ(reverse.size(), result_->correlations.size());
+  for (size_t i = 0; i < reverse.size(); ++i) {
+    EXPECT_EQ(reverse[i].trending, result_->correlations[i].trending);
+    EXPECT_EQ(reverse[i].twitter_event,
+              result_->correlations[i].twitter_event);
+  }
+}
+
+TEST_F(PipelineIntegration, UnrelatedPlusRelatedCoverAllEvents) {
+  std::vector<bool> seen(result_->twitter_events.size(), false);
+  for (size_t idx : result_->unrelated_twitter_events) {
+    ASSERT_LT(idx, seen.size());
+    EXPECT_FALSE(seen[idx]);
+    seen[idx] = true;
+  }
+  size_t related = 0;
+  for (size_t i = 0; i < seen.size(); ++i) {
+    if (!seen[i]) ++related;
+  }
+  EXPECT_EQ(related + result_->unrelated_twitter_events.size(),
+            result_->twitter_events.size());
+  EXPECT_EQ(related, result_->CorrelatedTwitterEventIndices().size());
+}
+
+TEST_F(PipelineIntegration, AssignmentsMeetMinimumSupport) {
+  for (const EventTweetAssignment& a : result_->assignments) {
+    EXPECT_GE(a.tweet_indices.size(), 10u);
+    const event::Event& ev = result_->twitter_events[a.twitter_event];
+    for (size_t tweet_idx : a.tweet_indices) {
+      EXPECT_TRUE(event::Mabed::DocumentBelongsToEvent(
+          result_->twitter_ed.doc(tweet_idx), ev, 0.2));
+    }
+  }
+}
+
+TEST_F(PipelineIntegration, DatasetsBuildForEveryVariantAndTrain) {
+  TrainingDataset a1 =
+      BuildDataset(DatasetVariant::kA1, result_->assignments,
+                   result_->twitter_events, result_->twitter_ed,
+                   result_->tweets, *store_);
+  TrainingDataset a2 =
+      BuildDataset(DatasetVariant::kA2, result_->assignments,
+                   result_->twitter_events, result_->twitter_ed,
+                   result_->tweets, *store_);
+  ASSERT_GT(a1.x.rows(), 50u);
+  EXPECT_EQ(a1.feature_dim, 64u);
+  EXPECT_EQ(a2.feature_dim, 64u + 8u);
+
+  PredictorOptions opts;
+  opts.max_epochs = 40;
+  opts.mlp_hidden = {24};
+  auto o1 = TrainAndEvaluate(a1.x, a1.likes, NetworkKind::kMlp1, opts);
+  auto o2 = TrainAndEvaluate(a2.x, a2.likes, NetworkKind::kMlp1, opts);
+  ASSERT_TRUE(o1.ok() && o2.ok());
+  // Both beat the trivial 1/3 baseline; metadata at least matches content.
+  EXPECT_GT(o1->accuracy, 0.45);
+  EXPECT_GE(o2->accuracy, o1->accuracy - 0.03);
+}
+
+TEST_F(PipelineIntegration, TimingsRecorded) {
+  EXPECT_GT(result_->topic_seconds, 0.0);
+  EXPECT_GT(result_->news_event_seconds, 0.0);
+  EXPECT_GT(result_->twitter_event_seconds, 0.0);
+  EXPECT_GE(result_->assignment_seconds, 0.0);
+}
+
+TEST(PipelineIntegration2, CrawledStoreGivesIdenticalAnalysis) {
+  // The feed crawler (simulated NewsAPI/Twitter clients + scraper) must
+  // produce a store whose analysis matches the direct bulk load.
+  datagen::WorldOptions wopts;
+  wopts.seed = 77;
+  wopts.num_users = 200;
+  wopts.num_articles = 400;
+  wopts.num_tweets = 1200;
+  wopts.duration_days = 40;
+  wopts.num_news_events = 4;
+  wopts.num_chatter_events = 2;
+  datagen::World world = datagen::GenerateWorld(wopts);
+
+  store::Database direct;
+  world.LoadInto(direct);
+  store::Database crawled;
+  datagen::FeedCrawler crawler(world, crawled);
+  crawler.CrawlUntil(wopts.start_time + 41 * kSecondsPerDay);
+
+  PretrainedConfig cfg;
+  cfg.dimension = 32;
+  cfg.background_sentences = 1200;
+  cfg.epochs = 1;
+  auto store = LoadOrTrainPretrained("", cfg);
+  ASSERT_TRUE(store.ok());
+
+  PipelineOptions popts;
+  popts.topics.num_topics = 6;
+  popts.topics.nmf.max_iterations = 40;
+  popts.news_mabed.max_events = 20;
+  popts.twitter_mabed.max_events = 30;
+  Pipeline pipeline(popts);
+  auto a = pipeline.Run(direct, *store);
+  auto b = pipeline.Run(crawled, *store);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->news.size(), b->news.size());
+  EXPECT_EQ(a->tweets.size(), b->tweets.size());
+  ASSERT_EQ(a->news_events.size(), b->news_events.size());
+  for (size_t i = 0; i < a->news_events.size(); ++i) {
+    EXPECT_EQ(a->news_events[i].main_word, b->news_events[i].main_word);
+  }
+  ASSERT_EQ(a->twitter_events.size(), b->twitter_events.size());
+  EXPECT_EQ(a->correlations.size(), b->correlations.size());
+}
+
+TEST(PipelineErrorsTest, EmptyStoreFails) {
+  store::Database db;
+  PretrainedConfig cfg;
+  cfg.dimension = 8;
+  cfg.background_sentences = 200;
+  cfg.epochs = 1;
+  auto store = LoadOrTrainPretrained("", cfg);
+  ASSERT_TRUE(store.ok());
+  Pipeline pipeline{PipelineOptions{}};
+  EXPECT_FALSE(pipeline.Run(db, *store).ok());
+}
+
+TEST(EmbeddingCacheTest, TrainSaveLoadRoundTrip) {
+  namespace fs = std::filesystem;
+  std::string path =
+      (fs::temp_directory_path() / "newsdiff_cache_test.txt").string();
+  fs::remove(path);
+  PretrainedConfig cfg;
+  cfg.dimension = 16;
+  cfg.background_sentences = 400;
+  cfg.epochs = 1;
+  auto first = LoadOrTrainPretrained(path, cfg);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(fs::exists(path));
+  auto second = LoadOrTrainPretrained(path, cfg);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->size(), second->size());
+  EXPECT_EQ(first->dimension(), second->dimension());
+  // A dimension mismatch invalidates the cache and retrains.
+  PretrainedConfig other = cfg;
+  other.dimension = 8;
+  auto retrained = LoadOrTrainPretrained(path, other);
+  ASSERT_TRUE(retrained.ok());
+  EXPECT_EQ(retrained->dimension(), 8u);
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace newsdiff::core

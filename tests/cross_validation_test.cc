@@ -1,0 +1,84 @@
+#include "core/cross_validation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace newsdiff::core {
+namespace {
+
+void MakeSeparable(size_t n, size_t dim, la::Matrix* x, std::vector<int>* y) {
+  Rng rng(8);
+  x->Resize(n, dim);
+  y->assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    int cls = static_cast<int>(i % 2);
+    for (size_t d = 0; d < dim; ++d) {
+      (*x)(i, d) = rng.Gaussian(d % 2 == static_cast<size_t>(cls) ? 2.0 : 0.0,
+                                0.5);
+    }
+    (*y)[i] = cls;
+  }
+}
+
+PredictorOptions FastOptions() {
+  PredictorOptions o;
+  o.max_epochs = 25;
+  o.batch_size = 32;
+  o.mlp_hidden = {8};
+  o.num_classes = 2;
+  o.max_restarts = 0;
+  return o;
+}
+
+TEST(CrossValidationTest, RejectsBadInput) {
+  la::Matrix x(10, 4);
+  std::vector<int> y(10, 0);
+  EXPECT_FALSE(
+      CrossValidate(x, y, NetworkKind::kMlp1, FastOptions(), 1).ok());
+  EXPECT_FALSE(
+      CrossValidate(x, y, NetworkKind::kMlp1, FastOptions(), 10).ok());
+  std::vector<int> wrong(9, 0);
+  EXPECT_FALSE(
+      CrossValidate(x, wrong, NetworkKind::kMlp1, FastOptions(), 2).ok());
+}
+
+TEST(CrossValidationTest, FoldsCoverAllAccuraciesHigh) {
+  la::Matrix x;
+  std::vector<int> y;
+  MakeSeparable(200, 6, &x, &y);
+  auto result = CrossValidate(x, y, NetworkKind::kMlp1, FastOptions(), 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->folds, 5u);
+  ASSERT_EQ(result->fold_accuracies.size(), 5u);
+  for (double acc : result->fold_accuracies) {
+    EXPECT_GT(acc, 0.85);
+  }
+  EXPECT_GT(result->mean_accuracy, 0.85);
+  EXPECT_GE(result->stddev_accuracy, 0.0);
+  EXPECT_LT(result->stddev_accuracy, 0.2);
+}
+
+TEST(CrossValidationTest, MeanMatchesFolds) {
+  la::Matrix x;
+  std::vector<int> y;
+  MakeSeparable(120, 4, &x, &y);
+  auto result = CrossValidate(x, y, NetworkKind::kMlp2, FastOptions(), 3);
+  ASSERT_TRUE(result.ok());
+  double sum = 0.0;
+  for (double a : result->fold_accuracies) sum += a;
+  EXPECT_NEAR(result->mean_accuracy, sum / 3.0, 1e-12);
+}
+
+TEST(CrossValidationTest, DeterministicForSeed) {
+  la::Matrix x;
+  std::vector<int> y;
+  MakeSeparable(120, 4, &x, &y);
+  auto r1 = CrossValidate(x, y, NetworkKind::kMlp1, FastOptions(), 4);
+  auto r2 = CrossValidate(x, y, NetworkKind::kMlp1, FastOptions(), 4);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->fold_accuracies, r2->fold_accuracies);
+}
+
+}  // namespace
+}  // namespace newsdiff::core

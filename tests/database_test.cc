@@ -1,0 +1,133 @@
+#include "store/database.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "store/json.h"
+
+namespace newsdiff::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DatabaseFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("newsdiff_db_test_" + std::to_string(0) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir() const { return dir_.string(); }
+  fs::path dir_;
+};
+
+TEST_F(DatabaseFixture, GetOrCreateMakesCollections) {
+  Database db;
+  Collection& c1 = db.GetOrCreate("news");
+  Collection& c2 = db.GetOrCreate("news");
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_EQ(db.CollectionNames(), (std::vector<std::string>{"news"}));
+}
+
+TEST_F(DatabaseFixture, GetMissingReturnsNull) {
+  Database db;
+  EXPECT_EQ(db.Get("nope"), nullptr);
+  const Database& cdb = db;
+  EXPECT_EQ(cdb.Get("nope"), nullptr);
+}
+
+TEST_F(DatabaseFixture, Drop) {
+  Database db;
+  db.GetOrCreate("a");
+  EXPECT_TRUE(db.Drop("a"));
+  EXPECT_FALSE(db.Drop("a"));
+  EXPECT_EQ(db.Get("a"), nullptr);
+}
+
+TEST_F(DatabaseFixture, SaveLoadRoundTrip) {
+  Database db;
+  Collection& tweets = db.GetOrCreate("tweets");
+  tweets.Insert(MakeObject({{"text", "hello"}, {"likes", 5}}));
+  tweets.Insert(MakeObject(
+      {{"text", "world \"quoted\"\nline"}, {"likes", 2.5}}));
+  Collection& users = db.GetOrCreate("users");
+  users.Insert(MakeObject({{"handle", "user_0"}, {"followers", 120}}));
+
+  ASSERT_TRUE(db.SaveToDir(dir()).ok());
+
+  Database loaded;
+  ASSERT_TRUE(loaded.LoadFromDir(dir()).ok());
+  ASSERT_NE(loaded.Get("tweets"), nullptr);
+  ASSERT_NE(loaded.Get("users"), nullptr);
+  EXPECT_EQ(loaded.Get("tweets")->size(), 2u);
+  EXPECT_EQ(loaded.Get("users")->size(), 1u);
+
+  auto docs = loaded.Get("tweets")->All();
+  EXPECT_EQ(docs[0].Find("text")->AsString(), "hello");
+  EXPECT_EQ(docs[1].Find("text")->AsString(), "world \"quoted\"\nline");
+  EXPECT_DOUBLE_EQ(docs[1].Find("likes")->AsDouble(), 2.5);
+}
+
+TEST_F(DatabaseFixture, LoadReplacesExistingCollection) {
+  Database db;
+  db.GetOrCreate("c").Insert(MakeObject({{"v", 1}}));
+  ASSERT_TRUE(db.SaveToDir(dir()).ok());
+
+  Database other;
+  other.GetOrCreate("c").Insert(MakeObject({{"v", 99}}));
+  other.GetOrCreate("c").Insert(MakeObject({{"v", 98}}));
+  ASSERT_TRUE(other.LoadFromDir(dir()).ok());
+  EXPECT_EQ(other.Get("c")->size(), 1u);
+  EXPECT_EQ(other.Get("c")->All()[0].Find("v")->AsInt(), 1);
+}
+
+TEST_F(DatabaseFixture, LoadMissingDirFails) {
+  Database db;
+  EXPECT_FALSE(db.LoadFromDir(dir() + "/does/not/exist").ok());
+}
+
+TEST_F(DatabaseFixture, LoadRejectsMalformedLines) {
+  fs::create_directories(dir_);
+  {
+    std::ofstream out(dir_ / "bad.jsonl");
+    out << "{\"ok\":1}\n{not json\n";
+  }
+  Database db;
+  Status s = db.LoadFromDir(dir());
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+}
+
+TEST_F(DatabaseFixture, LoadSkipsNonJsonlFiles) {
+  fs::create_directories(dir_);
+  {
+    std::ofstream out(dir_ / "notes.txt");
+    out << "not a collection\n";
+  }
+  {
+    std::ofstream out(dir_ / "c.jsonl");
+    out << "{\"v\":1}\n";
+  }
+  Database db;
+  ASSERT_TRUE(db.LoadFromDir(dir()).ok());
+  EXPECT_EQ(db.CollectionNames(), (std::vector<std::string>{"c"}));
+}
+
+TEST_F(DatabaseFixture, EmptyLinesIgnored) {
+  fs::create_directories(dir_);
+  {
+    std::ofstream out(dir_ / "c.jsonl");
+    out << "{\"v\":1}\n\n{\"v\":2}\n";
+  }
+  Database db;
+  ASSERT_TRUE(db.LoadFromDir(dir()).ok());
+  EXPECT_EQ(db.Get("c")->size(), 2u);
+}
+
+}  // namespace
+}  // namespace newsdiff::store

@@ -1,0 +1,160 @@
+#include "embed/doc2vec.h"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace newsdiff::embed {
+namespace {
+
+PretrainedStore TwoWordStore() {
+  std::unordered_map<std::string, std::vector<double>> table;
+  table["alpha"] = {1.0, 0.0, 0.0};
+  table["beta"] = {0.0, 1.0, 0.0};
+  table["gamma"] = {0.0, 0.0, 1.0};
+  return PretrainedStore(WordVectors(3, std::move(table)));
+}
+
+TEST(Doc2VecTest, SwAveragesInVocabWords) {
+  PretrainedStore store = TwoWordStore();
+  auto vec = EmbedDocument({"alpha", "beta"}, store, Doc2VecVariant::kSw);
+  EXPECT_DOUBLE_EQ(vec[0], 0.5);
+  EXPECT_DOUBLE_EQ(vec[1], 0.5);
+  EXPECT_DOUBLE_EQ(vec[2], 0.0);
+}
+
+TEST(Doc2VecTest, SwIgnoresOovWords) {
+  PretrainedStore store = TwoWordStore();
+  auto with_oov =
+      EmbedDocument({"alpha", "unknown1", "unknown2"}, store,
+                    Doc2VecVariant::kSw);
+  auto without = EmbedDocument({"alpha"}, store, Doc2VecVariant::kSw);
+  EXPECT_EQ(with_oov, without);
+}
+
+TEST(Doc2VecTest, RndIncludesOovWordsDeterministically) {
+  PretrainedStore store = TwoWordStore();
+  auto v1 = EmbedDocument({"alpha", "zzz_unknown"}, store,
+                          Doc2VecVariant::kRnd);
+  auto v2 = EmbedDocument({"alpha", "zzz_unknown"}, store,
+                          Doc2VecVariant::kRnd);
+  EXPECT_EQ(v1, v2);
+  auto sw = EmbedDocument({"alpha", "zzz_unknown"}, store,
+                          Doc2VecVariant::kSw);
+  EXPECT_NE(v1, sw);  // the OOV word contributed
+}
+
+TEST(Doc2VecTest, RndVectorBoundsAndStability) {
+  auto v1 = RandomVectorForToken("token_x", 64);
+  auto v2 = RandomVectorForToken("token_x", 64);
+  auto v3 = RandomVectorForToken("token_y", 64);
+  EXPECT_EQ(v1, v2);
+  EXPECT_NE(v1, v3);
+  for (double x : v1) {
+    EXPECT_GE(x, -1.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(Doc2VecTest, SwmScalesByEventWeight) {
+  PretrainedStore store = TwoWordStore();
+  EventWordWeights weights = {{"alpha", 1.0}, {"beta", 0.5}};
+  auto vec = EmbedDocument({"alpha", "beta"}, store, Doc2VecVariant::kSwm,
+                           &weights);
+  EXPECT_DOUBLE_EQ(vec[0], 0.5);    // 1.0 * alpha / 2
+  EXPECT_DOUBLE_EQ(vec[1], 0.25);   // 0.5 * beta / 2
+}
+
+TEST(Doc2VecTest, EventVocabularyRestrictsTokens) {
+  PretrainedStore store = TwoWordStore();
+  EventWordWeights weights = {{"alpha", 1.0}};
+  // beta/gamma are in the store but not in the event vocabulary.
+  auto vec = EmbedDocument({"alpha", "beta", "gamma"}, store,
+                           Doc2VecVariant::kSw, &weights);
+  EXPECT_DOUBLE_EQ(vec[0], 1.0);
+  EXPECT_DOUBLE_EQ(vec[1], 0.0);
+}
+
+TEST(Doc2VecTest, NoContributorsYieldsZeroVector) {
+  PretrainedStore store = TwoWordStore();
+  auto vec = EmbedDocument({"unknown"}, store, Doc2VecVariant::kSw);
+  EXPECT_EQ(vec, (std::vector<double>{0.0, 0.0, 0.0}));
+  auto empty = EmbedDocument({}, store, Doc2VecVariant::kRnd);
+  EXPECT_EQ(empty, (std::vector<double>{0.0, 0.0, 0.0}));
+}
+
+TEST(Doc2VecTest, RepeatedTokensWeightTheAverage) {
+  PretrainedStore store = TwoWordStore();
+  auto vec = EmbedDocument({"alpha", "alpha", "beta"}, store,
+                           Doc2VecVariant::kSw);
+  EXPECT_NEAR(vec[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(vec[1], 1.0 / 3.0, 1e-12);
+}
+
+TEST(Doc2VecTest, EmbedKeywordsIsUnrestrictedSw) {
+  PretrainedStore store = TwoWordStore();
+  EXPECT_EQ(EmbedKeywords({"alpha", "beta"}, store),
+            EmbedDocument({"alpha", "beta"}, store, Doc2VecVariant::kSw));
+}
+
+TEST(PretrainedStoreTest, SaveLoadRoundTrip) {
+  PretrainedStore store = TwoWordStore();
+  std::string path =
+      (std::filesystem::temp_directory_path() / "newsdiff_pretrained_test.txt")
+          .string();
+  ASSERT_TRUE(store.SaveText(path).ok());
+  auto loaded = PretrainedStore::LoadText(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->dimension(), 3u);
+  EXPECT_EQ(loaded->size(), 3u);
+  ASSERT_TRUE(loaded->Contains("alpha"));
+  EXPECT_NEAR((*loaded->Get("alpha"))[0], 1.0, 1e-6);
+  std::filesystem::remove(path);
+}
+
+TEST(PretrainedStoreTest, LoadRejectsMalformed) {
+  namespace fs = std::filesystem;
+  std::string path =
+      (fs::temp_directory_path() / "newsdiff_pretrained_bad.txt").string();
+  {
+    std::ofstream out(path);
+    out << "2 3\nalpha 1 2 3\nbeta 1 2\n";  // short vector
+  }
+  EXPECT_FALSE(PretrainedStore::LoadText(path).ok());
+  {
+    std::ofstream out(path);
+    out << "nonsense\n";
+  }
+  EXPECT_FALSE(PretrainedStore::LoadText(path).ok());
+  {
+    std::ofstream out(path);
+    out << "5 3\nalpha 1 2 3\n";  // count mismatch
+  }
+  EXPECT_FALSE(PretrainedStore::LoadText(path).ok());
+  EXPECT_FALSE(PretrainedStore::LoadText("/no/such/file").ok());
+  fs::remove(path);
+}
+
+/// Property sweep over all three variants: output dimension always matches
+/// the store, and the embedding never contains NaNs.
+class Doc2VecVariantSweep : public ::testing::TestWithParam<Doc2VecVariant> {
+};
+
+TEST_P(Doc2VecVariantSweep, WellFormedOutput) {
+  PretrainedStore store = TwoWordStore();
+  EventWordWeights weights = {{"alpha", 1.0}, {"missing", 0.7}};
+  auto vec = EmbedDocument({"alpha", "missing", "beta"}, store, GetParam(),
+                           &weights);
+  ASSERT_EQ(vec.size(), 3u);
+  for (double v : vec) EXPECT_TRUE(std::isfinite(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, Doc2VecVariantSweep,
+                         ::testing::Values(Doc2VecVariant::kSw,
+                                           Doc2VecVariant::kRnd,
+                                           Doc2VecVariant::kSwm));
+
+}  // namespace
+}  // namespace newsdiff::embed

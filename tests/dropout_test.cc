@@ -1,0 +1,67 @@
+#include "nn/dropout.h"
+
+#include <gtest/gtest.h>
+
+namespace newsdiff::nn {
+namespace {
+
+TEST(DropoutTest, IdentityAtInference) {
+  Dropout drop(0.5, 1);
+  Rng rng(2);
+  la::Matrix x = la::Matrix::Random(3, 8, -1.0, 1.0, rng);
+  la::Matrix y = drop.Forward(x, /*training=*/false);
+  EXPECT_EQ(x.data(), y.data());
+}
+
+TEST(DropoutTest, ZeroRateIsIdentityInTraining) {
+  Dropout drop(0.0, 1);
+  Rng rng(3);
+  la::Matrix x = la::Matrix::Random(2, 6, -1.0, 1.0, rng);
+  la::Matrix y = drop.Forward(x, /*training=*/true);
+  EXPECT_EQ(x.data(), y.data());
+}
+
+TEST(DropoutTest, DropsApproximatelyRateFraction) {
+  Dropout drop(0.4, 7);
+  la::Matrix x(1, 20000, 1.0);
+  la::Matrix y = drop.Forward(x, /*training=*/true);
+  size_t zeros = 0;
+  const double scale = 1.0 / 0.6;
+  for (double v : y.data()) {
+    if (v == 0.0) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, scale, 1e-12);  // survivors are rescaled
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 20000.0, 0.4, 0.02);
+}
+
+TEST(DropoutTest, ExpectationPreserved) {
+  Dropout drop(0.3, 11);
+  la::Matrix x(1, 50000, 2.0);
+  la::Matrix y = drop.Forward(x, /*training=*/true);
+  EXPECT_NEAR(y.Sum() / 50000.0, 2.0, 0.05);
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  Dropout drop(0.5, 13);
+  la::Matrix x(2, 10, 1.0);
+  la::Matrix y = drop.Forward(x, /*training=*/true);
+  la::Matrix grad(2, 10, 1.0);
+  la::Matrix gx = drop.Backward(grad);
+  for (size_t i = 0; i < y.size(); ++i) {
+    // Gradient flows exactly where the activation survived.
+    EXPECT_DOUBLE_EQ(gx.data()[i], y.data()[i]);
+  }
+}
+
+TEST(DropoutTest, OutputSizeUnchanged) {
+  Dropout drop(0.2, 17);
+  EXPECT_EQ(drop.OutputSize(33), 33u);
+  EXPECT_EQ(drop.Name(), "Dropout");
+  EXPECT_DOUBLE_EQ(drop.rate(), 0.2);
+}
+
+}  // namespace
+}  // namespace newsdiff::nn

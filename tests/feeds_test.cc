@@ -1,0 +1,166 @@
+#include "datagen/feeds.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace newsdiff::datagen {
+namespace {
+
+World SmallWorld() {
+  WorldOptions opts;
+  opts.seed = 21;
+  opts.num_users = 100;
+  opts.num_articles = 250;
+  opts.num_tweets = 700;
+  opts.duration_days = 30;
+  return GenerateWorld(opts);
+}
+
+TEST(NewsApiClientTest, ReturnsNewestFirstUpToLimit) {
+  World world = SmallWorld();
+  NewsApiClient client(world);
+  UnixSeconds now = world.options.start_time + 30 * kSecondsPerDay;
+  auto page = client.FetchLatest(now);
+  ASSERT_LE(page.size(), NewsApiClient::kPageLimit);
+  ASSERT_FALSE(page.empty());
+  for (size_t i = 1; i < page.size(); ++i) {
+    EXPECT_GE(page[i - 1].published, page[i].published);
+  }
+  EXPECT_LE(page[0].published, now);
+}
+
+TEST(NewsApiClientTest, TruncatesBodyToFirstParagraph) {
+  World world = SmallWorld();
+  NewsApiClient client(world);
+  auto page =
+      client.FetchLatest(world.options.start_time + 30 * kSecondsPerDay);
+  ASSERT_FALSE(page.empty());
+  ArticleScraper scraper(world);
+  auto body = scraper.FetchBody(page[0].article_id);
+  ASSERT_TRUE(body.ok());
+  EXPECT_LT(page[0].first_paragraph.size(), body->size());
+  EXPECT_EQ(body->substr(0, page[0].first_paragraph.size()),
+            page[0].first_paragraph);
+}
+
+TEST(NewsApiClientTest, PaginationWalksBackwards) {
+  World world = SmallWorld();
+  NewsApiClient client(world);
+  UnixSeconds now = world.options.start_time + 30 * kSecondsPerDay;
+  auto first = client.FetchLatest(now);
+  ASSERT_EQ(first.size(), NewsApiClient::kPageLimit);
+  auto second = client.FetchLatest(now, first.back().published);
+  ASSERT_FALSE(second.empty());
+  EXPECT_LT(second.front().published, first.back().published);
+  // No overlap between pages.
+  std::set<int64_t> ids;
+  for (const auto& h : first) ids.insert(h.article_id);
+  for (const auto& h : second) EXPECT_EQ(ids.count(h.article_id), 0u);
+}
+
+TEST(ScraperTest, UnknownIdFails) {
+  World world = SmallWorld();
+  ArticleScraper scraper(world);
+  EXPECT_FALSE(scraper.FetchBody(999999).ok());
+}
+
+TEST(TwitterClientTest, TimeRangeAndOrdering) {
+  World world = SmallWorld();
+  TwitterClient client(world);
+  UnixSeconds t0 = world.options.start_time;
+  auto page = client.Search({}, t0, t0 + 5 * kSecondsPerDay);
+  ASSERT_FALSE(page.empty());
+  for (size_t i = 1; i < page.size(); ++i) {
+    EXPECT_LE(page[i - 1].created, page[i].created);
+  }
+  for (const auto& t : page) {
+    EXPECT_GE(t.created, t0);
+    EXPECT_LE(t.created, t0 + 5 * kSecondsPerDay);
+  }
+}
+
+TEST(TwitterClientTest, KeywordFilter) {
+  World world = SmallWorld();
+  TwitterClient client(world);
+  UnixSeconds t0 = world.options.start_time;
+  auto page =
+      client.Search({"tariff"}, t0, t0 + 30 * kSecondsPerDay);
+  for (const auto& t : page) {
+    EXPECT_NE(t.text.find("tariff"), std::string::npos);
+  }
+}
+
+TEST(TwitterClientTest, FollowerMetadataJoined) {
+  World world = SmallWorld();
+  TwitterClient client(world);
+  auto page = client.Search({}, world.options.start_time,
+                            world.options.start_time + 30 * kSecondsPerDay);
+  ASSERT_FALSE(page.empty());
+  for (const auto& t : page) {
+    EXPECT_EQ(t.author_followers,
+              world.users[static_cast<size_t>(t.user_id)].followers);
+  }
+}
+
+TEST(FeedCrawlerTest, IngestsEverythingExactlyOnce) {
+  World world = SmallWorld();
+  store::Database db;
+  FeedCrawler crawler(world, db);
+  UnixSeconds end = world.options.start_time + 31 * kSecondsPerDay;
+  auto stats = crawler.CrawlUntil(end);
+  EXPECT_EQ(stats.articles, world.articles.size());
+  EXPECT_EQ(stats.tweets, world.tweets.size());
+  EXPECT_GT(stats.cycles, 300u);  // 30 days of 2-hour cycles
+
+  ASSERT_NE(db.Get("news"), nullptr);
+  ASSERT_NE(db.Get("tweets"), nullptr);
+  EXPECT_EQ(db.Get("news")->size(), world.articles.size());
+  EXPECT_EQ(db.Get("tweets")->size(), world.tweets.size());
+
+  // No duplicates: every article id distinct.
+  std::set<int64_t> ids;
+  for (const store::Value& doc : db.Get("news")->All()) {
+    EXPECT_TRUE(ids.insert(doc.Find("article_id")->AsInt()).second);
+  }
+}
+
+TEST(FeedCrawlerTest, IncrementalCrawlsDoNotDuplicate) {
+  World world = SmallWorld();
+  store::Database db;
+  FeedCrawler crawler(world, db);
+  UnixSeconds t0 = world.options.start_time;
+  auto first = crawler.CrawlUntil(t0 + 10 * kSecondsPerDay);
+  auto second = crawler.CrawlUntil(t0 + 10 * kSecondsPerDay);  // no-op
+  EXPECT_EQ(second.articles, 0u);
+  EXPECT_EQ(second.tweets, 0u);
+  auto third = crawler.CrawlUntil(t0 + 31 * kSecondsPerDay);
+  EXPECT_EQ(first.articles + third.articles, world.articles.size());
+  EXPECT_EQ(first.tweets + third.tweets, world.tweets.size());
+  EXPECT_EQ(db.Get("tweets")->size(), world.tweets.size());
+}
+
+TEST(FeedCrawlerTest, CrawledStoreMatchesDirectLoad) {
+  World world = SmallWorld();
+  store::Database crawled;
+  FeedCrawler crawler(world, crawled);
+  crawler.CrawlUntil(world.options.start_time + 31 * kSecondsPerDay);
+
+  store::Database direct;
+  world.LoadInto(direct);
+
+  // Same tweet set with identical engagement values.
+  auto crawled_docs = crawled.Get("tweets")->All();
+  auto direct_docs = direct.Get("tweets")->All();
+  ASSERT_EQ(crawled_docs.size(), direct_docs.size());
+  for (size_t i = 0; i < crawled_docs.size(); ++i) {
+    EXPECT_TRUE(crawled_docs[i]
+                    .Find("tweet_id")
+                    ->Equals(*direct_docs[i].Find("tweet_id")));
+    EXPECT_TRUE(
+        crawled_docs[i].Find("likes")->Equals(*direct_docs[i].Find("likes")));
+  }
+}
+
+}  // namespace
+}  // namespace newsdiff::datagen

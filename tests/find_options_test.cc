@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "store/collection.h"
+
+namespace newsdiff::store {
+namespace {
+
+Collection Scored() {
+  Collection coll("scored");
+  coll.Insert(MakeObject({{"name", "c"}, {"score", 30}}));
+  coll.Insert(MakeObject({{"name", "a"}, {"score", 10}}));
+  coll.Insert(MakeObject({{"name", "d"}, {"score", 40}}));
+  coll.Insert(MakeObject({{"name", "b"}, {"score", 20}}));
+  return coll;
+}
+
+TEST(FindOptionsTest, SortAscendingAndDescending) {
+  Collection coll = Scored();
+  FindOptions asc;
+  asc.sort_field = "score";
+  auto docs = coll.Find(Filter(), asc);
+  ASSERT_EQ(docs.size(), 4u);
+  EXPECT_EQ(docs[0].Find("name")->AsString(), "a");
+  EXPECT_EQ(docs[3].Find("name")->AsString(), "d");
+
+  FindOptions desc = asc;
+  desc.descending = true;
+  docs = coll.Find(Filter(), desc);
+  EXPECT_EQ(docs[0].Find("name")->AsString(), "d");
+}
+
+TEST(FindOptionsTest, SkipAndLimitPaginate) {
+  Collection coll = Scored();
+  FindOptions page;
+  page.sort_field = "score";
+  page.skip = 1;
+  page.limit = 2;
+  auto docs = coll.Find(Filter(), page);
+  ASSERT_EQ(docs.size(), 2u);
+  EXPECT_EQ(docs[0].Find("name")->AsString(), "b");
+  EXPECT_EQ(docs[1].Find("name")->AsString(), "c");
+}
+
+TEST(FindOptionsTest, SkipPastEndYieldsEmpty) {
+  Collection coll = Scored();
+  FindOptions opts;
+  opts.skip = 10;
+  EXPECT_TRUE(coll.Find(Filter(), opts).empty());
+}
+
+TEST(FindOptionsTest, MissingSortFieldSortsFirst) {
+  Collection coll = Scored();
+  coll.Insert(MakeObject({{"name", "nosort"}}));
+  FindOptions opts;
+  opts.sort_field = "score";
+  auto docs = coll.Find(Filter(), opts);
+  EXPECT_EQ(docs.front().Find("name")->AsString(), "nosort");
+}
+
+TEST(FindOptionsTest, ProjectionKeepsIdAndSelected) {
+  Collection coll = Scored();
+  FindOptions opts;
+  opts.projection = {"name"};
+  auto docs = coll.Find(Filter(), opts);
+  for (const Value& doc : docs) {
+    EXPECT_NE(doc.Find("name"), nullptr);
+    EXPECT_NE(doc.Find("_id"), nullptr);
+    EXPECT_EQ(doc.Find("score"), nullptr);
+  }
+}
+
+TEST(FindOptionsTest, CombinesWithFilter) {
+  Collection coll = Scored();
+  FindOptions opts;
+  opts.sort_field = "score";
+  opts.descending = true;
+  opts.limit = 1;
+  auto docs = coll.Find(Filter().Lt("score", Value(int64_t{35})), opts);
+  ASSERT_EQ(docs.size(), 1u);
+  EXPECT_EQ(docs[0].Find("name")->AsString(), "c");
+}
+
+TEST(CountByTest, GroupsAndCounts) {
+  Collection coll("events");
+  coll.Insert(MakeObject({{"theme", "brexit"}, {"likes", 1}}));
+  coll.Insert(MakeObject({{"theme", "brexit"}, {"likes", 2}}));
+  coll.Insert(MakeObject({{"theme", "tariffs"}, {"likes", 3}}));
+  coll.Insert(MakeObject({{"likes", 4}}));  // missing theme
+  auto groups = coll.CountBy(Filter(), "theme");
+  EXPECT_EQ(groups["\"brexit\""], 2u);
+  EXPECT_EQ(groups["\"tariffs\""], 1u);
+  EXPECT_EQ(groups["null"], 1u);
+}
+
+TEST(CountByTest, RespectsFilter) {
+  Collection coll("events");
+  coll.Insert(MakeObject({{"theme", "a"}, {"likes", 10}}));
+  coll.Insert(MakeObject({{"theme", "a"}, {"likes", 2000}}));
+  auto groups =
+      coll.CountBy(Filter().Gt("likes", Value(int64_t{100})), "theme");
+  EXPECT_EQ(groups["\"a\""], 1u);
+}
+
+TEST(UpsertTest, InsertsWhenNoMatch) {
+  Collection coll("state");
+  auto id = coll.Upsert(Filter().Eq("key", Value("cursor")),
+                        MakeObject({{"key", "cursor"}, {"value", 5}}));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(coll.size(), 1u);
+  EXPECT_EQ(coll.Get(*id)->Find("value")->AsInt(), 5);
+}
+
+TEST(UpsertTest, ReplacesExistingPreservingId) {
+  Collection coll("state");
+  coll.Insert(MakeObject({{"key", "cursor"}, {"value", 5}, {"old", true}}));
+  auto id = coll.Upsert(Filter().Eq("key", Value("cursor")),
+                        MakeObject({{"key", "cursor"}, {"value", 9}}));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0);
+  EXPECT_EQ(coll.size(), 1u);
+  StatusOr<Value> doc = coll.Get(0);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("value")->AsInt(), 9);
+  EXPECT_EQ(doc->Find("old"), nullptr);  // full replacement
+  EXPECT_EQ(doc->Find("_id")->AsInt(), 0);
+}
+
+TEST(UpsertTest, KeepsIndexesConsistent) {
+  Collection coll("state");
+  coll.CreateIndex("key");
+  coll.Insert(MakeObject({{"key", "a"}, {"value", 1}}));
+  coll.Upsert(Filter().Eq("key", Value("a")),
+              MakeObject({{"key", "b"}, {"value", 2}}));
+  EXPECT_EQ(coll.Count(Filter().Eq("key", Value("a"))), 0u);
+  EXPECT_EQ(coll.Count(Filter().Eq("key", Value("b"))), 1u);
+}
+
+TEST(UpsertTest, RejectsNonObject) {
+  Collection coll("state");
+  EXPECT_FALSE(coll.Upsert(Filter(), Value(5)).ok());
+}
+
+}  // namespace
+}  // namespace newsdiff::store

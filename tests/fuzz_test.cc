@@ -1,0 +1,89 @@
+// Deterministic fuzz-style robustness tests: parsers and tokenizers must
+// never crash on arbitrary bytes, and whatever the JSON parser accepts must
+// survive a re-serialisation round trip.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "store/json.h"
+#include "text/lemmatizer.h"
+#include "text/ner.h"
+#include "text/pipeline.h"
+
+namespace newsdiff {
+namespace {
+
+std::string RandomBytes(Rng& rng, size_t max_len) {
+  size_t len = rng.NextBelow(max_len + 1);
+  std::string s(len, '\0');
+  for (char& c : s) c = static_cast<char>(rng.NextBelow(256));
+  return s;
+}
+
+std::string RandomJsonish(Rng& rng, size_t max_len) {
+  // Bytes drawn from JSON's structural alphabet: more likely to get deep
+  // into the parser than raw bytes.
+  static const char kAlphabet[] = "{}[]\",:0123456789.eE+-truefalsn \\u\n";
+  size_t len = rng.NextBelow(max_len + 1);
+  std::string s(len, '\0');
+  for (char& c : s) c = kAlphabet[rng.NextBelow(sizeof(kAlphabet) - 1)];
+  return s;
+}
+
+class FuzzSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzSweep, JsonParserNeverCrashesAndAcceptedInputsRoundTrip) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string input = trial % 2 == 0 ? RandomBytes(rng, 64)
+                                       : RandomJsonish(rng, 64);
+    StatusOr<store::Value> parsed = store::ParseJson(input);
+    if (parsed.ok()) {
+      // Anything accepted must survive serialise -> parse -> equality.
+      std::string json = store::ToJson(*parsed);
+      StatusOr<store::Value> again = store::ParseJson(json);
+      ASSERT_TRUE(again.ok()) << "re-parse failed for: " << json;
+      EXPECT_TRUE(again->Equals(*parsed)) << json;
+    }
+  }
+}
+
+TEST_P(FuzzSweep, TextPipelinesNeverCrash) {
+  Rng rng(GetParam() + 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string input = RandomBytes(rng, 120);
+    // All three recipes plus the NER helpers on arbitrary bytes.
+    auto a = text::PreprocessNewsTM(input);
+    auto b = text::PreprocessNewsED(input);
+    auto c = text::PreprocessTwitterED(input);
+    auto entities = text::ExtractEntities(input);
+    std::string folded = text::FoldEntities(input);
+    // Tokens never contain raw whitespace.
+    for (const auto& tokens : {a, b, c}) {
+      for (const std::string& tok : tokens) {
+        EXPECT_EQ(tok.find(' '), std::string::npos);
+        EXPECT_FALSE(tok.empty());
+      }
+    }
+  }
+}
+
+TEST_P(FuzzSweep, LemmatizerTotalOnArbitraryLowercase) {
+  Rng rng(GetParam() + 2);
+  for (int trial = 0; trial < 500; ++trial) {
+    size_t len = rng.NextBelow(16);
+    std::string word(len, 'a');
+    for (char& c : word) {
+      c = static_cast<char>('a' + rng.NextBelow(26));
+    }
+    std::string lemma = text::Lemmatize(word);
+    EXPECT_FALSE(len > 0 && lemma.empty()) << word;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Values(101ull, 202ull, 303ull));
+
+}  // namespace
+}  // namespace newsdiff

@@ -1,0 +1,173 @@
+#include "store/json.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace newsdiff::store {
+namespace {
+
+Value ParseOrDie(const std::string& text) {
+  StatusOr<Value> v = ParseJson(text);
+  EXPECT_TRUE(v.ok()) << v.status().ToString() << " for: " << text;
+  return std::move(v).value();
+}
+
+TEST(JsonSerializeTest, Scalars) {
+  EXPECT_EQ(ToJson(Value()), "null");
+  EXPECT_EQ(ToJson(Value(true)), "true");
+  EXPECT_EQ(ToJson(Value(false)), "false");
+  EXPECT_EQ(ToJson(Value(42)), "42");
+  EXPECT_EQ(ToJson(Value(-7)), "-7");
+  EXPECT_EQ(ToJson(Value("hi")), "\"hi\"");
+}
+
+TEST(JsonSerializeTest, NonFiniteBecomesNull) {
+  EXPECT_EQ(ToJson(Value(std::nan(""))), "null");
+  EXPECT_EQ(ToJson(Value(INFINITY)), "null");
+}
+
+TEST(JsonSerializeTest, Escapes) {
+  EXPECT_EQ(ToJson(Value("a\"b\\c\n\t")), "\"a\\\"b\\\\c\\n\\t\"");
+  EXPECT_EQ(ToJson(Value(std::string("\x01"))), "\"\\u0001\"");
+}
+
+TEST(JsonSerializeTest, Containers) {
+  Value v = MakeObject({{"a", Value(Array{1, 2})}, {"b", "x"}});
+  EXPECT_EQ(ToJson(v), "{\"a\":[1,2],\"b\":\"x\"}");
+  EXPECT_EQ(ToJson(Value(Array{})), "[]");
+  EXPECT_EQ(ToJson(Value(Object{})), "{}");
+}
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(ParseOrDie("null").is_null());
+  EXPECT_EQ(ParseOrDie("true").bool_value(), true);
+  EXPECT_EQ(ParseOrDie("-17").int_value(), -17);
+  EXPECT_DOUBLE_EQ(ParseOrDie("2.5").double_value(), 2.5);
+  EXPECT_DOUBLE_EQ(ParseOrDie("1e3").double_value(), 1000.0);
+  EXPECT_EQ(ParseOrDie("\"abc\"").string_value(), "abc");
+}
+
+TEST(JsonParseTest, IntVsDoubleSelection) {
+  EXPECT_TRUE(ParseOrDie("7").is_int());
+  EXPECT_TRUE(ParseOrDie("7.0").is_double());
+  EXPECT_TRUE(ParseOrDie("7e2").is_double());
+  // Larger than int64 falls back to double.
+  EXPECT_TRUE(ParseOrDie("99999999999999999999999").is_double());
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(ParseOrDie("\"a\\nb\"").string_value(), "a\nb");
+  EXPECT_EQ(ParseOrDie("\"q\\\"q\"").string_value(), "q\"q");
+  EXPECT_EQ(ParseOrDie("\"\\u0041\"").string_value(), "A");
+  EXPECT_EQ(ParseOrDie("\"\\u00e9\"").string_value(), "\xC3\xA9");  // é
+}
+
+TEST(JsonParseTest, Whitespace) {
+  Value v = ParseOrDie("  { \"a\" : [ 1 , 2 ] }  ");
+  EXPECT_EQ(v.Find("a")->array().size(), 2u);
+}
+
+TEST(JsonParseTest, Nested) {
+  Value v = ParseOrDie(R"({"a":{"b":[{"c":1}]}})");
+  const Value* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  const Value* b = a->Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->array()[0].Find("c")->AsInt(), 1);
+}
+
+TEST(JsonParseTest, Errors) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":}").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("\"\\x\"").ok());
+  EXPECT_FALSE(ParseJson("\"\\u00g1\"").ok());
+}
+
+TEST(JsonParseTest, OverflowingNumbersRejected) {
+  EXPECT_FALSE(ParseJson("1e999").ok());
+  EXPECT_FALSE(ParseJson("-1e999").ok());
+  // Underflow to zero is fine.
+  EXPECT_TRUE(ParseJson("1e-999").ok());
+}
+
+TEST(JsonParseTest, DeepNestingRejected) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(JsonPrettyTest, ContainsNewlinesAndRoundTrips) {
+  Value v = MakeObject({{"a", 1}, {"b", Value(Array{1, 2})}});
+  std::string pretty = ToPrettyJson(v);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  Value back = ParseOrDie(pretty);
+  EXPECT_TRUE(back.Equals(v));
+}
+
+// Random-value generator for the round-trip property test.
+Value RandomValue(Rng& rng, int depth) {
+  int pick = depth > 3 ? static_cast<int>(rng.NextBelow(5))
+                       : static_cast<int>(rng.NextBelow(7));
+  switch (pick) {
+    case 0:
+      return Value();
+    case 1:
+      return Value(rng.Bernoulli(0.5));
+    case 2:
+      return Value(rng.UniformInt(-1000000, 1000000));
+    case 3:
+      return Value(rng.Uniform(-1e6, 1e6));
+    case 4: {
+      std::string s;
+      size_t len = rng.NextBelow(12);
+      for (size_t i = 0; i < len; ++i) {
+        s += static_cast<char>('a' + rng.NextBelow(26));
+      }
+      if (rng.Bernoulli(0.2)) s += "\"\\\n";
+      return Value(std::move(s));
+    }
+    case 5: {
+      Array arr;
+      size_t len = rng.NextBelow(4);
+      for (size_t i = 0; i < len; ++i) {
+        arr.push_back(RandomValue(rng, depth + 1));
+      }
+      return Value(std::move(arr));
+    }
+    default: {
+      Object obj;
+      size_t len = rng.NextBelow(4);
+      for (size_t i = 0; i < len; ++i) {
+        obj.emplace_back("k" + std::to_string(i), RandomValue(rng, depth + 1));
+      }
+      return Value(std::move(obj));
+    }
+  }
+}
+
+class JsonRoundTripSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JsonRoundTripSweep, SerializeParseIsIdentity) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    Value v = RandomValue(rng, 0);
+    StatusOr<Value> back = ParseJson(ToJson(v));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_TRUE(back->Equals(v)) << ToJson(v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTripSweep,
+                         ::testing::Values(1ull, 2ull, 3ull, 99ull));
+
+}  // namespace
+}  // namespace newsdiff::store

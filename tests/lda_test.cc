@@ -1,0 +1,139 @@
+#include "topic/lda.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace newsdiff::topic {
+namespace {
+
+corpus::Corpus TwoThemeCorpus(uint64_t seed = 3) {
+  corpus::Corpus corp;
+  std::vector<std::string> sports = {"goal", "match", "league", "striker"};
+  std::vector<std::string> politics = {"vote", "election", "party",
+                                       "parliament"};
+  Rng rng(seed);
+  for (int d = 0; d < 60; ++d) {
+    const auto& pool = d % 2 == 0 ? sports : politics;
+    std::vector<std::string> doc;
+    for (int i = 0; i < 15; ++i) {
+      doc.push_back(pool[rng.NextBelow(pool.size())]);
+    }
+    corp.AddDocument(doc);
+  }
+  return corp;
+}
+
+TEST(LdaTest, RejectsBadInput) {
+  corpus::Corpus empty;
+  EXPECT_FALSE(FitLda(empty, LdaOptions{}).ok());
+  corpus::Corpus corp = TwoThemeCorpus();
+  LdaOptions opts;
+  opts.num_topics = 0;
+  EXPECT_FALSE(FitLda(corp, opts).ok());
+}
+
+TEST(LdaTest, DistributionsAreNormalised) {
+  corpus::Corpus corp = TwoThemeCorpus();
+  LdaOptions opts;
+  opts.num_topics = 2;
+  opts.iterations = 50;
+  auto result = FitLda(corp, opts);
+  ASSERT_TRUE(result.ok());
+  for (size_t d = 0; d < result->doc_topic.rows(); ++d) {
+    double sum = 0.0;
+    for (size_t z = 0; z < result->doc_topic.cols(); ++z) {
+      double p = result->doc_topic(d, z);
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  for (size_t z = 0; z < result->topic_word.rows(); ++z) {
+    double sum = 0.0;
+    for (size_t w = 0; w < result->topic_word.cols(); ++w) {
+      sum += result->topic_word(z, w);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(LdaTest, RecoversPlantedThemes) {
+  corpus::Corpus corp = TwoThemeCorpus();
+  LdaOptions opts;
+  opts.num_topics = 2;
+  opts.iterations = 150;
+  auto result = FitLda(corp, opts);
+  ASSERT_TRUE(result.ok());
+  // Each topic's top-4 keywords should come from a single theme.
+  std::vector<std::string> sports = {"goal", "match", "league", "striker"};
+  for (size_t z = 0; z < 2; ++z) {
+    auto keywords = LdaTopicKeywords(*result, corp, z, 4);
+    size_t in_sports = 0;
+    for (const std::string& kw : keywords) {
+      if (std::find(sports.begin(), sports.end(), kw) != sports.end()) {
+        ++in_sports;
+      }
+    }
+    EXPECT_TRUE(in_sports == 0 || in_sports == 4)
+        << "mixed topic " << z << " (" << in_sports << " sports words)";
+  }
+  // Documents of the two themes get opposite dominant topics.
+  auto dominant = [&](size_t d) {
+    return result->doc_topic(d, 0) > result->doc_topic(d, 1) ? 0 : 1;
+  };
+  EXPECT_NE(dominant(0), dominant(1));
+  EXPECT_EQ(dominant(0), dominant(2));
+}
+
+TEST(LdaTest, LikelihoodImprovesWithSampling) {
+  // Compare a barely-mixed chain (1 iteration) against a converged one.
+  corpus::Corpus corp = TwoThemeCorpus();
+  LdaOptions early;
+  early.num_topics = 2;
+  early.iterations = 1;
+  LdaOptions late = early;
+  late.iterations = 100;
+  auto r_early = FitLda(corp, early);
+  auto r_late = FitLda(corp, late);
+  ASSERT_TRUE(r_early.ok() && r_late.ok());
+  EXPECT_GT(r_late->log_likelihood.back(),
+            r_early->log_likelihood.back());
+  // And the converged chain never degrades between checkpoints by much.
+  ASSERT_GE(r_late->log_likelihood.size(), 2u);
+  EXPECT_GE(r_late->log_likelihood.back(),
+            r_late->log_likelihood.front() - 1.0);
+}
+
+TEST(LdaTest, DeterministicForSeed) {
+  corpus::Corpus corp = TwoThemeCorpus();
+  LdaOptions opts;
+  opts.num_topics = 2;
+  opts.iterations = 30;
+  auto r1 = FitLda(corp, opts);
+  auto r2 = FitLda(corp, opts);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->doc_topic.data(), r2->doc_topic.data());
+}
+
+TEST(LdaTest, KeywordsSortedByProbability) {
+  corpus::Corpus corp = TwoThemeCorpus();
+  LdaOptions opts;
+  opts.num_topics = 2;
+  opts.iterations = 50;
+  auto result = FitLda(corp, opts);
+  ASSERT_TRUE(result.ok());
+  auto keywords = LdaTopicKeywords(*result, corp, 0, 8);
+  EXPECT_EQ(keywords.size(), 8u);
+  for (size_t i = 1; i < keywords.size(); ++i) {
+    double prev = result->topic_word(
+        0, corp.vocabulary().Get(keywords[i - 1]));
+    double cur = result->topic_word(0, corp.vocabulary().Get(keywords[i]));
+    EXPECT_GE(prev, cur);
+  }
+}
+
+}  // namespace
+}  // namespace newsdiff::topic

@@ -1,0 +1,41 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace newsdiff {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, LevelRoundTrips) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotCrash) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  // These must be cheap no-ops, not crashes.
+  NEWSDIFF_LOG(Debug) << "invisible " << 42;
+  NEWSDIFF_LOG(Info) << "also invisible";
+  NEWSDIFF_LOG(Warning) << "still invisible";
+}
+
+TEST(LoggingTest, StreamAcceptsMixedTypes) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  NEWSDIFF_LOG(Debug) << "str " << 1 << ' ' << 2.5 << ' ' << true;
+}
+
+}  // namespace
+}  // namespace newsdiff

@@ -1,0 +1,86 @@
+#include "text/ner.h"
+
+#include <gtest/gtest.h>
+
+namespace newsdiff::text {
+namespace {
+
+std::vector<std::string> Concepts(const std::string& input) {
+  std::vector<std::string> out;
+  for (const Entity& e : ExtractEntities(input)) out.push_back(e.concept_token);
+  return out;
+}
+
+TEST(NerTest, MultiWordEntity) {
+  EXPECT_EQ(Concepts("talks with Theresa May continued"),
+            (std::vector<std::string>{"theresa_may"}));
+}
+
+TEST(NerTest, MultipleEntities) {
+  EXPECT_EQ(Concepts("Boris Johnson met Donald Trump in New York"),
+            (std::vector<std::string>{"boris_johnson", "donald_trump",
+                                      "new_york"}));
+}
+
+TEST(NerTest, LinkerWords) {
+  EXPECT_EQ(Concepts("the House of Commons voted"),
+            (std::vector<std::string>{"house_of_commons"}));
+}
+
+TEST(NerTest, SentenceInitialCommonWordIgnored) {
+  // "The" at sentence start followed by lowercase is sentence case, not an
+  // entity.
+  EXPECT_TRUE(Concepts("Talks continued today.").empty());
+  EXPECT_TRUE(Concepts("However, progress stalled.").empty());
+}
+
+TEST(NerTest, SentenceInitialEntityKeptWhenFollowedByCapital) {
+  EXPECT_EQ(Concepts("Theresa May resigned."),
+            (std::vector<std::string>{"theresa_may"}));
+}
+
+TEST(NerTest, AcronymAtSentenceStart) {
+  EXPECT_EQ(Concepts("NASA launched a rocket."),
+            (std::vector<std::string>{"nasa"}));
+}
+
+TEST(NerTest, StopwordCapitalsNotEntities) {
+  EXPECT_TRUE(Concepts("And then It happened...").empty());
+}
+
+TEST(NerTest, SurfaceFormPreserved) {
+  auto entities = ExtractEntities("meeting Emperor Naruhito tomorrow");
+  ASSERT_EQ(entities.size(), 1u);
+  EXPECT_EQ(entities[0].surface, "Emperor Naruhito");
+  EXPECT_EQ(entities[0].concept_token, "emperor_naruhito");
+}
+
+TEST(NerTest, EmptyInput) {
+  EXPECT_TRUE(ExtractEntities("").empty());
+  EXPECT_EQ(FoldEntities(""), "");
+}
+
+TEST(FoldTest, ReplacesSurfaceWithConcept) {
+  std::string folded = FoldEntities("talks with Theresa May continued");
+  EXPECT_EQ(folded, "talks with theresa_may continued");
+}
+
+TEST(FoldTest, MultipleReplacements) {
+  std::string folded = FoldEntities("Boris Johnson met Donald Trump");
+  EXPECT_NE(folded.find("boris_johnson"), std::string::npos);
+  EXPECT_NE(folded.find("donald_trump"), std::string::npos);
+  EXPECT_EQ(folded.find("Boris"), std::string::npos);
+}
+
+TEST(FoldTest, NoEntitiesMeansIdentity) {
+  std::string text = "plain lowercase text without names";
+  EXPECT_EQ(FoldEntities(text), text);
+}
+
+TEST(FoldTest, SurroundingPunctuationSurvives) {
+  std::string folded = FoldEntities("deal (with Theresa May), they said.");
+  EXPECT_EQ(folded, "deal (with theresa_may), they said.");
+}
+
+}  // namespace
+}  // namespace newsdiff::text

@@ -1,0 +1,214 @@
+#include "topic/nmf.h"
+
+#include <gtest/gtest.h>
+
+#include "topic/topic_model.h"
+
+namespace newsdiff::topic {
+namespace {
+
+la::CsrMatrix LowRankMatrix(size_t n, size_t m, size_t rank, uint64_t seed) {
+  // Build A = W H with non-negative random factors, stored sparsely.
+  Rng rng(seed);
+  la::Matrix w = la::Matrix::Random(n, rank, 0.0, 1.0, rng);
+  la::Matrix h = la::Matrix::Random(rank, m, 0.0, 1.0, rng);
+  la::Matrix a = la::MatMul(w, h);
+  std::vector<la::Triplet> triplets;
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < m; ++c) {
+      triplets.push_back({static_cast<uint32_t>(r), static_cast<uint32_t>(c),
+                          a(r, c)});
+    }
+  }
+  return la::CsrMatrix::FromTriplets(n, m, triplets);
+}
+
+TEST(NmfTest, RejectsBadArguments) {
+  la::CsrMatrix a = LowRankMatrix(4, 5, 2, 1);
+  NmfOptions opts;
+  opts.components = 0;
+  EXPECT_FALSE(Nmf(a, opts).ok());
+  opts.components = 10;  // exceeds both dims
+  EXPECT_FALSE(Nmf(a, opts).ok());
+  la::CsrMatrix empty;
+  opts.components = 1;
+  EXPECT_FALSE(Nmf(empty, opts).ok());
+}
+
+TEST(NmfTest, FactorsAreNonNegative) {
+  la::CsrMatrix a = LowRankMatrix(10, 8, 3, 2);
+  NmfOptions opts;
+  opts.components = 3;
+  opts.max_iterations = 50;
+  auto result = Nmf(a, opts);
+  ASSERT_TRUE(result.ok());
+  for (double v : result->w.data()) EXPECT_GE(v, 0.0);
+  for (double v : result->h.data()) EXPECT_GE(v, 0.0);
+}
+
+TEST(NmfTest, ObjectiveDecreasesMonotonically) {
+  la::CsrMatrix a = LowRankMatrix(12, 10, 3, 3);
+  NmfOptions opts;
+  opts.components = 3;
+  opts.max_iterations = 100;
+  opts.eval_every = 5;
+  opts.tolerance = 0.0;  // run all checkpoints
+  auto result = Nmf(a, opts);
+  ASSERT_TRUE(result.ok());
+  const auto& hist = result->objective_history;
+  ASSERT_GE(hist.size(), 3u);
+  for (size_t i = 1; i < hist.size(); ++i) {
+    EXPECT_LE(hist[i], hist[i - 1] + 1e-8) << "checkpoint " << i;
+  }
+}
+
+TEST(NmfTest, RecoversLowRankMatrixWell) {
+  la::CsrMatrix a = LowRankMatrix(15, 12, 2, 4);
+  NmfOptions opts;
+  opts.components = 2;
+  opts.max_iterations = 300;
+  opts.tolerance = 1e-8;
+  auto result = Nmf(a, opts);
+  ASSERT_TRUE(result.ok());
+  double rel = result->final_objective / a.SquaredFrobeniusNorm();
+  EXPECT_LT(rel, 0.01);  // < 1% residual on an exactly rank-2 matrix
+}
+
+TEST(NmfTest, DeterministicForSeed) {
+  la::CsrMatrix a = LowRankMatrix(8, 8, 2, 5);
+  NmfOptions opts;
+  opts.components = 2;
+  opts.max_iterations = 20;
+  auto r1 = Nmf(a, opts);
+  auto r2 = Nmf(a, opts);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->w.data(), r2->w.data());
+  EXPECT_EQ(r1->h.data(), r2->h.data());
+}
+
+TEST(NmfTest, DifferentSeedsDifferentInit) {
+  la::CsrMatrix a = LowRankMatrix(8, 8, 2, 6);
+  NmfOptions o1, o2;
+  o1.components = o2.components = 2;
+  o1.max_iterations = o2.max_iterations = 1;
+  o2.seed = o1.seed + 1;
+  auto r1 = Nmf(a, o1);
+  auto r2 = Nmf(a, o2);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_NE(r1->w.data(), r2->w.data());
+}
+
+TEST(NmfTest, ObjectiveFormulaMatchesDenseReference) {
+  la::CsrMatrix a = LowRankMatrix(6, 5, 2, 7);
+  Rng rng(8);
+  la::Matrix w = la::Matrix::Random(6, 2, 0.0, 1.0, rng);
+  la::Matrix h = la::Matrix::Random(2, 5, 0.0, 1.0, rng);
+  double fast = NmfObjective(a, w, h);
+  la::Matrix diff = a.ToDense();
+  diff.Sub(la::MatMul(w, h));
+  double reference = diff.FrobeniusNorm();
+  EXPECT_NEAR(fast, reference * reference, 1e-8);
+}
+
+TEST(TopicModelTest, RecoversPlantedTopics) {
+  // Two disjoint vocabularies; documents draw from exactly one.
+  corpus::Corpus corp;
+  std::vector<std::string> sports = {"goal", "match", "league", "striker"};
+  std::vector<std::string> politics = {"vote", "election", "party",
+                                       "parliament"};
+  Rng rng(9);
+  for (int d = 0; d < 40; ++d) {
+    const auto& pool = d % 2 == 0 ? sports : politics;
+    std::vector<std::string> doc;
+    for (int i = 0; i < 12; ++i) {
+      doc.push_back(pool[rng.NextBelow(pool.size())]);
+    }
+    corp.AddDocument(doc);
+  }
+  TopicModelOptions opts;
+  opts.num_topics = 2;
+  opts.keywords_per_topic = 4;
+  opts.nmf.max_iterations = 200;
+  auto model = TopicModel::Fit(corp, opts);
+  ASSERT_TRUE(model.ok());
+  ASSERT_EQ(model->topics().size(), 2u);
+  // Each topic's keywords must come from a single planted vocabulary.
+  for (const Topic& t : model->topics()) {
+    size_t in_sports = 0, in_politics = 0;
+    for (const std::string& kw : t.keywords) {
+      if (std::find(sports.begin(), sports.end(), kw) != sports.end()) {
+        ++in_sports;
+      }
+      if (std::find(politics.begin(), politics.end(), kw) != politics.end()) {
+        ++in_politics;
+      }
+    }
+    EXPECT_TRUE(in_sports == t.keywords.size() ||
+                in_politics == t.keywords.size())
+        << "mixed topic";
+  }
+  // Documents map to the right dominant topic consistently.
+  size_t topic_of_even = model->DominantTopic(0);
+  for (size_t d = 0; d < corp.size(); d += 2) {
+    EXPECT_EQ(model->DominantTopic(d), topic_of_even);
+  }
+  for (size_t d = 1; d < corp.size(); d += 2) {
+    EXPECT_NE(model->DominantTopic(d), topic_of_even);
+  }
+}
+
+TEST(TopicModelTest, KeywordsSortedByWeight) {
+  corpus::Corpus corp;
+  Rng rng(10);
+  const char* words[] = {"a", "b", "c", "d", "e", "f"};
+  for (int d = 0; d < 20; ++d) {
+    std::vector<std::string> doc;
+    for (int i = 0; i < 8; ++i) doc.push_back(words[rng.NextBelow(6)]);
+    corp.AddDocument(doc);
+  }
+  TopicModelOptions opts;
+  opts.num_topics = 3;
+  opts.keywords_per_topic = 6;
+  auto model = TopicModel::Fit(corp, opts);
+  ASSERT_TRUE(model.ok());
+  for (const Topic& t : model->topics()) {
+    for (size_t i = 1; i < t.weights.size(); ++i) {
+      EXPECT_GE(t.weights[i - 1], t.weights[i]);
+    }
+  }
+}
+
+TEST(TopicModelTest, EmptyCorpusFails) {
+  corpus::Corpus corp;
+  EXPECT_FALSE(TopicModel::Fit(corp, TopicModelOptions{}).ok());
+}
+
+/// Property sweep over component counts: factor shapes follow k and the
+/// objective never increases.
+class NmfComponentSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(NmfComponentSweep, ShapesAndMonotonicity) {
+  const size_t k = GetParam();
+  la::CsrMatrix a = LowRankMatrix(20, 16, 4, 20 + k);
+  NmfOptions opts;
+  opts.components = k;
+  opts.max_iterations = 60;
+  opts.eval_every = 10;
+  opts.tolerance = 0.0;
+  auto result = Nmf(a, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->w.rows(), 20u);
+  EXPECT_EQ(result->w.cols(), k);
+  EXPECT_EQ(result->h.rows(), k);
+  EXPECT_EQ(result->h.cols(), 16u);
+  for (size_t i = 1; i < result->objective_history.size(); ++i) {
+    EXPECT_LE(result->objective_history[i],
+              result->objective_history[i - 1] + 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Components, NmfComponentSweep,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace newsdiff::topic

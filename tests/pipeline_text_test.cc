@@ -1,0 +1,115 @@
+#include "text/pipeline.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "text/stopwords.h"
+
+namespace newsdiff::text {
+namespace {
+
+bool Contains(const std::vector<std::string>& tokens,
+              const std::string& token) {
+  return std::find(tokens.begin(), tokens.end(), token) != tokens.end();
+}
+
+TEST(StopwordsTest, CoreWordsPresent) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("and"));
+  EXPECT_TRUE(IsStopword("don't"));
+  EXPECT_FALSE(IsStopword("brexit"));
+  EXPECT_FALSE(IsStopword(""));
+  EXPECT_GT(EnglishStopwords().size(), 150u);
+}
+
+TEST(NewsTMTest, RemovesStopwordsAndPunctuation) {
+  auto tokens =
+      PreprocessNewsTM("The tariffs were imposed on the imports.");
+  EXPECT_FALSE(Contains(tokens, "the"));
+  EXPECT_FALSE(Contains(tokens, "on"));
+  EXPECT_TRUE(Contains(tokens, "tariff"));   // lemmatized plural
+  EXPECT_TRUE(Contains(tokens, "impose"));   // lemmatized past
+  EXPECT_TRUE(Contains(tokens, "import"));
+}
+
+TEST(NewsTMTest, FoldsEntitiesIntoConcepts) {
+  auto tokens = PreprocessNewsTM("Talks with Theresa May stalled.");
+  EXPECT_TRUE(Contains(tokens, "theresa_may"));
+  EXPECT_FALSE(Contains(tokens, "theresa"));
+}
+
+TEST(NewsTMTest, ConceptTokensNotLemmatized) {
+  auto tokens = PreprocessNewsTM("He visited the United States yesterday.");
+  EXPECT_TRUE(Contains(tokens, "united_states"));
+}
+
+TEST(NewsEDTest, MinimalRecipeKeepsStopwords) {
+  auto tokens = PreprocessNewsED("The vote was delayed.");
+  EXPECT_TRUE(Contains(tokens, "the"));
+  EXPECT_TRUE(Contains(tokens, "vote"));
+  EXPECT_TRUE(Contains(tokens, "was"));  // no lemmatization either
+  EXPECT_FALSE(Contains(tokens, "."));
+}
+
+TEST(TwitterEDTest, StripsUrls) {
+  auto tokens =
+      PreprocessTwitterED("breaking news https://t.co/abc123 more soon");
+  EXPECT_TRUE(Contains(tokens, "breaking"));
+  EXPECT_FALSE(Contains(tokens, "https"));
+  EXPECT_FALSE(Contains(tokens, "abc123"));
+}
+
+TEST(TwitterEDTest, StripsWwwUrls) {
+  auto tokens = PreprocessTwitterED("see www.example.com for info");
+  EXPECT_FALSE(Contains(tokens, "www"));
+  EXPECT_TRUE(Contains(tokens, "info"));
+}
+
+TEST(TwitterEDTest, DropsMentionsKeepsHashtagWords) {
+  auto tokens = PreprocessTwitterED("@user1 thoughts on #brexit tonight?");
+  EXPECT_FALSE(Contains(tokens, "user1"));
+  EXPECT_TRUE(Contains(tokens, "brexit"));
+  EXPECT_TRUE(Contains(tokens, "thoughts"));
+}
+
+TEST(TwitterEDTest, EmptyTweet) {
+  EXPECT_TRUE(PreprocessTwitterED("").empty());
+  EXPECT_TRUE(PreprocessTwitterED("@only @mentions").empty());
+}
+
+TEST(PreprocessDispatchTest, KindSelectsRecipe) {
+  std::string text = "The tariffs! @user #tag https://x.co";
+  EXPECT_EQ(Preprocess(text, PipelineKind::kNewsTM),
+            PreprocessNewsTM(text));
+  EXPECT_EQ(Preprocess(text, PipelineKind::kNewsED),
+            PreprocessNewsED(text));
+  EXPECT_EQ(Preprocess(text, PipelineKind::kTwitterED),
+            PreprocessTwitterED(text));
+}
+
+/// Property: no recipe ever emits a token containing punctuation
+/// (other than the in-word apostrophe / underscore).
+class PipelinePunctuationSweep
+    : public ::testing::TestWithParam<PipelineKind> {};
+
+TEST_P(PipelinePunctuationSweep, TokensArePunctuationFree) {
+  const char* text =
+      "Breaking! Tariffs (25%) hit; \"imports\" fall -- @user says "
+      "#economy https://news.example/x?id=1. Theresa May responds...";
+  for (const std::string& tok : Preprocess(text, GetParam())) {
+    for (char c : tok) {
+      bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                c == '\'';
+      EXPECT_TRUE(ok) << "token: " << tok;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Recipes, PipelinePunctuationSweep,
+                         ::testing::Values(PipelineKind::kNewsTM,
+                                           PipelineKind::kNewsED,
+                                           PipelineKind::kTwitterED));
+
+}  // namespace
+}  // namespace newsdiff::text

@@ -1,0 +1,135 @@
+#include "embed/pvdbow.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "la/matrix.h"
+
+namespace newsdiff::embed {
+namespace {
+
+std::vector<std::vector<std::string>> TwoThemeDocs(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> red = {"apple", "cherry", "ruby", "crimson"};
+  std::vector<std::string> blue = {"ocean", "sky", "sapphire", "navy"};
+  std::vector<std::vector<std::string>> docs;
+  for (size_t d = 0; d < n; ++d) {
+    const auto& pool = d % 2 == 0 ? red : blue;
+    std::vector<std::string> doc;
+    for (int i = 0; i < 12; ++i) {
+      doc.push_back(pool[rng.NextBelow(pool.size())]);
+    }
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+TEST(PvDbowTest, RejectsBadInput) {
+  EXPECT_FALSE(TrainPvDbow({}, PvDbowOptions{}).ok());
+  PvDbowOptions opts;
+  opts.dimension = 0;
+  EXPECT_FALSE(TrainPvDbow({{"a"}}, opts).ok());
+  PvDbowOptions high_count;
+  high_count.min_count = 99;
+  EXPECT_FALSE(TrainPvDbow({{"a", "b"}}, high_count).ok());
+}
+
+TEST(PvDbowTest, OutputShape) {
+  PvDbowOptions opts;
+  opts.dimension = 24;
+  opts.epochs = 2;
+  opts.min_count = 1;
+  auto result = TrainPvDbow(TwoThemeDocs(10, 1), opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->doc_vectors.rows(), 10u);
+  EXPECT_EQ(result->doc_vectors.cols(), 24u);
+}
+
+TEST(PvDbowTest, DeterministicForSeed) {
+  PvDbowOptions opts;
+  opts.dimension = 16;
+  opts.epochs = 2;
+  opts.min_count = 1;
+  auto docs = TwoThemeDocs(8, 2);
+  auto r1 = TrainPvDbow(docs, opts);
+  auto r2 = TrainPvDbow(docs, opts);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->doc_vectors.data(), r2->doc_vectors.data());
+}
+
+TEST(PvDbowTest, SameThemeDocumentsCluster) {
+  PvDbowOptions opts;
+  opts.dimension = 32;
+  opts.epochs = 20;
+  opts.min_count = 1;
+  auto result = TrainPvDbow(TwoThemeDocs(40, 3), opts);
+  ASSERT_TRUE(result.ok());
+  // Mean within-theme similarity should exceed cross-theme similarity.
+  double within = 0.0, cross = 0.0;
+  size_t n_within = 0, n_cross = 0;
+  for (size_t a = 0; a < 40; ++a) {
+    for (size_t b = a + 1; b < 40; ++b) {
+      double sim = la::CosineSimilarity(result->doc_vectors.Row(a),
+                                        result->doc_vectors.Row(b));
+      if (a % 2 == b % 2) {
+        within += sim;
+        ++n_within;
+      } else {
+        cross += sim;
+        ++n_cross;
+      }
+    }
+  }
+  EXPECT_GT(within / static_cast<double>(n_within),
+            cross / static_cast<double>(n_cross));
+}
+
+TEST(PvDmTest, RejectsBadInput) {
+  EXPECT_FALSE(TrainPvDm({}, PvDbowOptions{}).ok());
+  PvDbowOptions opts;
+  opts.dimension = 0;
+  EXPECT_FALSE(TrainPvDm({{"a"}}, opts).ok());
+}
+
+TEST(PvDmTest, OutputShapeAndDeterminism) {
+  PvDbowOptions opts;
+  opts.dimension = 20;
+  opts.epochs = 2;
+  opts.min_count = 1;
+  auto docs = TwoThemeDocs(12, 4);
+  auto r1 = TrainPvDm(docs, opts);
+  auto r2 = TrainPvDm(docs, opts);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->doc_vectors.rows(), 12u);
+  EXPECT_EQ(r1->doc_vectors.cols(), 20u);
+  EXPECT_EQ(r1->doc_vectors.data(), r2->doc_vectors.data());
+}
+
+TEST(PvDmTest, SameThemeDocumentsCluster) {
+  PvDbowOptions opts;
+  opts.dimension = 32;
+  opts.epochs = 20;
+  opts.min_count = 1;
+  auto result = TrainPvDm(TwoThemeDocs(40, 5), opts);
+  ASSERT_TRUE(result.ok());
+  double within = 0.0, cross = 0.0;
+  size_t n_within = 0, n_cross = 0;
+  for (size_t a = 0; a < 40; ++a) {
+    for (size_t b = a + 1; b < 40; ++b) {
+      double sim = la::CosineSimilarity(result->doc_vectors.Row(a),
+                                        result->doc_vectors.Row(b));
+      if (a % 2 == b % 2) {
+        within += sim;
+        ++n_within;
+      } else {
+        cross += sim;
+        ++n_cross;
+      }
+    }
+  }
+  EXPECT_GT(within / static_cast<double>(n_within),
+            cross / static_cast<double>(n_cross));
+}
+
+}  // namespace
+}  // namespace newsdiff::embed

@@ -1,0 +1,94 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "store/json.h"
+
+namespace newsdiff::core {
+namespace {
+
+PipelineResult SmallResult() {
+  PipelineResult r;
+  r.news.resize(3);
+  r.tweets.resize(5);
+
+  topic::Topic t;
+  t.id = 0;
+  t.keywords = {"brexit", "vote"};
+  t.weights = {0.9, 0.4};
+  r.topics.push_back(t);
+
+  event::Event ne;
+  ne.main_word = "election";
+  ne.related_words = {"vote"};
+  ne.related_weights = {0.8};
+  ne.start_time = 1554076800;
+  ne.end_time = 1554163200;
+  ne.support = 12;
+  r.news_events.push_back(ne);
+
+  event::Event te;
+  te.main_word = "brexit";
+  te.related_words = {"leave"};
+  te.related_weights = {0.7};
+  te.start_time = 1554080000;
+  te.end_time = 1554170000;
+  r.twitter_events.push_back(te);
+
+  r.trending.push_back({0, 0, 0.85});
+  r.correlations.push_back({0, 0, 0.7});
+  r.topic_seconds = 1.5;
+  return r;
+}
+
+TEST(ReportTest, TopLevelCounts) {
+  store::Value report = BuildReport(SmallResult());
+  EXPECT_EQ(report.Find("articles")->AsInt(), 3);
+  EXPECT_EQ(report.Find("tweets")->AsInt(), 5);
+}
+
+TEST(ReportTest, TopicsRendered) {
+  store::Value report = BuildReport(SmallResult());
+  const store::Value* topics = report.Find("topics");
+  ASSERT_NE(topics, nullptr);
+  ASSERT_EQ(topics->array().size(), 1u);
+  const store::Value& topic = topics->array()[0];
+  EXPECT_EQ(topic.Find("keywords")->array()[0].AsString(), "brexit");
+}
+
+TEST(ReportTest, EventsCarryFormattedTimes) {
+  store::Value report = BuildReport(SmallResult());
+  const store::Value& ev = report.Find("news_events")->array()[0];
+  EXPECT_EQ(ev.Find("label")->AsString(), "election");
+  EXPECT_EQ(ev.Find("start")->AsString(), "2019-04-01 00:00:00");
+  EXPECT_EQ(ev.Find("support")->AsInt(), 12);
+}
+
+TEST(ReportTest, TrendingLinksEchoes) {
+  store::Value report = BuildReport(SmallResult());
+  const store::Value& trending =
+      report.Find("trending_news_topics")->array()[0];
+  EXPECT_EQ(trending.Find("news_event")->AsString(), "election");
+  const store::Value* echoes = trending.Find("twitter_echoes");
+  ASSERT_NE(echoes, nullptr);
+  ASSERT_EQ(echoes->array().size(), 1u);
+  EXPECT_EQ(echoes->array()[0].Find("twitter_event")->AsString(), "brexit");
+  EXPECT_DOUBLE_EQ(echoes->array()[0].Find("similarity")->AsDouble(), 0.7);
+}
+
+TEST(ReportTest, TimingsIncluded) {
+  store::Value report = BuildReport(SmallResult());
+  const store::Value* timings = report.Find("timings_seconds");
+  ASSERT_NE(timings, nullptr);
+  EXPECT_DOUBLE_EQ(timings->Find("topics")->AsDouble(), 1.5);
+}
+
+TEST(ReportTest, JsonSerialisesAndParses) {
+  std::string json = ReportJson(SmallResult());
+  StatusOr<store::Value> parsed = store::ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("articles")->AsInt(), 3);
+}
+
+}  // namespace
+}  // namespace newsdiff::core

@@ -1,0 +1,157 @@
+#include "la/sparse.h"
+
+#include <gtest/gtest.h>
+
+namespace newsdiff::la {
+namespace {
+
+CsrMatrix SmallMatrix() {
+  // [ 1 0 2 ]
+  // [ 0 3 0 ]
+  return CsrMatrix::FromTriplets(
+      2, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 3.0}});
+}
+
+TEST(CsrTest, BasicShapeAndAccess) {
+  CsrMatrix m = SmallMatrix();
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_EQ(m.At(0, 0), 1.0);
+  EXPECT_EQ(m.At(0, 1), 0.0);
+  EXPECT_EQ(m.At(0, 2), 2.0);
+  EXPECT_EQ(m.At(1, 1), 3.0);
+}
+
+TEST(CsrTest, DuplicateTripletsAreSummed) {
+  CsrMatrix m = CsrMatrix::FromTriplets(
+      1, 2, {{0, 1, 1.5}, {0, 1, 2.5}, {0, 0, 1.0}});
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_EQ(m.At(0, 1), 4.0);
+}
+
+TEST(CsrTest, UnsortedTripletsHandled) {
+  CsrMatrix m = CsrMatrix::FromTriplets(
+      3, 3, {{2, 2, 9.0}, {0, 1, 1.0}, {1, 0, 2.0}});
+  EXPECT_EQ(m.At(2, 2), 9.0);
+  EXPECT_EQ(m.At(0, 1), 1.0);
+  EXPECT_EQ(m.At(1, 0), 2.0);
+}
+
+TEST(CsrTest, EmptyMatrix) {
+  CsrMatrix m = CsrMatrix::FromTriplets(2, 2, {});
+  EXPECT_EQ(m.nnz(), 0u);
+  EXPECT_EQ(m.At(1, 1), 0.0);
+  EXPECT_EQ(m.SquaredFrobeniusNorm(), 0.0);
+}
+
+TEST(CsrTest, SquaredFrobenius) {
+  EXPECT_DOUBLE_EQ(SmallMatrix().SquaredFrobeniusNorm(), 1 + 4 + 9);
+}
+
+TEST(CsrTest, ToDenseMatches) {
+  Matrix d = SmallMatrix().ToDense();
+  EXPECT_EQ(d(0, 0), 1.0);
+  EXPECT_EQ(d(0, 2), 2.0);
+  EXPECT_EQ(d(1, 1), 3.0);
+  EXPECT_EQ(d(1, 2), 0.0);
+}
+
+TEST(CsrTest, MultiplyDenseKnown) {
+  CsrMatrix m = SmallMatrix();
+  Matrix d = Matrix::FromRows({{1, 0}, {0, 1}, {1, 1}});
+  Matrix out = m.MultiplyDense(d);
+  // Row 0: [1 0 2] * d = [1+2, 2] ; Row 1: [0 3 0] * d = [0, 3]
+  EXPECT_EQ(out(0, 0), 3.0);
+  EXPECT_EQ(out(0, 1), 2.0);
+  EXPECT_EQ(out(1, 0), 0.0);
+  EXPECT_EQ(out(1, 1), 3.0);
+}
+
+/// Property sweep: every sparse kernel agrees with the dense reference on
+/// random matrices of several shapes and densities.
+struct SparseCase {
+  size_t rows, cols, k;
+  double density;
+  uint64_t seed;
+};
+class SparseKernelSweep : public ::testing::TestWithParam<SparseCase> {
+ protected:
+  void SetUp() override {
+    const SparseCase& c = GetParam();
+    Rng rng(c.seed);
+    std::vector<Triplet> triplets;
+    for (size_t r = 0; r < c.rows; ++r) {
+      for (size_t col = 0; col < c.cols; ++col) {
+        if (rng.NextDouble() < c.density) {
+          triplets.push_back({static_cast<uint32_t>(r),
+                              static_cast<uint32_t>(col),
+                              rng.Uniform(-2.0, 2.0)});
+        }
+      }
+    }
+    sparse_ = CsrMatrix::FromTriplets(c.rows, c.cols, triplets);
+    dense_ = sparse_.ToDense();
+  }
+
+  CsrMatrix sparse_;
+  Matrix dense_;
+};
+
+TEST_P(SparseKernelSweep, MultiplyDense) {
+  Rng rng(GetParam().seed + 1);
+  Matrix d = Matrix::Random(GetParam().cols, GetParam().k, -1.0, 1.0, rng);
+  Matrix got = sparse_.MultiplyDense(d);
+  Matrix expected = MatMul(dense_, d);
+  ASSERT_EQ(got.rows(), expected.rows());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], expected.data()[i], 1e-10);
+  }
+}
+
+TEST_P(SparseKernelSweep, TransposeMultiplyDense) {
+  Rng rng(GetParam().seed + 2);
+  Matrix d = Matrix::Random(GetParam().rows, GetParam().k, -1.0, 1.0, rng);
+  Matrix got = sparse_.TransposeMultiplyDense(d);
+  Matrix expected = MatMul(dense_.Transposed(), d);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], expected.data()[i], 1e-10);
+  }
+}
+
+TEST_P(SparseKernelSweep, MultiplyDenseTransposed) {
+  Rng rng(GetParam().seed + 3);
+  Matrix d = Matrix::Random(GetParam().k, GetParam().cols, -1.0, 1.0, rng);
+  Matrix got = sparse_.MultiplyDenseTransposed(d);
+  Matrix expected = MatMul(dense_, d.Transposed());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], expected.data()[i], 1e-10);
+  }
+}
+
+TEST_P(SparseKernelSweep, InnerProductWithProduct) {
+  Rng rng(GetParam().seed + 4);
+  Matrix w = Matrix::Random(GetParam().rows, GetParam().k, -1.0, 1.0, rng);
+  Matrix h = Matrix::Random(GetParam().k, GetParam().cols, -1.0, 1.0, rng);
+  double got = sparse_.InnerProductWithProduct(w, h);
+  Matrix wh = MatMul(w, h);
+  double expected = 0.0;
+  for (size_t r = 0; r < dense_.rows(); ++r) {
+    for (size_t c = 0; c < dense_.cols(); ++c) {
+      expected += dense_(r, c) * wh(r, c);
+    }
+  }
+  EXPECT_NEAR(got, expected, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SparseKernelSweep,
+    ::testing::Values(SparseCase{3, 4, 2, 0.5, 11},
+                      SparseCase{10, 10, 5, 0.1, 12},
+                      SparseCase{1, 8, 3, 0.9, 13},
+                      SparseCase{20, 5, 4, 0.3, 14},
+                      SparseCase{6, 6, 6, 1.0, 15},
+                      SparseCase{8, 2, 1, 0.05, 16}));
+
+}  // namespace
+}  // namespace newsdiff::la

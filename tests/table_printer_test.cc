@@ -1,0 +1,47 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace newsdiff {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter t({"Name", "Value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"beta", "22"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| Name "), std::string::npos);
+  EXPECT_NE(out.find("| alpha"), std::string::npos);
+  EXPECT_NE(out.find("| 22"), std::string::npos);
+  // Separators above header, below header, below body.
+  size_t seps = 0;
+  for (size_t pos = out.find("+-"); pos != std::string::npos;
+       pos = out.find("+-", pos + 1)) {
+    ++seps;
+  }
+  EXPECT_GE(seps, 3u);
+}
+
+TEST(TablePrinterTest, ColumnsWidenToLongestCell) {
+  TablePrinter t({"H"});
+  t.AddRow({"a-very-long-cell"});
+  std::string out = t.ToString();
+  // Every line has the same length (fixed-width table).
+  size_t expected = out.find('\n');
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t next = out.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, expected);
+    pos = next + 1;
+  }
+}
+
+TEST(TablePrinterTest, EmptyTableStillRendersHeader) {
+  TablePrinter t({"A", "B"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| A "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace newsdiff

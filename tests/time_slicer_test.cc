@@ -1,0 +1,60 @@
+#include "event/time_slicer.h"
+
+#include <gtest/gtest.h>
+
+namespace newsdiff::event {
+namespace {
+
+TEST(TimeSlicerTest, BasicPartition) {
+  TimeSlicer slicer(0, 100, 10);
+  EXPECT_EQ(slicer.num_slices(), 11u);
+  EXPECT_EQ(slicer.SliceOf(0), 0u);
+  EXPECT_EQ(slicer.SliceOf(9), 0u);
+  EXPECT_EQ(slicer.SliceOf(10), 1u);
+  EXPECT_EQ(slicer.SliceOf(100), 10u);
+}
+
+TEST(TimeSlicerTest, ClampsOutOfRange) {
+  TimeSlicer slicer(100, 200, 50);
+  EXPECT_EQ(slicer.SliceOf(0), 0u);
+  EXPECT_EQ(slicer.SliceOf(99), 0u);
+  EXPECT_EQ(slicer.SliceOf(10000), slicer.num_slices() - 1);
+}
+
+TEST(TimeSlicerTest, SingleInstant) {
+  TimeSlicer slicer(500, 500, 60);
+  EXPECT_EQ(slicer.num_slices(), 1u);
+  EXPECT_EQ(slicer.SliceOf(500), 0u);
+}
+
+TEST(TimeSlicerTest, SliceBoundaries) {
+  TimeSlicer slicer(1000, 1000 + 3600, 1800);
+  EXPECT_EQ(slicer.SliceStart(0), 1000);
+  EXPECT_EQ(slicer.SliceEnd(0), 2800);
+  EXPECT_EQ(slicer.SliceStart(1), 2800);
+}
+
+TEST(TimeSlicerTest, PaperSliceWidths) {
+  // 5 months at the paper's 30-minute tweet slices.
+  UnixSeconds start = 1554076800;
+  UnixSeconds end = start + 150 * kSecondsPerDay;
+  TimeSlicer slicer(start, end, 30 * kSecondsPerMinute);
+  EXPECT_EQ(slicer.num_slices(), 150u * 48u + 1u);
+}
+
+/// Property: SliceOf is consistent with SliceStart/SliceEnd.
+class SlicerConsistencySweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(SlicerConsistencySweep, SliceOfItsOwnRange) {
+  TimeSlicer slicer(10000, 10000 + 7 * kSecondsPerDay, GetParam());
+  for (size_t i = 0; i < slicer.num_slices(); i += 3) {
+    EXPECT_EQ(slicer.SliceOf(slicer.SliceStart(i)), i);
+    EXPECT_EQ(slicer.SliceOf(slicer.SliceEnd(i) - 1), i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SlicerConsistencySweep,
+                         ::testing::Values(60, 1800, 3600, 86400));
+
+}  // namespace
+}  // namespace newsdiff::event

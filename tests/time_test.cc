@@ -1,0 +1,69 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace newsdiff {
+namespace {
+
+TEST(TimeTest, EpochFormats) {
+  EXPECT_EQ(FormatTimestamp(0), "1970-01-01 00:00:00");
+}
+
+TEST(TimeTest, KnownTimestamp) {
+  // 2019-04-01 00:00:00 UTC.
+  EXPECT_EQ(FormatTimestamp(1554076800), "2019-04-01 00:00:00");
+}
+
+TEST(TimeTest, ParseKnown) {
+  EXPECT_EQ(ParseTimestamp("2019-04-01 00:00:00"), 1554076800);
+  EXPECT_EQ(ParseTimestamp("1970-01-01 00:00:01"), 1);
+}
+
+TEST(TimeTest, ParseRejectsMalformed) {
+  EXPECT_EQ(ParseTimestamp("not a date"), -1);
+  EXPECT_EQ(ParseTimestamp("2019-13-01 00:00:00"), -1);
+  EXPECT_EQ(ParseTimestamp("2019-01-32 00:00:00"), -1);
+  EXPECT_EQ(ParseTimestamp("2019-01-01 24:00:00"), -1);
+  EXPECT_EQ(ParseTimestamp(""), -1);
+}
+
+TEST(TimeTest, DayOfWeekKnownDates) {
+  // 1970-01-01 was a Thursday (index 3, Monday = 0).
+  EXPECT_EQ(DayOfWeek(0), 3);
+  // 2019-04-01 was a Monday.
+  EXPECT_EQ(DayOfWeek(1554076800), 0);
+  // 2019-04-07 was a Sunday.
+  EXPECT_EQ(DayOfWeek(1554076800 + 6 * kSecondsPerDay), 6);
+}
+
+TEST(TimeTest, DayOfWeekWrapsWeekly) {
+  UnixSeconds t = 1554076800;
+  EXPECT_EQ(DayOfWeek(t), DayOfWeek(t + 7 * kSecondsPerDay));
+  EXPECT_EQ(DayOfWeek(t), DayOfWeek(t + 70 * kSecondsPerDay));
+}
+
+TEST(TimeTest, WallTimerAdvances) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+  EXPECT_GE(timer.ElapsedMillis(), timer.ElapsedSeconds());
+}
+
+/// Property sweep: Format/Parse round-trips across a spread of timestamps
+/// (leap years, month boundaries, end of year).
+class TimestampRoundTrip : public ::testing::TestWithParam<UnixSeconds> {};
+
+TEST_P(TimestampRoundTrip, FormatThenParseIsIdentity) {
+  UnixSeconds t = GetParam();
+  EXPECT_EQ(ParseTimestamp(FormatTimestamp(t)), t);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Timestamps, TimestampRoundTrip,
+    ::testing::Values(0, 1, 86399, 86400, 951782400 /* 2000-02-29 */,
+                      1077926399, 1554076800, 1577836799 /* 2019-12-31 */,
+                      1582934400 /* 2020-02-29 */, 1609459200, 4102444800));
+
+}  // namespace
+}  // namespace newsdiff

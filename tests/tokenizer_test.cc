@@ -1,0 +1,130 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace newsdiff::text {
+namespace {
+
+TEST(TokenizerTest, BasicSplitAndLowercase) {
+  EXPECT_EQ(Tokenize("Hello, World!"),
+            (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(TokenizerTest, PunctuationRemoved) {
+  EXPECT_EQ(Tokenize("a.b,c;d:e(f)g[h]"),
+            (std::vector<std::string>{"a", "b", "c", "d", "e", "f", "g", "h"}));
+}
+
+TEST(TokenizerTest, NumbersKeptByDefault) {
+  EXPECT_EQ(Tokenize("tariffs of 25 percent in 2019"),
+            (std::vector<std::string>{"tariffs", "of", "25", "percent", "in",
+                                      "2019"}));
+}
+
+TEST(TokenizerTest, NumbersDroppable) {
+  TokenizerOptions opts;
+  opts.keep_numbers = false;
+  EXPECT_EQ(Tokenize("25 tariffs 2019", opts),
+            (std::vector<std::string>{"tariffs"}));
+}
+
+TEST(TokenizerTest, MinLengthFilters) {
+  TokenizerOptions opts;
+  opts.min_length = 3;
+  EXPECT_EQ(Tokenize("a an the cat", opts),
+            (std::vector<std::string>{"the", "cat"}));
+}
+
+TEST(TokenizerTest, CasePreservedWhenRequested) {
+  TokenizerOptions opts;
+  opts.lowercase = false;
+  EXPECT_EQ(Tokenize("Boris Johnson", opts),
+            (std::vector<std::string>{"Boris", "Johnson"}));
+}
+
+TEST(TokenizerTest, ApostrophesKeptInsideWords) {
+  EXPECT_EQ(Tokenize("don't can't o'clock"),
+            (std::vector<std::string>{"don't", "can't", "o'clock"}));
+}
+
+TEST(TokenizerTest, TrailingApostropheDropped) {
+  EXPECT_EQ(Tokenize("dogs' toys"),
+            (std::vector<std::string>{"dogs", "toys"}));
+}
+
+TEST(TokenizerTest, ApostropheSplittingMode) {
+  TokenizerOptions opts;
+  opts.keep_apostrophes = false;
+  EXPECT_EQ(Tokenize("don't", opts), (std::vector<std::string>{"don", "t"}));
+}
+
+TEST(TokenizerTest, Utf8RightQuoteTreatedAsApostrophe) {
+  // "don’t" with a typographic apostrophe.
+  EXPECT_EQ(Tokenize("don\xE2\x80\x99t"),
+            (std::vector<std::string>{"don't"}));
+}
+
+TEST(TokenizerTest, UnderscoreIsWordChar) {
+  EXPECT_EQ(Tokenize("new_york visited"),
+            (std::vector<std::string>{"new_york", "visited"}));
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("  \t\n ").empty());
+  EXPECT_TRUE(Tokenize("!!! ... ???").empty());
+}
+
+TEST(SentenceSplitTest, Basic) {
+  auto s = SplitSentences("First one. Second one! Third?");
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], "First one.");
+  EXPECT_EQ(s[1], "Second one!");
+  EXPECT_EQ(s[2], "Third?");
+}
+
+TEST(SentenceSplitTest, NoTerminator) {
+  auto s = SplitSentences("no terminator here");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], "no terminator here");
+}
+
+TEST(SentenceSplitTest, Empty) {
+  EXPECT_TRUE(SplitSentences("").empty());
+  EXPECT_TRUE(SplitSentences("   ").empty());
+}
+
+TEST(NumericTokenTest, Recognition) {
+  EXPECT_TRUE(IsNumericToken("123"));
+  EXPECT_TRUE(IsNumericToken("1.5"));
+  EXPECT_TRUE(IsNumericToken("1,500"));
+  EXPECT_FALSE(IsNumericToken("1.2.3"));
+  EXPECT_FALSE(IsNumericToken("12a"));
+  EXPECT_FALSE(IsNumericToken(""));
+  EXPECT_FALSE(IsNumericToken("."));
+}
+
+/// Property sweep: tokenization is idempotent — re-tokenizing the joined
+/// token stream yields the same tokens.
+class TokenizerIdempotenceSweep
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TokenizerIdempotenceSweep, JoinedTokensRetokenizeIdentically) {
+  std::vector<std::string> once = Tokenize(GetParam());
+  std::string joined;
+  for (const std::string& t : once) {
+    if (!joined.empty()) joined += ' ';
+    joined += t;
+  }
+  EXPECT_EQ(Tokenize(joined), once);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Samples, TokenizerIdempotenceSweep,
+    ::testing::Values("Hello, World! It's 2019.",
+                      "Tariffs; imports: 25% -- of goods?!",
+                      "new_york times (weekend edition)",
+                      "a b c d e f", ""));
+
+}  // namespace
+}  // namespace newsdiff::text

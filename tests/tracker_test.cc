@@ -1,0 +1,94 @@
+#include "event/tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace newsdiff::event {
+namespace {
+
+Event MakeEvent(const std::string& main_word,
+                std::vector<std::string> related, UnixSeconds start,
+                UnixSeconds end) {
+  Event ev;
+  ev.main_word = main_word;
+  ev.related_words = std::move(related);
+  ev.related_weights.assign(ev.related_words.size(), 0.8);
+  ev.start_time = start;
+  ev.end_time = end;
+  return ev;
+}
+
+TEST(TrackerTest, FirstUpdateCreatesTracks) {
+  EventTracker tracker;
+  auto ids = tracker.Update({MakeEvent("brexit", {"vote"}, 0, 100),
+                             MakeEvent("tariff", {"trade"}, 50, 150)});
+  EXPECT_EQ(ids, (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(tracker.tracks().size(), 2u);
+  EXPECT_EQ(tracker.ActiveTracks().size(), 2u);
+}
+
+TEST(TrackerTest, SameMainWordOverlapContinuesTrack) {
+  EventTracker tracker;
+  tracker.Update({MakeEvent("brexit", {"vote"}, 0, 100)});
+  auto ids = tracker.Update({MakeEvent("brexit", {"deal"}, 80, 200)});
+  EXPECT_EQ(ids, (std::vector<int64_t>{0}));
+  EXPECT_EQ(tracker.tracks().size(), 1u);
+  EXPECT_EQ(tracker.tracks()[0].observations, 2u);
+  EXPECT_EQ(tracker.tracks()[0].latest.end_time, 200);
+}
+
+TEST(TrackerTest, RelatedWordLinkContinuesTrack) {
+  EventTracker tracker;
+  tracker.Update({MakeEvent("brexit", {"vote", "deal"}, 0, 100)});
+  // New event whose main word was a related word of the old one.
+  auto ids = tracker.Update({MakeEvent("vote", {"poll"}, 90, 150)});
+  EXPECT_EQ(ids, (std::vector<int64_t>{0}));
+}
+
+TEST(TrackerTest, NoOverlapStartsNewTrack) {
+  EventTracker tracker;
+  tracker.Update({MakeEvent("brexit", {"vote"}, 0, 100)});
+  auto ids = tracker.Update({MakeEvent("brexit", {"vote"}, 500, 600)});
+  EXPECT_EQ(ids, (std::vector<int64_t>{1}));
+  EXPECT_EQ(tracker.tracks().size(), 2u);
+}
+
+TEST(TrackerTest, DifferentWordsStartNewTrack) {
+  EventTracker tracker;
+  tracker.Update({MakeEvent("brexit", {"vote"}, 0, 100)});
+  auto ids = tracker.Update({MakeEvent("coffee", {"espresso"}, 0, 100)});
+  EXPECT_EQ(ids, (std::vector<int64_t>{1}));
+}
+
+TEST(TrackerTest, InactiveTracksReportedCorrectly) {
+  EventTracker tracker;
+  tracker.Update({MakeEvent("brexit", {"vote"}, 0, 100),
+                  MakeEvent("tariff", {"trade"}, 0, 100)});
+  tracker.Update({MakeEvent("brexit", {"vote"}, 50, 150)});
+  auto active = tracker.ActiveTracks();
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0]->latest.main_word, "brexit");
+  EXPECT_EQ(tracker.tracks().size(), 2u);
+}
+
+TEST(TrackerTest, OneObservationPerTrackPerRun) {
+  EventTracker tracker;
+  tracker.Update({MakeEvent("brexit", {"vote"}, 0, 100)});
+  // Two matching events in one run: the second must open a new track.
+  auto ids = tracker.Update({MakeEvent("brexit", {"deal"}, 50, 150),
+                             MakeEvent("brexit", {"poll"}, 60, 160)});
+  EXPECT_EQ(ids[0], 0);
+  EXPECT_EQ(ids[1], 1);
+}
+
+TEST(TrackerTest, LongRunningStoryAccumulatesObservations) {
+  EventTracker tracker;
+  for (int run = 0; run < 5; ++run) {
+    tracker.Update({MakeEvent("iran", {"sanction"}, run * 50,
+                              run * 50 + 100)});
+  }
+  ASSERT_EQ(tracker.tracks().size(), 1u);
+  EXPECT_EQ(tracker.tracks()[0].observations, 5u);
+}
+
+}  // namespace
+}  // namespace newsdiff::event

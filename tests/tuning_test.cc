@@ -1,0 +1,82 @@
+#include "core/tuning.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace newsdiff::core {
+namespace {
+
+void MakeSeparable(size_t n, size_t dim, la::Matrix* x, std::vector<int>* y) {
+  Rng rng(9);
+  x->Resize(n, dim);
+  y->assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    int cls = static_cast<int>(i % 2);
+    for (size_t d = 0; d < dim; ++d) {
+      (*x)(i, d) = rng.Gaussian(d % 2 == static_cast<size_t>(cls) ? 2.0 : 0.0,
+                                0.5);
+    }
+    (*y)[i] = cls;
+  }
+}
+
+PredictorOptions FastBase() {
+  PredictorOptions o;
+  o.max_epochs = 20;
+  o.batch_size = 32;
+  o.mlp_hidden = {8};
+  o.cnn_filters = 2;
+  o.cnn_kernel = 3;
+  o.cnn_pool = 2;
+  o.cnn_dense = 4;
+  o.num_classes = 2;
+  o.max_restarts = 0;
+  return o;
+}
+
+TEST(TuningTest, RejectsEmptyCandidates) {
+  la::Matrix x(20, 4);
+  std::vector<int> y(20, 0);
+  EXPECT_FALSE(TunePredictor(x, y, {}, 2).ok());
+}
+
+TEST(TuningTest, PicksClearlyBetterCandidate) {
+  la::Matrix x;
+  std::vector<int> y;
+  MakeSeparable(150, 6, &x, &y);
+  // Candidate 0 cannot learn (0 epochs of progress via lr 0); candidate 1
+  // is a normal configuration.
+  TuningCandidate bad;
+  bad.label = "SGD lr=0 (frozen)";
+  bad.kind = NetworkKind::kMlp1;
+  bad.options = FastBase();
+  bad.options.sgd_learning_rate = 0.0;
+  TuningCandidate good;
+  good.label = "SGD lr=0.5";
+  good.kind = NetworkKind::kMlp1;
+  good.options = FastBase();
+
+  auto result = TunePredictor(x, y, {bad, good}, 3);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->per_candidate.size(), 2u);
+  EXPECT_EQ(result->best_index, 1u);
+  EXPECT_GT(result->per_candidate[1].mean_accuracy,
+            result->per_candidate[0].mean_accuracy);
+}
+
+TEST(TuningTest, PaperSearchSpaceShape) {
+  auto space = PaperSearchSpace(FastBase());
+  ASSERT_EQ(space.size(), 8u);  // 2 architectures x 4 optimizer settings
+  size_t mlps = 0, cnns = 0;
+  for (const TuningCandidate& c : space) {
+    EXPECT_FALSE(c.label.empty());
+    if (c.kind == NetworkKind::kMlp1 || c.kind == NetworkKind::kMlp2) ++mlps;
+    if (c.kind == NetworkKind::kCnn1 || c.kind == NetworkKind::kCnn2) ++cnns;
+  }
+  EXPECT_EQ(mlps, 4u);
+  EXPECT_EQ(cnns, 4u);
+}
+
+}  // namespace
+}  // namespace newsdiff::core

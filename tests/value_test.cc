@@ -1,0 +1,97 @@
+#include "store/value.h"
+
+#include <gtest/gtest.h>
+
+namespace newsdiff::store {
+namespace {
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(int64_t{5}).is_int());
+  EXPECT_TRUE(Value(5).is_int());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value(2.5).is_number());
+  EXPECT_TRUE(Value(5).is_number());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_TRUE(Value(Array{}).is_array());
+  EXPECT_TRUE(Value(Object{}).is_object());
+}
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_EQ(Value(true).bool_value(), true);
+  EXPECT_EQ(Value(7).int_value(), 7);
+  EXPECT_EQ(Value(1.5).double_value(), 1.5);
+  EXPECT_EQ(Value("abc").string_value(), "abc");
+}
+
+TEST(ValueTest, TolerantAccessors) {
+  EXPECT_EQ(Value(7).AsDouble(), 7.0);
+  EXPECT_EQ(Value(7.9).AsInt(), 7);
+  EXPECT_EQ(Value("x").AsDouble(-1.0), -1.0);
+  EXPECT_EQ(Value().AsInt(42), 42);
+  EXPECT_EQ(Value("s").AsString(), "s");
+  EXPECT_EQ(Value(3).AsString("fb"), "fb");
+}
+
+TEST(ValueTest, ObjectFindAndSet) {
+  Value v = MakeObject({{"a", 1}, {"b", "two"}});
+  ASSERT_NE(v.Find("a"), nullptr);
+  EXPECT_EQ(v.Find("a")->AsInt(), 1);
+  EXPECT_EQ(v.Find("missing"), nullptr);
+  v.Set("a", 10);
+  EXPECT_EQ(v.Find("a")->AsInt(), 10);
+  v.Set("c", 3.5);
+  EXPECT_EQ(v.Find("c")->AsDouble(), 3.5);
+  EXPECT_EQ(v.object().size(), 3u);
+}
+
+TEST(ValueTest, SetPromotesNullToObject) {
+  Value v;
+  v.Set("k", "v");
+  EXPECT_TRUE(v.is_object());
+  EXPECT_EQ(v.Find("k")->AsString(), "v");
+}
+
+TEST(ValueTest, FindOnNonObjectIsNull) {
+  EXPECT_EQ(Value(5).Find("a"), nullptr);
+  EXPECT_EQ(Value("s").Find("a"), nullptr);
+}
+
+TEST(ValueTest, EqualsDeep) {
+  Value a = MakeObject({{"x", Value(Array{1, 2, 3})}});
+  Value b = MakeObject({{"x", Value(Array{1, 2, 3})}});
+  Value c = MakeObject({{"x", Value(Array{1, 2, 4})}});
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+}
+
+TEST(ValueTest, NumbersCompareAcrossIntAndDouble) {
+  EXPECT_EQ(Value(3).Compare(Value(3.0)), 0);
+  EXPECT_LT(Value(2).Compare(Value(2.5)), 0);
+  EXPECT_GT(Value(3.5).Compare(Value(3)), 0);
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_LT(Value("abc").Compare(Value("abd")), 0);
+  EXPECT_EQ(Value("abc").Compare(Value("abc")), 0);
+}
+
+TEST(ValueTest, CompareArraysLexicographic) {
+  EXPECT_LT(Value(Array{1, 2}).Compare(Value(Array{1, 3})), 0);
+  EXPECT_LT(Value(Array{1}).Compare(Value(Array{1, 0})), 0);
+  EXPECT_EQ(Value(Array{}).Compare(Value(Array{})), 0);
+}
+
+TEST(ValueTest, CompareAcrossTypesIsTotalOrder) {
+  // null < bool < numbers < string < array < object (by variant index).
+  Value null_v;
+  Value bool_v(true);
+  Value str_v("x");
+  EXPECT_LT(null_v.Compare(bool_v), 0);
+  EXPECT_GT(str_v.Compare(bool_v), 0);
+  EXPECT_EQ(null_v.Compare(Value()), 0);
+}
+
+}  // namespace
+}  // namespace newsdiff::store

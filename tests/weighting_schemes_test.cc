@@ -1,0 +1,106 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "corpus/weighting.h"
+
+namespace newsdiff::corpus {
+namespace {
+
+Corpus SmallCorpus() {
+  Corpus corp;
+  corp.AddDocument({"a", "a", "a", "b"});
+  corp.AddDocument({"b", "c"});
+  corp.AddDocument({"c", "c", "d"});
+  return corp;
+}
+
+double CellFor(const Corpus& corp, const DocumentTermMatrix& dtm, size_t doc,
+               const std::string& term) {
+  for (size_t c = 0; c < dtm.column_terms.size(); ++c) {
+    if (corp.vocabulary().Term(dtm.column_terms[c]) == term) {
+      return dtm.matrix.At(doc, c);
+    }
+  }
+  return 0.0;
+}
+
+TEST(WeightingSchemeTest, NamesAreStable) {
+  EXPECT_STREQ(WeightingSchemeName(WeightingScheme::kTf), "TF");
+  EXPECT_STREQ(WeightingSchemeName(WeightingScheme::kTfIdfNormalized),
+               "TFIDF_N");
+  EXPECT_STREQ(WeightingSchemeName(WeightingScheme::kOkapiBm25), "BM25");
+}
+
+TEST(WeightingSchemeTest, BooleanIsPresenceIndicator) {
+  Corpus corp = SmallCorpus();
+  DtmOptions opts;
+  opts.scheme = WeightingScheme::kBoolean;
+  DocumentTermMatrix dtm = BuildDocumentTermMatrix(corp, opts);
+  EXPECT_DOUBLE_EQ(CellFor(corp, dtm, 0, "a"), 1.0);  // tf was 3
+  EXPECT_DOUBLE_EQ(CellFor(corp, dtm, 0, "b"), 1.0);
+  EXPECT_DOUBLE_EQ(CellFor(corp, dtm, 0, "c"), 0.0);
+}
+
+TEST(WeightingSchemeTest, LogTfIsSublinear) {
+  Corpus corp = SmallCorpus();
+  DtmOptions opts;
+  opts.scheme = WeightingScheme::kLogTf;
+  DocumentTermMatrix dtm = BuildDocumentTermMatrix(corp, opts);
+  EXPECT_NEAR(CellFor(corp, dtm, 0, "a"), 1.0 + std::log2(3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(CellFor(corp, dtm, 0, "b"), 1.0);
+}
+
+TEST(WeightingSchemeTest, Bm25IdfFormula) {
+  Corpus corp = SmallCorpus();
+  uint32_t a = corp.vocabulary().Get("a");  // df = 1, n = 3
+  EXPECT_NEAR(Bm25Idf(corp, a), std::log((3.0 - 1.0 + 0.5) / 1.5 + 1.0),
+              1e-12);
+}
+
+TEST(WeightingSchemeTest, Bm25SaturatesWithTf) {
+  // BM25 grows sublinearly: w(tf=3) < 3 * w(tf=1) for the same term.
+  Corpus corp;
+  corp.AddDocument({"x", "x", "x", "pad"});
+  corp.AddDocument({"x", "pad", "pad", "pad"});
+  corp.AddDocument({"pad", "pad", "pad", "pad"});
+  DtmOptions opts;
+  opts.scheme = WeightingScheme::kOkapiBm25;
+  DocumentTermMatrix dtm = BuildDocumentTermMatrix(corp, opts);
+  double w3 = CellFor(corp, dtm, 0, "x");
+  double w1 = CellFor(corp, dtm, 1, "x");
+  EXPECT_GT(w3, w1);
+  EXPECT_LT(w3, 3.0 * w1);
+}
+
+/// Property sweep: every scheme produces finite, non-negative weights and
+/// keeps the same sparsity structure as raw TF.
+class SchemeSweep : public ::testing::TestWithParam<WeightingScheme> {};
+
+TEST_P(SchemeSweep, WeightsFiniteNonNegativeAndAligned) {
+  Corpus corp = SmallCorpus();
+  DtmOptions tf_opts;
+  tf_opts.scheme = WeightingScheme::kTf;
+  DocumentTermMatrix tf = BuildDocumentTermMatrix(corp, tf_opts);
+  DtmOptions opts;
+  opts.scheme = GetParam();
+  DocumentTermMatrix dtm = BuildDocumentTermMatrix(corp, opts);
+  EXPECT_EQ(dtm.matrix.rows(), tf.matrix.rows());
+  EXPECT_EQ(dtm.matrix.cols(), tf.matrix.cols());
+  for (double v : dtm.matrix.values()) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+  }
+  // A zero-IDF term may vanish, so nnz can only shrink.
+  EXPECT_LE(dtm.matrix.nnz(), tf.matrix.nnz());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, SchemeSweep,
+    ::testing::Values(WeightingScheme::kTf, WeightingScheme::kTfIdf,
+                      WeightingScheme::kTfIdfNormalized,
+                      WeightingScheme::kBoolean, WeightingScheme::kLogTf,
+                      WeightingScheme::kOkapiBm25));
+
+}  // namespace
+}  // namespace newsdiff::corpus

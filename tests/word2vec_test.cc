@@ -1,0 +1,152 @@
+#include "embed/word2vec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace newsdiff::embed {
+namespace {
+
+/// Two word "communities" that never co-occur: co-occurring words must end
+/// up more similar than cross-community pairs.
+std::vector<std::vector<std::string>> CommunityCorpus(uint64_t seed,
+                                                      size_t sentences) {
+  Rng rng(seed);
+  std::vector<std::string> red = {"apple", "cherry", "ruby", "crimson"};
+  std::vector<std::string> blue = {"ocean", "sky", "sapphire", "navy"};
+  std::vector<std::vector<std::string>> corpus;
+  for (size_t s = 0; s < sentences; ++s) {
+    const auto& pool = s % 2 == 0 ? red : blue;
+    std::vector<std::string> sent;
+    for (int w = 0; w < 8; ++w) {
+      sent.push_back(pool[rng.NextBelow(pool.size())]);
+    }
+    corpus.push_back(std::move(sent));
+  }
+  return corpus;
+}
+
+TEST(Word2VecTest, RejectsZeroDimension) {
+  Word2VecOptions opts;
+  opts.dimension = 0;
+  EXPECT_FALSE(TrainWord2Vec({{"a", "b"}}, opts).ok());
+}
+
+TEST(Word2VecTest, RejectsEmptyVocabulary) {
+  Word2VecOptions opts;
+  opts.min_count = 100;
+  EXPECT_FALSE(TrainWord2Vec({{"a", "b"}}, opts).ok());
+}
+
+TEST(Word2VecTest, VectorsHaveRequestedDimension) {
+  Word2VecOptions opts;
+  opts.dimension = 17;
+  opts.min_count = 1;
+  opts.epochs = 1;
+  auto vectors = TrainWord2Vec(CommunityCorpus(1, 50), opts);
+  ASSERT_TRUE(vectors.ok());
+  EXPECT_EQ(vectors->dimension(), 17u);
+  EXPECT_EQ(vectors->size(), 8u);
+  const std::vector<double>* v = vectors->Get("apple");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->size(), 17u);
+}
+
+TEST(Word2VecTest, MinCountDropsRareWords) {
+  Word2VecOptions opts;
+  opts.min_count = 2;
+  opts.epochs = 1;
+  auto vectors = TrainWord2Vec(
+      {{"common", "common", "rare"}, {"common", "other", "other"}}, opts);
+  ASSERT_TRUE(vectors.ok());
+  EXPECT_TRUE(vectors->Contains("common"));
+  EXPECT_FALSE(vectors->Contains("rare"));
+}
+
+TEST(Word2VecTest, DeterministicForSeed) {
+  Word2VecOptions opts;
+  opts.dimension = 16;
+  opts.min_count = 1;
+  opts.epochs = 2;
+  auto corpus = CommunityCorpus(2, 60);
+  auto v1 = TrainWord2Vec(corpus, opts);
+  auto v2 = TrainWord2Vec(corpus, opts);
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  EXPECT_EQ(*v1->Get("apple"), *v2->Get("apple"));
+}
+
+TEST(Word2VecTest, CooccurringWordsCloserThanCross) {
+  Word2VecOptions opts;
+  opts.dimension = 32;
+  opts.min_count = 1;
+  opts.epochs = 10;
+  opts.window = 4;
+  opts.subsample = 0.0;
+  auto vectors = TrainWord2Vec(CommunityCorpus(3, 400), opts);
+  ASSERT_TRUE(vectors.ok());
+  double within = vectors->Similarity("apple", "cherry");
+  double cross = vectors->Similarity("apple", "ocean");
+  EXPECT_GT(within, cross);
+}
+
+TEST(Word2VecTest, CbowModeAlsoLearnsCommunities) {
+  Word2VecOptions opts;
+  opts.dimension = 32;
+  opts.min_count = 1;
+  opts.epochs = 10;
+  opts.mode = Word2VecMode::kCbow;
+  opts.subsample = 0.0;
+  auto vectors = TrainWord2Vec(CommunityCorpus(4, 400), opts);
+  ASSERT_TRUE(vectors.ok());
+  EXPECT_GT(vectors->Similarity("sky", "navy"),
+            vectors->Similarity("sky", "cherry"));
+}
+
+TEST(WordVectorsTest, SimilarityOfMissingWordIsZero) {
+  WordVectors empty;
+  EXPECT_EQ(empty.Similarity("a", "b"), 0.0);
+  std::unordered_map<std::string, std::vector<double>> table;
+  table["a"] = {1.0, 0.0};
+  WordVectors vectors(2, std::move(table));
+  EXPECT_EQ(vectors.Similarity("a", "missing"), 0.0);
+  EXPECT_EQ(vectors.Get("missing"), nullptr);
+}
+
+TEST(WordVectorsTest, MostSimilarExcludesSelfAndRanks) {
+  std::unordered_map<std::string, std::vector<double>> table;
+  table["query"] = {1.0, 0.0};
+  table["close"] = {0.9, 0.1};
+  table["far"] = {-1.0, 0.0};
+  table["mid"] = {0.5, 0.5};
+  WordVectors vectors(2, std::move(table));
+  auto similar = vectors.MostSimilar("query", 2);
+  ASSERT_EQ(similar.size(), 2u);
+  EXPECT_EQ(similar[0].first, "close");
+  EXPECT_EQ(similar[1].first, "mid");
+  EXPECT_TRUE(vectors.MostSimilar("missing", 3).empty());
+}
+
+/// Property sweep over both training modes: training runs, covers the
+/// vocabulary, and is deterministic.
+class Word2VecModeSweep : public ::testing::TestWithParam<Word2VecMode> {};
+
+TEST_P(Word2VecModeSweep, TrainsAndCoversVocabulary) {
+  Word2VecOptions opts;
+  opts.dimension = 12;
+  opts.min_count = 1;
+  opts.epochs = 2;
+  opts.mode = GetParam();
+  auto vectors = TrainWord2Vec(CommunityCorpus(5, 40), opts);
+  ASSERT_TRUE(vectors.ok());
+  EXPECT_EQ(vectors->size(), 8u);
+  for (const char* w : {"apple", "cherry", "ocean", "navy"}) {
+    EXPECT_TRUE(vectors->Contains(w)) << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, Word2VecModeSweep,
+                         ::testing::Values(Word2VecMode::kSkipGram,
+                                           Word2VecMode::kCbow));
+
+}  // namespace
+}  // namespace newsdiff::embed

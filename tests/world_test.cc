@@ -1,0 +1,257 @@
+#include "datagen/world.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace newsdiff::datagen {
+namespace {
+
+WorldOptions SmallOptions(uint64_t seed = 5) {
+  WorldOptions opts;
+  opts.seed = seed;
+  opts.num_users = 200;
+  opts.num_articles = 300;
+  opts.num_tweets = 800;
+  return opts;
+}
+
+TEST(ThemesTest, BuiltInThemesWellFormed) {
+  EXPECT_EQ(NewsThemes().size(), 12u);
+  EXPECT_EQ(ChatterThemes().size(), 5u);
+  for (const Theme& t : NewsThemes()) {
+    EXPECT_FALSE(t.name.empty());
+    EXPECT_GE(t.words.size(), 15u);
+    EXPECT_FALSE(t.chatter);
+    std::set<std::string> distinct(t.words.begin(), t.words.end());
+    EXPECT_EQ(distinct.size(), t.words.size()) << t.name;
+  }
+  for (const Theme& t : ChatterThemes()) {
+    EXPECT_TRUE(t.chatter);
+  }
+  EXPECT_GE(GenericWords().size(), 100u);
+}
+
+TEST(EncodeCountClassTest, Table2Boundaries) {
+  EXPECT_EQ(EncodeCountClass(0), 0);
+  EXPECT_EQ(EncodeCountClass(99), 0);
+  EXPECT_EQ(EncodeCountClass(100), 1);
+  EXPECT_EQ(EncodeCountClass(1000), 1);
+  EXPECT_EQ(EncodeCountClass(1001), 2);
+  EXPECT_EQ(EncodeCountClass(5000000), 2);
+}
+
+TEST(FollowerBucketTest, SevenBucketsMonotone) {
+  int prev = -1;
+  for (int64_t f : {10LL, 150LL, 500LL, 1500LL, 5000LL, 50000LL, 500000LL}) {
+    int b = FollowerBucket7(f);
+    EXPECT_GT(b, prev);
+    EXPECT_GE(b, 0);
+    EXPECT_LT(b, 7);
+    prev = b;
+  }
+}
+
+TEST(WorldTest, DeterministicForSeed) {
+  World a = GenerateWorld(SmallOptions(9));
+  World b = GenerateWorld(SmallOptions(9));
+  ASSERT_EQ(a.tweets.size(), b.tweets.size());
+  for (size_t i = 0; i < a.tweets.size(); ++i) {
+    EXPECT_EQ(a.tweets[i].text, b.tweets[i].text);
+    EXPECT_EQ(a.tweets[i].likes, b.tweets[i].likes);
+  }
+  ASSERT_EQ(a.articles.size(), b.articles.size());
+  EXPECT_EQ(a.articles[0].body, b.articles[0].body);
+}
+
+TEST(WorldTest, DifferentSeedsDiffer) {
+  World a = GenerateWorld(SmallOptions(1));
+  World b = GenerateWorld(SmallOptions(2));
+  EXPECT_NE(a.tweets[0].text, b.tweets[0].text);
+}
+
+TEST(WorldTest, CountsMatchOptions) {
+  WorldOptions opts = SmallOptions();
+  World world = GenerateWorld(opts);
+  EXPECT_EQ(world.users.size(), opts.num_users);
+  EXPECT_EQ(world.articles.size(), opts.num_articles);
+  EXPECT_EQ(world.tweets.size(), opts.num_tweets);
+  EXPECT_EQ(world.events.size(),
+            opts.num_news_events + opts.num_chatter_events);
+}
+
+TEST(WorldTest, TimestampsWithinWindowAndSorted) {
+  WorldOptions opts = SmallOptions();
+  World world = GenerateWorld(opts);
+  UnixSeconds t0 = opts.start_time;
+  UnixSeconds t1 = t0 + opts.duration_days * kSecondsPerDay;
+  for (size_t i = 0; i < world.tweets.size(); ++i) {
+    EXPECT_GE(world.tweets[i].created, t0);
+    EXPECT_LE(world.tweets[i].created, t1);
+    if (i > 0) {
+      EXPECT_LE(world.tweets[i - 1].created, world.tweets[i].created);
+    }
+  }
+  for (size_t i = 1; i < world.articles.size(); ++i) {
+    EXPECT_LE(world.articles[i - 1].published, world.articles[i].published);
+  }
+}
+
+TEST(WorldTest, EventWindowsRespectCorrelationConstraint) {
+  World world = GenerateWorld(SmallOptions());
+  for (const PlantedEvent& ev : world.events) {
+    if (ev.chatter) continue;
+    EXPECT_GE(ev.twitter_start, ev.news_start);
+    EXPECT_LE(ev.twitter_start, ev.news_start + 5 * kSecondsPerDay);
+    EXPECT_GT(ev.news_end, ev.news_start);
+    EXPECT_GT(ev.twitter_end, ev.twitter_start);
+  }
+}
+
+TEST(WorldTest, UsersHaveConsistentEncodings) {
+  World world = GenerateWorld(SmallOptions());
+  for (const UserProfile& u : world.users) {
+    EXPECT_GE(u.followers, 1);
+    EXPECT_EQ(u.follower_class, EncodeCountClass(u.followers));
+    EXPECT_EQ(u.follower_bucket, FollowerBucket7(u.followers));
+  }
+}
+
+TEST(WorldTest, EventTweetsStayInTheirWindow) {
+  World world = GenerateWorld(SmallOptions());
+  for (const Tweet& t : world.tweets) {
+    if (t.event_id < 0) continue;
+    const PlantedEvent& ev = world.events[static_cast<size_t>(t.event_id)];
+    EXPECT_GE(t.created, ev.twitter_start);
+    EXPECT_LE(t.created, ev.twitter_end);
+  }
+}
+
+TEST(WorldTest, ArticlesOnEventsStayInNewsWindow) {
+  World world = GenerateWorld(SmallOptions());
+  for (const NewsArticle& a : world.articles) {
+    if (a.event_id < 0) continue;
+    const PlantedEvent& ev = world.events[static_cast<size_t>(a.event_id)];
+    EXPECT_FALSE(ev.chatter);  // articles never attach to chatter events
+    EXPECT_GE(a.published, ev.news_start);
+    EXPECT_LE(a.published, ev.news_end);
+  }
+}
+
+TEST(WorldTest, InfluencersEarnMoreEngagement) {
+  // The paper's first assumption: follower count drives engagement. Check
+  // the generated data actually encodes it (medians by follower class).
+  WorldOptions opts = SmallOptions();
+  opts.num_tweets = 4000;
+  World world = GenerateWorld(opts);
+  std::vector<int64_t> low, high;
+  for (const Tweet& t : world.tweets) {
+    int cls = world.users[t.user].follower_class;
+    if (cls == 0) low.push_back(t.likes);
+    if (cls == 2) high.push_back(t.likes);
+  }
+  ASSERT_GT(low.size(), 50u);
+  ASSERT_GT(high.size(), 50u);
+  auto median = [](std::vector<int64_t>& v) {
+    std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+    return v[v.size() / 2];
+  };
+  EXPECT_GT(median(high), median(low) * 2);
+}
+
+TEST(WorldTest, WeekendTweetsEarnMoreEngagement) {
+  // The second assumption: day of week shifts engagement (dow_boost makes
+  // Sat/Sun higher than Tue/Wed).
+  WorldOptions opts = SmallOptions();
+  opts.num_tweets = 6000;
+  World world = GenerateWorld(opts);
+  double weekend_sum = 0.0, midweek_sum = 0.0;
+  size_t weekend_n = 0, midweek_n = 0;
+  for (const Tweet& t : world.tweets) {
+    int dow = DayOfWeek(t.created);
+    double log_likes = std::log(1.0 + static_cast<double>(t.likes));
+    if (dow >= 5) {
+      weekend_sum += log_likes;
+      ++weekend_n;
+    } else if (dow == 1 || dow == 2) {
+      midweek_sum += log_likes;
+      ++midweek_n;
+    }
+  }
+  ASSERT_GT(weekend_n, 100u);
+  ASSERT_GT(midweek_n, 100u);
+  EXPECT_GT(weekend_sum / weekend_n, midweek_sum / midweek_n);
+}
+
+TEST(WorldTest, LoadIntoStorePopulatesCollections) {
+  World world = GenerateWorld(SmallOptions());
+  store::Database db;
+  world.LoadInto(db);
+  ASSERT_NE(db.Get("users"), nullptr);
+  ASSERT_NE(db.Get("news"), nullptr);
+  ASSERT_NE(db.Get("tweets"), nullptr);
+  EXPECT_EQ(db.Get("users")->size(), world.users.size());
+  EXPECT_EQ(db.Get("news")->size(), world.articles.size());
+  EXPECT_EQ(db.Get("tweets")->size(), world.tweets.size());
+  // Spot-check one tweet document's fields.
+  auto doc = db.Get("tweets")->FindOne(
+      store::Filter().Eq("tweet_id", store::Value(world.tweets[0].id)));
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("text")->AsString(), world.tweets[0].text);
+  EXPECT_EQ(doc->Find("likes")->AsInt(), world.tweets[0].likes);
+}
+
+TEST(BackgroundSentencesTest, DeterministicAndWellFormed) {
+  auto a = BackgroundSentences(50, 3);
+  auto b = BackgroundSentences(50, 3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 50u);
+  for (const auto& sent : a) {
+    EXPECT_GE(sent.size(), 8u);
+    for (const std::string& w : sent) EXPECT_FALSE(w.empty());
+  }
+  auto c = BackgroundSentences(50, 4);
+  EXPECT_NE(a, c);
+}
+
+TEST(BackgroundSentencesTest, CoversThemeVocabulary) {
+  auto sentences = BackgroundSentences(4000, 7);
+  std::set<std::string> seen;
+  for (const auto& sent : sentences) {
+    for (const std::string& w : sent) seen.insert(w);
+  }
+  // Most theme words should occur in a large background sample.
+  size_t covered = 0, total = 0;
+  for (const Theme& t : NewsThemes()) {
+    for (const std::string& w : t.words) {
+      ++total;
+      if (seen.count(w) > 0) ++covered;
+    }
+  }
+  EXPECT_GT(static_cast<double>(covered) / static_cast<double>(total), 0.9);
+}
+
+/// Property sweep over seeds: class labels span all three Table-2 classes
+/// and chatter events never get news articles.
+class WorldSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WorldSeedSweep, EngagementClassesPopulated) {
+  WorldOptions opts = SmallOptions(GetParam());
+  opts.num_tweets = 3000;
+  World world = GenerateWorld(opts);
+  std::set<int> like_classes, retweet_classes;
+  for (const Tweet& t : world.tweets) {
+    like_classes.insert(EncodeCountClass(t.likes));
+    retweet_classes.insert(EncodeCountClass(t.retweets));
+  }
+  EXPECT_EQ(like_classes.size(), 3u);
+  EXPECT_EQ(retweet_classes.size(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorldSeedSweep,
+                         ::testing::Values(1ull, 2021ull, 777ull));
+
+}  // namespace
+}  // namespace newsdiff::datagen
