@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_embeddings"
+  "../bench/ablation_embeddings.pdb"
+  "CMakeFiles/ablation_embeddings.dir/ablation_embeddings.cc.o"
+  "CMakeFiles/ablation_embeddings.dir/ablation_embeddings.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_embeddings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_optimizers"
+  "../bench/ablation_optimizers.pdb"
+  "CMakeFiles/ablation_optimizers.dir/ablation_optimizers.cc.o"
+  "CMakeFiles/ablation_optimizers.dir/ablation_optimizers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_optimizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_pvdbow"
+  "../bench/ablation_pvdbow.pdb"
+  "CMakeFiles/ablation_pvdbow.dir/ablation_pvdbow.cc.o"
+  "CMakeFiles/ablation_pvdbow.dir/ablation_pvdbow.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pvdbow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_pvdbow.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_topicmodels"
+  "../bench/ablation_topicmodels.pdb"
+  "CMakeFiles/ablation_topicmodels.dir/ablation_topicmodels.cc.o"
+  "CMakeFiles/ablation_topicmodels.dir/ablation_topicmodels.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_topicmodels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_weighting"
+  "../bench/ablation_weighting.pdb"
+  "CMakeFiles/ablation_weighting.dir/ablation_weighting.cc.o"
+  "CMakeFiles/ablation_weighting.dir/ablation_weighting.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_weighting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_likes_metadata"
+  "../bench/fig4_likes_metadata.pdb"
+  "CMakeFiles/fig4_likes_metadata.dir/fig4_likes_metadata.cc.o"
+  "CMakeFiles/fig4_likes_metadata.dir/fig4_likes_metadata.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_likes_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

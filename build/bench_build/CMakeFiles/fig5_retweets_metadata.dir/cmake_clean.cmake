@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_retweets_metadata"
+  "../bench/fig5_retweets_metadata.pdb"
+  "CMakeFiles/fig5_retweets_metadata.dir/fig5_retweets_metadata.cc.o"
+  "CMakeFiles/fig5_retweets_metadata.dir/fig5_retweets_metadata.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_retweets_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

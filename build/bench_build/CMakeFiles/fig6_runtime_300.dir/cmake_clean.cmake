@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_runtime_300"
+  "../bench/fig6_runtime_300.pdb"
+  "CMakeFiles/fig6_runtime_300.dir/fig6_runtime_300.cc.o"
+  "CMakeFiles/fig6_runtime_300.dir/fig6_runtime_300.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_runtime_300.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

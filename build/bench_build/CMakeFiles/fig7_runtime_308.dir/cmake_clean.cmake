@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_runtime_308"
+  "../bench/fig7_runtime_308.pdb"
+  "CMakeFiles/fig7_runtime_308.dir/fig7_runtime_308.cc.o"
+  "CMakeFiles/fig7_runtime_308.dir/fig7_runtime_308.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_runtime_308.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_substrates.cc" "bench_build/CMakeFiles/micro_substrates.dir/micro_substrates.cc.o" "gcc" "bench_build/CMakeFiles/micro_substrates.dir/micro_substrates.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/newsdiff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topic/CMakeFiles/newsdiff_topic.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/newsdiff_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/newsdiff_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/newsdiff_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/newsdiff_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/newsdiff_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/newsdiff_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/newsdiff_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/newsdiff_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/newsdiff_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newsdiff_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/newsdiff_bench_harness.dir/harness.cc.o.d"
+  "libnewsdiff_bench_harness.a"
+  "libnewsdiff_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newsdiff_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

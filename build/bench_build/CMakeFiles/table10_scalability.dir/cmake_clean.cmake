@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table10_scalability"
+  "../bench/table10_scalability.pdb"
+  "CMakeFiles/table10_scalability.dir/table10_scalability.cc.o"
+  "CMakeFiles/table10_scalability.dir/table10_scalability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_news_topics"
+  "../bench/table3_news_topics.pdb"
+  "CMakeFiles/table3_news_topics.dir/table3_news_topics.cc.o"
+  "CMakeFiles/table3_news_topics.dir/table3_news_topics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_news_topics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

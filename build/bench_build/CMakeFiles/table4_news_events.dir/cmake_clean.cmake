@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_news_events"
+  "../bench/table4_news_events.pdb"
+  "CMakeFiles/table4_news_events.dir/table4_news_events.cc.o"
+  "CMakeFiles/table4_news_events.dir/table4_news_events.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_news_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_twitter_events"
+  "../bench/table5_twitter_events.pdb"
+  "CMakeFiles/table5_twitter_events.dir/table5_twitter_events.cc.o"
+  "CMakeFiles/table5_twitter_events.dir/table5_twitter_events.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_twitter_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

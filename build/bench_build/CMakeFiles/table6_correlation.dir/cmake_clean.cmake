@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_correlation"
+  "../bench/table6_correlation.pdb"
+  "CMakeFiles/table6_correlation.dir/table6_correlation.cc.o"
+  "CMakeFiles/table6_correlation.dir/table6_correlation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

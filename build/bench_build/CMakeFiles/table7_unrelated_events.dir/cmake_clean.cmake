@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_unrelated_events"
+  "../bench/table7_unrelated_events.pdb"
+  "CMakeFiles/table7_unrelated_events.dir/table7_unrelated_events.cc.o"
+  "CMakeFiles/table7_unrelated_events.dir/table7_unrelated_events.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_unrelated_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table8_likes_accuracy"
+  "../bench/table8_likes_accuracy.pdb"
+  "CMakeFiles/table8_likes_accuracy.dir/table8_likes_accuracy.cc.o"
+  "CMakeFiles/table8_likes_accuracy.dir/table8_likes_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_likes_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table9_retweets_accuracy"
+  "../bench/table9_retweets_accuracy.pdb"
+  "CMakeFiles/table9_retweets_accuracy.dir/table9_retweets_accuracy.cc.o"
+  "CMakeFiles/table9_retweets_accuracy.dir/table9_retweets_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_retweets_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

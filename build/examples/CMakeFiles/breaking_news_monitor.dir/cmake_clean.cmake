@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/breaking_news_monitor.dir/breaking_news_monitor.cpp.o"
+  "CMakeFiles/breaking_news_monitor.dir/breaking_news_monitor.cpp.o.d"
+  "breaking_news_monitor"
+  "breaking_news_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/breaking_news_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

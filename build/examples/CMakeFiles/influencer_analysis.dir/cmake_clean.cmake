@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/influencer_analysis.dir/influencer_analysis.cpp.o"
+  "CMakeFiles/influencer_analysis.dir/influencer_analysis.cpp.o.d"
+  "influencer_analysis"
+  "influencer_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/influencer_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

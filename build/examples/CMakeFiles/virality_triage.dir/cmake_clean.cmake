@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virality_triage.dir/virality_triage.cpp.o"
+  "CMakeFiles/virality_triage.dir/virality_triage.cpp.o.d"
+  "virality_triage"
+  "virality_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virality_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for virality_triage.
+# This may be replaced when dependencies are built.

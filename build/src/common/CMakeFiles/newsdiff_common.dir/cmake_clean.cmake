@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newsdiff_common.dir/logging.cc.o"
+  "CMakeFiles/newsdiff_common.dir/logging.cc.o.d"
+  "CMakeFiles/newsdiff_common.dir/rng.cc.o"
+  "CMakeFiles/newsdiff_common.dir/rng.cc.o.d"
+  "CMakeFiles/newsdiff_common.dir/status.cc.o"
+  "CMakeFiles/newsdiff_common.dir/status.cc.o.d"
+  "CMakeFiles/newsdiff_common.dir/strings.cc.o"
+  "CMakeFiles/newsdiff_common.dir/strings.cc.o.d"
+  "CMakeFiles/newsdiff_common.dir/table_printer.cc.o"
+  "CMakeFiles/newsdiff_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/newsdiff_common.dir/time.cc.o"
+  "CMakeFiles/newsdiff_common.dir/time.cc.o.d"
+  "libnewsdiff_common.a"
+  "libnewsdiff_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newsdiff_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assignment.cc" "src/core/CMakeFiles/newsdiff_core.dir/assignment.cc.o" "gcc" "src/core/CMakeFiles/newsdiff_core.dir/assignment.cc.o.d"
+  "/root/repo/src/core/checkpoint.cc" "src/core/CMakeFiles/newsdiff_core.dir/checkpoint.cc.o" "gcc" "src/core/CMakeFiles/newsdiff_core.dir/checkpoint.cc.o.d"
+  "/root/repo/src/core/collection.cc" "src/core/CMakeFiles/newsdiff_core.dir/collection.cc.o" "gcc" "src/core/CMakeFiles/newsdiff_core.dir/collection.cc.o.d"
+  "/root/repo/src/core/correlation.cc" "src/core/CMakeFiles/newsdiff_core.dir/correlation.cc.o" "gcc" "src/core/CMakeFiles/newsdiff_core.dir/correlation.cc.o.d"
+  "/root/repo/src/core/cross_validation.cc" "src/core/CMakeFiles/newsdiff_core.dir/cross_validation.cc.o" "gcc" "src/core/CMakeFiles/newsdiff_core.dir/cross_validation.cc.o.d"
+  "/root/repo/src/core/embedding_cache.cc" "src/core/CMakeFiles/newsdiff_core.dir/embedding_cache.cc.o" "gcc" "src/core/CMakeFiles/newsdiff_core.dir/embedding_cache.cc.o.d"
+  "/root/repo/src/core/features.cc" "src/core/CMakeFiles/newsdiff_core.dir/features.cc.o" "gcc" "src/core/CMakeFiles/newsdiff_core.dir/features.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/newsdiff_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/newsdiff_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "src/core/CMakeFiles/newsdiff_core.dir/predictor.cc.o" "gcc" "src/core/CMakeFiles/newsdiff_core.dir/predictor.cc.o.d"
+  "/root/repo/src/core/preprocess.cc" "src/core/CMakeFiles/newsdiff_core.dir/preprocess.cc.o" "gcc" "src/core/CMakeFiles/newsdiff_core.dir/preprocess.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/newsdiff_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/newsdiff_core.dir/report.cc.o.d"
+  "/root/repo/src/core/trending.cc" "src/core/CMakeFiles/newsdiff_core.dir/trending.cc.o" "gcc" "src/core/CMakeFiles/newsdiff_core.dir/trending.cc.o.d"
+  "/root/repo/src/core/tuning.cc" "src/core/CMakeFiles/newsdiff_core.dir/tuning.cc.o" "gcc" "src/core/CMakeFiles/newsdiff_core.dir/tuning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/newsdiff_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/newsdiff_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/newsdiff_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/newsdiff_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/newsdiff_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/topic/CMakeFiles/newsdiff_topic.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/newsdiff_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/newsdiff_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/newsdiff_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/newsdiff_datagen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

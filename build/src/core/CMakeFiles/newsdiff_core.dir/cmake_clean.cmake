@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newsdiff_core.dir/assignment.cc.o"
+  "CMakeFiles/newsdiff_core.dir/assignment.cc.o.d"
+  "CMakeFiles/newsdiff_core.dir/checkpoint.cc.o"
+  "CMakeFiles/newsdiff_core.dir/checkpoint.cc.o.d"
+  "CMakeFiles/newsdiff_core.dir/collection.cc.o"
+  "CMakeFiles/newsdiff_core.dir/collection.cc.o.d"
+  "CMakeFiles/newsdiff_core.dir/correlation.cc.o"
+  "CMakeFiles/newsdiff_core.dir/correlation.cc.o.d"
+  "CMakeFiles/newsdiff_core.dir/cross_validation.cc.o"
+  "CMakeFiles/newsdiff_core.dir/cross_validation.cc.o.d"
+  "CMakeFiles/newsdiff_core.dir/embedding_cache.cc.o"
+  "CMakeFiles/newsdiff_core.dir/embedding_cache.cc.o.d"
+  "CMakeFiles/newsdiff_core.dir/features.cc.o"
+  "CMakeFiles/newsdiff_core.dir/features.cc.o.d"
+  "CMakeFiles/newsdiff_core.dir/pipeline.cc.o"
+  "CMakeFiles/newsdiff_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/newsdiff_core.dir/predictor.cc.o"
+  "CMakeFiles/newsdiff_core.dir/predictor.cc.o.d"
+  "CMakeFiles/newsdiff_core.dir/preprocess.cc.o"
+  "CMakeFiles/newsdiff_core.dir/preprocess.cc.o.d"
+  "CMakeFiles/newsdiff_core.dir/report.cc.o"
+  "CMakeFiles/newsdiff_core.dir/report.cc.o.d"
+  "CMakeFiles/newsdiff_core.dir/trending.cc.o"
+  "CMakeFiles/newsdiff_core.dir/trending.cc.o.d"
+  "CMakeFiles/newsdiff_core.dir/tuning.cc.o"
+  "CMakeFiles/newsdiff_core.dir/tuning.cc.o.d"
+  "libnewsdiff_core.a"
+  "libnewsdiff_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newsdiff_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newsdiff_corpus.dir/corpus.cc.o"
+  "CMakeFiles/newsdiff_corpus.dir/corpus.cc.o.d"
+  "CMakeFiles/newsdiff_corpus.dir/vocabulary.cc.o"
+  "CMakeFiles/newsdiff_corpus.dir/vocabulary.cc.o.d"
+  "CMakeFiles/newsdiff_corpus.dir/weighting.cc.o"
+  "CMakeFiles/newsdiff_corpus.dir/weighting.cc.o.d"
+  "libnewsdiff_corpus.a"
+  "libnewsdiff_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newsdiff_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/feeds.cc" "src/datagen/CMakeFiles/newsdiff_datagen.dir/feeds.cc.o" "gcc" "src/datagen/CMakeFiles/newsdiff_datagen.dir/feeds.cc.o.d"
+  "/root/repo/src/datagen/themes.cc" "src/datagen/CMakeFiles/newsdiff_datagen.dir/themes.cc.o" "gcc" "src/datagen/CMakeFiles/newsdiff_datagen.dir/themes.cc.o.d"
+  "/root/repo/src/datagen/world.cc" "src/datagen/CMakeFiles/newsdiff_datagen.dir/world.cc.o" "gcc" "src/datagen/CMakeFiles/newsdiff_datagen.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/newsdiff_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/newsdiff_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

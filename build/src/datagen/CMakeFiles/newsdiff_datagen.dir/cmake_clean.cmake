@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newsdiff_datagen.dir/feeds.cc.o"
+  "CMakeFiles/newsdiff_datagen.dir/feeds.cc.o.d"
+  "CMakeFiles/newsdiff_datagen.dir/themes.cc.o"
+  "CMakeFiles/newsdiff_datagen.dir/themes.cc.o.d"
+  "CMakeFiles/newsdiff_datagen.dir/world.cc.o"
+  "CMakeFiles/newsdiff_datagen.dir/world.cc.o.d"
+  "libnewsdiff_datagen.a"
+  "libnewsdiff_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newsdiff_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

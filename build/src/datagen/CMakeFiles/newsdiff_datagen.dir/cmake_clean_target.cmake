@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnewsdiff_datagen.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/doc2vec.cc" "src/embed/CMakeFiles/newsdiff_embed.dir/doc2vec.cc.o" "gcc" "src/embed/CMakeFiles/newsdiff_embed.dir/doc2vec.cc.o.d"
+  "/root/repo/src/embed/pretrained.cc" "src/embed/CMakeFiles/newsdiff_embed.dir/pretrained.cc.o" "gcc" "src/embed/CMakeFiles/newsdiff_embed.dir/pretrained.cc.o.d"
+  "/root/repo/src/embed/pvdbow.cc" "src/embed/CMakeFiles/newsdiff_embed.dir/pvdbow.cc.o" "gcc" "src/embed/CMakeFiles/newsdiff_embed.dir/pvdbow.cc.o.d"
+  "/root/repo/src/embed/word2vec.cc" "src/embed/CMakeFiles/newsdiff_embed.dir/word2vec.cc.o" "gcc" "src/embed/CMakeFiles/newsdiff_embed.dir/word2vec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/newsdiff_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/newsdiff_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

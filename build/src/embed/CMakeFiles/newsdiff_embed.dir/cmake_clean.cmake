@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newsdiff_embed.dir/doc2vec.cc.o"
+  "CMakeFiles/newsdiff_embed.dir/doc2vec.cc.o.d"
+  "CMakeFiles/newsdiff_embed.dir/pretrained.cc.o"
+  "CMakeFiles/newsdiff_embed.dir/pretrained.cc.o.d"
+  "CMakeFiles/newsdiff_embed.dir/pvdbow.cc.o"
+  "CMakeFiles/newsdiff_embed.dir/pvdbow.cc.o.d"
+  "CMakeFiles/newsdiff_embed.dir/word2vec.cc.o"
+  "CMakeFiles/newsdiff_embed.dir/word2vec.cc.o.d"
+  "libnewsdiff_embed.a"
+  "libnewsdiff_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newsdiff_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/event/mabed.cc" "src/event/CMakeFiles/newsdiff_event.dir/mabed.cc.o" "gcc" "src/event/CMakeFiles/newsdiff_event.dir/mabed.cc.o.d"
+  "/root/repo/src/event/time_slicer.cc" "src/event/CMakeFiles/newsdiff_event.dir/time_slicer.cc.o" "gcc" "src/event/CMakeFiles/newsdiff_event.dir/time_slicer.cc.o.d"
+  "/root/repo/src/event/tracker.cc" "src/event/CMakeFiles/newsdiff_event.dir/tracker.cc.o" "gcc" "src/event/CMakeFiles/newsdiff_event.dir/tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/newsdiff_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/newsdiff_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/newsdiff_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/newsdiff_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

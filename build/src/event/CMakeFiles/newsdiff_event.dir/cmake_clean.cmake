@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newsdiff_event.dir/mabed.cc.o"
+  "CMakeFiles/newsdiff_event.dir/mabed.cc.o.d"
+  "CMakeFiles/newsdiff_event.dir/time_slicer.cc.o"
+  "CMakeFiles/newsdiff_event.dir/time_slicer.cc.o.d"
+  "CMakeFiles/newsdiff_event.dir/tracker.cc.o"
+  "CMakeFiles/newsdiff_event.dir/tracker.cc.o.d"
+  "libnewsdiff_event.a"
+  "libnewsdiff_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newsdiff_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

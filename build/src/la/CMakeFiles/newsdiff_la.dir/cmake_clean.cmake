@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newsdiff_la.dir/matrix.cc.o"
+  "CMakeFiles/newsdiff_la.dir/matrix.cc.o.d"
+  "CMakeFiles/newsdiff_la.dir/sparse.cc.o"
+  "CMakeFiles/newsdiff_la.dir/sparse.cc.o.d"
+  "libnewsdiff_la.a"
+  "libnewsdiff_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newsdiff_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

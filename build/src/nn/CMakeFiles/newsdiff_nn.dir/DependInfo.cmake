@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "src/nn/CMakeFiles/newsdiff_nn.dir/activations.cc.o" "gcc" "src/nn/CMakeFiles/newsdiff_nn.dir/activations.cc.o.d"
+  "/root/repo/src/nn/architectures.cc" "src/nn/CMakeFiles/newsdiff_nn.dir/architectures.cc.o" "gcc" "src/nn/CMakeFiles/newsdiff_nn.dir/architectures.cc.o.d"
+  "/root/repo/src/nn/conv1d.cc" "src/nn/CMakeFiles/newsdiff_nn.dir/conv1d.cc.o" "gcc" "src/nn/CMakeFiles/newsdiff_nn.dir/conv1d.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "src/nn/CMakeFiles/newsdiff_nn.dir/dense.cc.o" "gcc" "src/nn/CMakeFiles/newsdiff_nn.dir/dense.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/nn/CMakeFiles/newsdiff_nn.dir/dropout.cc.o" "gcc" "src/nn/CMakeFiles/newsdiff_nn.dir/dropout.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/newsdiff_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/newsdiff_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/metrics.cc" "src/nn/CMakeFiles/newsdiff_nn.dir/metrics.cc.o" "gcc" "src/nn/CMakeFiles/newsdiff_nn.dir/metrics.cc.o.d"
+  "/root/repo/src/nn/model.cc" "src/nn/CMakeFiles/newsdiff_nn.dir/model.cc.o" "gcc" "src/nn/CMakeFiles/newsdiff_nn.dir/model.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/newsdiff_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/newsdiff_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/newsdiff_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/newsdiff_nn.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/newsdiff_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/newsdiff_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newsdiff_nn.dir/activations.cc.o"
+  "CMakeFiles/newsdiff_nn.dir/activations.cc.o.d"
+  "CMakeFiles/newsdiff_nn.dir/architectures.cc.o"
+  "CMakeFiles/newsdiff_nn.dir/architectures.cc.o.d"
+  "CMakeFiles/newsdiff_nn.dir/conv1d.cc.o"
+  "CMakeFiles/newsdiff_nn.dir/conv1d.cc.o.d"
+  "CMakeFiles/newsdiff_nn.dir/dense.cc.o"
+  "CMakeFiles/newsdiff_nn.dir/dense.cc.o.d"
+  "CMakeFiles/newsdiff_nn.dir/dropout.cc.o"
+  "CMakeFiles/newsdiff_nn.dir/dropout.cc.o.d"
+  "CMakeFiles/newsdiff_nn.dir/loss.cc.o"
+  "CMakeFiles/newsdiff_nn.dir/loss.cc.o.d"
+  "CMakeFiles/newsdiff_nn.dir/metrics.cc.o"
+  "CMakeFiles/newsdiff_nn.dir/metrics.cc.o.d"
+  "CMakeFiles/newsdiff_nn.dir/model.cc.o"
+  "CMakeFiles/newsdiff_nn.dir/model.cc.o.d"
+  "CMakeFiles/newsdiff_nn.dir/optimizer.cc.o"
+  "CMakeFiles/newsdiff_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/newsdiff_nn.dir/serialize.cc.o"
+  "CMakeFiles/newsdiff_nn.dir/serialize.cc.o.d"
+  "libnewsdiff_nn.a"
+  "libnewsdiff_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newsdiff_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newsdiff_store.dir/collection.cc.o"
+  "CMakeFiles/newsdiff_store.dir/collection.cc.o.d"
+  "CMakeFiles/newsdiff_store.dir/database.cc.o"
+  "CMakeFiles/newsdiff_store.dir/database.cc.o.d"
+  "CMakeFiles/newsdiff_store.dir/json.cc.o"
+  "CMakeFiles/newsdiff_store.dir/json.cc.o.d"
+  "CMakeFiles/newsdiff_store.dir/value.cc.o"
+  "CMakeFiles/newsdiff_store.dir/value.cc.o.d"
+  "libnewsdiff_store.a"
+  "libnewsdiff_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newsdiff_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

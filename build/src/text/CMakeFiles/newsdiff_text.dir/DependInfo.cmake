@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/lemmatizer.cc" "src/text/CMakeFiles/newsdiff_text.dir/lemmatizer.cc.o" "gcc" "src/text/CMakeFiles/newsdiff_text.dir/lemmatizer.cc.o.d"
+  "/root/repo/src/text/ner.cc" "src/text/CMakeFiles/newsdiff_text.dir/ner.cc.o" "gcc" "src/text/CMakeFiles/newsdiff_text.dir/ner.cc.o.d"
+  "/root/repo/src/text/phrases.cc" "src/text/CMakeFiles/newsdiff_text.dir/phrases.cc.o" "gcc" "src/text/CMakeFiles/newsdiff_text.dir/phrases.cc.o.d"
+  "/root/repo/src/text/pipeline.cc" "src/text/CMakeFiles/newsdiff_text.dir/pipeline.cc.o" "gcc" "src/text/CMakeFiles/newsdiff_text.dir/pipeline.cc.o.d"
+  "/root/repo/src/text/stopwords.cc" "src/text/CMakeFiles/newsdiff_text.dir/stopwords.cc.o" "gcc" "src/text/CMakeFiles/newsdiff_text.dir/stopwords.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/newsdiff_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/newsdiff_text.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/newsdiff_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

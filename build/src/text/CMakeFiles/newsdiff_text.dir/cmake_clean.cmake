@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newsdiff_text.dir/lemmatizer.cc.o"
+  "CMakeFiles/newsdiff_text.dir/lemmatizer.cc.o.d"
+  "CMakeFiles/newsdiff_text.dir/ner.cc.o"
+  "CMakeFiles/newsdiff_text.dir/ner.cc.o.d"
+  "CMakeFiles/newsdiff_text.dir/phrases.cc.o"
+  "CMakeFiles/newsdiff_text.dir/phrases.cc.o.d"
+  "CMakeFiles/newsdiff_text.dir/pipeline.cc.o"
+  "CMakeFiles/newsdiff_text.dir/pipeline.cc.o.d"
+  "CMakeFiles/newsdiff_text.dir/stopwords.cc.o"
+  "CMakeFiles/newsdiff_text.dir/stopwords.cc.o.d"
+  "CMakeFiles/newsdiff_text.dir/tokenizer.cc.o"
+  "CMakeFiles/newsdiff_text.dir/tokenizer.cc.o.d"
+  "libnewsdiff_text.a"
+  "libnewsdiff_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newsdiff_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

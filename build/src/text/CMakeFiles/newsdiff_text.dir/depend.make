@@ -1,0 +1,2 @@
+# Empty dependencies file for newsdiff_text.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topic/coherence.cc" "src/topic/CMakeFiles/newsdiff_topic.dir/coherence.cc.o" "gcc" "src/topic/CMakeFiles/newsdiff_topic.dir/coherence.cc.o.d"
+  "/root/repo/src/topic/lda.cc" "src/topic/CMakeFiles/newsdiff_topic.dir/lda.cc.o" "gcc" "src/topic/CMakeFiles/newsdiff_topic.dir/lda.cc.o.d"
+  "/root/repo/src/topic/nmf.cc" "src/topic/CMakeFiles/newsdiff_topic.dir/nmf.cc.o" "gcc" "src/topic/CMakeFiles/newsdiff_topic.dir/nmf.cc.o.d"
+  "/root/repo/src/topic/topic_model.cc" "src/topic/CMakeFiles/newsdiff_topic.dir/topic_model.cc.o" "gcc" "src/topic/CMakeFiles/newsdiff_topic.dir/topic_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/newsdiff_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/newsdiff_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/newsdiff_corpus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

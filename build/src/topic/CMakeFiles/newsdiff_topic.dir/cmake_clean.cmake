@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newsdiff_topic.dir/coherence.cc.o"
+  "CMakeFiles/newsdiff_topic.dir/coherence.cc.o.d"
+  "CMakeFiles/newsdiff_topic.dir/lda.cc.o"
+  "CMakeFiles/newsdiff_topic.dir/lda.cc.o.d"
+  "CMakeFiles/newsdiff_topic.dir/nmf.cc.o"
+  "CMakeFiles/newsdiff_topic.dir/nmf.cc.o.d"
+  "CMakeFiles/newsdiff_topic.dir/topic_model.cc.o"
+  "CMakeFiles/newsdiff_topic.dir/topic_model.cc.o.d"
+  "libnewsdiff_topic.a"
+  "libnewsdiff_topic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newsdiff_topic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_tests.dir/logging_test.cc.o"
+  "CMakeFiles/common_tests.dir/logging_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/matrix_test.cc.o"
+  "CMakeFiles/common_tests.dir/matrix_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/rng_test.cc.o"
+  "CMakeFiles/common_tests.dir/rng_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/sparse_test.cc.o"
+  "CMakeFiles/common_tests.dir/sparse_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/status_test.cc.o"
+  "CMakeFiles/common_tests.dir/status_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/strings_test.cc.o"
+  "CMakeFiles/common_tests.dir/strings_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/table_printer_test.cc.o"
+  "CMakeFiles/common_tests.dir/table_printer_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/time_test.cc.o"
+  "CMakeFiles/common_tests.dir/time_test.cc.o.d"
+  "common_tests"
+  "common_tests.pdb"
+  "common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/assignment_test.cc" "tests/CMakeFiles/integration_tests.dir/assignment_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/assignment_test.cc.o.d"
+  "/root/repo/tests/checkpoint_test.cc" "tests/CMakeFiles/integration_tests.dir/checkpoint_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/checkpoint_test.cc.o.d"
+  "/root/repo/tests/core_collection_test.cc" "tests/CMakeFiles/integration_tests.dir/core_collection_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/core_collection_test.cc.o.d"
+  "/root/repo/tests/core_features_test.cc" "tests/CMakeFiles/integration_tests.dir/core_features_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/core_features_test.cc.o.d"
+  "/root/repo/tests/core_matching_test.cc" "tests/CMakeFiles/integration_tests.dir/core_matching_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/core_matching_test.cc.o.d"
+  "/root/repo/tests/core_pipeline_test.cc" "tests/CMakeFiles/integration_tests.dir/core_pipeline_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/core_pipeline_test.cc.o.d"
+  "/root/repo/tests/core_predictor_test.cc" "tests/CMakeFiles/integration_tests.dir/core_predictor_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/core_predictor_test.cc.o.d"
+  "/root/repo/tests/cross_validation_test.cc" "tests/CMakeFiles/integration_tests.dir/cross_validation_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/cross_validation_test.cc.o.d"
+  "/root/repo/tests/feeds_test.cc" "tests/CMakeFiles/integration_tests.dir/feeds_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/feeds_test.cc.o.d"
+  "/root/repo/tests/report_test.cc" "tests/CMakeFiles/integration_tests.dir/report_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/report_test.cc.o.d"
+  "/root/repo/tests/tuning_test.cc" "tests/CMakeFiles/integration_tests.dir/tuning_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/tuning_test.cc.o.d"
+  "/root/repo/tests/world_test.cc" "tests/CMakeFiles/integration_tests.dir/world_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/world_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/newsdiff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topic/CMakeFiles/newsdiff_topic.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/newsdiff_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/newsdiff_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/newsdiff_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/newsdiff_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/newsdiff_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/newsdiff_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/newsdiff_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/newsdiff_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/newsdiff_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/assignment_test.cc.o"
+  "CMakeFiles/integration_tests.dir/assignment_test.cc.o.d"
+  "CMakeFiles/integration_tests.dir/checkpoint_test.cc.o"
+  "CMakeFiles/integration_tests.dir/checkpoint_test.cc.o.d"
+  "CMakeFiles/integration_tests.dir/core_collection_test.cc.o"
+  "CMakeFiles/integration_tests.dir/core_collection_test.cc.o.d"
+  "CMakeFiles/integration_tests.dir/core_features_test.cc.o"
+  "CMakeFiles/integration_tests.dir/core_features_test.cc.o.d"
+  "CMakeFiles/integration_tests.dir/core_matching_test.cc.o"
+  "CMakeFiles/integration_tests.dir/core_matching_test.cc.o.d"
+  "CMakeFiles/integration_tests.dir/core_pipeline_test.cc.o"
+  "CMakeFiles/integration_tests.dir/core_pipeline_test.cc.o.d"
+  "CMakeFiles/integration_tests.dir/core_predictor_test.cc.o"
+  "CMakeFiles/integration_tests.dir/core_predictor_test.cc.o.d"
+  "CMakeFiles/integration_tests.dir/cross_validation_test.cc.o"
+  "CMakeFiles/integration_tests.dir/cross_validation_test.cc.o.d"
+  "CMakeFiles/integration_tests.dir/feeds_test.cc.o"
+  "CMakeFiles/integration_tests.dir/feeds_test.cc.o.d"
+  "CMakeFiles/integration_tests.dir/report_test.cc.o"
+  "CMakeFiles/integration_tests.dir/report_test.cc.o.d"
+  "CMakeFiles/integration_tests.dir/tuning_test.cc.o"
+  "CMakeFiles/integration_tests.dir/tuning_test.cc.o.d"
+  "CMakeFiles/integration_tests.dir/world_test.cc.o"
+  "CMakeFiles/integration_tests.dir/world_test.cc.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+  "integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_tests.dir/coherence_test.cc.o"
+  "CMakeFiles/ml_tests.dir/coherence_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/corpus_test.cc.o"
+  "CMakeFiles/ml_tests.dir/corpus_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/doc2vec_test.cc.o"
+  "CMakeFiles/ml_tests.dir/doc2vec_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/lda_test.cc.o"
+  "CMakeFiles/ml_tests.dir/lda_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/mabed_test.cc.o"
+  "CMakeFiles/ml_tests.dir/mabed_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/nmf_test.cc.o"
+  "CMakeFiles/ml_tests.dir/nmf_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/pvdbow_test.cc.o"
+  "CMakeFiles/ml_tests.dir/pvdbow_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/time_slicer_test.cc.o"
+  "CMakeFiles/ml_tests.dir/time_slicer_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/tracker_test.cc.o"
+  "CMakeFiles/ml_tests.dir/tracker_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/weighting_schemes_test.cc.o"
+  "CMakeFiles/ml_tests.dir/weighting_schemes_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/word2vec_test.cc.o"
+  "CMakeFiles/ml_tests.dir/word2vec_test.cc.o.d"
+  "ml_tests"
+  "ml_tests.pdb"
+  "ml_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_tests.dir/dropout_test.cc.o"
+  "CMakeFiles/nn_tests.dir/dropout_test.cc.o.d"
+  "CMakeFiles/nn_tests.dir/metrics_test.cc.o"
+  "CMakeFiles/nn_tests.dir/metrics_test.cc.o.d"
+  "CMakeFiles/nn_tests.dir/model_test.cc.o"
+  "CMakeFiles/nn_tests.dir/model_test.cc.o.d"
+  "CMakeFiles/nn_tests.dir/nn_layers_test.cc.o"
+  "CMakeFiles/nn_tests.dir/nn_layers_test.cc.o.d"
+  "CMakeFiles/nn_tests.dir/optimizer_test.cc.o"
+  "CMakeFiles/nn_tests.dir/optimizer_test.cc.o.d"
+  "CMakeFiles/nn_tests.dir/serialize_test.cc.o"
+  "CMakeFiles/nn_tests.dir/serialize_test.cc.o.d"
+  "nn_tests"
+  "nn_tests.pdb"
+  "nn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_tests.dir/collection_test.cc.o"
+  "CMakeFiles/store_tests.dir/collection_test.cc.o.d"
+  "CMakeFiles/store_tests.dir/database_test.cc.o"
+  "CMakeFiles/store_tests.dir/database_test.cc.o.d"
+  "CMakeFiles/store_tests.dir/find_options_test.cc.o"
+  "CMakeFiles/store_tests.dir/find_options_test.cc.o.d"
+  "CMakeFiles/store_tests.dir/fuzz_test.cc.o"
+  "CMakeFiles/store_tests.dir/fuzz_test.cc.o.d"
+  "CMakeFiles/store_tests.dir/json_test.cc.o"
+  "CMakeFiles/store_tests.dir/json_test.cc.o.d"
+  "CMakeFiles/store_tests.dir/value_test.cc.o"
+  "CMakeFiles/store_tests.dir/value_test.cc.o.d"
+  "store_tests"
+  "store_tests.pdb"
+  "store_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_tests.dir/lemmatizer_test.cc.o"
+  "CMakeFiles/text_tests.dir/lemmatizer_test.cc.o.d"
+  "CMakeFiles/text_tests.dir/ner_test.cc.o"
+  "CMakeFiles/text_tests.dir/ner_test.cc.o.d"
+  "CMakeFiles/text_tests.dir/phrases_test.cc.o"
+  "CMakeFiles/text_tests.dir/phrases_test.cc.o.d"
+  "CMakeFiles/text_tests.dir/pipeline_text_test.cc.o"
+  "CMakeFiles/text_tests.dir/pipeline_text_test.cc.o.d"
+  "CMakeFiles/text_tests.dir/tokenizer_test.cc.o"
+  "CMakeFiles/text_tests.dir/tokenizer_test.cc.o.d"
+  "text_tests"
+  "text_tests.pdb"
+  "text_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
