@@ -1,0 +1,153 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace newsdiff {
+
+int64_t SystemClock::NowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SystemClock::SleepMillis(int64_t ms) {
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+bool IsRetryable(StatusCode code) {
+  switch (code) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kDeadlineExceeded:
+      return true;
+    default:
+      return false;
+  }
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options, Clock* clock,
+                               std::string name)
+    : options_(options), clock_(clock), name_(std::move(name)) {}
+
+bool CircuitBreaker::AllowRequest() {
+  if (state_ == State::kOpen && clock_->NowMillis() >= open_until_ms_) {
+    state_ = State::kHalfOpen;
+    half_open_successes_seen_ = 0;
+  }
+  return state_ != State::kOpen;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen &&
+      ++half_open_successes_seen_ >= options_.half_open_successes) {
+    state_ = State::kClosed;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  switch (state_) {
+    case State::kHalfOpen:
+      Trip();  // a failed probe reopens immediately
+      break;
+    case State::kClosed:
+      if (++consecutive_failures_ >= options_.failure_threshold) Trip();
+      break;
+    case State::kOpen:
+      // A straggler failure while open just extends the cooldown.
+      open_until_ms_ = clock_->NowMillis() + options_.open_ms;
+      break;
+  }
+}
+
+void CircuitBreaker::Trip() {
+  state_ = State::kOpen;
+  consecutive_failures_ = 0;
+  open_until_ms_ = clock_->NowMillis() + options_.open_ms;
+  ++trips_;
+}
+
+Retrier::Retrier(RetryPolicy policy, Clock* clock, uint64_t seed)
+    : policy_(policy), clock_(clock), rng_(seed) {}
+
+int64_t Retrier::NextBackoff(int64_t prev_ms) {
+  int64_t next;
+  if (policy_.decorrelated_jitter) {
+    next = static_cast<int64_t>(rng_.Uniform(
+        static_cast<double>(policy_.initial_backoff_ms),
+        static_cast<double>(prev_ms) * 3.0));
+  } else {
+    next = static_cast<int64_t>(static_cast<double>(prev_ms) *
+                                policy_.multiplier);
+  }
+  return std::clamp(next, policy_.initial_backoff_ms, policy_.max_backoff_ms);
+}
+
+Status Retrier::Run(const std::function<Status()>& op,
+                    CircuitBreaker* breaker) {
+  const int64_t start_ms = clock_->NowMillis();
+  int64_t backoff_ms = policy_.initial_backoff_ms;
+  Status last = Status::Unavailable("retry: no attempt was made");
+  for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      clock_->SleepMillis(backoff_ms);
+      stats_.backoff_ms += backoff_ms;
+      backoff_ms = NextBackoff(backoff_ms);
+      if (policy_.overall_deadline_ms > 0 &&
+          clock_->NowMillis() - start_ms >= policy_.overall_deadline_ms) {
+        ++stats_.exhausted;
+        return Status::DeadlineExceeded(
+            "retry deadline exceeded; last error: " + last.ToString());
+      }
+    }
+    if (breaker != nullptr && !breaker->AllowRequest()) {
+      // Keep backing off without consuming an endpoint call; the breaker
+      // half-opens once its cooldown elapses during our sleeps.
+      ++stats_.breaker_rejections;
+      last = Status::Unavailable("circuit breaker '" + breaker->name() +
+                                 "' is open");
+      continue;
+    }
+    ++stats_.attempts;
+    const int64_t attempt_start_ms = clock_->NowMillis();
+    Status s = op();
+    const int64_t elapsed_ms = clock_->NowMillis() - attempt_start_ms;
+    if (policy_.attempt_timeout_ms > 0 &&
+        elapsed_ms > policy_.attempt_timeout_ms) {
+      // The caller abandoned this attempt mid-flight; its result (even an
+      // OK one) must not be used.
+      s = Status::DeadlineExceeded(
+          "attempt took " + std::to_string(elapsed_ms) + "ms (limit " +
+          std::to_string(policy_.attempt_timeout_ms) + "ms)");
+    }
+    if (s.ok()) {
+      if (breaker != nullptr) breaker->RecordSuccess();
+      return s;
+    }
+    switch (s.code()) {
+      case StatusCode::kUnavailable:
+        ++stats_.unavailable;
+        break;
+      case StatusCode::kResourceExhausted:
+        ++stats_.resource_exhausted;
+        break;
+      case StatusCode::kDeadlineExceeded:
+        ++stats_.deadline_exceeded;
+        break;
+      default:
+        ++stats_.fatal;
+        break;
+    }
+    if (breaker != nullptr) breaker->RecordFailure();
+    if (!IsRetryable(s.code())) return s;
+    ++stats_.retries;
+    last = std::move(s);
+  }
+  ++stats_.exhausted;
+  return last;
+}
+
+}  // namespace newsdiff

@@ -22,6 +22,12 @@ const char* StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kParseError:
       return "ParseError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

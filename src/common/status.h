@@ -22,6 +22,11 @@ enum class StatusCode {
   kInternal = 6,
   kIoError = 7,
   kParseError = 8,
+  // Transient upstream conditions (see common/retry.h for the
+  // retryable/fatal classification these drive).
+  kUnavailable = 9,         // service temporarily down / connection refused
+  kResourceExhausted = 10,  // rate limit / quota hit
+  kDeadlineExceeded = 11,   // operation timed out
 };
 
 /// Returns a short human-readable name for `code` ("OK", "InvalidArgument"...).
@@ -62,6 +67,15 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -111,8 +125,15 @@ class StatusOr {
   T* operator->() { return &value(); }
 
   /// Returns the contained value, or `fallback` if this holds an error.
-  T value_or(T fallback) const {
-    return ok() ? *value_ : std::move(fallback);
+  /// The rvalue overload moves the contained value out instead of copying
+  /// it, so `std::move(status_or).value_or(fb)` is copy-free on the OK path.
+  template <typename U = T>
+  T value_or(U&& fallback) const& {
+    return ok() ? *value_ : static_cast<T>(std::forward<U>(fallback));
+  }
+  template <typename U = T>
+  T value_or(U&& fallback) && {
+    return ok() ? std::move(*value_) : static_cast<T>(std::forward<U>(fallback));
   }
 
  private:

@@ -19,6 +19,9 @@ StatusOr<std::vector<NewsRecord>> LoadNews(const store::Database& db) {
     if (const store::Value* v = doc.Find("published")) {
       rec.published = v->AsInt();
     }
+    if (const store::Value* v = doc.Find("degraded")) {
+      rec.degraded = v->is_bool() && v->bool_value();
+    }
     out.push_back(std::move(rec));
     return true;
   });

@@ -28,6 +28,14 @@ StatusOr<PipelineResult> Pipeline::Run(
   result.tweets = std::move(tweets).value();
   if (result.news.empty()) return Status::FailedPrecondition("no news");
   if (result.tweets.empty()) return Status::FailedPrecondition("no tweets");
+  for (const NewsRecord& rec : result.news) {
+    if (rec.degraded) ++result.degraded_news;
+  }
+  if (result.degraded_news > 0) {
+    NEWSDIFF_LOG(Warning)
+        << "pipeline: " << result.degraded_news << "/" << result.news.size()
+        << " articles ingested degraded (first paragraph only)";
+  }
 
   // Preprocessing (§4.2): the three corpora.
   result.news_tm = BuildNewsTM(result.news);

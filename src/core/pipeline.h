@@ -55,6 +55,10 @@ struct PipelineResult {
   // Stage inputs/corpora (index-aligned with the record vectors).
   std::vector<NewsRecord> news;
   std::vector<TweetRecord> tweets;
+  /// Articles ingested in degraded form (scrape failed; body is only the
+  /// first paragraph). They flow through every stage rather than being
+  /// dropped — this counts them so operators can see the data quality.
+  size_t degraded_news = 0;
   corpus::Corpus news_tm;
   corpus::Corpus news_ed;
   corpus::Corpus twitter_ed;

@@ -15,6 +15,9 @@ struct NewsRecord {
   std::string title;
   std::string body;
   UnixSeconds published = 0;
+  /// True when the crawler could not scrape the full body and fell back to
+  /// the header's first paragraph (see FeedCrawler's dead-letter path).
+  bool degraded = false;
 };
 
 /// A tweet as read back from the document store, joined with its author's

@@ -1,0 +1,150 @@
+#include "datagen/faults.h"
+
+#include <utility>
+
+namespace newsdiff::datagen {
+namespace {
+
+/// splitmix64 finaliser — the per-id hash behind PermanentlyFails.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultOptions options, Clock* clock)
+    : options_(options), clock_(clock), rng_(options.seed) {}
+
+Status FaultInjector::NextFault() {
+  ++counters_.ops;
+  if (counters_.ops > options_.fail_all_after_ops) {
+    ++counters_.unavailable;
+    return Status::Unavailable("hard outage injected (op " +
+                               std::to_string(counters_.ops) + ")");
+  }
+  double u = rng_.NextDouble();
+  if (u < options_.transient_failure_rate) {
+    ++counters_.unavailable;
+    return Status::Unavailable("injected transient unavailability");
+  }
+  u -= options_.transient_failure_rate;
+  if (u < options_.rate_limit_rate) {
+    ++counters_.rate_limited;
+    return Status::ResourceExhausted("injected rate limit; retry later");
+  }
+  u -= options_.rate_limit_rate;
+  if (u < options_.timeout_rate) {
+    ++counters_.timeouts;
+    if (clock_ != nullptr) clock_->SleepMillis(options_.timeout_ms);
+    return Status::DeadlineExceeded("injected timeout after " +
+                                    std::to_string(options_.timeout_ms) +
+                                    "ms");
+  }
+  return Status::OK();
+}
+
+bool FaultInjector::ShouldCorrupt() {
+  bool hit = rng_.Bernoulli(options_.corrupt_body_rate);
+  if (hit) ++counters_.corrupted;
+  return hit;
+}
+
+bool FaultInjector::ShouldDuplicate() {
+  bool hit = rng_.Bernoulli(options_.duplicate_page_rate);
+  if (hit) ++counters_.duplicated;
+  return hit;
+}
+
+bool FaultInjector::ShouldShuffle() {
+  bool hit = rng_.Bernoulli(options_.shuffle_page_rate);
+  if (hit) ++counters_.shuffled;
+  return hit;
+}
+
+bool FaultInjector::PermanentlyFails(int64_t article_id) const {
+  if (options_.permanent_body_failure_rate <= 0.0) return false;
+  uint64_t h = Mix64(static_cast<uint64_t>(article_id) ^ options_.seed);
+  double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform [0, 1)
+  return u < options_.permanent_body_failure_rate;
+}
+
+std::string FaultInjector::CorruptPayload(const std::string& payload) {
+  if (payload.empty()) return payload;
+  std::string out = payload;
+  if (rng_.Bernoulli(0.5)) {
+    // Truncation: the connection dropped mid-transfer.
+    out.resize(rng_.NextBelow(out.size()));
+  } else {
+    // Bit rot: flip a few bytes in place.
+    size_t flips = 1 + rng_.NextBelow(3);
+    for (size_t i = 0; i < flips; ++i) {
+      size_t pos = rng_.NextBelow(out.size());
+      out[pos] = static_cast<char>(
+          out[pos] ^ static_cast<char>(1 + rng_.NextBelow(255)));
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<ArticleHeader>> FaultyNewsFeed::FetchLatest(
+    UnixSeconds now, UnixSeconds older_than) {
+  Status fault = injector_->NextFault();
+  if (!fault.ok()) return fault;
+  // Duplicate delivery is only injected mid-pagination and only for full
+  // pages, mirroring real retry/cache replays: page-size decisions (a short
+  // page ends pagination) always reflect a genuine response.
+  if (older_than != 0 && last_page_.size() == NewsApiClient::kPageLimit &&
+      injector_->ShouldDuplicate()) {
+    return last_page_;
+  }
+  StatusOr<std::vector<ArticleHeader>> r = inner_->FetchLatest(now, older_than);
+  if (!r.ok()) return r;
+  std::vector<ArticleHeader> page = std::move(r).value();
+  if (page.size() >= 2 && injector_->ShouldShuffle()) {
+    injector_->rng().Shuffle(page);
+  }
+  last_page_ = page;
+  return page;
+}
+
+StatusOr<ScrapedBody> FaultyBodyFetcher::FetchBody(int64_t article_id) {
+  Status fault = injector_->NextFault();
+  if (!fault.ok()) return fault;
+  if (injector_->PermanentlyFails(article_id)) {
+    return Status::NotFound("article " + std::to_string(article_id) +
+                            " is permanently unscrapable (injected)");
+  }
+  StatusOr<ScrapedBody> r = inner_->FetchBody(article_id);
+  if (!r.ok()) return r;
+  ScrapedBody body = std::move(r).value();
+  if (injector_->ShouldCorrupt()) {
+    // Damage the text but keep the integrity metadata, so Valid() fails.
+    body.text = injector_->CorruptPayload(body.text);
+  }
+  return body;
+}
+
+StatusOr<std::vector<TweetPayload>> FaultyTweetFeed::Search(
+    const std::vector<std::string>& keywords, UnixSeconds since,
+    UnixSeconds until, int64_t since_id) {
+  Status fault = injector_->NextFault();
+  if (!fault.ok()) return fault;
+  if (last_page_.size() == TwitterClient::kPageLimit &&
+      injector_->ShouldDuplicate()) {
+    return last_page_;
+  }
+  StatusOr<std::vector<TweetPayload>> r =
+      inner_->Search(keywords, since, until, since_id);
+  if (!r.ok()) return r;
+  std::vector<TweetPayload> page = std::move(r).value();
+  if (page.size() >= 2 && injector_->ShouldShuffle()) {
+    injector_->rng().Shuffle(page);
+  }
+  last_page_ = page;
+  return page;
+}
+
+}  // namespace newsdiff::datagen

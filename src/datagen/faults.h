@@ -1,0 +1,140 @@
+#ifndef NEWSDIFF_DATAGEN_FAULTS_H_
+#define NEWSDIFF_DATAGEN_FAULTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/retry.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "datagen/feeds.h"
+
+namespace newsdiff::datagen {
+
+/// Deterministic, seeded fault injection for the simulated feeds — the
+/// degraded-upstream phenomena the paper's real deployment had to survive
+/// (§4.1/§4.9): NewsAPI rate limits and truncated bodies, scraper failures
+/// on individual articles, Twitter API timeouts, and duplicate/out-of-order
+/// page deliveries. Wrap the Direct* feeds in the Faulty* decorators below
+/// and hand them to FeedCrawler.
+
+struct FaultOptions {
+  uint64_t seed = 2021;
+  /// Per-call probability of each injected transient condition.
+  double transient_failure_rate = 0.0;  // kUnavailable
+  double rate_limit_rate = 0.0;         // kResourceExhausted
+  double timeout_rate = 0.0;            // kDeadlineExceeded
+  /// How long a timed-out call hangs before the client gives up; charged
+  /// to the injector's clock (if any) so simulated time advances.
+  int64_t timeout_ms = 1500;
+  /// Probability that a scraped body is truncated/garbled in transit
+  /// (integrity metadata is preserved, so clients can detect it).
+  double corrupt_body_rate = 0.0;
+  /// Probability that a full page is re-served (duplicate delivery) or
+  /// delivered with its rows shuffled (out-of-order delivery).
+  double duplicate_page_rate = 0.0;
+  double shuffle_page_rate = 0.0;
+  /// Fraction of article ids whose body scrape *always* fails (decided by a
+  /// deterministic per-id hash, so the verdict survives restarts). These
+  /// end up in the crawler's dead-letter collection.
+  double permanent_body_failure_rate = 0.0;
+  /// Test hook for hard outages: after this many upstream calls, every
+  /// subsequent call fails with kUnavailable.
+  size_t fail_all_after_ops = SIZE_MAX;
+};
+
+struct FaultCounters {
+  size_t ops = 0;  // upstream calls intercepted
+  size_t unavailable = 0;
+  size_t rate_limited = 0;
+  size_t timeouts = 0;
+  size_t corrupted = 0;
+  size_t duplicated = 0;
+  size_t shuffled = 0;
+};
+
+class FaultInjector {
+ public:
+  /// `clock` (optional) is advanced by timeout_ms for each injected
+  /// timeout; it must outlive the injector.
+  explicit FaultInjector(FaultOptions options, Clock* clock = nullptr);
+
+  /// Draws the fault, if any, for the next upstream call. OK = no fault.
+  Status NextFault();
+
+  /// Single draws for payload-level faults; counters are incremented on
+  /// true, so call these only when the fault would actually be applied.
+  bool ShouldCorrupt();
+  bool ShouldDuplicate();
+  bool ShouldShuffle();
+
+  /// Deterministic per-id verdict: true for ids whose scrape always fails.
+  bool PermanentlyFails(int64_t article_id) const;
+
+  /// Truncates or garbles `payload`; never returns non-empty input
+  /// unchanged. Also used by the fuzz tests to corrupt JSON documents.
+  std::string CorruptPayload(const std::string& payload);
+
+  Rng& rng() { return rng_; }
+  const FaultCounters& counters() const { return counters_; }
+  const FaultOptions& options() const { return options_; }
+
+ private:
+  FaultOptions options_;
+  Clock* clock_;
+  Rng rng_;
+  FaultCounters counters_;
+};
+
+/// NewsFeed decorator. Replays the previous full page mid-pagination
+/// (duplicate delivery) and shuffles pages (out-of-order delivery), on top
+/// of the injector's transient faults.
+class FaultyNewsFeed : public NewsFeed {
+ public:
+  FaultyNewsFeed(NewsFeed& inner, FaultInjector& injector)
+      : inner_(&inner), injector_(&injector) {}
+
+  StatusOr<std::vector<ArticleHeader>> FetchLatest(
+      UnixSeconds now, UnixSeconds older_than) override;
+
+ private:
+  NewsFeed* inner_;
+  FaultInjector* injector_;
+  std::vector<ArticleHeader> last_page_;
+};
+
+/// BodyFetcher decorator: transient faults, permanently-unscrapable ids,
+/// and corrupted payloads (text damaged, integrity metadata intact).
+class FaultyBodyFetcher : public BodyFetcher {
+ public:
+  FaultyBodyFetcher(BodyFetcher& inner, FaultInjector& injector)
+      : inner_(&inner), injector_(&injector) {}
+
+  StatusOr<ScrapedBody> FetchBody(int64_t article_id) override;
+
+ private:
+  BodyFetcher* inner_;
+  FaultInjector* injector_;
+};
+
+/// TweetFeed decorator: transient faults plus duplicate/shuffled full-page
+/// deliveries.
+class FaultyTweetFeed : public TweetFeed {
+ public:
+  FaultyTweetFeed(TweetFeed& inner, FaultInjector& injector)
+      : inner_(&inner), injector_(&injector) {}
+
+  StatusOr<std::vector<TweetPayload>> Search(
+      const std::vector<std::string>& keywords, UnixSeconds since,
+      UnixSeconds until, int64_t since_id) override;
+
+ private:
+  TweetFeed* inner_;
+  FaultInjector* injector_;
+  std::vector<TweetPayload> last_page_;
+};
+
+}  // namespace newsdiff::datagen
+
+#endif  // NEWSDIFF_DATAGEN_FAULTS_H_

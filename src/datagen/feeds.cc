@@ -1,9 +1,14 @@
 #include "datagen/feeds.h"
 
 #include <algorithm>
+#include <limits>
+#include <set>
+#include <utility>
 
 namespace newsdiff::datagen {
 namespace {
+
+constexpr int64_t kMaxSinceId = std::numeric_limits<int64_t>::max();
 
 /// First sentence of a body (up to and including the first period).
 std::string FirstParagraph(const std::string& body) {
@@ -76,95 +81,337 @@ std::vector<TweetPayload> TwitterClient::Search(
   return page;
 }
 
+uint32_t BodyChecksum(const std::string& text) {
+  uint32_t h = 2166136261u;  // FNV-1a
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 16777619u;
+  }
+  return h;
+}
+
+StatusOr<ScrapedBody> DirectBodyFetcher::FetchBody(int64_t article_id) {
+  StatusOr<std::string> body = scraper_.FetchBody(article_id);
+  if (!body.ok()) return body.status();
+  ScrapedBody out;
+  out.text = std::move(body).value();
+  out.declared_length = out.text.size();
+  out.checksum = BodyChecksum(out.text);
+  return out;
+}
+
 FeedCrawler::FeedCrawler(const World& world, store::Database& db)
     : world_(&world),
       db_(&db),
-      news_api_(world),
-      scraper_(world),
-      twitter_(world),
-      cursor_(world.options.start_time - 1) {}
+      owned_news_(std::make_unique<DirectNewsFeed>(world)),
+      owned_scraper_(std::make_unique<DirectBodyFetcher>(world)),
+      owned_twitter_(std::make_unique<DirectTweetFeed>(world)),
+      owned_clock_(std::make_unique<SystemClock>()),
+      news_(owned_news_.get()),
+      scraper_(owned_scraper_.get()),
+      twitter_(owned_twitter_.get()),
+      clock_(owned_clock_.get()),
+      options_(),
+      retrier_(options_.retry, clock_, options_.retry_seed),
+      news_breaker_(options_.breaker, clock_, "news"),
+      scraper_breaker_(options_.breaker, clock_, "scraper"),
+      twitter_breaker_(options_.breaker, clock_, "twitter"),
+      cursor_(world.options.start_time - 1),
+      news_done_until_(cursor_),
+      tweet_since_(cursor_),
+      tweet_since_id_(kMaxSinceId) {
+  LoadCursor();
+}
+
+FeedCrawler::FeedCrawler(const World& world, store::Database& db,
+                         NewsFeed& news, BodyFetcher& scraper,
+                         TweetFeed& twitter, Clock& clock,
+                         CrawlerOptions options)
+    : world_(&world),
+      db_(&db),
+      news_(&news),
+      scraper_(&scraper),
+      twitter_(&twitter),
+      clock_(&clock),
+      options_(options),
+      retrier_(options_.retry, clock_, options_.retry_seed),
+      news_breaker_(options_.breaker, clock_, "news"),
+      scraper_breaker_(options_.breaker, clock_, "scraper"),
+      twitter_breaker_(options_.breaker, clock_, "twitter"),
+      cursor_(world.options.start_time - 1),
+      news_done_until_(cursor_),
+      tweet_since_(cursor_),
+      tweet_since_id_(kMaxSinceId) {
+  LoadCursor();
+}
 
 void FeedCrawler::EnsureUsersLoaded() {
   if (users_loaded_) return;
   store::Collection& users = db_->GetOrCreate("users");
-  for (const UserProfile& u : world_->users) {
-    users.Insert(store::MakeObject({
-        {"user_id", static_cast<int64_t>(u.id)},
-        {"handle", u.handle},
-        {"followers", u.followers},
-    }));
+  if (users.size() < world_->users.size()) {
+    users.CreateIndex("user_id");
+    for (const UserProfile& u : world_->users) {
+      users.Upsert(
+          store::Filter().Eq("user_id",
+                             store::Value(static_cast<int64_t>(u.id))),
+          store::MakeObject({
+              {"user_id", static_cast<int64_t>(u.id)},
+              {"handle", u.handle},
+              {"followers", u.followers},
+          }));
+    }
   }
   users_loaded_ = true;
 }
 
-FeedCrawler::CrawlStats FeedCrawler::CrawlUntil(UnixSeconds now) {
-  EnsureUsersLoaded();
-  CrawlStats stats;
+void FeedCrawler::LoadCursor() {
+  const store::Collection* state = db_->Get(kStateCollection);
+  if (state == nullptr) return;
+  StatusOr<store::Value> doc =
+      state->FindOne(store::Filter().Eq("key", store::Value("crawler")));
+  if (!doc.ok()) return;
+  if (const store::Value* v = doc->Find("cursor")) cursor_ = v->AsInt();
+  news_done_until_ = cursor_;
+  if (const store::Value* v = doc->Find("news_done_until")) {
+    news_done_until_ = v->AsInt();
+  }
+  tweet_since_ = cursor_;
+  tweet_since_id_ = kMaxSinceId;
+  if (const store::Value* v = doc->Find("tweet_since")) {
+    tweet_since_ = v->AsInt();
+  }
+  if (const store::Value* v = doc->Find("tweet_since_id")) {
+    tweet_since_id_ = v->AsInt();
+  }
+}
+
+void FeedCrawler::PersistCursor() {
+  store::Collection& state = db_->GetOrCreate(kStateCollection);
+  state.Upsert(store::Filter().Eq("key", store::Value("crawler")),
+               store::MakeObject({
+                   {"key", "crawler"},
+                   {"cursor", cursor_},
+                   {"news_done_until", news_done_until_},
+                   {"tweet_since", tweet_since_},
+                   {"tweet_since_id", tweet_since_id_},
+               }));
+}
+
+void FeedCrawler::DeadLetter(const ArticleHeader& header,
+                             const Status& status) {
+  store::Collection& dead = db_->GetOrCreate(kDeadLetterCollection);
+  dead.Upsert(
+      store::Filter().Eq("article_id", store::Value(header.article_id)),
+      store::MakeObject({
+          {"article_id", header.article_id},
+          {"stage", "scrape"},
+          {"code", StatusCodeName(status.code())},
+          {"message", status.message()},
+          {"published", header.published},
+      }));
+}
+
+Status FeedCrawler::CrawlNewsCycle(UnixSeconds cycle_end, CrawlStats& stats) {
   store::Collection& news = db_->GetOrCreate("news");
+  // Page backwards through FetchLatest until the (news_done_until_,
+  // cycle_end] window is covered. Pages may arrive shuffled or replayed, so
+  // collection is order-insensitive: keep everything past the cursor,
+  // dedupe by id, and only trust the page's *oldest* timestamp to decide
+  // whether the window is covered.
+  std::vector<ArticleHeader> fresh;
+  std::set<int64_t> seen;
+  UnixSeconds older_than = 0;
+  while (true) {
+    std::vector<ArticleHeader> page;
+    Status s = retrier_.Run(
+        [&]() -> Status {
+          StatusOr<std::vector<ArticleHeader>> r =
+              news_->FetchLatest(cycle_end, older_than);
+          if (!r.ok()) return r.status();
+          page = std::move(r).value();
+          return Status::OK();
+        },
+        &news_breaker_);
+    if (!s.ok()) return s;
+    if (page.empty()) break;
+    UnixSeconds oldest = page.front().published;
+    for (const ArticleHeader& h : page) oldest = std::min(oldest, h.published);
+    for (ArticleHeader& h : page) {
+      if (h.published > news_done_until_ &&
+          seen.insert(h.article_id).second) {
+        fresh.push_back(std::move(h));
+      }
+    }
+    if (oldest <= news_done_until_ ||
+        page.size() < NewsApiClient::kPageLimit) {
+      break;
+    }
+    if (older_than != 0 && oldest >= older_than) {
+      // A replayed page: paging backwards from `older_than` must yield
+      // strictly older articles. Discard and re-request the same window.
+      ++stats.duplicate_pages;
+      continue;
+    }
+    older_than = oldest;
+  }
+
+  // Ingest oldest-first so store order matches publish order (ties broken
+  // by id, matching World::LoadInto). The header body is truncated, so
+  // scrape the full text (as the paper did), validating payload integrity.
+  std::sort(fresh.begin(), fresh.end(),
+            [](const ArticleHeader& a, const ArticleHeader& b) {
+              if (a.published != b.published) return a.published < b.published;
+              return a.article_id < b.article_id;
+            });
+  for (const ArticleHeader& h : fresh) {
+    ScrapedBody body;
+    Status s = retrier_.Run(
+        [&]() -> Status {
+          StatusOr<ScrapedBody> r = scraper_->FetchBody(h.article_id);
+          if (!r.ok()) return r.status();
+          if (!r->Valid()) {
+            ++stats.corrupt_payloads;
+            return Status::Unavailable(
+                "corrupt payload for article " +
+                std::to_string(h.article_id) + " (integrity check failed)");
+          }
+          body = std::move(r).value();
+          return Status::OK();
+        },
+        &scraper_breaker_);
+    bool degraded = false;
+    if (!s.ok()) {
+      // A still-retryable failure here means the endpoint is genuinely down
+      // (retries exhausted / breaker stuck open): abort the crawl and let a
+      // later CrawlUntil resume from the persisted cursors.
+      if (IsRetryable(s.code())) return s;
+      // Permanently failed article: dead-letter it and degrade to the
+      // header's first paragraph rather than dropping the document.
+      DeadLetter(h, s);
+      ++stats.dead_lettered;
+      degraded = true;
+    }
+    store::Value doc = store::MakeObject({
+        {"article_id", h.article_id},
+        {"outlet", h.outlet},
+        {"title", h.title},
+        {"body", degraded ? h.first_paragraph : body.text},
+        {"published", h.published},
+    });
+    if (degraded) {
+      doc.Set("degraded", store::Value(true));
+      ++stats.degraded_articles;
+    }
+    size_t before = news.size();
+    news.Upsert(store::Filter().Eq("article_id", store::Value(h.article_id)),
+                std::move(doc));
+    if (news.size() > before) ++stats.articles;
+  }
+  return Status::OK();
+}
+
+Status FeedCrawler::CrawlTweetCycle(UnixSeconds cycle_end, CrawlStats& stats) {
   store::Collection& tweets = db_->GetOrCreate("tweets");
+  // Page forward through Search, keyed by (created, id) so same-second
+  // tweets at a page boundary are never skipped. Pages may arrive shuffled
+  // or replayed; sorting plus the monotonic cursor makes both harmless.
+  while (true) {
+    std::vector<TweetPayload> page;
+    Status s = retrier_.Run(
+        [&]() -> Status {
+          StatusOr<std::vector<TweetPayload>> r =
+              twitter_->Search({}, tweet_since_, cycle_end, tweet_since_id_);
+          if (!r.ok()) return r.status();
+          page = std::move(r).value();
+          return Status::OK();
+        },
+        &twitter_breaker_);
+    if (!s.ok()) return s;
+    if (page.empty()) break;
+    std::sort(page.begin(), page.end(),
+              [](const TweetPayload& a, const TweetPayload& b) {
+                if (a.created != b.created) return a.created < b.created;
+                return a.tweet_id < b.tweet_id;
+              });
+    bool advanced = false;
+    for (const TweetPayload& t : page) {
+      if (t.created < tweet_since_ ||
+          (t.created == tweet_since_ && t.tweet_id <= tweet_since_id_)) {
+        continue;  // replayed delivery from before the cursor
+      }
+      if (t.created > cycle_end) continue;  // outside this cycle's window
+      size_t before = tweets.size();
+      tweets.Upsert(
+          store::Filter().Eq("tweet_id", store::Value(t.tweet_id)),
+          store::MakeObject({
+              {"tweet_id", t.tweet_id},
+              {"user_id", t.user_id},
+              {"text", t.text},
+              {"created", t.created},
+              {"likes", t.likes},
+              {"retweets", t.retweets},
+          }));
+      if (tweets.size() > before) ++stats.tweets;
+      tweet_since_ = t.created;
+      tweet_since_id_ = t.tweet_id;
+      advanced = true;
+    }
+    if (advanced) {
+      PersistCursor();
+    } else {
+      ++stats.duplicate_pages;  // a full page of already-seen tweets
+    }
+    if (page.size() < TwitterClient::kPageLimit) break;
+  }
+  return Status::OK();
+}
+
+FeedCrawler::CrawlStats FeedCrawler::CrawlUntil(UnixSeconds now) {
+  CrawlStats stats;
+  const RetryStats retry_before = retrier_.stats();
+  const int64_t trips_before = news_breaker_.trips() +
+                               scraper_breaker_.trips() +
+                               twitter_breaker_.trips();
+  EnsureUsersLoaded();
+  db_->GetOrCreate("news").CreateIndex("article_id");
+  db_->GetOrCreate("tweets").CreateIndex("tweet_id");
 
   while (cursor_ < now) {
     UnixSeconds cycle_end = std::min<UnixSeconds>(cursor_ + kCycleSeconds, now);
     ++stats.cycles;
 
-    // News: page backwards through FetchLatest until we cross the cursor.
-    std::vector<ArticleHeader> fresh;
-    UnixSeconds older_than = 0;
-    while (true) {
-      std::vector<ArticleHeader> page =
-          news_api_.FetchLatest(cycle_end, older_than);
-      if (page.empty()) break;
-      bool crossed = false;
-      for (const ArticleHeader& h : page) {
-        if (h.published <= cursor_) {
-          crossed = true;
-          break;
-        }
-        fresh.push_back(h);
+    if (news_done_until_ < cycle_end) {
+      Status s = CrawlNewsCycle(cycle_end, stats);
+      if (!s.ok()) {
+        stats.status = s;
+        break;
       }
-      if (crossed || page.size() < NewsApiClient::kPageLimit) break;
-      older_than = page.back().published;
-      if (older_than <= cursor_) break;
-    }
-    // Insert oldest-first so store order matches publish order; the header
-    // body is truncated, so scrape the full text (as the paper did).
-    for (auto it = fresh.rbegin(); it != fresh.rend(); ++it) {
-      StatusOr<std::string> body = scraper_.FetchBody(it->article_id);
-      news.Insert(store::MakeObject({
-          {"article_id", it->article_id},
-          {"outlet", it->outlet},
-          {"title", it->title},
-          {"body", body.ok() ? *body : it->first_paragraph},
-          {"published", it->published},
-      }));
-      ++stats.articles;
+      news_done_until_ = cycle_end;
+      PersistCursor();
     }
 
-    // Tweets: page forward through Search, keyed by (created, id) so
-    // same-second tweets at a page boundary are never skipped.
-    UnixSeconds since = cursor_;
-    int64_t since_id = 9223372036854775807LL;  // cursor_ second fully done
-    while (true) {
-      std::vector<TweetPayload> page =
-          twitter_.Search({}, since, cycle_end, since_id);
-      for (const TweetPayload& t : page) {
-        tweets.Insert(store::MakeObject({
-            {"tweet_id", t.tweet_id},
-            {"user_id", t.user_id},
-            {"text", t.text},
-            {"created", t.created},
-            {"likes", t.likes},
-            {"retweets", t.retweets},
-        }));
-        ++stats.tweets;
-        since = t.created;
-        since_id = t.tweet_id;
-      }
-      if (page.size() < TwitterClient::kPageLimit) break;
+    Status s = CrawlTweetCycle(cycle_end, stats);
+    if (!s.ok()) {
+      stats.status = s;
+      break;
     }
-
     cursor_ = cycle_end;
+    tweet_since_ = cycle_end;
+    tweet_since_id_ = kMaxSinceId;
+    PersistCursor();
   }
+
+  const RetryStats& after = retrier_.stats();
+  stats.retries = static_cast<size_t>(after.retries - retry_before.retries);
+  stats.transient_failures =
+      static_cast<size_t>(after.unavailable - retry_before.unavailable);
+  stats.rate_limited = static_cast<size_t>(after.resource_exhausted -
+                                           retry_before.resource_exhausted);
+  stats.timeouts = static_cast<size_t>(after.deadline_exceeded -
+                                       retry_before.deadline_exceeded);
+  stats.breaker_trips = static_cast<size_t>(
+      news_breaker_.trips() + scraper_breaker_.trips() +
+      twitter_breaker_.trips() - trips_before);
   return stats;
 }
 

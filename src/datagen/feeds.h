@@ -2,9 +2,11 @@
 #define NEWSDIFF_DATAGEN_FEEDS_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "datagen/world.h"
 #include "store/database.h"
@@ -16,7 +18,9 @@ namespace newsdiff::datagen {
 /// API, NewsAPI (first paragraph only + scraper), and the Twitter API.
 /// Each client serves documents in time order with the page limits the
 /// real services impose, so the crawler exercises genuine pagination and
-/// incremental-fetch logic.
+/// incremental-fetch logic. The crawler itself talks to the Status-returning
+/// NewsFeed / BodyFetcher / TweetFeed interfaces below, which is where
+/// datagen/faults.h splices in degraded-upstream behaviour.
 
 /// A page of article headers as NewsAPI returns them: metadata plus only
 /// the first paragraph of content (the paper notes NewsAPI truncates the
@@ -89,35 +93,184 @@ class TwitterClient {
   const World* world_;
 };
 
+/// FNV-1a 32-bit digest over the body bytes, carried alongside scraped
+/// payloads so corruption in transit is detectable client-side.
+uint32_t BodyChecksum(const std::string& text);
+
+/// A scraped article body plus the upstream integrity metadata
+/// (Content-Length and a digest). Fault injection may corrupt the text in
+/// transit without touching the metadata; Valid() is the client's check.
+struct ScrapedBody {
+  std::string text;
+  size_t declared_length = 0;
+  uint32_t checksum = 0;
+
+  bool Valid() const {
+    return text.size() == declared_length && BodyChecksum(text) == checksum;
+  }
+};
+
+/// Status-returning feed interfaces the crawler consumes. The Direct*
+/// adapters below wrap the perfect simulated clients; datagen/faults.h
+/// provides fault-injecting decorators with the same shape.
+class NewsFeed {
+ public:
+  virtual ~NewsFeed() = default;
+  virtual StatusOr<std::vector<ArticleHeader>> FetchLatest(
+      UnixSeconds now, UnixSeconds older_than) = 0;
+};
+
+class BodyFetcher {
+ public:
+  virtual ~BodyFetcher() = default;
+  virtual StatusOr<ScrapedBody> FetchBody(int64_t article_id) = 0;
+};
+
+class TweetFeed {
+ public:
+  virtual ~TweetFeed() = default;
+  virtual StatusOr<std::vector<TweetPayload>> Search(
+      const std::vector<std::string>& keywords, UnixSeconds since,
+      UnixSeconds until, int64_t since_id) = 0;
+};
+
+class DirectNewsFeed : public NewsFeed {
+ public:
+  explicit DirectNewsFeed(const World& world) : client_(world) {}
+  StatusOr<std::vector<ArticleHeader>> FetchLatest(
+      UnixSeconds now, UnixSeconds older_than) override {
+    return client_.FetchLatest(now, older_than);
+  }
+
+ private:
+  NewsApiClient client_;
+};
+
+class DirectBodyFetcher : public BodyFetcher {
+ public:
+  explicit DirectBodyFetcher(const World& world) : scraper_(world) {}
+  StatusOr<ScrapedBody> FetchBody(int64_t article_id) override;
+
+ private:
+  ArticleScraper scraper_;
+};
+
+class DirectTweetFeed : public TweetFeed {
+ public:
+  explicit DirectTweetFeed(const World& world) : client_(world) {}
+  StatusOr<std::vector<TweetPayload>> Search(
+      const std::vector<std::string>& keywords, UnixSeconds since,
+      UnixSeconds until, int64_t since_id) override {
+    return client_.Search(keywords, since, until, since_id);
+  }
+
+ private:
+  TwitterClient client_;
+};
+
+/// Knobs for the hardened crawler's failure handling.
+struct CrawlerOptions {
+  RetryPolicy retry = [] {
+    RetryPolicy p;
+    p.max_attempts = 8;
+    return p;
+  }();
+  CircuitBreakerOptions breaker;
+  uint64_t retry_seed = 0x9e37ull;
+};
+
 /// The crawler of §4.1/§4.9: every `interval` of simulated time it pulls
-/// new articles (headers + scraped bodies) and tweets and appends them to
-/// the store collections the pipeline reads. Keeps fetch cursors so each
-/// cycle only ingests new documents.
+/// new articles (headers + scraped bodies) and tweets and upserts them into
+/// the store collections the pipeline reads.
+///
+/// Robustness properties:
+///  - every upstream call runs under retry-with-backoff and a per-endpoint
+///    circuit breaker; scraped bodies are integrity-checked and corrupt
+///    payloads re-fetched;
+///  - fetch cursors are persisted in the "crawl_state" collection after
+///    each sub-phase, so a killed-and-restarted crawl resumes where it left
+///    off; document writes are idempotent upserts keyed by article/tweet
+///    id, so replayed work never duplicates documents;
+///  - articles whose body scrape fails permanently are recorded in the
+///    "dead_letter" collection and ingested with the header's first
+///    paragraph as a degraded body (flagged `degraded: true`);
+///  - a persistent upstream outage aborts the crawl gracefully: CrawlUntil
+///    returns with a non-OK CrawlStats::status and all progress persisted,
+///    and a later call resumes from the durable cursors.
 class FeedCrawler {
  public:
+  /// Perfect feeds and the real clock — the fault-free configuration.
   FeedCrawler(const World& world, store::Database& db);
 
+  /// Injected feeds and clock (all must outlive the crawler). Resumes from
+  /// any cursor state a previous crawler instance persisted into `db`.
+  FeedCrawler(const World& world, store::Database& db, NewsFeed& news,
+              BodyFetcher& scraper, TweetFeed& twitter, Clock& clock,
+              CrawlerOptions options = {});
+
   /// Ingests everything up to `now` in 2-hour cycles (the paper's refresh
-  /// interval); returns the number of (articles, tweets) added.
+  /// interval); returns the number of (articles, tweets) added plus the
+  /// failure-handling counters for this call.
   struct CrawlStats {
     size_t articles = 0;
     size_t tweets = 0;
     size_t cycles = 0;
+    // Failure handling (this CrawlUntil call only).
+    size_t retries = 0;             // failed retryable attempts
+    size_t transient_failures = 0;  // kUnavailable attempts observed
+    size_t rate_limited = 0;        // kResourceExhausted attempts observed
+    size_t timeouts = 0;            // kDeadlineExceeded attempts observed
+    size_t breaker_trips = 0;
+    size_t corrupt_payloads = 0;    // bodies that failed the integrity check
+    size_t duplicate_pages = 0;     // replayed pages detected and discarded
+    size_t degraded_articles = 0;   // ingested with first_paragraph fallback
+    size_t dead_lettered = 0;
+    /// OK when the crawl reached `now`; otherwise the upstream condition
+    /// that aborted it (progress up to that point is persisted).
+    Status status = Status::OK();
   };
   CrawlStats CrawlUntil(UnixSeconds now);
 
   /// The paper's refresh interval.
   static constexpr int64_t kCycleSeconds = 2 * kSecondsPerHour;
 
+  /// Store collections used for durability bookkeeping.
+  static constexpr const char* kStateCollection = "crawl_state";
+  static constexpr const char* kDeadLetterCollection = "dead_letter";
+
  private:
   void EnsureUsersLoaded();
+  void LoadCursor();
+  void PersistCursor();
+  Status CrawlNewsCycle(UnixSeconds cycle_end, CrawlStats& stats);
+  Status CrawlTweetCycle(UnixSeconds cycle_end, CrawlStats& stats);
+  void DeadLetter(const ArticleHeader& header, const Status& status);
 
   const World* world_;
   store::Database* db_;
-  NewsApiClient news_api_;
-  ArticleScraper scraper_;
-  TwitterClient twitter_;
+  // Owned defaults backing the two-argument constructor.
+  std::unique_ptr<DirectNewsFeed> owned_news_;
+  std::unique_ptr<DirectBodyFetcher> owned_scraper_;
+  std::unique_ptr<DirectTweetFeed> owned_twitter_;
+  std::unique_ptr<SystemClock> owned_clock_;
+  NewsFeed* news_;
+  BodyFetcher* scraper_;
+  TweetFeed* twitter_;
+  Clock* clock_;
+  CrawlerOptions options_;
+  Retrier retrier_;
+  CircuitBreaker news_breaker_;
+  CircuitBreaker scraper_breaker_;
+  CircuitBreaker twitter_breaker_;
+  // Durable cursor state, mirrored in the crawl_state collection:
+  // `cursor_` is the last fully completed cycle boundary;
+  // `news_done_until_` > cursor_ while a cycle's news phase is done but its
+  // tweet phase is not; (`tweet_since_`, `tweet_since_id_`) is the
+  // mid-phase tweet pagination position.
   UnixSeconds cursor_;
+  UnixSeconds news_done_until_;
+  UnixSeconds tweet_since_;
+  int64_t tweet_since_id_;
   bool users_loaded_ = false;
 };
 

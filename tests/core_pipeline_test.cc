@@ -73,6 +73,7 @@ PipelineResult* PipelineIntegration::result_ = nullptr;
 TEST_F(PipelineIntegration, AllStagesProduceOutput) {
   EXPECT_EQ(result_->news.size(), 900u);
   EXPECT_EQ(result_->tweets.size(), 2600u);
+  EXPECT_EQ(result_->degraded_news, 0u);  // nothing degraded on clean data
   EXPECT_EQ(result_->topics.size(), 8u);
   EXPECT_FALSE(result_->news_events.empty());
   EXPECT_FALSE(result_->twitter_events.empty());

@@ -1,0 +1,410 @@
+// Robustness tests for the fault-injected feeds and the hardened crawler:
+// under seeded fault injection the crawl must converge to exactly the
+// fault-free store contents, survive a mid-cycle kill-and-restart via its
+// durable cursors, and degrade gracefully on permanent scrape failures.
+#include "datagen/faults.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/collection.h"
+#include "datagen/feeds.h"
+#include "datagen/world.h"
+#include "store/json.h"
+
+namespace newsdiff::datagen {
+namespace {
+
+World SmallWorld() {
+  WorldOptions opts;
+  opts.seed = 21;
+  opts.num_users = 100;
+  opts.num_articles = 250;
+  opts.num_tweets = 700;
+  opts.duration_days = 30;
+  return GenerateWorld(opts);
+}
+
+/// Fault mix with >= 10% transient-failure rate plus payload-level chaos.
+FaultOptions ChaosOptions(uint64_t seed) {
+  FaultOptions f;
+  f.seed = seed;
+  f.transient_failure_rate = 0.08;
+  f.rate_limit_rate = 0.04;
+  f.timeout_rate = 0.03;
+  f.corrupt_body_rate = 0.06;
+  f.duplicate_page_rate = 0.10;
+  f.shuffle_page_rate = 0.10;
+  return f;
+}
+
+CrawlerOptions FastCrawlerOptions() {
+  CrawlerOptions o;
+  o.retry.max_attempts = 8;
+  return o;
+}
+
+/// Serialised contents of a collection, including insertion order and
+/// "_id"s — equal strings mean byte-identical stores.
+std::string Fingerprint(store::Database& db, const std::string& name) {
+  store::Collection* coll = db.Get(name);
+  if (coll == nullptr) return "<missing>";
+  std::string out;
+  for (const store::Value& doc : coll->All()) {
+    out += store::ToJson(doc);
+    out += '\n';
+  }
+  return out;
+}
+
+/// Crawls with fault-injected feeds, calling CrawlUntil repeatedly until it
+/// reports a completed (OK) crawl; returns the accumulated stats.
+FeedCrawler::CrawlStats CrawlToCompletion(FeedCrawler& crawler,
+                                          UnixSeconds end) {
+  FeedCrawler::CrawlStats total;
+  for (int round = 0; round < 50; ++round) {
+    FeedCrawler::CrawlStats s = crawler.CrawlUntil(end);
+    total.articles += s.articles;
+    total.tweets += s.tweets;
+    total.cycles += s.cycles;
+    total.retries += s.retries;
+    total.transient_failures += s.transient_failures;
+    total.rate_limited += s.rate_limited;
+    total.timeouts += s.timeouts;
+    total.breaker_trips += s.breaker_trips;
+    total.corrupt_payloads += s.corrupt_payloads;
+    total.duplicate_pages += s.duplicate_pages;
+    total.degraded_articles += s.degraded_articles;
+    total.dead_lettered += s.dead_lettered;
+    total.status = s.status;
+    if (s.status.ok()) return total;
+  }
+  ADD_FAILURE() << "crawl did not converge: " << total.status.ToString();
+  return total;
+}
+
+TEST(FaultInjectorTest, SameSeedSameFaultSequence) {
+  FaultInjector a(ChaosOptions(99));
+  FaultInjector b(ChaosOptions(99));
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.NextFault().code(), b.NextFault().code());
+  }
+  EXPECT_EQ(a.counters().unavailable, b.counters().unavailable);
+  EXPECT_EQ(a.counters().rate_limited, b.counters().rate_limited);
+  EXPECT_EQ(a.counters().timeouts, b.counters().timeouts);
+}
+
+TEST(FaultInjectorTest, PermanentVerdictIsStablePerId) {
+  FaultOptions opts;
+  opts.seed = 5;
+  opts.permanent_body_failure_rate = 0.3;
+  FaultInjector a(opts);
+  FaultInjector b(opts);
+  size_t failing = 0;
+  for (int64_t id = 0; id < 200; ++id) {
+    EXPECT_EQ(a.PermanentlyFails(id), b.PermanentlyFails(id));
+    if (a.PermanentlyFails(id)) ++failing;
+  }
+  EXPECT_GT(failing, 30u);  // roughly 30% of 200
+  EXPECT_LT(failing, 90u);
+}
+
+TEST(FaultInjectorTest, CorruptedBodiesAlwaysFailTheIntegrityCheck) {
+  World world = SmallWorld();
+  DirectBodyFetcher direct(world);
+  FaultInjector injector(ChaosOptions(3));
+  for (const NewsArticle& a : world.articles) {
+    StatusOr<ScrapedBody> body = direct.FetchBody(a.id);
+    ASSERT_TRUE(body.ok());
+    EXPECT_TRUE(body->Valid());
+    ScrapedBody corrupted = *body;
+    corrupted.text = injector.CorruptPayload(corrupted.text);
+    EXPECT_FALSE(corrupted.Valid()) << "article " << a.id;
+  }
+}
+
+TEST(FaultyCrawlTest, ConvergesToFaultFreeStoreContents) {
+  World world = SmallWorld();
+  UnixSeconds end = world.options.start_time + 31 * kSecondsPerDay;
+
+  store::Database clean_db;
+  FeedCrawler clean(world, clean_db);
+  auto clean_stats = clean.CrawlUntil(end);
+  ASSERT_TRUE(clean_stats.status.ok());
+
+  store::Database faulty_db;
+  ManualClock clock;
+  FaultInjector injector(ChaosOptions(17), &clock);
+  DirectNewsFeed direct_news(world);
+  DirectBodyFetcher direct_scraper(world);
+  DirectTweetFeed direct_twitter(world);
+  FaultyNewsFeed news(direct_news, injector);
+  FaultyBodyFetcher scraper(direct_scraper, injector);
+  FaultyTweetFeed twitter(direct_twitter, injector);
+  FeedCrawler crawler(world, faulty_db, news, scraper, twitter, clock,
+                      FastCrawlerOptions());
+  auto stats = CrawlToCompletion(crawler, end);
+  ASSERT_TRUE(stats.status.ok()) << stats.status.ToString();
+
+  // The fault injector actually did inject (and the crawler retried).
+  EXPECT_GT(stats.transient_failures + stats.rate_limited + stats.timeouts,
+            0u);
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_GT(injector.counters().ops, 0u);
+
+  // Store contents converge to the fault-free crawl: same documents, same
+  // order, no duplicates, full bodies everywhere.
+  EXPECT_EQ(stats.articles, world.articles.size());
+  EXPECT_EQ(stats.tweets, world.tweets.size());
+  EXPECT_EQ(Fingerprint(faulty_db, "news"), Fingerprint(clean_db, "news"));
+  EXPECT_EQ(Fingerprint(faulty_db, "tweets"),
+            Fingerprint(clean_db, "tweets"));
+  EXPECT_EQ(Fingerprint(faulty_db, "users"), Fingerprint(clean_db, "users"));
+
+  std::set<int64_t> ids;
+  for (const store::Value& doc : faulty_db.Get("news")->All()) {
+    EXPECT_TRUE(ids.insert(doc.Find("article_id")->AsInt()).second);
+  }
+}
+
+TEST(FaultyCrawlTest, HardOutageAbortsGracefullyThenResumes) {
+  World world = SmallWorld();
+  UnixSeconds end = world.options.start_time + 31 * kSecondsPerDay;
+
+  store::Database clean_db;
+  FeedCrawler clean(world, clean_db);
+  clean.CrawlUntil(end);
+
+  store::Database db;
+  ManualClock clock;
+  DirectNewsFeed direct_news(world);
+  DirectBodyFetcher direct_scraper(world);
+  DirectTweetFeed direct_twitter(world);
+
+  // Phase 1: the upstream dies for good after 120 calls, mid-cycle.
+  FaultOptions outage;
+  outage.seed = 4;
+  outage.fail_all_after_ops = 120;
+  FaultInjector dying(outage, &clock);
+  FaultyNewsFeed news1(direct_news, dying);
+  FaultyBodyFetcher scraper1(direct_scraper, dying);
+  FaultyTweetFeed twitter1(direct_twitter, dying);
+  FeedCrawler::CrawlStats first;
+  {
+    FeedCrawler crawler(world, db, news1, scraper1, twitter1, clock,
+                        FastCrawlerOptions());
+    first = crawler.CrawlUntil(end);
+  }  // crawler destroyed: the "kill"
+  EXPECT_FALSE(first.status.ok());
+  EXPECT_TRUE(IsRetryable(first.status.code()));
+  EXPECT_GE(first.breaker_trips, 1u);
+  EXPECT_LT(first.articles, world.articles.size());
+
+  // Phase 2: a fresh crawler over the same store resumes from the durable
+  // cursors once the upstream is healthy again.
+  FeedCrawler resumed(world, db);
+  auto second = resumed.CrawlUntil(end);
+  ASSERT_TRUE(second.status.ok());
+
+  // No re-ingestion: the two crawls partition the corpus exactly.
+  EXPECT_EQ(first.articles + second.articles, world.articles.size());
+  EXPECT_EQ(first.tweets + second.tweets, world.tweets.size());
+  EXPECT_EQ(Fingerprint(db, "news"), Fingerprint(clean_db, "news"));
+  EXPECT_EQ(Fingerprint(db, "tweets"), Fingerprint(clean_db, "tweets"));
+  EXPECT_EQ(Fingerprint(db, "users"), Fingerprint(clean_db, "users"));
+}
+
+TEST(FaultyCrawlTest, MidCrawlRestartIsByteIdenticalUnderChaos) {
+  World world = SmallWorld();
+  UnixSeconds mid = world.options.start_time + 13 * kSecondsPerDay + 4321;
+  UnixSeconds end = world.options.start_time + 31 * kSecondsPerDay;
+
+  // Uninterrupted chaotic crawl.
+  store::Database one_shot_db;
+  {
+    ManualClock clock;
+    FaultInjector injector(ChaosOptions(23), &clock);
+    DirectNewsFeed dn(world);
+    DirectBodyFetcher ds(world);
+    DirectTweetFeed dt(world);
+    FaultyNewsFeed news(dn, injector);
+    FaultyBodyFetcher scraper(ds, injector);
+    FaultyTweetFeed twitter(dt, injector);
+    FeedCrawler crawler(world, one_shot_db, news, scraper, twitter, clock,
+                        FastCrawlerOptions());
+    auto stats = CrawlToCompletion(crawler, end);
+    ASSERT_TRUE(stats.status.ok());
+  }
+
+  // Same chaos, but killed at `mid` and restarted with a brand-new crawler
+  // (fresh injector state, fresh breakers) over the same store.
+  store::Database restarted_db;
+  {
+    ManualClock clock;
+    FaultInjector injector(ChaosOptions(29), &clock);
+    DirectNewsFeed dn(world);
+    DirectBodyFetcher ds(world);
+    DirectTweetFeed dt(world);
+    FaultyNewsFeed news(dn, injector);
+    FaultyBodyFetcher scraper(ds, injector);
+    FaultyTweetFeed twitter(dt, injector);
+    FeedCrawler crawler(world, restarted_db, news, scraper, twitter, clock,
+                        FastCrawlerOptions());
+    auto stats = CrawlToCompletion(crawler, mid);
+    ASSERT_TRUE(stats.status.ok());
+  }
+  {
+    ManualClock clock;
+    FaultInjector injector(ChaosOptions(31), &clock);
+    DirectNewsFeed dn(world);
+    DirectBodyFetcher ds(world);
+    DirectTweetFeed dt(world);
+    FaultyNewsFeed news(dn, injector);
+    FaultyBodyFetcher scraper(ds, injector);
+    FaultyTweetFeed twitter(dt, injector);
+    FeedCrawler crawler(world, restarted_db, news, scraper, twitter, clock,
+                        FastCrawlerOptions());
+    auto stats = CrawlToCompletion(crawler, end);
+    ASSERT_TRUE(stats.status.ok());
+  }
+
+  EXPECT_EQ(Fingerprint(restarted_db, "news"),
+            Fingerprint(one_shot_db, "news"));
+  EXPECT_EQ(Fingerprint(restarted_db, "tweets"),
+            Fingerprint(one_shot_db, "tweets"));
+  EXPECT_EQ(Fingerprint(restarted_db, "users"),
+            Fingerprint(one_shot_db, "users"));
+}
+
+TEST(DeadLetterTest, PermanentScrapeFailuresDegradeGracefully) {
+  World world = SmallWorld();
+  UnixSeconds end = world.options.start_time + 31 * kSecondsPerDay;
+
+  store::Database db;
+  ManualClock clock;
+  FaultOptions opts;
+  opts.seed = 11;
+  opts.permanent_body_failure_rate = 0.2;
+  FaultInjector injector(opts, &clock);
+  DirectNewsFeed dn(world);
+  DirectBodyFetcher ds(world);
+  DirectTweetFeed dt(world);
+  FaultyNewsFeed news(dn, injector);
+  FaultyBodyFetcher scraper(ds, injector);
+  FaultyTweetFeed twitter(dt, injector);
+  FeedCrawler crawler(world, db, news, scraper, twitter, clock,
+                      FastCrawlerOptions());
+  auto stats = CrawlToCompletion(crawler, end);
+  ASSERT_TRUE(stats.status.ok());
+
+  // Nothing is dropped: every article lands, some degraded.
+  EXPECT_EQ(db.Get("news")->size(), world.articles.size());
+  EXPECT_GT(stats.degraded_articles, 0u);
+  EXPECT_EQ(stats.degraded_articles, stats.dead_lettered);
+
+  // The dead-letter collection names exactly the degraded articles.
+  store::Collection* dead = db.Get(FeedCrawler::kDeadLetterCollection);
+  ASSERT_NE(dead, nullptr);
+  EXPECT_EQ(dead->size(), stats.dead_lettered);
+  std::set<int64_t> dead_ids;
+  for (const store::Value& doc : dead->All()) {
+    dead_ids.insert(doc.Find("article_id")->AsInt());
+    EXPECT_EQ(doc.Find("code")->AsString(), "NotFound");
+  }
+
+  // Degraded docs carry the flag and only the first paragraph as body.
+  size_t degraded_docs = 0;
+  for (const store::Value& doc : db.Get("news")->All()) {
+    const store::Value* flag = doc.Find("degraded");
+    int64_t id = doc.Find("article_id")->AsInt();
+    if (flag != nullptr && flag->bool_value()) {
+      ++degraded_docs;
+      EXPECT_TRUE(dead_ids.count(id));
+      EXPECT_TRUE(injector.PermanentlyFails(id));
+      // The fallback body is a strict prefix of the real article body.
+      for (const NewsArticle& a : world.articles) {
+        if (a.id != id) continue;
+        const std::string body = doc.Find("body")->AsString();
+        EXPECT_LT(body.size(), a.body.size());
+        EXPECT_EQ(a.body.substr(0, body.size()), body);
+      }
+    } else {
+      EXPECT_FALSE(dead_ids.count(id));
+    }
+  }
+  EXPECT_EQ(degraded_docs, stats.degraded_articles);
+
+  // And the typed loader surfaces the flag to the pipeline.
+  auto records = core::LoadNews(db);
+  ASSERT_TRUE(records.ok());
+  size_t degraded_records = 0;
+  for (const core::NewsRecord& rec : *records) {
+    if (rec.degraded) ++degraded_records;
+  }
+  EXPECT_EQ(degraded_records, stats.degraded_articles);
+}
+
+TEST(FaultyCrawlTest, DuplicateAndShuffledPagesAreHandled) {
+  // A dense world: enough volume per 2-hour cycle that both feeds serve
+  // full pages, which is the precondition for injected duplicate delivery.
+  WorldOptions wopts;
+  wopts.seed = 7;
+  wopts.num_users = 100;
+  wopts.num_articles = 3000;
+  wopts.num_tweets = 6000;
+  wopts.duration_days = 2;
+  World world = GenerateWorld(wopts);
+  UnixSeconds end = world.options.start_time + 3 * kSecondsPerDay;
+
+  store::Database clean_db;
+  FeedCrawler clean(world, clean_db);
+  clean.CrawlUntil(end);
+
+  store::Database db;
+  ManualClock clock;
+  FaultOptions fopts;
+  fopts.seed = 13;
+  fopts.duplicate_page_rate = 0.5;
+  fopts.shuffle_page_rate = 0.5;
+  FaultInjector injector(fopts, &clock);
+  DirectNewsFeed dn(world);
+  DirectBodyFetcher ds(world);
+  DirectTweetFeed dt(world);
+  FaultyNewsFeed news(dn, injector);
+  FaultyBodyFetcher scraper(ds, injector);
+  FaultyTweetFeed twitter(dt, injector);
+  FeedCrawler crawler(world, db, news, scraper, twitter, clock,
+                      FastCrawlerOptions());
+  auto stats = CrawlToCompletion(crawler, end);
+  ASSERT_TRUE(stats.status.ok());
+
+  // Duplicates were actually served, detected, and discarded; reordered
+  // pages were re-sorted before ingestion — the store is still exact.
+  EXPECT_GT(injector.counters().duplicated, 0u);
+  EXPECT_GT(injector.counters().shuffled, 0u);
+  EXPECT_GT(stats.duplicate_pages, 0u);
+  EXPECT_EQ(Fingerprint(db, "news"), Fingerprint(clean_db, "news"));
+  EXPECT_EQ(Fingerprint(db, "tweets"), Fingerprint(clean_db, "tweets"));
+}
+
+TEST(FaultyCrawlTest, CleanCrawlPersistsDurableCursorState) {
+  World world = SmallWorld();
+  store::Database db;
+  FeedCrawler crawler(world, db);
+  auto stats =
+      crawler.CrawlUntil(world.options.start_time + 5 * kSecondsPerDay);
+  EXPECT_TRUE(stats.status.ok());
+  store::Collection* state = db.Get(FeedCrawler::kStateCollection);
+  ASSERT_NE(state, nullptr);
+  auto doc = state->FindOne(
+      store::Filter().Eq("key", store::Value("crawler")));
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("cursor")->AsInt(),
+            world.options.start_time + 5 * kSecondsPerDay);
+}
+
+}  // namespace
+}  // namespace newsdiff::datagen

@@ -109,6 +109,7 @@ TEST(FeedCrawlerTest, IngestsEverythingExactlyOnce) {
   FeedCrawler crawler(world, db);
   UnixSeconds end = world.options.start_time + 31 * kSecondsPerDay;
   auto stats = crawler.CrawlUntil(end);
+  EXPECT_TRUE(stats.status.ok());
   EXPECT_EQ(stats.articles, world.articles.size());
   EXPECT_EQ(stats.tweets, world.tweets.size());
   EXPECT_GT(stats.cycles, 300u);  // 30 days of 2-hour cycles

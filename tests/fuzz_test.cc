@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "datagen/faults.h"
 #include "store/json.h"
 #include "text/lemmatizer.h"
 #include "text/ner.h"
@@ -45,6 +46,67 @@ TEST_P(FuzzSweep, JsonParserNeverCrashesAndAcceptedInputsRoundTrip) {
       StatusOr<store::Value> again = store::ParseJson(json);
       ASSERT_TRUE(again.ok()) << "re-parse failed for: " << json;
       EXPECT_TRUE(again->Equals(*parsed)) << json;
+    }
+  }
+}
+
+// A random well-formed document, the kind a feed would actually serve.
+store::Value RandomDocument(Rng& rng, int depth = 0) {
+  switch (depth >= 3 ? rng.NextBelow(4) : rng.NextBelow(6)) {
+    case 0:
+      return store::Value();  // null
+    case 1:
+      return store::Value(rng.NextBelow(2) == 0);
+    case 2:
+      return store::Value(static_cast<int64_t>(rng.NextBelow(1u << 30)) -
+                          (1 << 29));
+    case 3: {
+      std::string s(rng.NextBelow(12), '\0');
+      static const char kChars[] =
+          "abcdefghijklmnopqrstuvwxyz0123456789 \"\\\n\t";
+      for (char& c : s) c = kChars[rng.NextBelow(sizeof(kChars) - 1)];
+      return store::Value(std::move(s));
+    }
+    case 4: {
+      store::Array arr;
+      size_t n = rng.NextBelow(4);
+      for (size_t i = 0; i < n; ++i) {
+        arr.push_back(RandomDocument(rng, depth + 1));
+      }
+      return store::Value(std::move(arr));
+    }
+    default: {
+      store::Value obj;
+      size_t n = rng.NextBelow(4);
+      for (size_t i = 0; i < n; ++i) {
+        obj.Set("field" + std::to_string(i), RandomDocument(rng, depth + 1));
+      }
+      return obj.is_null() ? store::Value(store::Object{}) : obj;
+    }
+  }
+}
+
+TEST_P(FuzzSweep, CorruptedFeedPayloadsFailCleanlyWithParseError) {
+  Rng rng(GetParam() + 3);
+  datagen::FaultOptions fopts;
+  fopts.seed = GetParam();
+  datagen::FaultInjector injector(fopts);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string json = store::ToJson(RandomDocument(rng));
+    std::string corrupted = injector.CorruptPayload(json);
+    // Truncated / bit-flipped wire payloads must never crash the parser:
+    // either it still parses (the damage hit only insignificant bytes or
+    // produced a different valid document) or it reports kParseError.
+    StatusOr<store::Value> parsed = store::ParseJson(corrupted);
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kParseError)
+          << "input: " << corrupted;
+      EXPECT_FALSE(parsed.status().message().empty());
+    } else {
+      std::string rejson = store::ToJson(*parsed);
+      StatusOr<store::Value> again = store::ParseJson(rejson);
+      ASSERT_TRUE(again.ok()) << rejson;
+      EXPECT_TRUE(again->Equals(*parsed)) << rejson;
     }
   }
 }

@@ -1,0 +1,261 @@
+#include "common/retry.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace newsdiff {
+namespace {
+
+RetryPolicy NoJitterPolicy() {
+  RetryPolicy p;
+  p.max_attempts = 5;
+  p.initial_backoff_ms = 100;
+  p.max_backoff_ms = 10000;
+  p.multiplier = 2.0;
+  p.decorrelated_jitter = false;
+  return p;
+}
+
+TEST(RetryableTest, ClassifiesCodes) {
+  EXPECT_TRUE(IsRetryable(StatusCode::kUnavailable));
+  EXPECT_TRUE(IsRetryable(StatusCode::kResourceExhausted));
+  EXPECT_TRUE(IsRetryable(StatusCode::kDeadlineExceeded));
+  EXPECT_FALSE(IsRetryable(StatusCode::kOk));
+  EXPECT_FALSE(IsRetryable(StatusCode::kNotFound));
+  EXPECT_FALSE(IsRetryable(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetryable(StatusCode::kParseError));
+  EXPECT_FALSE(IsRetryable(StatusCode::kInternal));
+}
+
+TEST(RetrierTest, SucceedsFirstTryWithoutSleeping) {
+  ManualClock clock;
+  Retrier retrier(NoJitterPolicy(), &clock);
+  Status s = retrier.Run([] { return Status::OK(); });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(clock.NowMillis(), 0);
+  EXPECT_EQ(retrier.stats().attempts, 1);
+  EXPECT_EQ(retrier.stats().retries, 0);
+}
+
+TEST(RetrierTest, ExponentialBackoffScheduleWithoutJitter) {
+  ManualClock clock;
+  Retrier retrier(NoJitterPolicy(), &clock);
+  int calls = 0;
+  Status s = retrier.Run([&] {
+    ++calls;
+    return Status::Unavailable("down");
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 5);
+  // Slept 100 + 200 + 400 + 800 between the 5 attempts.
+  EXPECT_EQ(clock.NowMillis(), 1500);
+  EXPECT_EQ(retrier.stats().exhausted, 1);
+  EXPECT_EQ(retrier.stats().unavailable, 5);
+}
+
+TEST(RetrierTest, DecorrelatedJitterStaysWithinBounds) {
+  RetryPolicy p;
+  p.max_attempts = 10;
+  p.initial_backoff_ms = 100;
+  p.max_backoff_ms = 2000;
+  p.decorrelated_jitter = true;
+  ManualClock clock;
+  Retrier retrier(p, &clock, /*seed=*/7);
+  std::vector<int64_t> sleeps;
+  int64_t last = 0;
+  retrier.Run([&] {
+    sleeps.push_back(clock.NowMillis() - last);
+    last = clock.NowMillis();
+    return Status::Unavailable("down");
+  });
+  ASSERT_EQ(sleeps.size(), 10u);
+  EXPECT_EQ(sleeps[0], 0);  // first attempt is immediate
+  for (size_t i = 1; i < sleeps.size(); ++i) {
+    EXPECT_GE(sleeps[i], p.initial_backoff_ms);
+    EXPECT_LE(sleeps[i], p.max_backoff_ms);
+  }
+}
+
+TEST(RetrierTest, EventualSuccessAfterTransientFailures) {
+  ManualClock clock;
+  Retrier retrier(NoJitterPolicy(), &clock);
+  int calls = 0;
+  Status s = retrier.Run([&] {
+    if (++calls < 3) return Status::ResourceExhausted("rate limited");
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retrier.stats().retries, 2);
+  EXPECT_EQ(retrier.stats().resource_exhausted, 2);
+}
+
+TEST(RetrierTest, FatalStatusIsNotRetried) {
+  ManualClock clock;
+  Retrier retrier(NoJitterPolicy(), &clock);
+  int calls = 0;
+  Status s = retrier.Run([&] {
+    ++calls;
+    return Status::NotFound("gone");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(clock.NowMillis(), 0);
+  EXPECT_EQ(retrier.stats().fatal, 1);
+}
+
+TEST(RetrierTest, SlowAttemptConvertedToDeadlineExceeded) {
+  RetryPolicy p = NoJitterPolicy();
+  p.max_attempts = 3;
+  p.attempt_timeout_ms = 1000;
+  ManualClock clock;
+  Retrier retrier(p, &clock);
+  int calls = 0;
+  Status s = retrier.Run([&] {
+    ++calls;
+    if (calls == 1) {
+      clock.Advance(5000);  // the first attempt hangs past the deadline
+      return Status::OK();  // ...and its late result must be discarded
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(retrier.stats().deadline_exceeded, 1);
+}
+
+TEST(RetrierTest, OverallDeadlineStopsRetrying) {
+  RetryPolicy p = NoJitterPolicy();
+  p.max_attempts = 100;
+  p.overall_deadline_ms = 350;  // allows ~2 backoffs (100 + 200)
+  ManualClock clock;
+  Retrier retrier(p, &clock);
+  int calls = 0;
+  Status s = retrier.Run([&] {
+    ++calls;
+    return Status::Unavailable("down");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(calls, 5);
+}
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailures) {
+  CircuitBreakerOptions opts;
+  opts.failure_threshold = 3;
+  opts.open_ms = 1000;
+  ManualClock clock;
+  CircuitBreaker breaker(opts, &clock, "test");
+  EXPECT_TRUE(breaker.AllowRequest());
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.trips(), 1);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureRun) {
+  CircuitBreakerOptions opts;
+  opts.failure_threshold = 3;
+  ManualClock clock;
+  CircuitBreaker breaker(opts, &clock);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordSuccess();  // interrupts the run
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeClosesAfterSuccesses) {
+  CircuitBreakerOptions opts;
+  opts.failure_threshold = 2;
+  opts.open_ms = 1000;
+  opts.half_open_successes = 2;
+  ManualClock clock;
+  CircuitBreaker breaker(opts, &clock);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_FALSE(breaker.AllowRequest());
+  clock.Advance(999);
+  EXPECT_FALSE(breaker.AllowRequest());
+  clock.Advance(1);  // cooldown elapsed -> half-open
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopens) {
+  CircuitBreakerOptions opts;
+  opts.failure_threshold = 2;
+  opts.open_ms = 1000;
+  ManualClock clock;
+  CircuitBreaker breaker(opts, &clock);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  clock.Advance(1000);
+  EXPECT_TRUE(breaker.AllowRequest());  // half-open probe
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.trips(), 2);
+}
+
+TEST(RetrierTest, BreakerGatesAttemptsAndRecoversViaBackoff) {
+  RetryPolicy p = NoJitterPolicy();
+  p.max_attempts = 8;
+  CircuitBreakerOptions bopts;
+  bopts.failure_threshold = 2;
+  bopts.open_ms = 500;
+  bopts.half_open_successes = 1;
+  ManualClock clock;
+  CircuitBreaker breaker(bopts, &clock, "endpoint");
+  Retrier retrier(p, &clock);
+  int calls = 0;
+  // Two real failures trip the breaker; while it is open the retrier backs
+  // off without calling the endpoint; once the cooldown elapses the
+  // half-open probe succeeds and closes it again.
+  Status s = retrier.Run(
+      [&] {
+        ++calls;
+        if (calls <= 2) return Status::Unavailable("down");
+        return Status::OK();
+      },
+      &breaker);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(calls, 3);  // breaker absorbed the attempts while open
+  EXPECT_GE(retrier.stats().breaker_rejections, 1);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.trips(), 1);
+}
+
+TEST(RetrierTest, PersistentOutageTripsBreakerAndExhausts) {
+  RetryPolicy p = NoJitterPolicy();
+  p.max_attempts = 6;
+  CircuitBreakerOptions bopts;
+  bopts.failure_threshold = 3;
+  bopts.open_ms = 100000;  // never cools down within this run
+  ManualClock clock;
+  CircuitBreaker breaker(bopts, &clock);
+  Retrier retrier(p, &clock);
+  int calls = 0;
+  Status s = retrier.Run(
+      [&] {
+        ++calls;
+        return Status::Unavailable("down");
+      },
+      &breaker);
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);  // remaining attempts rejected by the open breaker
+  EXPECT_EQ(retrier.stats().breaker_rejections, 3);
+  EXPECT_EQ(breaker.trips(), 1);
+}
+
+}  // namespace
+}  // namespace newsdiff

@@ -29,11 +29,30 @@ TEST(StatusTest, EveryFactoryProducesItsCode) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
   EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
 }
 
 TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAlreadyExists), "AlreadyExists");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
   EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
 }
 
 TEST(StatusOrTest, HoldsValue) {
@@ -59,6 +78,39 @@ TEST(StatusOrTest, MoveOutValue) {
 TEST(StatusOrTest, ArrowAccess) {
   StatusOr<std::string> v(std::string("abc"));
   EXPECT_EQ(v->size(), 3u);
+}
+
+/// Instrumented type that records how it was propagated.
+struct CopyCounter {
+  int copies = 0;
+  int moves = 0;
+  CopyCounter() = default;
+  CopyCounter(const CopyCounter& o) : copies(o.copies + 1), moves(o.moves) {}
+  CopyCounter(CopyCounter&& o) noexcept
+      : copies(o.copies), moves(o.moves + 1) {}
+  CopyCounter& operator=(const CopyCounter&) = default;
+  CopyCounter& operator=(CopyCounter&&) = default;
+};
+
+TEST(StatusOrTest, ValueOrOnRvalueMovesInsteadOfCopying) {
+  StatusOr<CopyCounter> v{CopyCounter{}};
+  CopyCounter out = std::move(v).value_or(CopyCounter{});
+  EXPECT_EQ(out.copies, 0);  // OK path must not copy the contained value
+}
+
+TEST(StatusOrTest, ValueOrOnLvalueCopiesOnce) {
+  StatusOr<CopyCounter> v{CopyCounter{}};
+  CopyCounter out = v.value_or(CopyCounter{});
+  EXPECT_EQ(out.copies, 1);  // the lvalue overload cannot avoid the copy
+}
+
+TEST(StatusOrTest, ValueOrFallbackConvertsHeterogeneousTypes) {
+  StatusOr<std::string> err(Status::NotFound("nope"));
+  // const char* fallback converts; no std::string temp needed at the call.
+  EXPECT_EQ(err.value_or("fallback"), "fallback");
+  StatusOr<std::string> okay(std::string("present"));
+  EXPECT_EQ(okay.value_or("fallback"), "present");
+  EXPECT_EQ(std::move(okay).value_or("fallback"), "present");
 }
 
 Status FailsThenPropagates(bool fail) {
