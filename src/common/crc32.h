@@ -1,0 +1,25 @@
+#ifndef NEWSDIFF_COMMON_CRC32_H_
+#define NEWSDIFF_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace newsdiff {
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial). Used by the snapshot engine
+/// and the model-checkpoint format to detect torn writes and bit rot.
+/// Incremental: feed the previous return value back in as `seed` to
+/// checksum a stream in chunks. `seed` is the *finalised* CRC of the
+/// preceding data (0 for none), matching zlib's crc32() contract.
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+/// Lower-case 8-hex-digit rendering ("00000000".."ffffffff").
+std::string Crc32Hex(uint32_t crc);
+
+/// Parses an 8-hex-digit CRC; returns false on malformed input.
+bool ParseCrc32Hex(std::string_view hex, uint32_t* out);
+
+}  // namespace newsdiff
+
+#endif  // NEWSDIFF_COMMON_CRC32_H_

@@ -1,0 +1,109 @@
+#include "common/file_io.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace newsdiff {
+
+namespace fs = std::filesystem;
+
+Status RealFileIo::WriteFile(const std::string& path,
+                             const std::string& contents) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  out.flush();
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+StatusOr<std::string> RealFileIo::ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed for " + path);
+  return std::move(buf).str();
+}
+
+Status RealFileIo::Rename(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec) {
+    return Status::IoError("cannot rename " + from + " -> " + to + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+Status RealFileIo::Remove(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  if (ec) {
+    return Status::IoError("cannot remove " + path + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status RealFileIo::CreateDirectories(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create " + dir + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::string>> RealFileIo::ListDir(
+    const std::string& dir) {
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return Status::IoError("cannot list " + dir + ": " + ec.message());
+  std::vector<std::string> names;
+  // The constructor error is checked above; each increment can fail too
+  // (e.g. the directory turns unreadable mid-iteration), so step manually
+  // and examine the error_code every time.
+  for (fs::directory_iterator end; it != end; it.increment(ec)) {
+    if (ec) {
+      return Status::IoError("cannot list " + dir + ": " + ec.message());
+    }
+    bool regular = it->is_regular_file(ec);
+    if (ec) {
+      return Status::IoError("cannot stat " + it->path().string() + ": " +
+                             ec.message());
+    }
+    if (regular) names.push_back(it->path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool RealFileIo::Exists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec) && !ec;
+}
+
+FileIo& DefaultFileIo() {
+  static RealFileIo io;
+  return io;
+}
+
+Status WriteFileAtomic(FileIo& io, const std::string& path,
+                       const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  Status write = io.WriteFile(tmp, contents);
+  if (!write.ok()) {
+    io.Remove(tmp);
+    return write;
+  }
+  Status rename = io.Rename(tmp, path);
+  if (!rename.ok()) {
+    io.Remove(tmp);
+    return rename;
+  }
+  return Status::OK();
+}
+
+}  // namespace newsdiff

@@ -1,0 +1,69 @@
+#ifndef NEWSDIFF_COMMON_FILE_IO_H_
+#define NEWSDIFF_COMMON_FILE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace newsdiff {
+
+/// Injectable filesystem seam. Everything durability-critical (the store's
+/// snapshot engine, model checkpoints) routes its file operations through
+/// this interface, so the storage fault injector (datagen::FaultyFileIo)
+/// can interpose torn writes, bit flips, rename failures, and mid-save
+/// crashes — the same seeded-fault discipline the feed decorators apply to
+/// the network path.
+class FileIo {
+ public:
+  virtual ~FileIo() = default;
+
+  /// Replaces `path` with `contents` (truncating write + flush). NOT
+  /// atomic — callers that need all-or-nothing semantics use
+  /// WriteFileAtomic below.
+  virtual Status WriteFile(const std::string& path,
+                           const std::string& contents) = 0;
+
+  /// Reads the whole file.
+  virtual StatusOr<std::string> ReadFile(const std::string& path) = 0;
+
+  /// Atomically renames `from` to `to`, replacing `to` if it exists.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  /// Deletes a file; missing files are not an error.
+  virtual Status Remove(const std::string& path) = 0;
+
+  virtual Status CreateDirectories(const std::string& dir) = 0;
+
+  /// Names (not paths) of the regular files directly in `dir`, sorted.
+  virtual StatusOr<std::vector<std::string>> ListDir(
+      const std::string& dir) = 0;
+
+  virtual bool Exists(const std::string& path) = 0;
+};
+
+/// The real filesystem.
+class RealFileIo : public FileIo {
+ public:
+  Status WriteFile(const std::string& path,
+                   const std::string& contents) override;
+  StatusOr<std::string> ReadFile(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Status CreateDirectories(const std::string& dir) override;
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override;
+  bool Exists(const std::string& path) override;
+};
+
+/// Process-wide RealFileIo instance (the default when no seam is injected).
+FileIo& DefaultFileIo();
+
+/// Write-to-temp-then-rename: `path` either keeps its old contents or holds
+/// all of `contents`, never a torn mix. The temp file (`path` + ".tmp") is
+/// cleaned up on failure.
+Status WriteFileAtomic(FileIo& io, const std::string& path,
+                       const std::string& contents);
+
+}  // namespace newsdiff
+
+#endif  // NEWSDIFF_COMMON_FILE_IO_H_

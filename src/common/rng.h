@@ -70,6 +70,18 @@ class Rng {
   /// Derives an independent generator from this one (splitmix of a draw).
   Rng Split();
 
+  /// Complete generator state, for checkpoint/resume. A restored generator
+  /// continues the exact stream the saved one would have produced —
+  /// including a cached Box-Muller Gaussian pair, which is why the state is
+  /// six words and not four.
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool has_cached_gaussian = false;
+    double cached_gaussian = 0.0;
+  };
+  State SaveState() const;
+  void RestoreState(const State& state);
+
  private:
   uint64_t s_[4];
   bool has_cached_gaussian_ = false;

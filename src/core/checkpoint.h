@@ -25,6 +25,17 @@ inline constexpr char kNewsEventsCollection[] = "ckpt_news_events";
 inline constexpr char kTwitterEventsCollection[] = "ckpt_twitter_events";
 inline constexpr char kTrendingCollection[] = "ckpt_trending";
 inline constexpr char kCorrelationsCollection[] = "ckpt_correlations";
+inline constexpr char kAssignmentsCollection[] = "ckpt_assignments";
+/// Stage-completion ledger written by PipelineSupervisor (one doc per
+/// finished stage); lives beside the checkpoints so a snapshot of the
+/// store captures both atomically.
+inline constexpr char kStageLedgerCollection[] = "stage_ledger";
+
+/// The analysis stages in execution order, as named in the stage ledger.
+inline constexpr const char* kStageNames[] = {
+    "topics",      "news_events",  "twitter_events",
+    "trending",    "correlations", "assignments",
+};
 
 /// Writes the analysis outputs of `result` into `db`, replacing any
 /// previous checkpoint.
@@ -37,10 +48,20 @@ struct CheckpointData {
   std::vector<event::Event> twitter_events;
   std::vector<TrendingNewsTopic> trending;
   std::vector<EventCorrelation> correlations;
+  std::vector<EventTweetAssignment> assignments;
 };
 
 /// Reads a checkpoint previously written by SaveCheckpoint.
 StatusOr<CheckpointData> LoadCheckpoint(const store::Database& db);
+
+/// Stage-granular checkpoint IO for the supervisor: persists / restores the
+/// outputs of a single named stage (one of kStageNames). Saving replaces
+/// that stage's collection only; loading fails with NotFound when the
+/// stage's collection is absent.
+Status SaveStageOutput(const std::string& stage, const PipelineResult& result,
+                       store::Database& db);
+Status LoadStageOutput(const std::string& stage, const store::Database& db,
+                       PipelineResult* result);
 
 }  // namespace newsdiff::core
 

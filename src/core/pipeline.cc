@@ -15,83 +15,113 @@ std::vector<size_t> PipelineResult::CorrelatedTwitterEventIndices() const {
   return out;
 }
 
-StatusOr<PipelineResult> Pipeline::Run(
-    store::Database& db, const embed::PretrainedStore& store) const {
-  PipelineResult result;
-
+Status Pipeline::LoadInputs(store::Database& db, PipelineResult* result) const {
   // (i) Collection: read back what the crawlers stored.
   StatusOr<std::vector<NewsRecord>> news = LoadNews(db);
   if (!news.ok()) return news.status();
-  result.news = std::move(news).value();
+  result->news = std::move(news).value();
   StatusOr<std::vector<TweetRecord>> tweets = LoadTweets(db);
   if (!tweets.ok()) return tweets.status();
-  result.tweets = std::move(tweets).value();
-  if (result.news.empty()) return Status::FailedPrecondition("no news");
-  if (result.tweets.empty()) return Status::FailedPrecondition("no tweets");
-  for (const NewsRecord& rec : result.news) {
-    if (rec.degraded) ++result.degraded_news;
+  result->tweets = std::move(tweets).value();
+  if (result->news.empty()) return Status::FailedPrecondition("no news");
+  if (result->tweets.empty()) return Status::FailedPrecondition("no tweets");
+  result->degraded_news = 0;
+  for (const NewsRecord& rec : result->news) {
+    if (rec.degraded) ++result->degraded_news;
   }
-  if (result.degraded_news > 0) {
+  if (result->degraded_news > 0) {
     NEWSDIFF_LOG(Warning)
-        << "pipeline: " << result.degraded_news << "/" << result.news.size()
+        << "pipeline: " << result->degraded_news << "/" << result->news.size()
         << " articles ingested degraded (first paragraph only)";
   }
 
   // Preprocessing (§4.2): the three corpora.
-  result.news_tm = BuildNewsTM(result.news);
-  result.news_ed = BuildNewsED(result.news);
-  result.twitter_ed = BuildTwitterED(result.tweets);
+  result->news_tm = BuildNewsTM(result->news);
+  result->news_ed = BuildNewsED(result->news);
+  result->twitter_ed = BuildTwitterED(result->tweets);
+  return Status::OK();
+}
 
-  WallTimer timer;
-
+Status Pipeline::RunTopics(PipelineResult* result) const {
   // (ii) Topic modeling (§4.3).
+  WallTimer timer;
   StatusOr<topic::TopicModel> model =
-      topic::TopicModel::Fit(result.news_tm, options_.topics);
+      topic::TopicModel::Fit(result->news_tm, options_.topics);
   if (!model.ok()) return model.status();
-  result.topics = model->topics();
-  result.topic_seconds = timer.ElapsedSeconds();
-  timer.Restart();
+  result->topics = model->topics();
+  result->topic_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
 
+Status Pipeline::RunNewsEvents(PipelineResult* result) const {
   // (iii) News event detection (§4.4).
+  WallTimer timer;
   event::Mabed news_mabed(options_.news_mabed);
   StatusOr<std::vector<event::Event>> news_events =
-      news_mabed.Detect(result.news_ed);
+      news_mabed.Detect(result->news_ed);
   if (!news_events.ok()) return news_events.status();
-  result.news_events = std::move(news_events).value();
-  result.news_event_seconds = timer.ElapsedSeconds();
-  timer.Restart();
+  result->news_events = std::move(news_events).value();
+  result->news_event_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
 
+Status Pipeline::RunTwitterEvents(PipelineResult* result) const {
   // (iv) Twitter event detection.
+  WallTimer timer;
   event::Mabed twitter_mabed(options_.twitter_mabed);
   StatusOr<std::vector<event::Event>> twitter_events =
-      twitter_mabed.Detect(result.twitter_ed);
+      twitter_mabed.Detect(result->twitter_ed);
   if (!twitter_events.ok()) return twitter_events.status();
-  result.twitter_events = std::move(twitter_events).value();
-  result.twitter_event_seconds = timer.ElapsedSeconds();
-  timer.Restart();
+  result->twitter_events = std::move(twitter_events).value();
+  result->twitter_event_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
 
+Status Pipeline::RunTrending(const embed::PretrainedStore& store,
+                             PipelineResult* result) const {
   // Trending news topics (§4.5).
-  result.trending = ExtractTrendingTopics(result.topics, result.news_events,
-                                          store, options_.trending);
-  result.trending_seconds = timer.ElapsedSeconds();
-  timer.Restart();
+  WallTimer timer;
+  result->trending = ExtractTrendingTopics(result->topics, result->news_events,
+                                           store, options_.trending);
+  result->trending_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
 
+Status Pipeline::RunCorrelations(const embed::PretrainedStore& store,
+                                 PipelineResult* result) const {
   // Correlation with Twitter events (§4.6).
-  result.correlations = CorrelateTrendingWithTwitter(
-      result.trending, result.news_events, result.twitter_events, store,
+  WallTimer timer;
+  result->correlations = CorrelateTrendingWithTwitter(
+      result->trending, result->news_events, result->twitter_events, store,
       options_.correlation);
-  result.unrelated_twitter_events =
-      UnrelatedTwitterEvents(result.correlations, result.twitter_events.size());
-  result.correlation_seconds = timer.ElapsedSeconds();
-  timer.Restart();
+  result->unrelated_twitter_events = UnrelatedTwitterEvents(
+      result->correlations, result->twitter_events.size());
+  result->correlation_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
 
+Status Pipeline::RunAssignments(PipelineResult* result) const {
   // Feature creation prerequisites (§4.7): tweet-event assignment over the
   // correlated Twitter events.
-  result.assignments =
-      AssignTweetsToEvents(result.twitter_ed, result.twitter_events,
-                           result.CorrelatedTwitterEventIndices(),
+  WallTimer timer;
+  result->assignments =
+      AssignTweetsToEvents(result->twitter_ed, result->twitter_events,
+                           result->CorrelatedTwitterEventIndices(),
                            options_.features);
-  result.assignment_seconds = timer.ElapsedSeconds();
+  result->assignment_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+StatusOr<PipelineResult> Pipeline::Run(
+    store::Database& db, const embed::PretrainedStore& store) const {
+  PipelineResult result;
+  NEWSDIFF_RETURN_IF_ERROR(LoadInputs(db, &result));
+  NEWSDIFF_RETURN_IF_ERROR(RunTopics(&result));
+  NEWSDIFF_RETURN_IF_ERROR(RunNewsEvents(&result));
+  NEWSDIFF_RETURN_IF_ERROR(RunTwitterEvents(&result));
+  NEWSDIFF_RETURN_IF_ERROR(RunTrending(store, &result));
+  NEWSDIFF_RETURN_IF_ERROR(RunCorrelations(store, &result));
+  NEWSDIFF_RETURN_IF_ERROR(RunAssignments(&result));
 
   NEWSDIFF_LOG(Info) << "pipeline: " << result.topics.size() << " topics, "
                      << result.news_events.size() << " news events, "

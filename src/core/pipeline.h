@@ -98,6 +98,20 @@ class Pipeline {
   StatusOr<PipelineResult> Run(store::Database& db,
                                const embed::PretrainedStore& store) const;
 
+  /// Stage-granular API used by PipelineSupervisor (core/supervisor.h) so
+  /// a resumed process can re-run only the stages its ledger lacks. Each
+  /// method fills its PipelineResult fields from earlier ones; Run is the
+  /// composition of LoadInputs + the six stages in declaration order.
+  Status LoadInputs(store::Database& db, PipelineResult* result) const;
+  Status RunTopics(PipelineResult* result) const;
+  Status RunNewsEvents(PipelineResult* result) const;
+  Status RunTwitterEvents(PipelineResult* result) const;
+  Status RunTrending(const embed::PretrainedStore& store,
+                     PipelineResult* result) const;
+  Status RunCorrelations(const embed::PretrainedStore& store,
+                         PipelineResult* result) const;
+  Status RunAssignments(PipelineResult* result) const;
+
   const PipelineOptions& options() const { return options_; }
 
  private:

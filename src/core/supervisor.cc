@@ -1,0 +1,200 @@
+#include "core/supervisor.h"
+
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "core/checkpoint.h"
+
+namespace newsdiff::core {
+
+namespace {
+
+constexpr size_t kNumStages = sizeof(kStageNames) / sizeof(kStageNames[0]);
+
+/// Fingerprint of the pipeline inputs. Ledger entries carry it so a stage
+/// completed against a previous crawl is never served for a refreshed one:
+/// a changed corpus changes the signature, which invalidates every entry.
+int64_t InputSignature(const PipelineResult& result) {
+  std::string key = "news=" + std::to_string(result.news.size()) +
+                    ";tweets=" + std::to_string(result.tweets.size());
+  // Mix in the time range so same-sized but different crawls diverge.
+  if (!result.news.empty()) {
+    key += ";n0=" + std::to_string(result.news.front().published);
+    key += ";n1=" + std::to_string(result.news.back().published);
+  }
+  if (!result.tweets.empty()) {
+    key += ";t0=" + std::to_string(result.tweets.front().created);
+    key += ";t1=" + std::to_string(result.tweets.back().created);
+  }
+  return static_cast<int64_t>(Crc32(key));
+}
+
+bool LedgerDone(const store::Database& db, const std::string& stage,
+                int64_t sig) {
+  const store::Collection* ledger = db.Get(kStageLedgerCollection);
+  if (ledger == nullptr) return false;
+  bool done = false;
+  ledger->ForEach(store::Filter(),
+                  [&](store::DocId, const store::Value& doc) {
+                    const store::Value* s = doc.Find("stage");
+                    const store::Value* v = doc.Find("input_sig");
+                    if (s != nullptr && v != nullptr && s->AsString() == stage &&
+                        v->AsInt() == sig) {
+                      done = true;
+                      return false;
+                    }
+                    return true;
+                  });
+  return done;
+}
+
+Status AppendLedger(store::Database& db, const std::string& stage,
+                    int64_t sig, size_t seq) {
+  store::Collection& ledger = db.GetOrCreate(kStageLedgerCollection);
+  StatusOr<store::DocId> id = ledger.Insert(store::MakeObject({
+      {"stage", stage},
+      {"input_sig", sig},
+      {"seq", static_cast<int64_t>(seq)},
+  }));
+  return id.ok() ? Status::OK() : id.status();
+}
+
+}  // namespace
+
+Status PipelineSupervisor::Recover(store::Database& db) {
+  report_ = SupervisorReport{};
+  if (options_.snapshot_dir.empty()) return Status::OK();
+  FileIo& io =
+      options_.snapshot.io != nullptr ? *options_.snapshot.io : DefaultFileIo();
+  if (!io.Exists(options_.snapshot_dir)) return Status::OK();  // first run
+  NEWSDIFF_RETURN_IF_ERROR(db.LoadFromDir(
+      options_.snapshot_dir, options_.snapshot, &report_.recovery));
+  report_.recovered = true;
+  NEWSDIFF_LOG(Info) << "supervisor: recovered snapshot generation "
+                     << report_.recovery.generation << " from "
+                     << options_.snapshot_dir;
+  return Status::OK();
+}
+
+Status PipelineSupervisor::RunStage(const std::string& stage,
+                                    const embed::PretrainedStore& store,
+                                    PipelineResult* result) const {
+  if (stage == "topics") return pipeline_.RunTopics(result);
+  if (stage == "news_events") return pipeline_.RunNewsEvents(result);
+  if (stage == "twitter_events") return pipeline_.RunTwitterEvents(result);
+  if (stage == "trending") return pipeline_.RunTrending(store, result);
+  if (stage == "correlations") return pipeline_.RunCorrelations(store, result);
+  if (stage == "assignments") return pipeline_.RunAssignments(result);
+  return Status::InvalidArgument("unknown pipeline stage: " + stage);
+}
+
+StatusOr<PipelineResult> PipelineSupervisor::Run(
+    store::Database& db, const embed::PretrainedStore& store) {
+  SupervisorReport report;
+  report.recovery = report_.recovery;  // keep what Recover() learned
+  report.recovered = report_.recovered;
+  report_ = std::move(report);
+
+  SystemClock system_clock;
+  Clock* clock = options_.clock != nullptr ? options_.clock : &system_clock;
+  const size_t max_attempts =
+      options_.max_stage_attempts == 0 ? 1 : options_.max_stage_attempts;
+
+  PipelineResult result;
+  NEWSDIFF_RETURN_IF_ERROR(pipeline_.LoadInputs(db, &result));
+  const int64_t sig = InputSignature(result);
+
+  // Resumable prefix: the longest run of leading stages whose ledger entry
+  // matches the current inputs. A stage after the first recomputed one is
+  // never resumed — its checkpointed outputs were derived from upstream
+  // outputs that are about to be replaced.
+  size_t done_prefix = 0;
+  if (options_.resume) {
+    while (done_prefix < kNumStages &&
+           LedgerDone(db, kStageNames[done_prefix], sig)) {
+      ++done_prefix;
+    }
+  }
+
+  // The ledger is rewritten from scratch so stale entries (older inputs,
+  // stages past the resume point) cannot linger.
+  db.Drop(kStageLedgerCollection);
+
+  size_t resumed = 0;
+  for (; resumed < done_prefix; ++resumed) {
+    const std::string stage = kStageNames[resumed];
+    Status loaded = LoadStageOutput(stage, db, &result);
+    if (!loaded.ok()) {
+      NEWSDIFF_LOG(Warning) << "supervisor: ledger marks '" << stage
+                            << "' complete but its checkpoint failed to load ("
+                            << loaded.message() << "); recomputing from here";
+      break;
+    }
+    NEWSDIFF_RETURN_IF_ERROR(AppendLedger(db, stage, sig, resumed));
+    StageRun run;
+    run.name = stage;
+    run.resumed = true;
+    report_.stages.push_back(std::move(run));
+    ++report_.stages_resumed;
+  }
+
+  for (size_t i = resumed; i < kNumStages; ++i) {
+    const std::string stage = kStageNames[i];
+    StageRun run;
+    run.name = stage;
+
+    Status status = Status::OK();
+    for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+      run.attempts = attempt;
+      if (attempt > 1) {
+        ++report_.retries;
+        if (options_.retry_backoff_ms > 0) {
+          clock->SleepMillis(options_.retry_backoff_ms);
+        }
+      }
+      if (options_.stage_fault_hook) {
+        status = options_.stage_fault_hook(stage, attempt);
+        if (!status.ok()) {
+          NEWSDIFF_LOG(Warning) << "supervisor: injected fault in '" << stage
+                                << "' attempt " << attempt << ": "
+                                << status.message();
+          continue;
+        }
+      }
+      const int64_t start_ms = clock->NowMillis();
+      status = RunStage(stage, store, &result);
+      const int64_t elapsed_ms = clock->NowMillis() - start_ms;
+      run.seconds = static_cast<double>(elapsed_ms) / 1000.0;
+      if (status.ok() && options_.stage_deadline_ms > 0 &&
+          elapsed_ms > options_.stage_deadline_ms) {
+        status = Status::DeadlineExceeded(
+            "stage '" + stage + "' took " + std::to_string(elapsed_ms) +
+            "ms (deadline " + std::to_string(options_.stage_deadline_ms) +
+            "ms)");
+      }
+      if (status.ok()) break;
+      NEWSDIFF_LOG(Warning) << "supervisor: stage '" << stage << "' attempt "
+                            << attempt << "/" << max_attempts
+                            << " failed: " << status.message();
+    }
+    if (!status.ok()) return status;
+
+    // Durability, in dependency order: stage outputs + ledger entry land in
+    // the store first, then the whole store is snapshotted. A crash between
+    // the two loses only this stage's completion record, never corrupts.
+    NEWSDIFF_RETURN_IF_ERROR(SaveStageOutput(stage, result, db));
+    NEWSDIFF_RETURN_IF_ERROR(AppendLedger(db, stage, sig, i));
+    if (!options_.snapshot_dir.empty()) {
+      NEWSDIFF_RETURN_IF_ERROR(
+          db.SaveToDir(options_.snapshot_dir, options_.snapshot));
+    }
+    report_.stages.push_back(std::move(run));
+    ++report_.stages_computed;
+  }
+
+  NEWSDIFF_LOG(Info) << "supervisor: " << report_.stages_resumed
+                     << " stages resumed, " << report_.stages_computed
+                     << " computed, " << report_.retries << " retries";
+  return result;
+}
+
+}  // namespace newsdiff::core

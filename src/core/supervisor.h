@@ -1,0 +1,104 @@
+#ifndef NEWSDIFF_CORE_SUPERVISOR_H_
+#define NEWSDIFF_CORE_SUPERVISOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/retry.h"
+#include "common/status.h"
+#include "core/pipeline.h"
+#include "store/database.h"
+#include "store/snapshot.h"
+
+namespace newsdiff::core {
+
+/// Self-healing orchestration of the analysis pipeline (§4.9: the deployed
+/// system refreshes every two hours and resumes "from checkpoints or from
+/// scratch"). The supervisor runs Pipeline's stages one at a time; after
+/// each stage it persists the stage's outputs (core/checkpoint.h) plus a
+/// stage-ledger entry into the store, and snapshots the store to disk
+/// (store/snapshot.h). A process killed mid-run — even mid-snapshot — is
+/// restarted as: Recover() (load the newest intact snapshot generation),
+/// then Run() again; the ledger marks which stages already completed, so
+/// only the unfinished tail recomputes. Because the expensive stages (NMF
+/// topic modeling, the two MABED passes) are deterministic for fixed
+/// inputs, the spliced run's outputs are byte-identical to an uninterrupted
+/// one.
+struct SupervisorOptions {
+  /// Snapshot directory for durable progress. Empty disables persistence —
+  /// retries and deadlines still apply, but a killed process recomputes.
+  std::string snapshot_dir;
+  store::SnapshotOptions snapshot;
+  /// Attempts per stage before Run gives up (>= 1).
+  size_t max_stage_attempts = 3;
+  /// Soft per-stage deadline: stages cannot be preempted mid-computation,
+  /// so an attempt that measures longer than this counts as a failed
+  /// attempt (kDeadlineExceeded) and is retried. 0 disables.
+  int64_t stage_deadline_ms = 0;
+  /// Pause between attempts of a failing stage.
+  int64_t retry_backoff_ms = 0;
+  /// Clock used for deadlines and backoff (nullptr = wall clock). Tests
+  /// pass a ManualClock.
+  Clock* clock = nullptr;
+  /// Consult the stage ledger and skip stages it records as complete for
+  /// the current inputs. Off forces full recomputation.
+  bool resume = true;
+  /// Fault seam for tests/benches: invoked before each stage attempt; a
+  /// non-OK return is treated as that attempt failing.
+  std::function<Status(const std::string& stage, size_t attempt)>
+      stage_fault_hook;
+};
+
+/// What happened to one stage during a supervised run.
+struct StageRun {
+  std::string name;
+  size_t attempts = 0;   // 0 = restored from the ledger, never executed
+  bool resumed = false;  // outputs loaded from checkpoint collections
+  double seconds = 0.0;  // of the successful attempt (0 when resumed)
+};
+
+/// Bookkeeping for one Run() (and the Recover() preceding it).
+struct SupervisorReport {
+  std::vector<StageRun> stages;
+  size_t stages_resumed = 0;   // served from checkpoints
+  size_t stages_computed = 0;  // actually executed
+  size_t retries = 0;          // failed attempts across all stages
+  /// Filled by Recover(): which snapshot generation was loaded and what
+  /// damage was skipped on the way there.
+  store::SnapshotLoadReport recovery;
+  bool recovered = false;  // Recover() found and loaded a snapshot
+};
+
+class PipelineSupervisor {
+ public:
+  PipelineSupervisor(Pipeline pipeline, SupervisorOptions options)
+      : pipeline_(std::move(pipeline)), options_(std::move(options)) {}
+
+  /// Restores `db` from the newest intact snapshot generation in
+  /// options.snapshot_dir (no-op when the directory is absent or
+  /// persistence is disabled). Call on a fresh Database before Run to
+  /// resume a killed process.
+  Status Recover(store::Database& db);
+
+  /// Runs the pipeline under supervision. `db` must hold the raw news /
+  /// tweets collections (either freshly crawled or restored by Recover).
+  StatusOr<PipelineResult> Run(store::Database& db,
+                               const embed::PretrainedStore& store);
+
+  const SupervisorReport& report() const { return report_; }
+
+ private:
+  /// Dispatches to the Pipeline stage method named `stage`.
+  Status RunStage(const std::string& stage,
+                  const embed::PretrainedStore& store,
+                  PipelineResult* result) const;
+
+  Pipeline pipeline_;
+  SupervisorOptions options_;
+  SupervisorReport report_;
+};
+
+}  // namespace newsdiff::core
+
+#endif  // NEWSDIFF_CORE_SUPERVISOR_H_

@@ -147,4 +147,107 @@ StatusOr<std::vector<TweetPayload>> FaultyTweetFeed::Search(
   return page;
 }
 
+FaultyFileIo::FaultyFileIo(FileIo& inner, StorageFaultOptions options)
+    : inner_(&inner), options_(options), rng_(options.seed) {}
+
+void FaultyFileIo::Reboot() {
+  counters_.crashed = false;
+  options_.crash_after_ops = SIZE_MAX;
+}
+
+Status FaultyFileIo::ChargeOp(const std::string* torn_target,
+                              const std::string* contents) {
+  ++counters_.ops;
+  if (counters_.crashed || counters_.ops > options_.crash_after_ops) {
+    if (!counters_.crashed && torn_target != nullptr && contents != nullptr &&
+        !contents->empty()) {
+      // The op that trips the crash point tears its own write: a prefix
+      // lands, the rest is lost with the process.
+      inner_->WriteFile(*torn_target,
+                        contents->substr(0, rng_.NextBelow(contents->size())));
+      ++counters_.torn_writes;
+    }
+    counters_.crashed = true;
+    return Status::IoError("injected crash (op " +
+                           std::to_string(counters_.ops) + ")");
+  }
+  return Status::OK();
+}
+
+Status FaultyFileIo::WriteFile(const std::string& path,
+                               const std::string& contents) {
+  NEWSDIFF_RETURN_IF_ERROR(ChargeOp(&path, &contents));
+  if (rng_.Bernoulli(options_.write_failure_rate)) {
+    ++counters_.write_failures;
+    if (!contents.empty() && rng_.Bernoulli(0.5)) {
+      // Torn write: some bytes made it down before the failure.
+      inner_->WriteFile(path,
+                        contents.substr(0, rng_.NextBelow(contents.size())));
+      ++counters_.torn_writes;
+    }
+    return Status::IoError("injected write failure for " + path);
+  }
+  if (!contents.empty() && rng_.Bernoulli(options_.lost_tail_rate)) {
+    // Reported as durable, but the tail never hit the platter.
+    ++counters_.lost_tails;
+    ++counters_.torn_writes;
+    return inner_->WriteFile(
+        path, contents.substr(0, rng_.NextBelow(contents.size())));
+  }
+  if (!contents.empty() && rng_.Bernoulli(options_.bit_flip_rate)) {
+    ++counters_.bit_flips;
+    std::string damaged = contents;
+    size_t flips = 1 + rng_.NextBelow(3);
+    for (size_t i = 0; i < flips; ++i) {
+      size_t pos = rng_.NextBelow(damaged.size());
+      damaged[pos] = static_cast<char>(
+          damaged[pos] ^ static_cast<char>(1 + rng_.NextBelow(255)));
+    }
+    return inner_->WriteFile(path, damaged);
+  }
+  return inner_->WriteFile(path, contents);
+}
+
+StatusOr<std::string> FaultyFileIo::ReadFile(const std::string& path) {
+  NEWSDIFF_RETURN_IF_ERROR(ChargeOp());
+  if (rng_.Bernoulli(options_.read_failure_rate)) {
+    ++counters_.read_failures;
+    return Status::IoError("injected read failure for " + path);
+  }
+  return inner_->ReadFile(path);
+}
+
+Status FaultyFileIo::Rename(const std::string& from, const std::string& to) {
+  NEWSDIFF_RETURN_IF_ERROR(ChargeOp());
+  if (rng_.Bernoulli(options_.rename_failure_rate)) {
+    ++counters_.rename_failures;
+    return Status::IoError("injected rename failure: " + from + " -> " + to);
+  }
+  return inner_->Rename(from, to);
+}
+
+Status FaultyFileIo::Remove(const std::string& path) {
+  NEWSDIFF_RETURN_IF_ERROR(ChargeOp());
+  return inner_->Remove(path);
+}
+
+Status FaultyFileIo::CreateDirectories(const std::string& dir) {
+  NEWSDIFF_RETURN_IF_ERROR(ChargeOp());
+  return inner_->CreateDirectories(dir);
+}
+
+StatusOr<std::vector<std::string>> FaultyFileIo::ListDir(
+    const std::string& dir) {
+  NEWSDIFF_RETURN_IF_ERROR(ChargeOp());
+  if (rng_.Bernoulli(options_.read_failure_rate)) {
+    ++counters_.read_failures;
+    return Status::IoError("injected unreadable directory: " + dir);
+  }
+  return inner_->ListDir(dir);
+}
+
+bool FaultyFileIo::Exists(const std::string& path) {
+  return inner_->Exists(path);
+}
+
 }  // namespace newsdiff::datagen

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/file_io.h"
 #include "common/retry.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -133,6 +134,75 @@ class FaultyTweetFeed : public TweetFeed {
   TweetFeed* inner_;
   FaultInjector* injector_;
   std::vector<TweetPayload> last_page_;
+};
+
+/// Seeded fault injection for the storage path — the disk-level analogue of
+/// the feed decorators above. Wraps a FileIo and damages durability
+/// operations the way real disks and crashes do: torn writes, fsync-lost
+/// tails, bit rot, failed renames, unreadable directories, and a hard
+/// crash point after N operations (every subsequent call fails, leaving
+/// whatever half-written state the snapshot engine must recover from).
+struct StorageFaultOptions {
+  uint64_t seed = 2021;
+  /// WriteFile reports failure; a coin decides whether the target is left
+  /// untouched or holds a torn prefix (power loss mid-write).
+  double write_failure_rate = 0.0;
+  /// WriteFile reports success but only a prefix actually lands — the
+  /// kernel acknowledged, the drive lost the tail (fsync lie).
+  double lost_tail_rate = 0.0;
+  /// WriteFile reports success with a few bytes flipped in flight.
+  double bit_flip_rate = 0.0;
+  /// Rename fails; source and destination are both left as they were.
+  double rename_failure_rate = 0.0;
+  /// ReadFile / ListDir fails (unreadable file or directory).
+  double read_failure_rate = 0.0;
+  /// Hard crash: after this many intercepted operations every call fails.
+  /// If the crashing operation is a write, a torn prefix is left behind —
+  /// exactly what a killed process leaves on disk.
+  size_t crash_after_ops = SIZE_MAX;
+};
+
+struct StorageFaultCounters {
+  size_t ops = 0;  // operations intercepted
+  size_t write_failures = 0;
+  size_t torn_writes = 0;  // writes that left a partial file behind
+  size_t lost_tails = 0;
+  size_t bit_flips = 0;
+  size_t rename_failures = 0;
+  size_t read_failures = 0;
+  bool crashed = false;
+};
+
+class FaultyFileIo : public FileIo {
+ public:
+  FaultyFileIo(FileIo& inner, StorageFaultOptions options);
+
+  Status WriteFile(const std::string& path,
+                   const std::string& contents) override;
+  StatusOr<std::string> ReadFile(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Status CreateDirectories(const std::string& dir) override;
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override;
+  bool Exists(const std::string& path) override;
+
+  const StorageFaultCounters& counters() const { return counters_; }
+  const StorageFaultOptions& options() const { return options_; }
+
+  /// Clears the crash so the same instance can model a process restart.
+  void Reboot();
+
+ private:
+  /// Charges one op; returns the crash fault once the crash point is hit.
+  /// `torn_target` (optional) is a write destination to leave a torn
+  /// prefix of `contents` in when this op is the one that crashes.
+  Status ChargeOp(const std::string* torn_target = nullptr,
+                  const std::string* contents = nullptr);
+
+  FileIo* inner_;
+  StorageFaultOptions options_;
+  Rng rng_;
+  StorageFaultCounters counters_;
 };
 
 }  // namespace newsdiff::datagen

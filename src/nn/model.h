@@ -1,10 +1,12 @@
 #ifndef NEWSDIFF_NN_MODEL_H_
 #define NEWSDIFF_NN_MODEL_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/file_io.h"
 #include "common/status.h"
 #include "la/matrix.h"
 #include "nn/layer.h"
@@ -23,6 +25,40 @@ struct EarlyStoppingOptions {
   size_t patience = 3;
 };
 
+/// Self-healing training (§4.9 spirit: the deployment resumes "from
+/// checkpoints or from scratch"). When enabled, Fit snapshots the full
+/// training state after every good epoch; an epoch that produces a
+/// non-finite or exploding loss — or non-finite weights — is rolled back
+/// and re-run with the learning rate multiplied by `lr_backoff`, instead
+/// of training onward through NaNs. With a `checkpoint_path`, the snapshot
+/// is also persisted (atomically, checksummed) so a killed process can
+/// resume mid-run and reproduce the uninterrupted run's weights exactly.
+struct RecoveryOptions {
+  bool enabled = false;
+  /// An epoch loss above explode_factor * (first good epoch's loss) counts
+  /// as divergence even while still finite.
+  double explode_factor = 1e3;
+  /// Learning-rate multiplier applied on each rollback.
+  double lr_backoff = 0.5;
+  /// Rollbacks allowed across the whole run before Fit gives up with an
+  /// error (a dataset full of NaNs cannot be healed by a smaller step).
+  size_t max_rollbacks = 12;
+  /// Training checkpoint file; empty keeps rollback in-memory only.
+  std::string checkpoint_path;
+  /// Persist every N good epochs (only with a checkpoint_path).
+  size_t checkpoint_every = 1;
+  /// Resume from checkpoint_path when it holds a valid checkpoint for this
+  /// architecture. The caller passes the optimizer at its *original*
+  /// learning rate; the checkpointed backoff is re-applied on load.
+  bool resume = false;
+  /// Filesystem seam for checkpoint IO (nullptr = real filesystem).
+  FileIo* io = nullptr;
+  /// Fault-injection seam for tests/benches: when set and returning true
+  /// for an epoch, that epoch's weights are poisoned with NaN after the
+  /// update step — a deterministic stand-in for a numeric blowup.
+  std::function<bool(size_t epoch)> corrupt_epoch_hook;
+};
+
 /// Training configuration.
 struct FitOptions {
   size_t epochs = 500;
@@ -39,6 +75,8 @@ struct FitOptions {
   double validation_split = 0.0;
   /// Log progress every N epochs (0 = silent).
   size_t verbose_every = 0;
+  /// Divergence rollback + checkpoint/resume (off by default).
+  RecoveryOptions recovery;
 };
 
 /// Per-run training history.
@@ -51,6 +89,11 @@ struct FitHistory {
   size_t epochs_run = 0;
   bool stopped_early = false;
   double total_seconds = 0.0;
+  // Self-healing bookkeeping (all zero/identity when recovery is off).
+  size_t rollbacks = 0;          // diverged epochs rolled back and re-run
+  double final_lr_scale = 1.0;   // cumulative lr_backoff applied
+  size_t resumed_from_epoch = 0; // first epoch run by this call
+  size_t checkpoints_written = 0;
 };
 
 /// A sequential feed-forward classifier trained with softmax cross-entropy.

@@ -15,6 +15,47 @@ void Optimizer::Step(const std::vector<Param>& params) {
   }
 }
 
+std::vector<la::Matrix> Optimizer::ExportState(
+    const std::vector<Param>& params) {
+  std::vector<la::Matrix> out;
+  out.reserve(params.size() * StateSlots());
+  for (const Param& p : params) {
+    auto it = state_.find(p.value);
+    if (it != state_.end() && it->second.size() == StateSlots()) {
+      for (const la::Matrix& m : it->second) out.push_back(m);
+    } else {
+      for (size_t i = 0; i < StateSlots(); ++i) {
+        out.emplace_back(p.value->rows(), p.value->cols());
+      }
+    }
+  }
+  return out;
+}
+
+Status Optimizer::ImportState(const std::vector<Param>& params,
+                              const std::vector<la::Matrix>& state) {
+  if (state.size() != params.size() * StateSlots()) {
+    return Status::FailedPrecondition(
+        "optimizer state mismatch: have " + std::to_string(state.size()) +
+        " matrices, need " + std::to_string(params.size() * StateSlots()));
+  }
+  size_t i = 0;
+  for (const Param& p : params) {
+    std::vector<la::Matrix> slots;
+    slots.reserve(StateSlots());
+    for (size_t s = 0; s < StateSlots(); ++s, ++i) {
+      if (state[i].rows() != p.value->rows() ||
+          state[i].cols() != p.value->cols()) {
+        return Status::FailedPrecondition("optimizer state shape mismatch for " +
+                                          p.name);
+      }
+      slots.push_back(state[i]);
+    }
+    state_[p.value] = std::move(slots);
+  }
+  return Status::OK();
+}
+
 void Sgd::UpdateOne(la::Matrix& value, const la::Matrix& grad,
                     std::vector<la::Matrix>& state) {
   la::Matrix& velocity = state[0];

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "la/matrix.h"
 #include "nn/layer.h"
 
@@ -22,6 +23,19 @@ class Optimizer {
   void Step(const std::vector<Param>& params);
 
   virtual std::string Name() const = 0;
+
+  /// Multiplies the global learning rate by `factor`. Self-healing
+  /// training (Model::Fit recovery) backs off by halving on divergence.
+  virtual void ScaleLearningRate(double factor) = 0;
+
+  /// Snapshot of the per-parameter state in `params` order (state slots
+  /// concatenated per parameter), for training checkpoints and epoch
+  /// rollback. Parameters never stepped yet export zero matrices.
+  std::vector<la::Matrix> ExportState(const std::vector<Param>& params);
+
+  /// Restores a snapshot taken by ExportState over the same architecture.
+  Status ImportState(const std::vector<Param>& params,
+                     const std::vector<la::Matrix>& state);
 
  protected:
   /// Updates a single parameter in place.
@@ -44,6 +58,9 @@ class Sgd : public Optimizer {
  public:
   explicit Sgd(SgdOptions options) : options_(options) {}
   std::string Name() const override { return "SGD"; }
+  void ScaleLearningRate(double factor) override {
+    options_.learning_rate *= factor;
+  }
 
  protected:
   void UpdateOne(la::Matrix& value, const la::Matrix& grad,
@@ -64,6 +81,9 @@ class Adagrad : public Optimizer {
  public:
   explicit Adagrad(AdagradOptions options) : options_(options) {}
   std::string Name() const override { return "ADAGRAD"; }
+  void ScaleLearningRate(double factor) override {
+    options_.learning_rate *= factor;
+  }
 
  protected:
   void UpdateOne(la::Matrix& value, const la::Matrix& grad,
@@ -87,6 +107,9 @@ class Adadelta : public Optimizer {
  public:
   explicit Adadelta(AdadeltaOptions options) : options_(options) {}
   std::string Name() const override { return "ADADELTA"; }
+  void ScaleLearningRate(double factor) override {
+    options_.learning_rate *= factor;
+  }
 
  protected:
   void UpdateOne(la::Matrix& value, const la::Matrix& grad,
@@ -111,6 +134,9 @@ class Adam : public Optimizer {
  public:
   explicit Adam(AdamOptions options) : options_(options) {}
   std::string Name() const override { return "Adam"; }
+  void ScaleLearningRate(double factor) override {
+    options_.learning_rate *= factor;
+  }
 
  protected:
   void UpdateOne(la::Matrix& value, const la::Matrix& grad,

@@ -1,13 +1,73 @@
 #include "store/database.h"
 
-#include <filesystem>
-#include <fstream>
+#include <algorithm>
+#include <map>
+#include <set>
 
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "common/strings.h"
 #include "store/json.h"
 
 namespace newsdiff::store {
 
-namespace fs = std::filesystem;
+namespace {
+
+/// Collection names double as snapshot file-name stems, so they must be
+/// safe path components.
+Status ValidateCollectionName(const std::string& name) {
+  if (name.empty()) return Status::InvalidArgument("empty collection name");
+  for (char c : name) {
+    if (c == '/' || c == '\\' || c == ' ' || c == '\n' || c == '\r' ||
+        c == '\t') {
+      return Status::InvalidArgument("collection name unsafe for snapshot: " +
+                                     name);
+    }
+  }
+  return Status::OK();
+}
+
+/// Parses one collection's JSONL bytes into a fresh Collection. `expect_docs`
+/// of SIZE_MAX skips the count check (legacy files carry no manifest).
+StatusOr<std::unique_ptr<Collection>> ParseCollectionFile(
+    const std::string& name, const std::string& contents,
+    const std::string& diag_path, uint64_t expect_docs) {
+  auto coll = std::make_unique<Collection>(name);
+  uint64_t docs = 0;
+  size_t lineno = 0;
+  for (std::string_view line : Split(contents, '\n')) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+    StatusOr<Value> doc = ParseJson(line);
+    if (!doc.ok()) {
+      return Status::ParseError(diag_path + ":" + std::to_string(lineno) +
+                                ": " + doc.status().message());
+    }
+    StatusOr<DocId> id = coll->Insert(std::move(doc).value());
+    if (!id.ok()) return id.status();
+    ++docs;
+  }
+  if (expect_docs != UINT64_MAX && docs != expect_docs) {
+    return Status::ParseError(diag_path + ": has " + std::to_string(docs) +
+                              " documents, manifest expects " +
+                              std::to_string(expect_docs));
+  }
+  return coll;
+}
+
+bool IsSnapshotArtifact(const std::string& name) {
+  uint64_t gen = 0;
+  if (ParseManifestFileName(name, &gen)) return true;
+  auto ends_with = [&name](const char* suffix) {
+    std::string s(suffix);
+    return name.size() >= s.size() &&
+           name.compare(name.size() - s.size(), s.size(), s) == 0;
+  };
+  return ends_with(".jsonl") || ends_with(".tmp");
+}
+
+}  // namespace
 
 Collection& Database::GetOrCreate(const std::string& name) {
   auto it = collections_.find(name);
@@ -39,63 +99,212 @@ std::vector<std::string> Database::CollectionNames() const {
 }
 
 Status Database::SaveToDir(const std::string& dir) const {
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (ec) return Status::IoError("cannot create " + dir + ": " + ec.message());
-  for (const auto& [name, coll] : collections_) {
-    // Write-to-temp then rename, so a crash mid-write never leaves a
-    // truncated collection file behind.
-    fs::path final_path = fs::path(dir) / (name + ".jsonl");
-    fs::path tmp_path = fs::path(dir) / (name + ".jsonl.tmp");
-    {
-      std::ofstream out(tmp_path, std::ios::trunc);
-      if (!out) {
-        return Status::IoError("cannot open " + tmp_path.string() +
-                               " for writing");
-      }
-      for (const Value& doc : coll->All()) {
-        out << ToJson(doc) << '\n';
-      }
-      out.flush();
-      if (!out) return Status::IoError("write failed for " + tmp_path.string());
+  return SaveToDir(dir, SnapshotOptions{});
+}
+
+Status Database::SaveToDir(const std::string& dir,
+                           const SnapshotOptions& options) const {
+  FileIo& io = options.io != nullptr ? *options.io : DefaultFileIo();
+  NEWSDIFF_RETURN_IF_ERROR(io.CreateDirectories(dir));
+
+  // The next generation follows the newest manifest present, committed or
+  // not — a gap in the sequence is harmless, a reused number is not.
+  StatusOr<std::vector<std::string>> listing = io.ListDir(dir);
+  if (!listing.ok()) return listing.status();
+  uint64_t generation = 0;
+  for (const std::string& name : *listing) {
+    uint64_t gen = 0;
+    std::string stem = name;
+    const std::string tmp_suffix = ".tmp";
+    if (stem.size() > tmp_suffix.size() &&
+        stem.compare(stem.size() - tmp_suffix.size(), tmp_suffix.size(),
+                     tmp_suffix) == 0) {
+      stem.resize(stem.size() - tmp_suffix.size());
     }
-    fs::rename(tmp_path, final_path, ec);
-    if (ec) {
-      return Status::IoError("cannot replace " + final_path.string() + ": " +
-                             ec.message());
-    }
+    if (ParseManifestFileName(stem, &gen)) generation = std::max(generation, gen);
   }
+  ++generation;
+
+  Manifest manifest;
+  manifest.generation = generation;
+  for (const auto& [name, coll] : collections_) {
+    NEWSDIFF_RETURN_IF_ERROR(ValidateCollectionName(name));
+    std::string contents;
+    for (const Value& doc : coll->All()) {
+      contents += ToJson(doc);
+      contents += '\n';
+    }
+    ManifestEntry entry;
+    entry.collection = name;
+    entry.file = SnapshotCollectionFileName(name, generation);
+    entry.docs = coll->size();
+    entry.crc32 = Crc32(contents);
+    NEWSDIFF_RETURN_IF_ERROR(
+        WriteFileAtomic(io, dir + "/" + entry.file, contents));
+    manifest.entries.push_back(std::move(entry));
+  }
+
+  // Commit point: once the manifest rename lands, this generation is the
+  // one recovery will load.
+  NEWSDIFF_RETURN_IF_ERROR(WriteFileAtomic(
+      io, dir + "/" + ManifestFileName(generation), SerializeManifest(manifest)));
+
+  GarbageCollect(dir, io, options.retain_generations);
   return Status::OK();
 }
 
-Status Database::LoadFromDir(const std::string& dir) {
-  std::error_code ec;
-  if (!fs::is_directory(dir, ec)) {
-    return Status::NotFound(dir + " is not a directory");
+void Database::GarbageCollect(const std::string& dir, FileIo& io,
+                              size_t retain_generations) {
+  // Best-effort: a failed deletion never fails the save that triggered it;
+  // the next save retries.
+  StatusOr<std::vector<std::string>> listing = io.ListDir(dir);
+  if (!listing.ok()) return;
+  std::vector<uint64_t> generations;
+  for (const std::string& name : *listing) {
+    uint64_t gen = 0;
+    if (ParseManifestFileName(name, &gen)) generations.push_back(gen);
   }
-  for (const auto& entry : fs::directory_iterator(dir, ec)) {
-    if (ec) return Status::IoError("cannot list " + dir + ": " + ec.message());
-    if (!entry.is_regular_file()) continue;
-    fs::path p = entry.path();
-    if (p.extension() != ".jsonl") continue;
-    std::string name = p.stem().string();
-    std::ifstream in(p);
-    if (!in) return Status::IoError("cannot open " + p.string());
-    Drop(name);
-    Collection& coll = GetOrCreate(name);
-    std::string line;
-    size_t lineno = 0;
-    while (std::getline(in, line)) {
-      ++lineno;
-      if (line.empty()) continue;
-      StatusOr<Value> doc = ParseJson(line);
-      if (!doc.ok()) {
-        return Status::ParseError(p.string() + ":" + std::to_string(lineno) +
-                                  ": " + doc.status().message());
-      }
-      StatusOr<DocId> id = coll.Insert(std::move(doc).value());
-      if (!id.ok()) return id.status();
+  std::sort(generations.rbegin(), generations.rend());
+  if (retain_generations == 0) retain_generations = 1;
+  std::set<uint64_t> retained(
+      generations.begin(),
+      generations.begin() +
+          std::min(retain_generations, generations.size()));
+
+  std::set<std::string> referenced;
+  for (uint64_t gen : retained) {
+    referenced.insert(ManifestFileName(gen));
+    StatusOr<std::string> text = io.ReadFile(dir + "/" + ManifestFileName(gen));
+    if (!text.ok()) continue;
+    StatusOr<Manifest> manifest = ParseManifest(*text);
+    if (!manifest.ok()) continue;
+    for (const ManifestEntry& entry : manifest->entries) {
+      referenced.insert(entry.file);
     }
+  }
+
+  for (const std::string& name : *listing) {
+    // Only reap snapshot-owned artifacts: manifests, collection files
+    // (including pre-snapshot legacy ones and files for since-dropped
+    // collections), and torn temp files. Foreign files are left alone.
+    if (referenced.count(name) > 0 || !IsSnapshotArtifact(name)) continue;
+    Status removed = io.Remove(dir + "/" + name);
+    if (!removed.ok()) {
+      NEWSDIFF_LOG(Warning) << "snapshot gc: " << removed.message();
+    }
+  }
+}
+
+Status Database::LoadFromDir(const std::string& dir) {
+  return LoadFromDir(dir, SnapshotOptions{});
+}
+
+Status Database::LoadFromDir(const std::string& dir,
+                             const SnapshotOptions& options,
+                             SnapshotLoadReport* report) {
+  FileIo& io = options.io != nullptr ? *options.io : DefaultFileIo();
+  SnapshotLoadReport local_report;
+  if (report == nullptr) report = &local_report;
+
+  StatusOr<std::vector<std::string>> listing = io.ListDir(dir);
+  if (!listing.ok()) return listing.status();
+
+  std::vector<uint64_t> generations;
+  for (const std::string& name : *listing) {
+    uint64_t gen = 0;
+    if (ParseManifestFileName(name, &gen)) generations.push_back(gen);
+  }
+  if (generations.empty()) return LoadLegacyDir(dir, io, *listing, report);
+  std::sort(generations.rbegin(), generations.rend());
+
+  for (uint64_t gen : generations) {
+    // Stage the whole generation before touching installed state, so a
+    // generation that fails verification halfway leaves the database
+    // exactly as it was.
+    std::map<std::string, std::unique_ptr<Collection>> staged;
+    std::string problem;
+    Status verdict = Status::OK();
+    do {
+      const std::string manifest_path = dir + "/" + ManifestFileName(gen);
+      StatusOr<std::string> text = io.ReadFile(manifest_path);
+      if (!text.ok()) {
+        verdict = text.status();
+        break;
+      }
+      StatusOr<Manifest> manifest = ParseManifest(*text);
+      if (!manifest.ok()) {
+        verdict = manifest.status();
+        break;
+      }
+      if (manifest->generation != gen) {
+        verdict = Status::ParseError(manifest_path + ": generation " +
+                                     std::to_string(manifest->generation) +
+                                     " does not match file name");
+        break;
+      }
+      for (const ManifestEntry& entry : manifest->entries) {
+        const std::string path = dir + "/" + entry.file;
+        StatusOr<std::string> contents = io.ReadFile(path);
+        if (!contents.ok()) {
+          verdict = contents.status();
+          break;
+        }
+        if (Crc32(*contents) != entry.crc32) {
+          verdict = Status::ParseError(path + ": checksum mismatch");
+          break;
+        }
+        StatusOr<std::unique_ptr<Collection>> coll = ParseCollectionFile(
+            entry.collection, *contents, path, entry.docs);
+        if (!coll.ok()) {
+          verdict = coll.status();
+          break;
+        }
+        staged[entry.collection] = std::move(coll).value();
+      }
+    } while (false);
+
+    if (verdict.ok()) {
+      for (auto& [name, coll] : staged) {
+        collections_[name] = std::move(coll);
+      }
+      report->generation = gen;
+      if (report->generations_skipped > 0) {
+        NEWSDIFF_LOG(Warning)
+            << "snapshot recovery: fell back to generation " << gen
+            << " after skipping " << report->generations_skipped
+            << " damaged generation(s) in " << dir;
+      }
+      return Status::OK();
+    }
+    ++report->generations_skipped;
+    report->problems.push_back("generation " + std::to_string(gen) + ": " +
+                               verdict.message());
+  }
+
+  std::string detail;
+  for (const std::string& p : report->problems) detail += "; " + p;
+  return Status::IoError("no intact snapshot generation in " + dir + detail);
+}
+
+Status Database::LoadLegacyDir(const std::string& dir, FileIo& io,
+                               const std::vector<std::string>& listing,
+                               SnapshotLoadReport* report) {
+  report->legacy_format = true;
+  for (const std::string& name : listing) {
+    const std::string suffix = ".jsonl";
+    if (name.size() <= suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    std::string stem = name.substr(0, name.size() - suffix.size());
+    const std::string path = dir + "/" + name;
+    StatusOr<std::string> contents = io.ReadFile(path);
+    if (!contents.ok()) return contents.status();
+    StatusOr<std::unique_ptr<Collection>> coll =
+        ParseCollectionFile(stem, *contents, path, UINT64_MAX);
+    if (!coll.ok()) return coll.status();
+    collections_[stem] = std::move(coll).value();
   }
   return Status::OK();
 }

@@ -8,14 +8,20 @@
 
 #include "common/status.h"
 #include "store/collection.h"
+#include "store/snapshot.h"
 
 namespace newsdiff::store {
 
 /// A named set of collections with JSONL persistence — the embedded
 /// substitute for the paper's MongoDB deployment. Collections are created
-/// on first access. Persistence writes one `<collection>.jsonl` file per
-/// collection under a directory; loading replays the documents in order
-/// (fresh "_id"s are assigned, preserving relative order).
+/// on first access. Persistence writes crash-safe, generation-numbered
+/// snapshots (see store/snapshot.h): one `<collection>-<gen>.jsonl` per
+/// collection plus a checksummed `MANIFEST-<gen>` committed last, so a
+/// crash at any point leaves the previous generation loadable. Loading
+/// replays the documents in order (fresh "_id"s are assigned, preserving
+/// relative order) from the newest generation that verifies, falling back
+/// past damaged ones. Directories written by the pre-snapshot format
+/// (bare `<collection>.jsonl`, no manifest) still load.
 class Database {
  public:
   /// Creates an empty in-memory database.
@@ -39,15 +45,37 @@ class Database {
   /// Names of all collections, sorted.
   std::vector<std::string> CollectionNames() const;
 
-  /// Writes every collection to `dir/<name>.jsonl` (one compact JSON
-  /// document per line). Creates `dir` if needed.
+  /// Writes a new snapshot generation under `dir` (creating it if needed):
+  /// every collection as `<name>-<gen>.jsonl` (one compact JSON document
+  /// per line, written via temp+rename), then the checksummed manifest as
+  /// the commit point. Retains the last `options.retain_generations`
+  /// generations and garbage-collects everything else — including stale
+  /// files from collections dropped since the previous save.
   Status SaveToDir(const std::string& dir) const;
+  Status SaveToDir(const std::string& dir,
+                   const SnapshotOptions& options) const;
 
-  /// Loads every `*.jsonl` file in `dir` into a same-named collection,
-  /// replacing any existing collection of that name.
+  /// Loads the newest intact snapshot generation in `dir`, verifying the
+  /// manifest self-CRC and every collection's CRC/doc count, and falling
+  /// back to older generations when a newer one is damaged. Collections in
+  /// the loaded generation replace same-named in-memory collections.
+  /// Directories without a manifest load in the legacy per-file format
+  /// (every `*.jsonl`, strict: any malformed line fails).
   Status LoadFromDir(const std::string& dir);
+  Status LoadFromDir(const std::string& dir, const SnapshotOptions& options,
+                     SnapshotLoadReport* report = nullptr);
 
  private:
+  /// Deletes manifests beyond the newest `retain_generations` and snapshot
+  /// artifacts referenced by no retained manifest. Best-effort.
+  static void GarbageCollect(const std::string& dir, FileIo& io,
+                             size_t retain_generations);
+
+  /// Pre-snapshot format: every bare `*.jsonl` file, strict parsing.
+  Status LoadLegacyDir(const std::string& dir, FileIo& io,
+                       const std::vector<std::string>& listing,
+                       SnapshotLoadReport* report);
+
   std::map<std::string, std::unique_ptr<Collection>> collections_;
 };
 

@@ -1,0 +1,142 @@
+#include "store/snapshot.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/crc32.h"
+#include "common/strings.h"
+
+namespace newsdiff::store {
+
+namespace {
+
+constexpr char kMagic[] = "newsdiff-snapshot";
+constexpr int kFormatVersion = 1;
+constexpr char kManifestPrefix[] = "MANIFEST-";
+constexpr size_t kGenDigits = 10;
+
+std::string GenToken(uint64_t generation) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%010" PRIu64, generation);
+  return std::string(buf);
+}
+
+bool ParseU64(const std::string& token, uint64_t* out) {
+  if (token.empty() || token.size() > 20) return false;
+  uint64_t v = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string SerializeManifest(const Manifest& manifest) {
+  std::string body = std::string(kMagic) + " " +
+                     std::to_string(kFormatVersion) + "\n";
+  body += "generation " + std::to_string(manifest.generation) + "\n";
+  for (const ManifestEntry& e : manifest.entries) {
+    body += "collection " + e.collection + " " + e.file + " " +
+            std::to_string(e.docs) + " " + Crc32Hex(e.crc32) + "\n";
+  }
+  body += "crc " + Crc32Hex(Crc32(body)) + "\n";
+  return body;
+}
+
+StatusOr<Manifest> ParseManifest(const std::string& text) {
+  // The trailer line ("crc <hex>\n") covers every byte before it; verify it
+  // before trusting any field.
+  size_t crc_pos = text.rfind("crc ");
+  if (crc_pos == std::string::npos ||
+      (crc_pos != 0 && text[crc_pos - 1] != '\n')) {
+    return Status::ParseError("manifest missing crc trailer");
+  }
+  std::string crc_line = text.substr(crc_pos);
+  while (!crc_line.empty() &&
+         (crc_line.back() == '\n' || crc_line.back() == '\r')) {
+    crc_line.pop_back();
+  }
+  uint32_t stated = 0;
+  if (!ParseCrc32Hex(std::string_view(crc_line).substr(4), &stated)) {
+    return Status::ParseError("manifest crc trailer malformed");
+  }
+  std::string body = text.substr(0, crc_pos);
+  if (Crc32(body) != stated) {
+    return Status::ParseError("manifest checksum mismatch");
+  }
+
+  Manifest manifest;
+  bool saw_magic = false;
+  bool saw_generation = false;
+  for (std::string& line : Split(body, '\n')) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> tokens = Split(line, ' ');
+    if (!saw_magic) {
+      uint64_t version = 0;
+      if (tokens.size() != 2 || tokens[0] != kMagic ||
+          !ParseU64(tokens[1], &version)) {
+        return Status::ParseError("not a snapshot manifest");
+      }
+      if (version != static_cast<uint64_t>(kFormatVersion)) {
+        return Status::ParseError("unsupported snapshot version " +
+                                  tokens[1]);
+      }
+      saw_magic = true;
+      continue;
+    }
+    if (tokens[0] == "generation") {
+      if (tokens.size() != 2 || !ParseU64(tokens[1], &manifest.generation)) {
+        return Status::ParseError("malformed generation line");
+      }
+      saw_generation = true;
+    } else if (tokens[0] == "collection") {
+      if (tokens.size() != 5) {
+        return Status::ParseError("malformed collection line: " + line);
+      }
+      ManifestEntry entry;
+      entry.collection = tokens[1];
+      entry.file = tokens[2];
+      if (entry.collection.empty() || entry.file.empty() ||
+          entry.file.find('/') != std::string::npos ||
+          entry.file.find("..") != std::string::npos) {
+        return Status::ParseError("malformed collection entry: " + line);
+      }
+      uint64_t docs = 0;
+      if (!ParseU64(tokens[3], &docs) ||
+          !ParseCrc32Hex(tokens[4], &entry.crc32)) {
+        return Status::ParseError("malformed collection entry: " + line);
+      }
+      entry.docs = docs;
+      manifest.entries.push_back(std::move(entry));
+    } else {
+      return Status::ParseError("unknown manifest directive: " + tokens[0]);
+    }
+  }
+  if (!saw_magic) return Status::ParseError("empty manifest");
+  if (!saw_generation) return Status::ParseError("manifest missing generation");
+  return manifest;
+}
+
+std::string ManifestFileName(uint64_t generation) {
+  return std::string(kManifestPrefix) + GenToken(generation);
+}
+
+bool ParseManifestFileName(const std::string& name, uint64_t* generation) {
+  const size_t prefix_len = sizeof(kManifestPrefix) - 1;
+  if (name.size() != prefix_len + kGenDigits) return false;
+  if (name.compare(0, prefix_len, kManifestPrefix) != 0) return false;
+  return ParseU64(name.substr(prefix_len), generation);
+}
+
+std::string SnapshotCollectionFileName(const std::string& collection,
+                                       uint64_t generation) {
+  return collection + "-" + GenToken(generation) + ".jsonl";
+}
+
+}  // namespace newsdiff::store

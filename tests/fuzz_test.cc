@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "datagen/faults.h"
 #include "store/json.h"
+#include "store/snapshot.h"
 #include "text/lemmatizer.h"
 #include "text/ner.h"
 #include "text/pipeline.h"
@@ -141,6 +142,71 @@ TEST_P(FuzzSweep, LemmatizerTotalOnArbitraryLowercase) {
     }
     std::string lemma = text::Lemmatize(word);
     EXPECT_FALSE(len > 0 && lemma.empty()) << word;
+  }
+}
+
+store::Manifest RandomManifest(Rng& rng) {
+  store::Manifest m;
+  m.generation = rng.NextBelow(1u << 20) + 1;
+  size_t n = rng.NextBelow(5);
+  for (size_t i = 0; i < n; ++i) {
+    store::ManifestEntry e;
+    e.collection = "coll" + std::to_string(i);
+    e.file = store::SnapshotCollectionFileName(e.collection, m.generation);
+    e.docs = rng.NextBelow(10000);
+    e.crc32 = static_cast<uint32_t>(rng.NextBelow(1u << 31));
+    m.entries.push_back(std::move(e));
+  }
+  return m;
+}
+
+TEST_P(FuzzSweep, ManifestParserTotalOnArbitraryBytes) {
+  Rng rng(GetParam() + 4);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string input = RandomBytes(rng, 200);
+    StatusOr<store::Manifest> parsed = store::ParseManifest(input);
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kParseError) << input;
+    }
+  }
+}
+
+TEST_P(FuzzSweep, EverySingleByteFlipOfManifestIsRejected) {
+  // The self-CRC must catch ANY one-byte change to a committed manifest —
+  // this is what lets recovery trust a manifest that parses.
+  Rng rng(GetParam() + 5);
+  store::Manifest m = RandomManifest(rng);
+  const std::string bytes = store::SerializeManifest(m);
+  ASSERT_TRUE(store::ParseManifest(bytes).ok());
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    for (uint8_t flip : {0x01, 0x80}) {
+      std::string damaged = bytes;
+      damaged[pos] = static_cast<char>(damaged[pos] ^ flip);
+      StatusOr<store::Manifest> parsed = store::ParseManifest(damaged);
+      EXPECT_FALSE(parsed.ok())
+          << "byte " << pos << " xor " << int(flip) << " went unnoticed";
+    }
+  }
+}
+
+TEST_P(FuzzSweep, WireCorruptedManifestsNeverCrashTheParser) {
+  Rng rng(GetParam() + 6);
+  datagen::FaultOptions fopts;
+  fopts.seed = GetParam() + 7;
+  datagen::FaultInjector injector(fopts);
+  for (int trial = 0; trial < 200; ++trial) {
+    store::Manifest m = RandomManifest(rng);
+    std::string corrupted = injector.CorruptPayload(store::SerializeManifest(m));
+    StatusOr<store::Manifest> parsed = store::ParseManifest(corrupted);
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+      EXPECT_FALSE(parsed.status().message().empty());
+    } else {
+      // Accepted despite the mangling: the damage must have been a no-op
+      // (CorruptPayload occasionally returns the payload unchanged).
+      EXPECT_EQ(parsed->generation, m.generation);
+      EXPECT_EQ(parsed->entries.size(), m.entries.size());
+    }
   }
 }
 

@@ -1,0 +1,185 @@
+// Unit tests for the storage fault injector itself: each fault class does
+// what its knob says, deterministically for a fixed seed.
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/file_io.h"
+#include "datagen/faults.h"
+
+namespace newsdiff::datagen {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StorageFaultsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("newsdiff_storage_faults_test_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::string ReadBack(const std::string& name) const {
+    std::ifstream in(dir_ / name, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(StorageFaultsFixture, PassThroughWhenAllRatesZero) {
+  FaultyFileIo io(DefaultFileIo(), StorageFaultOptions{});
+  ASSERT_TRUE(io.WriteFile(path("a.txt"), "hello").ok());
+  StatusOr<std::string> read = io.ReadFile(path("a.txt"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "hello");
+  ASSERT_TRUE(io.Rename(path("a.txt"), path("b.txt")).ok());
+  EXPECT_TRUE(io.Exists(path("b.txt")));
+  StatusOr<std::vector<std::string>> listing = io.ListDir(dir_.string());
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(*listing, (std::vector<std::string>{"b.txt"}));
+  EXPECT_EQ(io.counters().ops, 4u);
+  EXPECT_FALSE(io.counters().crashed);
+}
+
+TEST_F(StorageFaultsFixture, SameSeedSameFaultSequence) {
+  auto run = [&](const std::string& subdir) {
+    fs::create_directories(dir_ / subdir);
+    StorageFaultOptions opts;
+    opts.seed = 99;
+    opts.write_failure_rate = 0.3;
+    opts.lost_tail_rate = 0.2;
+    opts.bit_flip_rate = 0.2;
+    FaultyFileIo io(DefaultFileIo(), opts);
+    std::vector<bool> verdicts;
+    for (int i = 0; i < 40; ++i) {
+      Status s = io.WriteFile(path(subdir + "/f" + std::to_string(i)),
+                              "payload-" + std::to_string(i));
+      verdicts.push_back(s.ok());
+    }
+    return std::make_pair(verdicts, io.counters());
+  };
+  auto [v1, c1] = run("one");
+  auto [v2, c2] = run("two");
+  EXPECT_EQ(v1, v2);
+  EXPECT_EQ(c1.write_failures, c2.write_failures);
+  EXPECT_EQ(c1.lost_tails, c2.lost_tails);
+  EXPECT_EQ(c1.bit_flips, c2.bit_flips);
+  EXPECT_EQ(c1.torn_writes, c2.torn_writes);
+  EXPECT_GT(c1.write_failures + c1.lost_tails + c1.bit_flips, 0u);
+  // Files damaged identically in both runs.
+  for (int i = 0; i < 40; ++i) {
+    std::string name = "f" + std::to_string(i);
+    EXPECT_EQ(ReadBack("one/" + name), ReadBack("two/" + name)) << name;
+  }
+}
+
+TEST_F(StorageFaultsFixture, CrashPointFailsEverythingUntilReboot) {
+  StorageFaultOptions opts;
+  opts.crash_after_ops = 2;
+  FaultyFileIo io(DefaultFileIo(), opts);
+  EXPECT_TRUE(io.WriteFile(path("a"), "1").ok());
+  EXPECT_TRUE(io.WriteFile(path("b"), "2").ok());
+  EXPECT_FALSE(io.WriteFile(path("c"), "3").ok());  // the crash
+  EXPECT_FALSE(io.ReadFile(path("a")).ok());
+  EXPECT_FALSE(io.Rename(path("a"), path("z")).ok());
+  EXPECT_FALSE(io.ListDir(dir_.string()).ok());
+  EXPECT_TRUE(io.counters().crashed);
+
+  io.Reboot();
+  EXPECT_FALSE(io.counters().crashed);
+  EXPECT_TRUE(io.WriteFile(path("c"), "3").ok());
+  EXPECT_EQ(ReadBack("c"), "3");
+}
+
+TEST_F(StorageFaultsFixture, CrashingWriteLeavesTornPrefix) {
+  StorageFaultOptions opts;
+  opts.seed = 7;
+  opts.crash_after_ops = 0;  // the very first op crashes
+  FaultyFileIo io(DefaultFileIo(), opts);
+  const std::string payload(300, 'x');
+  EXPECT_FALSE(io.WriteFile(path("torn"), payload).ok());
+  EXPECT_EQ(io.counters().torn_writes, 1u);
+  std::string on_disk = ReadBack("torn");
+  EXPECT_LT(on_disk.size(), payload.size());
+  EXPECT_EQ(on_disk, payload.substr(0, on_disk.size()));
+}
+
+TEST_F(StorageFaultsFixture, LostTailReportsSuccessButWritesPrefix) {
+  StorageFaultOptions opts;
+  opts.seed = 11;
+  opts.lost_tail_rate = 1.0;
+  FaultyFileIo io(DefaultFileIo(), opts);
+  const std::string payload = "0123456789abcdef0123456789abcdef";
+  ASSERT_TRUE(io.WriteFile(path("f"), payload).ok());
+  EXPECT_EQ(io.counters().lost_tails, 1u);
+  std::string on_disk = ReadBack("f");
+  EXPECT_LT(on_disk.size(), payload.size());
+  EXPECT_EQ(on_disk, payload.substr(0, on_disk.size()));
+}
+
+TEST_F(StorageFaultsFixture, BitFlipReportsSuccessButDamagesBytes) {
+  StorageFaultOptions opts;
+  opts.seed = 13;
+  opts.bit_flip_rate = 1.0;
+  FaultyFileIo io(DefaultFileIo(), opts);
+  const std::string payload(64, 'A');
+  ASSERT_TRUE(io.WriteFile(path("f"), payload).ok());
+  EXPECT_EQ(io.counters().bit_flips, 1u);
+  std::string on_disk = ReadBack("f");
+  EXPECT_EQ(on_disk.size(), payload.size());  // same length, changed bytes
+  EXPECT_NE(on_disk, payload);
+}
+
+TEST_F(StorageFaultsFixture, RenameFailureLeavesBothPathsAlone) {
+  StorageFaultOptions opts;
+  opts.rename_failure_rate = 1.0;
+  FaultyFileIo io(DefaultFileIo(), opts);
+  ASSERT_TRUE(DefaultFileIo().WriteFile(path("src"), "contents").ok());
+  EXPECT_FALSE(io.Rename(path("src"), path("dst")).ok());
+  EXPECT_EQ(io.counters().rename_failures, 1u);
+  EXPECT_TRUE(fs::exists(dir_ / "src"));
+  EXPECT_FALSE(fs::exists(dir_ / "dst"));
+}
+
+TEST_F(StorageFaultsFixture, WriteFailureReportsErrorAndAtWorstTears) {
+  StorageFaultOptions opts;
+  opts.seed = 17;
+  opts.write_failure_rate = 1.0;
+  FaultyFileIo io(DefaultFileIo(), opts);
+  const std::string payload(128, 'q');
+  for (int i = 0; i < 10; ++i) {
+    std::string name = "f" + std::to_string(i);
+    EXPECT_FALSE(io.WriteFile(path(name), payload).ok());
+    if (fs::exists(dir_ / name)) {
+      std::string on_disk = ReadBack(name);
+      EXPECT_LT(on_disk.size(), payload.size());
+      EXPECT_EQ(on_disk, payload.substr(0, on_disk.size()));
+    }
+  }
+  EXPECT_EQ(io.counters().write_failures, 10u);
+}
+
+TEST_F(StorageFaultsFixture, ReadAndListFailuresInjected) {
+  StorageFaultOptions opts;
+  opts.read_failure_rate = 1.0;
+  FaultyFileIo io(DefaultFileIo(), opts);
+  ASSERT_TRUE(DefaultFileIo().WriteFile(path("f"), "x").ok());
+  EXPECT_FALSE(io.ReadFile(path("f")).ok());
+  EXPECT_FALSE(io.ListDir(dir_.string()).ok());
+  EXPECT_EQ(io.counters().read_failures, 2u);
+}
+
+}  // namespace
+}  // namespace newsdiff::datagen
