@@ -9,8 +9,8 @@
 #include <filesystem>
 #include <string>
 
+#include "bench/harness.h"
 #include "common/table_printer.h"
-#include "common/time.h"
 #include "core/checkpoint.h"
 #include "core/embedding_cache.h"
 #include "core/supervisor.h"
@@ -105,63 +105,63 @@ int main() {
     size_t kills = 0, recovered_runs = 0, total_reboots = 0;
     size_t resumed = 0, computed = 0, gens_skipped = 0;
     bool all_exact = true;
-    WallTimer timer;
 
     // Kill points spread across the run: early (inside the raw-collection
     // writes), mid (stage checkpoints), late (final generations / GC).
     const size_t crash_points[] = {8, 30, 60, 90, 120, 400};
     size_t cycle = 0;
-    for (size_t crash_at : crash_points) {
-      ++cycle;
-      const fs::path dir = root / (std::to_string(rate) + "-" +
-                                   std::to_string(crash_at));
-      datagen::StorageFaultOptions fopts;
-      fopts.seed = 7000 + cycle + static_cast<uint64_t>(rate * 1000);
-      fopts.lost_tail_rate = rate / 2;
-      fopts.bit_flip_rate = rate / 2;
-      fopts.crash_after_ops = crash_at;
-      datagen::FaultyFileIo faulty(DefaultFileIo(), fopts);
-      core::SupervisorOptions sopts;
-      sopts.snapshot_dir = dir.string();
-      sopts.snapshot.io = &faulty;
-      sopts.snapshot.retain_generations = 4;
+    double wall_ms = 1000.0 * bench::TimedSeconds([&] {
+      for (size_t crash_at : crash_points) {
+        ++cycle;
+        const fs::path dir = root / (std::to_string(rate) + "-" +
+                                     std::to_string(crash_at));
+        datagen::StorageFaultOptions fopts;
+        fopts.seed = 7000 + cycle + static_cast<uint64_t>(rate * 1000);
+        fopts.lost_tail_rate = rate / 2;
+        fopts.bit_flip_rate = rate / 2;
+        fopts.crash_after_ops = crash_at;
+        datagen::FaultyFileIo faulty(DefaultFileIo(), fopts);
+        core::SupervisorOptions sopts;
+        sopts.snapshot_dir = dir.string();
+        sopts.snapshot.io = &faulty;
+        sopts.snapshot.retain_generations = 4;
 
-      store::Database db1;
-      world.LoadInto(db1);
-      core::PipelineSupervisor first(core::Pipeline(SmallOptions()), sopts);
-      auto killed = first.Run(db1, *pretrained);
-      if (killed.ok()) {
-        all_exact &= StageFingerprint(db1) == want_fingerprint;
-        continue;  // crash point was beyond this run's IO
-      }
-
-      ++kills;
-      // A rebooted process that dies again (the fault rates stay active)
-      // simply reboots once more: every durably committed stage shrinks the
-      // remaining work, so the loop converges.
-      bool done = false;
-      for (size_t reboot = 0; reboot < 12 && !done; ++reboot) {
-        ++total_reboots;
-        faulty.Reboot();
-        store::Database db2;
-        core::PipelineSupervisor second(core::Pipeline(SmallOptions()),
-                                        sopts);
-        Status recov = second.Recover(db2);
-        gens_skipped += second.report().recovery.generations_skipped;
-        if (!recov.ok() || db2.Get("news") == nullptr) {
-          // Nothing durable (or no intact generation): re-crawl the feeds.
-          world.LoadInto(db2);
+        store::Database db1;
+        world.LoadInto(db1);
+        core::PipelineSupervisor first(core::Pipeline(SmallOptions()), sopts);
+        auto killed = first.Run(db1, *pretrained);
+        if (killed.ok()) {
+          all_exact &= StageFingerprint(db1) == want_fingerprint;
+          continue;  // crash point was beyond this run's IO
         }
-        auto completed = second.Run(db2, *pretrained);
-        if (!completed.ok()) continue;
-        done = true;
-        ++recovered_runs;
-        resumed += second.report().stages_resumed;
-        computed += second.report().stages_computed;
-        all_exact &= StageFingerprint(db2) == want_fingerprint;
+
+        ++kills;
+        // A rebooted process that dies again (the fault rates stay active)
+        // simply reboots once more: every durably committed stage shrinks the
+        // remaining work, so the loop converges.
+        bool done = false;
+        for (size_t reboot = 0; reboot < 12 && !done; ++reboot) {
+          ++total_reboots;
+          faulty.Reboot();
+          store::Database db2;
+          core::PipelineSupervisor second(core::Pipeline(SmallOptions()),
+                                          sopts);
+          Status recov = second.Recover(db2);
+          gens_skipped += second.report().recovery.generations_skipped;
+          if (!recov.ok() || db2.Get("news") == nullptr) {
+            // Nothing durable (or no intact generation): re-crawl the feeds.
+            world.LoadInto(db2);
+          }
+          auto completed = second.Run(db2, *pretrained);
+          if (!completed.ok()) continue;
+          done = true;
+          ++recovered_runs;
+          resumed += second.report().stages_resumed;
+          computed += second.report().stages_computed;
+          all_exact &= StageFingerprint(db2) == want_fingerprint;
+        }
       }
-    }
-    double wall_ms = timer.ElapsedMillis();
+    });
 
     char rate_buf[16], wall_buf[24], resumed_buf[32];
     std::snprintf(rate_buf, sizeof(rate_buf), "%.2f", rate);

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/harness.h"
 #include "common/table_printer.h"
 #include "common/time.h"
 #include "datagen/faults.h"
@@ -85,23 +86,23 @@ int main() {
     datagen::FeedCrawler crawler(world, db, news, scraper, twitter, clock);
     datagen::FeedCrawler::CrawlStats total;
     size_t rounds = 0;
-    WallTimer timer;
     // A crawl round can abort on retry exhaustion during a long outage
     // streak; the durable cursors make simply calling CrawlUntil again the
     // recovery procedure, so the bench loops until completion.
-    for (; rounds < 50; ++rounds) {
-      datagen::FeedCrawler::CrawlStats s = crawler.CrawlUntil(end);
-      total.cycles += s.cycles;
-      total.retries += s.retries;
-      total.rate_limited += s.rate_limited;
-      total.timeouts += s.timeouts;
-      total.breaker_trips += s.breaker_trips;
-      total.duplicate_pages += s.duplicate_pages;
-      total.corrupt_payloads += s.corrupt_payloads;
-      total.status = s.status;
-      if (s.status.ok()) break;
-    }
-    double wall_ms = timer.ElapsedMillis();
+    double wall_ms = 1000.0 * bench::TimedSeconds([&] {
+      for (; rounds < 50; ++rounds) {
+        datagen::FeedCrawler::CrawlStats s = crawler.CrawlUntil(end);
+        total.cycles += s.cycles;
+        total.retries += s.retries;
+        total.rate_limited += s.rate_limited;
+        total.timeouts += s.timeouts;
+        total.breaker_trips += s.breaker_trips;
+        total.duplicate_pages += s.duplicate_pages;
+        total.corrupt_payloads += s.corrupt_payloads;
+        total.status = s.status;
+        if (s.status.ok()) break;
+      }
+    });
 
     bool match = total.status.ok() &&
                  Fingerprint(db, "news") == clean_news &&

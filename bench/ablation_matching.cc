@@ -18,14 +18,16 @@ int main() {
   const core::PipelineResult& r = ctx.pipeline_result();
 
   core::TrendingOptions opts;  // paper threshold 0.7
-  WallTimer greedy_timer;
-  auto greedy = core::ExtractTrendingTopics(r.topics, r.news_events,
-                                            ctx.store(), opts);
-  double greedy_seconds = greedy_timer.ElapsedSeconds();
-  WallTimer optimal_timer;
-  auto optimal = core::ExtractTrendingTopicsOptimal(r.topics, r.news_events,
-                                                    ctx.store(), opts);
-  double optimal_seconds = optimal_timer.ElapsedSeconds();
+  double greedy_seconds = 0.0;
+  auto greedy = bench::Timed(&greedy_seconds, [&] {
+    return core::ExtractTrendingTopics(r.topics, r.news_events, ctx.store(),
+                                       opts);
+  });
+  double optimal_seconds = 0.0;
+  auto optimal = bench::Timed(&optimal_seconds, [&] {
+    return core::ExtractTrendingTopicsOptimal(r.topics, r.news_events,
+                                              ctx.store(), opts);
+  });
 
   auto stats = [](const std::vector<core::TrendingNewsTopic>& trending) {
     double total = 0.0;

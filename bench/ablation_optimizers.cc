@@ -53,8 +53,9 @@ int main() {
     fit.early_stopping = o.early_stopping;
     fit.seed = o.seed;
     fit.validation_split = 0.2;
-    WallTimer timer;
-    auto history = model.Fit(ds.x, ds.likes, *cfg.optimizer, fit);
+    double seconds = 0.0;
+    auto history = bench::Timed(
+        &seconds, [&] { return model.Fit(ds.x, ds.likes, *cfg.optimizer, fit); });
     if (!history.ok()) {
       std::fprintf(stderr, "%s failed: %s\n", cfg.name,
                    history.status().ToString().c_str());
@@ -66,7 +67,7 @@ int main() {
     table.AddRow({cfg.name, FormatDouble(val_acc, 3),
                   std::to_string(history->epochs_run),
                   FormatDouble(history->train_loss.back(), 4),
-                  FormatDouble(timer.ElapsedSeconds(), 2)});
+                  FormatDouble(seconds, 2)});
     if (std::string(cfg.name) == "SGD lr=0.5") {
       sgd_epochs = static_cast<double>(history->epochs_run);
     }

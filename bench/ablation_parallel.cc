@@ -1,0 +1,265 @@
+// Ablation: the deterministic parallel execution layer (common/parallel.h).
+// For each wired hot path — dense GEMM, NMF multiplicative updates, the
+// MABED anomaly scan, PV-DBOW epochs, and minibatch network training — runs
+// the stage at increasing thread counts with a *pinned shard count* and
+// reports the speedup over threads=1 plus a bitwise serial-vs-parallel
+// equality check. Any bitwise mismatch is a contract violation and makes
+// the binary exit nonzero (CI runs `ablation_parallel --smoke` in the
+// scheduled job).
+//
+// Output is machine-parseable with a deterministic field order:
+//   stage=<s> threads=<t> seconds=<x> speedup=<y> bitwise=<ok|FAIL>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "corpus/corpus.h"
+#include "embed/pvdbow.h"
+#include "event/mabed.h"
+#include "la/matrix.h"
+#include "la/sparse.h"
+#include "nn/architectures.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+#include "topic/nmf.h"
+
+using namespace newsdiff;
+
+namespace {
+
+la::Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  la::Matrix m(rows, cols);
+  Rng rng(seed);
+  for (double& v : m.data()) v = rng.Uniform(-1.0, 1.0);
+  return m;
+}
+
+la::CsrMatrix RandomCsr(size_t rows, size_t cols, double density,
+                        uint64_t seed) {
+  Rng rng(seed);
+  std::vector<la::Triplet> t;
+  const auto nnz_target = static_cast<size_t>(
+      density * static_cast<double>(rows) * static_cast<double>(cols));
+  for (size_t i = 0; i < nnz_target; ++i) {
+    t.push_back({static_cast<uint32_t>(rng.NextBelow(rows)),
+                 static_cast<uint32_t>(rng.NextBelow(cols)),
+                 rng.NextDouble() + 0.1});
+  }
+  return la::CsrMatrix::FromTriplets(rows, cols, t);
+}
+
+/// One stage of the ablation: Run(par) executes the hot path and returns a
+/// flat fingerprint of its numeric output for the bitwise comparison.
+struct Stage {
+  std::string name;
+  std::function<std::vector<double>(const Parallelism&)> run;
+};
+
+std::vector<Stage> BuildStages(bool smoke) {
+  std::vector<Stage> stages;
+  // Smoke mode keeps every stage under ~1s serial for the CI cron; full
+  // mode sizes each stage so per-shard compute dominates scheduling
+  // overhead and thread scaling is visible.
+  const size_t gemm_dim = smoke ? 192 : 512;
+  const size_t gemm_reps = smoke ? 6 : 10;
+  const size_t nmf_rows = smoke ? 600 : 2400;
+  const size_t nmf_cols = smoke ? 400 : 800;
+  const size_t nmf_iters = smoke ? 15 : 40;
+  const size_t mabed_docs = smoke ? 1500 : 12000;
+  const size_t mabed_vocab = smoke ? 400 : 1500;
+  const size_t pv_docs = smoke ? 160 : 640;
+  const size_t train_rows = smoke ? 384 : 1536;
+  const size_t train_epochs = smoke ? 6 : 12;
+
+  // --- Dense GEMM (la/): the substrate under every nn/ layer. ---
+  stages.push_back({"gemm", [=](const Parallelism& par) {
+    la::Matrix a = RandomMatrix(gemm_dim, 256, 1);
+    la::Matrix b = RandomMatrix(256, gemm_dim, 2);
+    std::vector<double> fp;
+    for (size_t rep = 0; rep < gemm_reps; ++rep) {
+      la::Matrix c = la::MatMul(a, b, par);
+      la::Matrix d = la::MatMulTransA(c, a, par);
+      fp.assign(d.data().begin(), d.data().begin() + 16);
+    }
+    return fp;
+  }});
+
+  // --- NMF multiplicative updates (topic/). ---
+  stages.push_back({"nmf", [=](const Parallelism& par) {
+    la::CsrMatrix a = RandomCsr(nmf_rows, nmf_cols, 0.05, 3);
+    topic::NmfOptions opts;
+    opts.components = 16;
+    opts.max_iterations = nmf_iters;
+    opts.tolerance = 0.0;  // fixed work regardless of convergence
+    opts.parallelism = par;
+    auto result = topic::Nmf(a, opts);
+    if (!result.ok()) return std::vector<double>{};
+    std::vector<double> fp(result->w.data().begin(),
+                           result->w.data().begin() + 32);
+    fp.insert(fp.end(), result->h.data().begin(),
+              result->h.data().begin() + 32);
+    return fp;
+  }});
+
+  // --- MABED anomaly scan (event/). ---
+  stages.push_back({"mabed", [=](const Parallelism& par) {
+    Rng rng(5);
+    corpus::Corpus corp;
+    std::vector<std::string> vocab;
+    for (size_t i = 0; i < mabed_vocab; ++i) {
+      vocab.push_back("w" + std::to_string(i));
+    }
+    const UnixSeconds day = kSecondsPerDay;
+    for (size_t i = 0; i < mabed_docs; ++i) {
+      std::vector<std::string> doc;
+      for (int w = 0; w < 10; ++w) {
+        doc.push_back(vocab[rng.NextBelow(mabed_vocab)]);
+      }
+      if (i % 7 == 0) {  // planted burst terms
+        doc.push_back("quake");
+        doc.push_back("rescue");
+      }
+      UnixSeconds t = (i % 7 == 0)
+          ? 5 * day + static_cast<int64_t>(rng.NextBelow(2 * day))
+          : static_cast<int64_t>(rng.NextBelow(20 * day));
+      corp.AddDocument(doc, t);
+    }
+    event::MabedOptions opts;
+    opts.time_slice_seconds = 3 * kSecondsPerHour;
+    opts.max_events = 20;
+    opts.min_main_doc_freq = 5;
+    opts.min_support = 5;
+    opts.filter_stopword_mains = false;
+    opts.parallelism = par;
+    auto events = event::Mabed(opts).Detect(corp);
+    std::vector<double> fp;
+    if (!events.ok()) return fp;
+    for (const event::Event& ev : *events) {
+      fp.push_back(ev.magnitude);
+      fp.push_back(static_cast<double>(ev.start_slice));
+      fp.push_back(static_cast<double>(ev.end_slice));
+      for (double w : ev.related_weights) fp.push_back(w);
+    }
+    return fp;
+  }});
+
+  // --- PV-DBOW epochs (embed/). Sharded semantics: shards pinned at 8 so
+  // the result depends only on the seed, never the thread count. ---
+  stages.push_back({"pvdbow", [=](const Parallelism& par) {
+    Rng rng(7);
+    std::vector<std::vector<std::string>> docs;
+    for (size_t d = 0; d < pv_docs; ++d) {
+      std::vector<std::string> doc;
+      size_t theme = (d % 8) * 12;
+      for (int w = 0; w < 60; ++w) {
+        doc.push_back("t" + std::to_string(theme + rng.NextBelow(12)));
+      }
+      docs.push_back(std::move(doc));
+    }
+    embed::PvDbowOptions opts;
+    opts.dimension = 48;
+    opts.epochs = 4;
+    opts.min_count = 1;
+    opts.parallelism = par;
+    opts.parallelism.shards = 8;  // pinned: identical layout at any width
+    auto result = embed::TrainPvDbow(docs, opts);
+    if (!result.ok()) return std::vector<double>{};
+    return result->doc_vectors.data();
+  }});
+
+  // --- Minibatch forward/backward (nn/), shards pinned for Conv1D's
+  // sharded batch-gradient sum. ---
+  stages.push_back({"train", [=](const Parallelism& par) {
+    Rng rng(9);
+    const size_t dim = 64;
+    const size_t n = train_rows;
+    la::Matrix x(n, dim);
+    std::vector<int> y(n);
+    for (size_t i = 0; i < n; ++i) {
+      size_t c = i % 3;
+      double* row = x.RowPtr(i);
+      for (size_t d = 0; d < dim; ++d) {
+        row[d] = rng.Gaussian((d % 3 == c) ? 2.0 : 0.0, 0.6);
+      }
+      y[i] = static_cast<int>(c);
+    }
+    nn::CnnConfig cfg;
+    cfg.input_size = dim;
+    cfg.filters = 8;
+    cfg.kernel_size = 8;
+    cfg.pool_size = 4;
+    cfg.dense_size = 32;
+    nn::Model model = nn::BuildCnn(cfg);
+    nn::Sgd sgd({0.1, 0.0});
+    nn::FitOptions fit;
+    fit.epochs = train_epochs;
+    fit.batch_size = 64;
+    fit.early_stopping.enabled = false;
+    fit.parallelism = par;
+    fit.parallelism.shards = 16;  // pinned
+    auto history = model.Fit(x, y, sgd, fit);
+    std::vector<double> fp;
+    if (!history.ok()) return fp;
+    for (const nn::Param& p : model.Parameters()) {
+      fp.insert(fp.end(), p.value->data().begin(), p.value->data().end());
+    }
+    return fp;
+  }});
+
+  return stages;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  std::printf("=== Ablation: deterministic parallel execution layer ===\n");
+  std::printf("hardware_threads=%zu default_shards=%zu mode=%s\n\n",
+              HardwareThreads(), kDefaultShards, smoke ? "smoke" : "full");
+
+  const std::vector<size_t> thread_counts =
+      smoke ? std::vector<size_t>{1, 2} : std::vector<size_t>{1, 2, 4, 8};
+
+  bool all_bitwise_ok = true;
+  for (const Stage& stage : BuildStages(smoke)) {
+    std::vector<double> baseline;
+    double baseline_seconds = 0.0;
+    for (size_t threads : thread_counts) {
+      Parallelism par{.threads = threads};
+      std::vector<double> fp;
+      double seconds =
+          bench::TimedSeconds([&] { fp = stage.run(par); });
+      bool bitwise_ok;
+      if (threads == thread_counts.front()) {
+        baseline = fp;
+        baseline_seconds = seconds;
+        bitwise_ok = !fp.empty();
+      } else {
+        bitwise_ok = (fp == baseline);  // exact, element-wise doubles
+      }
+      all_bitwise_ok = all_bitwise_ok && bitwise_ok;
+      double speedup = seconds > 0.0 ? baseline_seconds / seconds : 0.0;
+      std::printf("stage=%s threads=%zu seconds=%.4f speedup=%.2f bitwise=%s\n",
+                  stage.name.c_str(), threads, seconds, speedup,
+                  bitwise_ok ? "ok" : "FAIL");
+    }
+  }
+
+  if (!all_bitwise_ok) {
+    std::fprintf(stderr,
+                 "\nFAIL: parallel output diverged from the serial baseline\n");
+    return 1;
+  }
+  std::printf("\nAll stages bitwise identical to serial at every width.\n");
+  return 0;
+}

@@ -42,9 +42,9 @@ int main() {
   embed::PvDbowOptions opts;
   opts.dimension = ctx.store().dimension();
   opts.epochs = 8;
-  WallTimer timer;
-  auto pv = embed::TrainPvDbow(documents, opts);
-  double pv_seconds = timer.ElapsedSeconds();
+  double pv_seconds = 0.0;
+  auto pv = bench::Timed(
+      &pv_seconds, [&] { return embed::TrainPvDbow(documents, opts); });
   if (!pv.ok()) {
     std::fprintf(stderr, "PV-DBOW: %s\n", pv.status().ToString().c_str());
     return 1;

@@ -55,15 +55,15 @@ int main() {
   const size_t top_words = 10;
 
   // --- NMF. ---
-  WallTimer nmf_timer;
   topic::TopicModelOptions nmf_opts;
   nmf_opts.num_topics = k;
   nmf_opts.keywords_per_topic = top_words;
   nmf_opts.nmf.max_iterations = 120;
   nmf_opts.dtm.min_doc_freq = 3;
   nmf_opts.dtm.max_doc_fraction = 0.5;
-  auto nmf_model = topic::TopicModel::Fit(corp, nmf_opts);
-  double nmf_seconds = nmf_timer.ElapsedSeconds();
+  double nmf_seconds = 0.0;
+  auto nmf_model = bench::Timed(
+      &nmf_seconds, [&] { return topic::TopicModel::Fit(corp, nmf_opts); });
   if (!nmf_model.ok()) {
     std::fprintf(stderr, "NMF: %s\n", nmf_model.status().ToString().c_str());
     return 1;
@@ -78,12 +78,12 @@ int main() {
   double nmf_coherence = topic::MeanUMassCoherence(nmf_keywords, corp);
 
   // --- LDA. ---
-  WallTimer lda_timer;
   topic::LdaOptions lda_opts;
   lda_opts.num_topics = k;
   lda_opts.iterations = 150;
-  auto lda_result = topic::FitLda(corp, lda_opts);
-  double lda_seconds = lda_timer.ElapsedSeconds();
+  double lda_seconds = 0.0;
+  auto lda_result = bench::Timed(
+      &lda_seconds, [&] { return topic::FitLda(corp, lda_opts); });
   if (!lda_result.ok()) {
     std::fprintf(stderr, "LDA: %s\n", lda_result.status().ToString().c_str());
     return 1;

@@ -57,9 +57,9 @@ int main() {
     opts.dtm.scheme = scheme;
     opts.dtm.min_doc_freq = 3;
     opts.dtm.max_doc_fraction = 0.5;
-    WallTimer timer;
-    auto model = topic::TopicModel::Fit(corp, opts);
-    double seconds = timer.ElapsedSeconds();
+    double seconds = 0.0;
+    auto model = bench::Timed(
+        &seconds, [&] { return topic::TopicModel::Fit(corp, opts); });
     if (!model.ok()) {
       std::fprintf(stderr, "%s: %s\n", corpus::WeightingSchemeName(scheme),
                    model.status().ToString().c_str());

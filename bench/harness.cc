@@ -183,10 +183,10 @@ std::vector<AccuracyCell> AccuracyGrid(BenchContext& ctx,
                            r.twitter_ed, r.tweets, ctx.store());
     const std::vector<int>& y = target == "likes" ? ds.likes : ds.retweets;
     for (core::NetworkKind kind : core::AllNetworkKinds()) {
-      WallTimer timer;
-      auto outcome =
-          core::TrainAndEvaluate(ds.x, y, kind, ctx.predictor_options());
       AccuracyCell cell;
+      auto outcome = Timed(&cell.seconds, [&] {
+        return core::TrainAndEvaluate(ds.x, y, kind, ctx.predictor_options());
+      });
       cell.variant = core::DatasetVariantName(variant);
       cell.network = core::NetworkKindName(kind);
       if (outcome.ok()) {
@@ -196,7 +196,6 @@ std::vector<AccuracyCell> AccuracyGrid(BenchContext& ctx,
         NEWSDIFF_LOG(Error) << "train failed: "
                             << outcome.status().ToString();
       }
-      cell.seconds = timer.ElapsedSeconds();
       NEWSDIFF_LOG(Info) << target << " " << cell.variant << " x "
                          << cell.network << ": acc=" << cell.accuracy
                          << " (" << cell.epochs << " epochs, "
@@ -279,7 +278,6 @@ std::vector<ScalabilityRow> ScalabilitySweep(BenchContext& ctx,
         o.max_restarts = 0;      // timing run: no restart policy
         o.clip_norm = 0.0;       // plain Keras semantics (no clipping)
         o.standardize = false;   // raw Doc2Vec features, as in the paper
-        WallTimer timer;
         auto outcome = core::TrainAndEvaluate(x, y, kind, o);
         ScalabilityRow row;
         row.num_events = num_events;
@@ -307,6 +305,12 @@ std::vector<ScalabilityRow> ScalabilitySweep(BenchContext& ctx,
   for (const ScalabilityRow& r : rows) arr.push_back(RowToJson(r));
   SaveJsonFile(cache_path, store::Value(std::move(arr)));
   return rows;
+}
+
+double TimedSeconds(const std::function<void()>& fn) {
+  WallTimer timer;
+  fn();
+  return timer.ElapsedSeconds();
 }
 
 std::string AsciiBar(double value, double max_value, size_t width) {

@@ -1,8 +1,10 @@
 #ifndef NEWSDIFF_BENCH_HARNESS_H_
 #define NEWSDIFF_BENCH_HARNESS_H_
 
+#include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/embedding_cache.h"
@@ -81,6 +83,20 @@ struct ScalabilityRow {
 /// Computes (or loads from cache) the Table 10 sweep.
 std::vector<ScalabilityRow> ScalabilitySweep(BenchContext& ctx,
                                              bool force_recompute = false);
+
+/// Runs `fn` and returns its wall-clock duration in seconds. The single
+/// timing seam for every bench binary: all reported durations go through
+/// here, so the clock source and rounding are changed in exactly one place.
+double TimedSeconds(const std::function<void()>& fn);
+
+/// Times a value-returning block: `auto r = Timed(&seconds, [&] { ... });`.
+/// Wraps TimedSeconds so it shares the same clock seam.
+template <typename Fn>
+auto Timed(double* seconds, Fn&& fn) {
+  std::optional<decltype(fn())> out;
+  *seconds = TimedSeconds([&] { out.emplace(fn()); });
+  return std::move(*out);
+}
 
 /// Renders a horizontal ASCII bar of `value` against `max_value` using
 /// `width` character cells.

@@ -25,9 +25,9 @@ int main() {
   opts.time_slice_seconds = 60 * kSecondsPerMinute;  // paper: 60 min
   opts.max_events = 100;
   event::Mabed mabed(opts);
-  WallTimer timer;
-  auto events = mabed.Detect(ctx.pipeline_result().news_ed);
-  double total = timer.ElapsedSeconds();
+  double total = 0.0;
+  auto events = bench::Timed(
+      &total, [&] { return mabed.Detect(ctx.pipeline_result().news_ed); });
   if (!events.ok()) {
     std::fprintf(stderr, "mabed: %s\n", events.status().ToString().c_str());
     return 1;

@@ -1,0 +1,195 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace newsdiff {
+namespace {
+
+thread_local bool t_in_parallel_region = false;
+
+/// Guard that marks the current thread as inside a shard body.
+struct RegionGuard {
+  RegionGuard() : prev(t_in_parallel_region) { t_in_parallel_region = true; }
+  ~RegionGuard() { t_in_parallel_region = prev; }
+  bool prev;
+};
+
+/// One in-flight parallel region. Tasks are shard indices claimed with a
+/// fetch_add ticket; which thread runs a shard never matters because shard
+/// boundaries (and therefore the work) are fixed up front.
+struct Job {
+  const std::function<void(size_t, size_t, size_t)>* body = nullptr;
+  size_t range = 0;
+  size_t num_shards = 0;
+  std::vector<std::exception_ptr>* errors = nullptr;
+  std::atomic<size_t> next{0};
+};
+
+/// Persistent worker pool shared by every ParallelFor in the process. One
+/// region runs at a time (a second concurrent caller waits its turn);
+/// nested regions never reach the pool — ParallelFor inlines them.
+class ThreadPool {
+ public:
+  static ThreadPool& Instance() {
+    static ThreadPool* pool = new ThreadPool();  // leaked: workers may
+    return *pool;  // outlive static destruction order otherwise
+  }
+
+  void Run(size_t threads_wanted, size_t num_shards, size_t range,
+           const std::function<void(size_t, size_t, size_t)>& body,
+           std::vector<std::exception_ptr>* errors) {
+    std::lock_guard<std::mutex> region_lock(region_mutex_);
+    const size_t helpers =
+        std::min(threads_wanted, num_shards) - 1;  // caller participates
+    EnsureWorkers(helpers);
+    // Shared ownership: a worker that wakes just as the region finishes may
+    // still hold the job after this frame would have destroyed it.
+    auto job = std::make_shared<Job>();
+    job->body = &body;
+    job->range = range;
+    job->num_shards = num_shards;
+    job->errors = errors;
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      job_ = job;
+      done_ = 0;
+      ++generation_;
+    }
+    cv_.notify_all();
+    RunShards(*job);
+    std::unique_lock<std::mutex> lk(mutex_);
+    done_cv_.wait(lk, [&] { return done_ == job->num_shards; });
+    job_ = nullptr;
+  }
+
+ private:
+  ThreadPool() = default;
+
+  void EnsureWorkers(size_t wanted) {
+    // Oversubscription is allowed (tests use it); cap only as a backstop.
+    wanted = std::min<size_t>(wanted, 256);
+    while (workers_.size() < wanted) {
+      workers_.emplace_back([this] { WorkerMain(); });
+    }
+  }
+
+  void WorkerMain() {
+    uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lk(mutex_);
+        cv_.wait(lk, [&] { return job_ != nullptr && generation_ != seen; });
+        seen = generation_;
+        job = job_;
+      }
+      RunShards(*job);
+    }
+  }
+
+  void RunShards(Job& job) {
+    size_t shard;
+    while ((shard = job.next.fetch_add(1, std::memory_order_relaxed)) <
+           job.num_shards) {
+      ShardRange r = ShardBounds(job.range, job.num_shards, shard);
+      {
+        RegionGuard guard;
+        try {
+          (*job.body)(shard, r.begin, r.end);
+        } catch (...) {
+          (*job.errors)[shard] = std::current_exception();
+        }
+      }
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (++done_ == job.num_shards) done_cv_.notify_all();
+    }
+  }
+
+  std::mutex region_mutex_;  // serializes whole regions
+  std::mutex mutex_;         // guards job_/done_/generation_
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  std::shared_ptr<Job> job_;
+  size_t done_ = 0;
+  uint64_t generation_ = 0;
+};
+
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+size_t ResolveShards(const Parallelism& par, size_t range) {
+  if (range == 0) return 0;
+  if (par.shards > 0) return std::min(par.shards, range);
+  if (par.serial()) return 1;
+  return std::min(kDefaultShards, range);
+}
+
+ShardRange ShardBounds(size_t range, size_t num_shards, size_t shard) {
+  const size_t chunk = range / num_shards;
+  const size_t rem = range % num_shards;
+  ShardRange r;
+  r.begin = shard * chunk + std::min(shard, rem);
+  r.end = r.begin + chunk + (shard < rem ? 1 : 0);
+  return r;
+}
+
+size_t HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+bool InParallelRegion() { return t_in_parallel_region; }
+
+void ParallelFor(
+    const Parallelism& par, size_t range,
+    const std::function<void(size_t shard, size_t begin, size_t end)>& body) {
+  const size_t num_shards = ResolveShards(par, range);
+  if (num_shards == 0) return;
+
+  // Inline path: serial config, single shard, or a nested call from inside
+  // a shard body. Shards still run in shard order so results match the
+  // pooled path bitwise.
+  if (par.serial() || num_shards == 1 || InParallelRegion()) {
+    std::exception_ptr first_error;
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+      ShardRange r = ShardBounds(range, num_shards, shard);
+      RegionGuard guard;
+      try {
+        body(shard, r.begin, r.end);
+      } catch (...) {
+        // Match the pooled path: every shard runs, lowest shard's
+        // exception wins.
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    return;
+  }
+
+  std::vector<std::exception_ptr> errors(num_shards);
+  ThreadPool::Instance().Run(par.threads, num_shards, range, body, &errors);
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+Rng ShardRng(uint64_t seed, uint64_t stream) {
+  return Rng(Mix64(Mix64(seed) ^ Mix64(0x9e3779b97f4a7c15ULL * (stream + 1))));
+}
+
+}  // namespace newsdiff

@@ -7,6 +7,12 @@
 
 namespace newsdiff::core {
 
+Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {
+  options_.topics.nmf.parallelism = options_.parallelism;
+  options_.news_mabed.parallelism = options_.parallelism;
+  options_.twitter_mabed.parallelism = options_.parallelism;
+}
+
 std::vector<size_t> PipelineResult::CorrelatedTwitterEventIndices() const {
   std::vector<size_t> out;
   for (const EventCorrelation& p : correlations) out.push_back(p.twitter_event);

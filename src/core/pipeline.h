@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/status.h"
 #include "core/collection.h"
 #include "core/correlation.h"
@@ -47,6 +48,11 @@ struct PipelineOptions {
   TrendingOptions trending;        // sim > 0.7
   CorrelationOptions correlation;  // sim > 0.65, 5-day window
   FeatureOptions features;         // >= 10 tweets, 20% related words
+  /// Execution parallelism for the stage hot paths. The Pipeline
+  /// constructor copies this into the NMF and the two MABED option
+  /// structs, so one knob configures every stage; all of those kernels
+  /// are map-style and bitwise invariant to it (see common/parallel.h).
+  Parallelism parallelism;
 };
 
 /// Everything the pipeline produced, kept for the prediction stage and the
@@ -91,7 +97,9 @@ struct PipelineResult {
 /// dataset variants and networks.
 class Pipeline {
  public:
-  explicit Pipeline(PipelineOptions options) : options_(std::move(options)) {}
+  /// Copies `options.parallelism` into the per-stage option structs (NMF,
+  /// both MABED detectors) so callers set parallelism in one place.
+  explicit Pipeline(PipelineOptions options);
 
   /// Runs the full analysis over the store contents using the frozen
   /// embedding store.

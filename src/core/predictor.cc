@@ -156,6 +156,7 @@ StatusOr<EvalOutcome> TrainAndEvaluate(const la::Matrix& x,
     fit.early_stopping = options.early_stopping;
     fit.clip_norm = options.clip_norm;
     fit.seed = attempt_options.seed + 1;
+    fit.parallelism = options.parallelism;
     StatusOr<nn::FitHistory> history =
         model.Fit(train_x, train_y, *optimizer, fit);
     if (!history.ok()) return history.status();

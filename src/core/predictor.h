@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/status.h"
 #include "la/matrix.h"
 #include "nn/architectures.h"
@@ -49,6 +50,9 @@ struct PredictorOptions {
   double sgd_learning_rate = 0.5;
   double sgd_momentum = 0.0;
   double adadelta_learning_rate = 2.0;
+  /// Execution parallelism forwarded to nn::FitOptions (see the determinism
+  /// notes there — trained weights do not depend on `threads`).
+  Parallelism parallelism;
 };
 
 /// Outcome of one train/evaluate run on a held-out split.

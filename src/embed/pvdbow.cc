@@ -10,11 +10,91 @@ namespace newsdiff::embed {
 namespace {
 
 constexpr size_t kUnigramTableSize = 1 << 18;
+/// Upper bound on PV-DBOW shard replicas (each is a full copy of the
+/// output weight matrix).
+constexpr size_t kMaxPvDbowShards = 8;
 
 double SigmoidClamped(double x) {
   if (x > 6.0) return 1.0;
   if (x < -6.0) return 0.0;
   return 1.0 / (1.0 + std::exp(-x));
+}
+
+/// Count-ranked vocabulary with a word -> id index, shared by the PV-DBOW
+/// and PV-DM trainers.
+struct Vocab {
+  std::vector<std::pair<std::string, uint64_t>> entries;  // (word, count)
+  std::unordered_map<std::string, uint32_t> index;
+  size_t size() const { return entries.size(); }
+};
+
+Vocab BuildVocab(const std::vector<std::vector<std::string>>& documents,
+                 size_t min_count) {
+  std::unordered_map<std::string, uint64_t> counts;
+  for (const auto& doc : documents) {
+    for (const std::string& w : doc) ++counts[w];
+  }
+  Vocab vocab;
+  for (auto& [w, c] : counts) {
+    if (c >= min_count) vocab.entries.emplace_back(w, c);
+  }
+  std::sort(vocab.entries.begin(), vocab.entries.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  for (uint32_t i = 0; i < vocab.entries.size(); ++i) {
+    vocab.index[vocab.entries[i].first] = i;
+  }
+  return vocab;
+}
+
+/// Negative-sampling table over count^0.75.
+std::vector<uint32_t> BuildUnigramTable(const Vocab& vocab) {
+  std::vector<uint32_t> unigram(kUnigramTableSize);
+  const size_t v = vocab.size();
+  double norm = 0.0;
+  for (const auto& e : vocab.entries) norm += std::pow(e.second, 0.75);
+  size_t i = 0;
+  double cum = std::pow(vocab.entries[0].second, 0.75) / norm;
+  for (size_t t = 0; t < kUnigramTableSize; ++t) {
+    unigram[t] = static_cast<uint32_t>(i);
+    if (static_cast<double>(t) / kUnigramTableSize > cum && i + 1 < v) {
+      ++i;
+      cum += std::pow(vocab.entries[i].second, 0.75) / norm;
+    }
+  }
+  return unigram;
+}
+
+/// One PV-DBOW step: optimise `dv` to predict `word` against negatives
+/// drawn from `rng`, updating `word_out` rows in place. `grad` is scratch.
+void PvDbowStep(double* dv, uint32_t word, la::Matrix& word_out,
+                const std::vector<uint32_t>& unigram, size_t dim,
+                size_t negative_samples, double lr, Rng& rng,
+                std::vector<double>& grad) {
+  std::fill(grad.begin(), grad.end(), 0.0);
+  for (size_t neg = 0; neg <= negative_samples; ++neg) {
+    uint32_t target;
+    double label;
+    if (neg == 0) {
+      target = word;
+      label = 1.0;
+    } else {
+      target = unigram[rng.NextBelow(kUnigramTableSize)];
+      if (target == word) continue;
+      label = 0.0;
+    }
+    double* out = word_out.RowPtr(target);
+    double dot = 0.0;
+    for (size_t i = 0; i < dim; ++i) dot += dv[i] * out[i];
+    double g = (label - SigmoidClamped(dot)) * lr;
+    for (size_t i = 0; i < dim; ++i) {
+      grad[i] += g * out[i];
+      out[i] += g * dv[i];
+    }
+  }
+  for (size_t i = 0; i < dim; ++i) dv[i] += grad[i];
 }
 
 }  // namespace
@@ -29,43 +109,16 @@ StatusOr<PvDbowResult> TrainPvDbow(
     return Status::InvalidArgument("no documents");
   }
 
-  // Vocabulary with counts.
-  std::unordered_map<std::string, uint64_t> counts;
-  for (const auto& doc : documents) {
-    for (const std::string& w : doc) ++counts[w];
-  }
-  std::vector<std::pair<std::string, uint64_t>> vocab;
-  for (auto& [w, c] : counts) {
-    if (c >= options.min_count) vocab.emplace_back(w, c);
-  }
-  if (vocab.empty()) {
+  Vocab vocab = BuildVocab(documents, options.min_count);
+  if (vocab.size() == 0) {
     return Status::InvalidArgument("no words meet min_count");
   }
-  std::sort(vocab.begin(), vocab.end(), [](const auto& a, const auto& b) {
-    if (a.second != b.second) return a.second > b.second;
-    return a.first < b.first;
-  });
-  std::unordered_map<std::string, uint32_t> index;
-  for (uint32_t i = 0; i < vocab.size(); ++i) index[vocab[i].first] = i;
   const size_t v = vocab.size();
   const size_t dim = options.dimension;
+  const std::vector<uint32_t> unigram = BuildUnigramTable(vocab);
 
-  // Unigram table (count^0.75).
-  std::vector<uint32_t> unigram(kUnigramTableSize);
-  {
-    double norm = 0.0;
-    for (const auto& e : vocab) norm += std::pow(e.second, 0.75);
-    size_t i = 0;
-    double cum = std::pow(vocab[0].second, 0.75) / norm;
-    for (size_t t = 0; t < kUnigramTableSize; ++t) {
-      unigram[t] = static_cast<uint32_t>(i);
-      if (static_cast<double>(t) / kUnigramTableSize > cum && i + 1 < v) {
-        ++i;
-        cum += std::pow(vocab[i].second, 0.75) / norm;
-      }
-    }
-  }
-
+  // Doc-vector init consumes the base stream identically in both modes so
+  // the sharded trainer differs from the legacy one only in epoch order.
   Rng rng(options.seed);
   PvDbowResult result;
   result.doc_vectors.Resize(documents.size(), dim);
@@ -74,48 +127,80 @@ StatusOr<PvDbowResult> TrainPvDbow(
   }
   la::Matrix word_out(v, dim);  // output word vectors, zero-init
 
-  uint64_t total_tokens = 0;
-  for (const auto& doc : documents) total_tokens += doc.size();
-  const uint64_t total_steps =
-      options.epochs * std::max<uint64_t>(total_tokens, 1);
-  uint64_t steps = 0;
+  const size_t num_shards =
+      std::min(ResolveShards(options.parallelism, documents.size()),
+               kMaxPvDbowShards);
 
-  std::vector<double> grad(dim);
-  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
-    for (size_t d = 0; d < documents.size(); ++d) {
-      double* dv = result.doc_vectors.RowPtr(d);
-      for (const std::string& w : documents[d]) {
-        ++steps;
-        auto it = index.find(w);
-        if (it == index.end()) continue;
-        double lr = options.learning_rate *
-                    (1.0 - static_cast<double>(steps) /
-                               static_cast<double>(total_steps + 1));
-        lr = std::max(lr, options.min_learning_rate);
-        std::fill(grad.begin(), grad.end(), 0.0);
-        for (size_t neg = 0; neg <= options.negative_samples; ++neg) {
-          uint32_t target;
-          double label;
-          if (neg == 0) {
-            target = it->second;
-            label = 1.0;
-          } else {
-            target = unigram[rng.NextBelow(kUnigramTableSize)];
-            if (target == it->second) continue;
-            label = 0.0;
-          }
-          double* out = word_out.RowPtr(target);
-          double dot = 0.0;
-          for (size_t i = 0; i < dim; ++i) dot += dv[i] * out[i];
-          double g = (label - SigmoidClamped(dot)) * lr;
-          for (size_t i = 0; i < dim; ++i) {
-            grad[i] += g * out[i];
-            out[i] += g * dv[i];
-          }
+  if (num_shards <= 1) {
+    // Legacy sequential semantics: one RNG stream, per-step lr decay.
+    uint64_t total_tokens = 0;
+    for (const auto& doc : documents) total_tokens += doc.size();
+    const uint64_t total_steps =
+        options.epochs * std::max<uint64_t>(total_tokens, 1);
+    uint64_t steps = 0;
+
+    std::vector<double> grad(dim);
+    for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+      for (size_t d = 0; d < documents.size(); ++d) {
+        double* dv = result.doc_vectors.RowPtr(d);
+        for (const std::string& w : documents[d]) {
+          ++steps;
+          auto it = vocab.index.find(w);
+          if (it == vocab.index.end()) continue;
+          double lr = options.learning_rate *
+                      (1.0 - static_cast<double>(steps) /
+                                 static_cast<double>(total_steps + 1));
+          lr = std::max(lr, options.min_learning_rate);
+          PvDbowStep(dv, it->second, word_out, unigram, dim,
+                     options.negative_samples, lr, rng, grad);
         }
-        for (size_t i = 0; i < dim; ++i) dv[i] += grad[i];
       }
     }
+    return result;
+  }
+
+  // Sharded semantics: every epoch trains S fixed document shards against
+  // replicas of the epoch-start weights; deltas merge in shard order. The
+  // learning rate decays per epoch (constant within one), so no shard
+  // needs another shard's step counter.
+  Parallelism par = options.parallelism;
+  par.shards = num_shards;
+  std::vector<la::Matrix> replicas(num_shards);
+  la::Matrix base(v, dim);
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    double lr = options.learning_rate *
+                (1.0 - static_cast<double>(epoch) /
+                           static_cast<double>(options.epochs));
+    lr = std::max(lr, options.min_learning_rate);
+    base = word_out;
+    ParallelFor(par, documents.size(),
+                [&](size_t shard, size_t begin, size_t end) {
+      la::Matrix& wout = replicas[shard];
+      wout = base;
+      Rng shard_rng = ShardRng(
+          options.seed, static_cast<uint64_t>(epoch) * num_shards + shard);
+      std::vector<double> grad(dim);
+      for (size_t d = begin; d < end; ++d) {
+        double* dv = result.doc_vectors.RowPtr(d);
+        for (const std::string& w : documents[d]) {
+          auto it = vocab.index.find(w);
+          if (it == vocab.index.end()) continue;
+          PvDbowStep(dv, it->second, wout, unigram, dim,
+                     options.negative_samples, lr, shard_rng, grad);
+        }
+      }
+    });
+    // word_out += sum of per-shard deltas, folded in shard order per
+    // element. Sharding this merge over elements is itself map-style.
+    ParallelFor(par, word_out.size(), [&](size_t, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        double acc = word_out.data()[i];
+        for (size_t s = 0; s < num_shards; ++s) {
+          acc += replicas[s].data()[i] - base.data()[i];
+        }
+        word_out.data()[i] = acc;
+      }
+    });
   }
   return result;
 }
@@ -130,41 +215,14 @@ StatusOr<PvDbowResult> TrainPvDm(
     return Status::InvalidArgument("no documents");
   }
 
-  std::unordered_map<std::string, uint64_t> counts;
-  for (const auto& doc : documents) {
-    for (const std::string& w : doc) ++counts[w];
-  }
-  std::vector<std::pair<std::string, uint64_t>> vocab;
-  for (auto& [w, c] : counts) {
-    if (c >= options.min_count) vocab.emplace_back(w, c);
-  }
-  if (vocab.empty()) {
+  Vocab vocab = BuildVocab(documents, options.min_count);
+  if (vocab.size() == 0) {
     return Status::InvalidArgument("no words meet min_count");
   }
-  std::sort(vocab.begin(), vocab.end(), [](const auto& a, const auto& b) {
-    if (a.second != b.second) return a.second > b.second;
-    return a.first < b.first;
-  });
-  std::unordered_map<std::string, uint32_t> index;
-  for (uint32_t i = 0; i < vocab.size(); ++i) index[vocab[i].first] = i;
   const size_t v = vocab.size();
   const size_t dim = options.dimension;
   constexpr size_t kWindow = 4;
-
-  std::vector<uint32_t> unigram(kUnigramTableSize);
-  {
-    double norm = 0.0;
-    for (const auto& e : vocab) norm += std::pow(e.second, 0.75);
-    size_t i = 0;
-    double cum = std::pow(vocab[0].second, 0.75) / norm;
-    for (size_t t = 0; t < kUnigramTableSize; ++t) {
-      unigram[t] = static_cast<uint32_t>(i);
-      if (static_cast<double>(t) / kUnigramTableSize > cum && i + 1 < v) {
-        ++i;
-        cum += std::pow(vocab[i].second, 0.75) / norm;
-      }
-    }
-  }
+  const std::vector<uint32_t> unigram = BuildUnigramTable(vocab);
 
   Rng rng(options.seed);
   PvDbowResult result;
@@ -191,8 +249,8 @@ StatusOr<PvDbowResult> TrainPvDm(
       double* dv = result.doc_vectors.RowPtr(d);
       ids.clear();
       for (const std::string& w : documents[d]) {
-        auto it = index.find(w);
-        if (it != index.end()) ids.push_back(it->second);
+        auto it = vocab.index.find(w);
+        if (it != vocab.index.end()) ids.push_back(it->second);
       }
       for (size_t pos = 0; pos < ids.size(); ++pos) {
         ++steps;

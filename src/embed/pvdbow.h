@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/status.h"
 #include "la/matrix.h"
 
@@ -27,6 +28,16 @@ struct PvDbowOptions {
   double min_learning_rate = 1e-4;
   size_t min_count = 2;
   uint64_t seed = 23;
+  /// Parallel training. With a resolved shard count of 1 (the default),
+  /// training is the exact legacy sequential loop. With S > 1 shards,
+  /// each epoch trains S fixed document shards concurrently: every shard
+  /// draws negatives from its own RNG stream (ShardRng(seed, epoch * S +
+  /// shard)) against a replica of the epoch-start output weights, and the
+  /// per-shard weight deltas are merged in shard order. Results depend
+  /// only on (seed, S) — never on thread count — so pin `shards` to
+  /// compare runs across machines. Shard replicas cost S copies of the
+  /// output matrix; the trainer caps S at 8.
+  Parallelism parallelism;
 };
 
 struct PvDbowResult {

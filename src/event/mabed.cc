@@ -145,24 +145,29 @@ StatusOr<std::vector<Event>> Mabed::Detect(const corpus::Corpus& corp) const {
       ++sc.total;
     }
   }
-  for (SliceCounts& sc : counts) {
-    if (!std::is_sorted(sc.entries.begin(), sc.entries.end(),
-                        [](const auto& a, const auto& b) {
-                          return a.first < b.first;
-                        })) {
-      std::sort(sc.entries.begin(), sc.entries.end());
-      // Merge duplicate slices produced by unsorted input.
-      std::vector<std::pair<uint32_t, uint32_t>> merged;
-      for (const auto& e : sc.entries) {
-        if (!merged.empty() && merged.back().first == e.first) {
-          merged.back().second += e.second;
-        } else {
-          merged.push_back(e);
+  // Per-term fixups are independent; shard over the vocabulary.
+  ParallelFor(options_.parallelism, counts.size(),
+              [&](size_t, size_t begin, size_t end) {
+    for (size_t term = begin; term < end; ++term) {
+      SliceCounts& sc = counts[term];
+      if (!std::is_sorted(sc.entries.begin(), sc.entries.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.first < b.first;
+                          })) {
+        std::sort(sc.entries.begin(), sc.entries.end());
+        // Merge duplicate slices produced by unsorted input.
+        std::vector<std::pair<uint32_t, uint32_t>> merged;
+        for (const auto& e : sc.entries) {
+          if (!merged.empty() && merged.back().first == e.first) {
+            merged.back().second += e.second;
+          } else {
+            merged.push_back(e);
+          }
         }
+        sc.entries = std::move(merged);
       }
-      sc.entries = std::move(merged);
     }
-  }
+  });
 
   std::vector<double> slice_share(s, 0.0);
   const double total_docs = static_cast<double>(corp.size());
@@ -180,18 +185,33 @@ StatusOr<std::vector<Event>> Mabed::Detect(const corpus::Corpus& corp) const {
   timer.Restart();
 
   // --- Detection phase: anomaly intervals for every candidate main word. ---
-  std::vector<Candidate> candidates;
-  for (uint32_t term = 0; term < vocab_size; ++term) {
-    if (corp.vocabulary().doc_freq(term) < options_.min_main_doc_freq) {
-      continue;
+  // The scan is sharded over terms; per-shard hits are concatenated in
+  // shard order, which is exactly the ascending-term order the serial loop
+  // produces — detected candidates are bitwise identical either way.
+  const size_t scan_shards =
+      ResolveShards(options_.parallelism, static_cast<size_t>(vocab_size));
+  std::vector<std::vector<Candidate>> shard_candidates(
+      std::max<size_t>(scan_shards, 1));
+  ParallelFor(options_.parallelism, vocab_size,
+              [&](size_t shard, size_t begin, size_t end) {
+    std::vector<Candidate>& local = shard_candidates[shard];
+    for (size_t t = begin; t < end; ++t) {
+      const uint32_t term = static_cast<uint32_t>(t);
+      if (corp.vocabulary().doc_freq(term) < options_.min_main_doc_freq) {
+        continue;
+      }
+      const std::string& word = corp.vocabulary().Term(term);
+      if (options_.filter_stopword_mains && text::IsStopword(word)) continue;
+      size_t a = 0, b = 0;
+      double mag = 0.0;
+      MaxAnomalyInterval(counts[term], slice_share, s, &a, &b, &mag);
+      if (mag <= 0.0) continue;
+      local.push_back({term, a, b, mag});
     }
-    const std::string& word = corp.vocabulary().Term(term);
-    if (options_.filter_stopword_mains && text::IsStopword(word)) continue;
-    size_t a = 0, b = 0;
-    double mag = 0.0;
-    MaxAnomalyInterval(counts[term], slice_share, s, &a, &b, &mag);
-    if (mag <= 0.0) continue;
-    candidates.push_back({term, a, b, mag});
+  });
+  std::vector<Candidate> candidates;
+  for (const std::vector<Candidate>& local : shard_candidates) {
+    candidates.insert(candidates.end(), local.begin(), local.end());
   }
   stats_.candidate_events = candidates.size();
 

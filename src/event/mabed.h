@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/status.h"
 #include "common/time.h"
 #include "corpus/corpus.h"
@@ -57,6 +58,10 @@ struct MabedOptions {
   /// main word is among the other's related words AND their intervals
   /// overlap by at least this fraction of the shorter interval.
   double duplicate_overlap = 0.3;
+  /// Parallel execution of the per-term anomaly scan (the detection-phase
+  /// hot loop). The scan is map-style over vocabulary terms, so detected
+  /// events are bitwise identical at any thread/shard count.
+  Parallelism parallelism;
 };
 
 /// Detection report with timing breakdown mirroring the paper's §5.3/§5.4

@@ -69,22 +69,27 @@ void Matrix::Scale(double s) {
   for (double& v : data_) v *= s;
 }
 
-void Matrix::HadamardInPlace(const Matrix& other) {
+void Matrix::HadamardInPlace(const Matrix& other, const Parallelism& par) {
   assert(rows_ == other.rows_ && cols_ == other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  ParallelFor(par, data_.size(), [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) data_[i] *= other.data_[i];
+  });
 }
 
-void Matrix::DivideInPlace(const Matrix& other, double eps) {
+void Matrix::DivideInPlace(const Matrix& other, double eps,
+                           const Parallelism& par) {
   assert(rows_ == other.rows_ && cols_ == other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) {
-    data_[i] /= (other.data_[i] + eps);
-  }
+  ParallelFor(par, data_.size(), [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) data_[i] /= (other.data_[i] + eps);
+  });
 }
 
-void Matrix::ClampMin(double lo) {
-  for (double& v : data_) {
-    if (v < lo) v = lo;
-  }
+void Matrix::ClampMin(double lo, const Parallelism& par) {
+  ParallelFor(par, data_.size(), [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      if (data_[i] < lo) data_[i] = lo;
+    }
+  });
 }
 
 double Matrix::Sum() const {
@@ -142,55 +147,66 @@ std::string Matrix::ToString(int max_rows, int max_cols) const {
   return out;
 }
 
-Matrix MatMul(const Matrix& a, const Matrix& b) {
+Matrix MatMul(const Matrix& a, const Matrix& b, const Parallelism& par) {
   assert(a.cols() == b.rows());
   Matrix out(a.rows(), b.cols());
   const size_t n = a.rows(), k = a.cols(), m = b.cols();
-  // ikj loop order: streams through b and out rows, cache-friendly.
-  for (size_t i = 0; i < n; ++i) {
-    const double* arow = a.RowPtr(i);
-    double* orow = out.RowPtr(i);
-    for (size_t p = 0; p < k; ++p) {
-      const double av = arow[p];
-      if (av == 0.0) continue;
-      const double* brow = b.RowPtr(p);
-      for (size_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+  // ikj loop order: streams through b and out rows, cache-friendly. Output
+  // rows are disjoint across shards and each element's accumulation runs in
+  // p order regardless of sharding, so parallel == serial bitwise.
+  ParallelFor(par, n, [&](size_t, size_t row_begin, size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      const double* arow = a.RowPtr(i);
+      double* orow = out.RowPtr(i);
+      for (size_t p = 0; p < k; ++p) {
+        const double av = arow[p];
+        if (av == 0.0) continue;
+        const double* brow = b.RowPtr(p);
+        for (size_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return out;
 }
 
-Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+Matrix MatMulTransA(const Matrix& a, const Matrix& b, const Parallelism& par) {
   assert(a.rows() == b.rows());
   Matrix out(a.cols(), b.cols());
   const size_t k = a.rows(), n = a.cols(), m = b.cols();
-  for (size_t p = 0; p < k; ++p) {
-    const double* arow = a.RowPtr(p);
-    const double* brow = b.RowPtr(p);
-    for (size_t i = 0; i < n; ++i) {
-      const double av = arow[i];
-      if (av == 0.0) continue;
+  // Gathers per output row i (column i of a) instead of scattering per
+  // input row p, so shards own disjoint output rows; the per-element sum
+  // still runs over p in ascending order, matching the scatter kernel's
+  // accumulation chain bitwise.
+  ParallelFor(par, n, [&](size_t, size_t row_begin, size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
       double* orow = out.RowPtr(i);
-      for (size_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+      for (size_t p = 0; p < k; ++p) {
+        const double av = a.RowPtr(p)[i];
+        if (av == 0.0) continue;
+        const double* brow = b.RowPtr(p);
+        for (size_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return out;
 }
 
-Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+Matrix MatMulTransB(const Matrix& a, const Matrix& b, const Parallelism& par) {
   assert(a.cols() == b.cols());
   Matrix out(a.rows(), b.rows());
-  const size_t n = a.rows(), k = a.cols(), m = b.rows();
-  for (size_t i = 0; i < n; ++i) {
-    const double* arow = a.RowPtr(i);
-    double* orow = out.RowPtr(i);
-    for (size_t j = 0; j < m; ++j) {
-      const double* brow = b.RowPtr(j);
-      double s = 0.0;
-      for (size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
-      orow[j] = s;
+  const size_t k = a.cols(), m = b.rows();
+  ParallelFor(par, a.rows(), [&](size_t, size_t row_begin, size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      const double* arow = a.RowPtr(i);
+      double* orow = out.RowPtr(i);
+      for (size_t j = 0; j < m; ++j) {
+        const double* brow = b.RowPtr(j);
+        double s = 0.0;
+        for (size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+        orow[j] = s;
+      }
     }
-  }
+  });
   return out;
 }
 

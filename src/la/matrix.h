@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace newsdiff::la {
@@ -84,14 +85,16 @@ class Matrix {
   /// this *= scalar.
   void Scale(double s);
 
-  /// this = this .* other, elementwise (same shape).
-  void HadamardInPlace(const Matrix& other);
+  /// this = this .* other, elementwise (same shape). Bitwise invariant to
+  /// the parallel configuration (disjoint element writes).
+  void HadamardInPlace(const Matrix& other, const Parallelism& par = {});
 
   /// this = this ./ (other + eps), elementwise (same shape).
-  void DivideInPlace(const Matrix& other, double eps);
+  void DivideInPlace(const Matrix& other, double eps,
+                     const Parallelism& par = {});
 
   /// Clamps all entries to be >= lo.
-  void ClampMin(double lo);
+  void ClampMin(double lo, const Parallelism& par = {});
 
   /// Sum of all entries.
   double Sum() const;
@@ -121,13 +124,19 @@ class Matrix {
 };
 
 /// out = a * b. Shapes: (n x k) * (k x m) -> (n x m).
-Matrix MatMul(const Matrix& a, const Matrix& b);
+///
+/// All three GEMMs partition their *output* rows across shards with each
+/// element's accumulation chain unchanged, so results are bitwise identical
+/// to the serial kernel at any thread/shard count.
+Matrix MatMul(const Matrix& a, const Matrix& b, const Parallelism& par = {});
 
 /// out = a^T * b. Shapes: (k x n)^T * (k x m) -> (n x m).
-Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+Matrix MatMulTransA(const Matrix& a, const Matrix& b,
+                    const Parallelism& par = {});
 
 /// out = a * b^T. Shapes: (n x k) * (m x k)^T -> (n x m).
-Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+Matrix MatMulTransB(const Matrix& a, const Matrix& b,
+                    const Parallelism& par = {});
 
 /// Dot product of equal-length vectors.
 double Dot(const std::vector<double>& a, const std::vector<double>& b);

@@ -64,18 +64,42 @@ Matrix CsrMatrix::ToDense() const {
   return d;
 }
 
-Matrix CsrMatrix::MultiplyDense(const Matrix& d) const {
+CsrMatrix CsrMatrix::Transposed() const {
+  CsrMatrix t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  t.row_ptr_.assign(cols_ + 1, 0);
+  t.col_idx_.resize(values_.size());
+  t.values_.resize(values_.size());
+  for (uint32_t c : col_idx_) t.row_ptr_[c + 1] += 1;
+  for (size_t c = 0; c < cols_; ++c) t.row_ptr_[c + 1] += t.row_ptr_[c];
+  std::vector<size_t> fill(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  // Scanning rows in ascending order keeps each transposed row's entries
+  // sorted by original row — the order TransposeMultiplyDense visits them.
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      size_t slot = fill[col_idx_[p]]++;
+      t.col_idx_[slot] = static_cast<uint32_t>(r);
+      t.values_[slot] = values_[p];
+    }
+  }
+  return t;
+}
+
+Matrix CsrMatrix::MultiplyDense(const Matrix& d, const Parallelism& par) const {
   assert(cols_ == d.rows());
   Matrix out(rows_, d.cols());
   const size_t k = d.cols();
-  for (size_t r = 0; r < rows_; ++r) {
-    double* orow = out.RowPtr(r);
-    for (size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
-      const double v = values_[p];
-      const double* drow = d.RowPtr(col_idx_[p]);
-      for (size_t j = 0; j < k; ++j) orow[j] += v * drow[j];
+  ParallelFor(par, rows_, [&](size_t, size_t row_begin, size_t row_end) {
+    for (size_t r = row_begin; r < row_end; ++r) {
+      double* orow = out.RowPtr(r);
+      for (size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+        const double v = values_[p];
+        const double* drow = d.RowPtr(col_idx_[p]);
+        for (size_t j = 0; j < k; ++j) orow[j] += v * drow[j];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -94,18 +118,21 @@ Matrix CsrMatrix::TransposeMultiplyDense(const Matrix& d) const {
   return out;
 }
 
-Matrix CsrMatrix::MultiplyDenseTransposed(const Matrix& d) const {
+Matrix CsrMatrix::MultiplyDenseTransposed(const Matrix& d,
+                                          const Parallelism& par) const {
   assert(cols_ == d.cols());
   Matrix out(rows_, d.rows());
   const size_t k = d.rows();
-  for (size_t r = 0; r < rows_; ++r) {
-    double* orow = out.RowPtr(r);
-    for (size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
-      const double v = values_[p];
-      const uint32_t c = col_idx_[p];
-      for (size_t j = 0; j < k; ++j) orow[j] += v * d(j, c);
+  ParallelFor(par, rows_, [&](size_t, size_t row_begin, size_t row_end) {
+    for (size_t r = row_begin; r < row_end; ++r) {
+      double* orow = out.RowPtr(r);
+      for (size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+        const double v = values_[p];
+        const uint32_t c = col_idx_[p];
+        for (size_t j = 0; j < k; ++j) orow[j] += v * d(j, c);
+      }
     }
-  }
+  });
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.h"
 #include "la/matrix.h"
 
 namespace newsdiff::la {
@@ -47,14 +48,25 @@ class CsrMatrix {
   /// Dense copy (for tests on small matrices only).
   Matrix ToDense() const;
 
-  /// out = this * d. Shapes: (n x m) * (m x k) -> (n x k).
-  Matrix MultiplyDense(const Matrix& d) const;
+  /// The transpose as a CSR matrix. Within each transposed row, entries
+  /// keep ascending original-row order, so `Transposed().MultiplyDense(d)`
+  /// accumulates each output element in exactly the order
+  /// `TransposeMultiplyDense(d)` does — bitwise equal, but row-partitioned
+  /// (gather, no scatter), which is what the parallel NMF updates use.
+  CsrMatrix Transposed() const;
 
-  /// out = this^T * d. Shapes: (n x m)^T * (n x k) -> (m x k).
+  /// out = this * d. Shapes: (n x m) * (m x k) -> (n x k). Output rows are
+  /// partitioned across shards; bitwise invariant to the parallel config.
+  Matrix MultiplyDense(const Matrix& d, const Parallelism& par = {}) const;
+
+  /// out = this^T * d. Shapes: (n x m)^T * (n x k) -> (m x k). Serial
+  /// (scatter over input rows); for a parallel product use
+  /// Transposed().MultiplyDense(d, par).
   Matrix TransposeMultiplyDense(const Matrix& d) const;
 
   /// out = this * d^T. Shapes: (n x m) * (k x m)^T -> (n x k).
-  Matrix MultiplyDenseTransposed(const Matrix& d) const;
+  Matrix MultiplyDenseTransposed(const Matrix& d,
+                                 const Parallelism& par = {}) const;
 
   /// sum_{(i,j) in nnz} this(i,j) * w_row(i) . h_col(j), i.e. the inner
   /// product <A, W*H> computed only over A's sparsity pattern. Used for the

@@ -29,19 +29,21 @@ la::Matrix Conv1D::Forward(const la::Matrix& input, bool training) {
   const size_t batch = input.rows();
   la::Matrix out(batch, output_length_ * filters_);
   const size_t kspan = kernel_size_ * in_channels_;
-  for (size_t n = 0; n < batch; ++n) {
-    const double* x = input.RowPtr(n);
-    double* y = out.RowPtr(n);
-    for (size_t pos = 0; pos < output_length_; ++pos) {
-      const double* window = x + pos * in_channels_;
-      for (size_t f = 0; f < filters_; ++f) {
-        const double* k = w_.RowPtr(f);
-        double acc = b_(0, f);
-        for (size_t i = 0; i < kspan; ++i) acc += k[i] * window[i];
-        y[pos * filters_ + f] = acc;
+  ParallelFor(par_, batch, [&](size_t, size_t row_begin, size_t row_end) {
+    for (size_t n = row_begin; n < row_end; ++n) {
+      const double* x = input.RowPtr(n);
+      double* y = out.RowPtr(n);
+      for (size_t pos = 0; pos < output_length_; ++pos) {
+        const double* window = x + pos * in_channels_;
+        for (size_t f = 0; f < filters_; ++f) {
+          const double* k = w_.RowPtr(f);
+          double acc = b_(0, f);
+          for (size_t i = 0; i < kspan; ++i) acc += k[i] * window[i];
+          y[pos * filters_ + f] = acc;
+        }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -53,25 +55,40 @@ la::Matrix Conv1D::Backward(const la::Matrix& grad_output) {
   db_.Fill(0.0);
   la::Matrix grad_input(batch, input_length_ * in_channels_);
   const size_t kspan = kernel_size_ * in_channels_;
-  for (size_t n = 0; n < batch; ++n) {
-    const double* x = input_.RowPtr(n);
-    const double* gy = grad_output.RowPtr(n);
-    double* gx = grad_input.RowPtr(n);
-    for (size_t pos = 0; pos < output_length_; ++pos) {
-      const double* window = x + pos * in_channels_;
-      double* gwindow = gx + pos * in_channels_;
-      for (size_t f = 0; f < filters_; ++f) {
-        double g = gy[pos * filters_ + f];
-        if (g == 0.0) continue;
-        db_(0, f) += g;
-        double* dk = dw_.RowPtr(f);
-        const double* k = w_.RowPtr(f);
-        for (size_t i = 0; i < kspan; ++i) {
-          dk[i] += g * window[i];
-          gwindow[i] += g * k[i];
+  // grad_input rows are disjoint per example; the weight gradients sum
+  // over the batch, so each shard accumulates into its own partial and the
+  // partials fold in shard order. One resolved shard reproduces the legacy
+  // per-example accumulation order exactly.
+  const size_t num_shards = ResolveShards(par_, batch);
+  std::vector<la::Matrix> dw_part(num_shards, la::Matrix(dw_.rows(), dw_.cols()));
+  std::vector<la::Matrix> db_part(num_shards, la::Matrix(db_.rows(), db_.cols()));
+  ParallelFor(par_, batch, [&](size_t shard, size_t row_begin, size_t row_end) {
+    la::Matrix& dw = dw_part[shard];
+    la::Matrix& db = db_part[shard];
+    for (size_t n = row_begin; n < row_end; ++n) {
+      const double* x = input_.RowPtr(n);
+      const double* gy = grad_output.RowPtr(n);
+      double* gx = grad_input.RowPtr(n);
+      for (size_t pos = 0; pos < output_length_; ++pos) {
+        const double* window = x + pos * in_channels_;
+        double* gwindow = gx + pos * in_channels_;
+        for (size_t f = 0; f < filters_; ++f) {
+          double g = gy[pos * filters_ + f];
+          if (g == 0.0) continue;
+          db(0, f) += g;
+          double* dk = dw.RowPtr(f);
+          const double* k = w_.RowPtr(f);
+          for (size_t i = 0; i < kspan; ++i) {
+            dk[i] += g * window[i];
+            gwindow[i] += g * k[i];
+          }
         }
       }
     }
+  });
+  for (size_t s = 0; s < num_shards; ++s) {
+    dw_.Add(dw_part[s]);
+    db_.Add(db_part[s]);
   }
   return grad_input;
 }

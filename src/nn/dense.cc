@@ -21,26 +21,28 @@ Dense::Dense(size_t in_features, size_t out_features, Rng& rng)
 la::Matrix Dense::Forward(const la::Matrix& input, bool training) {
   assert(input.cols() == in_features_);
   if (training) input_ = input;
-  la::Matrix out = la::MatMul(input, w_);
-  for (size_t r = 0; r < out.rows(); ++r) {
-    double* row = out.RowPtr(r);
+  la::Matrix out = la::MatMul(input, w_, par_);
+  ParallelFor(par_, out.rows(), [&](size_t, size_t begin, size_t end) {
     const double* bias = b_.RowPtr(0);
-    for (size_t c = 0; c < out.cols(); ++c) row[c] += bias[c];
-  }
+    for (size_t r = begin; r < end; ++r) {
+      double* row = out.RowPtr(r);
+      for (size_t c = 0; c < out.cols(); ++c) row[c] += bias[c];
+    }
+  });
   return out;
 }
 
 la::Matrix Dense::Backward(const la::Matrix& grad_output) {
   assert(grad_output.cols() == out_features_);
   assert(input_.rows() == grad_output.rows());
-  dw_ = la::MatMulTransA(input_, grad_output);
+  dw_ = la::MatMulTransA(input_, grad_output, par_);
   db_.Fill(0.0);
   double* db = db_.RowPtr(0);
   for (size_t r = 0; r < grad_output.rows(); ++r) {
     const double* g = grad_output.RowPtr(r);
     for (size_t c = 0; c < out_features_; ++c) db[c] += g[c];
   }
-  return la::MatMulTransB(grad_output, w_);
+  return la::MatMulTransB(grad_output, w_, par_);
 }
 
 std::vector<Param> Dense::Params() {

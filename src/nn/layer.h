@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "la/matrix.h"
 
@@ -40,6 +41,18 @@ class Layer {
 
   /// Human-readable layer name for summaries.
   virtual std::string Name() const = 0;
+
+  /// Execution parallelism for this layer's kernels. Model::Fit pushes the
+  /// FitOptions value to every layer; the default is serial. The GEMM-bound
+  /// layers (Dense, Conv1D forward) are map-style, so their outputs are
+  /// bitwise invariant to this setting; Conv1D's backward weight gradient
+  /// regroups its batch sum per shard (deterministic for a fixed shard
+  /// count, and the legacy sum when the resolved shard count is 1).
+  void set_parallelism(const Parallelism& par) { par_ = par; }
+  const Parallelism& parallelism() const { return par_; }
+
+ protected:
+  Parallelism par_;
 };
 
 }  // namespace newsdiff::nn

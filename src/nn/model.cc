@@ -75,6 +75,7 @@ StatusOr<FitHistory> Model::Fit(const la::Matrix& x,
       return Status::InvalidArgument("label out of range");
     }
   }
+  for (auto& layer : layers_) layer->set_parallelism(options.parallelism);
 
   // Optional validation split: last fraction of the (pre-shuffle) data.
   size_t n = x.rows();

@@ -77,6 +77,13 @@ struct FitOptions {
   size_t verbose_every = 0;
   /// Divergence rollback + checkpoint/resume (off by default).
   RecoveryOptions recovery;
+  /// Execution parallelism pushed to every layer at the top of Fit (and
+  /// left in place for subsequent Predict/Evaluate calls). Dense and
+  /// Conv1D forward/backward GEMMs are map-style, so trained weights are
+  /// bitwise invariant to `threads`; Conv1D's backward weight gradient is
+  /// deterministic per resolved shard count and reproduces the legacy sum
+  /// when the resolved shard count is 1 (the default).
+  Parallelism parallelism;
 };
 
 /// Per-run training history.

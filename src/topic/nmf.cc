@@ -61,24 +61,30 @@ StatusOr<NmfResult> Nmf(const la::CsrMatrix& a, const NmfOptions& options) {
   result.objective_history.push_back(initial_obj);
   double prev_obj = initial_obj;
 
+  // A^T once up front: the per-iteration W^T A becomes a row-partitioned
+  // gather (parallelizable, and bitwise equal to the scatter-style
+  // TransposeMultiplyDense — see CsrMatrix::Transposed).
+  const Parallelism& par = options.parallelism;
+  const la::CsrMatrix at = a.Transposed();
+
   for (size_t iter = 1; iter <= options.max_iterations; ++iter) {
     // H update: H .* (W^T A) ./ (W^T W H + eps).
     {
-      la::Matrix wta = a.TransposeMultiplyDense(result.w).Transposed();  // k x m
-      la::Matrix wtw = la::MatMulTransA(result.w, result.w);             // k x k
-      la::Matrix denom = la::MatMul(wtw, result.h);                      // k x m
-      result.h.HadamardInPlace(wta);
-      result.h.DivideInPlace(denom, kEps);
-      result.h.ClampMin(kFloor);
+      la::Matrix wta = at.MultiplyDense(result.w, par).Transposed();  // k x m
+      la::Matrix wtw = la::MatMulTransA(result.w, result.w, par);     // k x k
+      la::Matrix denom = la::MatMul(wtw, result.h, par);              // k x m
+      result.h.HadamardInPlace(wta, par);
+      result.h.DivideInPlace(denom, kEps, par);
+      result.h.ClampMin(kFloor, par);
     }
     // W update: W .* (A H^T) ./ (W H H^T + eps).
     {
-      la::Matrix aht = a.MultiplyDenseTransposed(result.h);  // n x k
-      la::Matrix hht = la::MatMulTransB(result.h, result.h); // k x k
-      la::Matrix denom = la::MatMul(result.w, hht);          // n x k
-      result.w.HadamardInPlace(aht);
-      result.w.DivideInPlace(denom, kEps);
-      result.w.ClampMin(kFloor);
+      la::Matrix aht = a.MultiplyDenseTransposed(result.h, par);  // n x k
+      la::Matrix hht = la::MatMulTransB(result.h, result.h, par); // k x k
+      la::Matrix denom = la::MatMul(result.w, hht, par);          // n x k
+      result.w.HadamardInPlace(aht, par);
+      result.w.DivideInPlace(denom, kEps, par);
+      result.w.ClampMin(kFloor, par);
     }
     result.iterations = iter;
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/status.h"
 #include "la/matrix.h"
 #include "la/sparse.h"
@@ -23,6 +24,11 @@ struct NmfOptions {
   size_t eval_every = 10;
   /// Seed for the random initialisation of W and H.
   uint64_t seed = 42;
+  /// Parallel execution of the update kernels. Every parallelized kernel in
+  /// the solver is map-style (disjoint output writes, per-element
+  /// accumulation order unchanged), so the factorisation is bitwise
+  /// identical at any thread/shard count, including threads = 1.
+  Parallelism parallelism;
 };
 
 /// Result of an NMF factorisation A ~= W * H with W >= 0, H >= 0.
