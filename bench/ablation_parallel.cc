@@ -19,6 +19,7 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/time.h"
+#include "core/cross_validation.h"
 #include "corpus/corpus.h"
 #include "embed/pvdbow.h"
 #include "event/mabed.h"
@@ -170,7 +171,8 @@ std::vector<Stage> BuildStages(bool smoke) {
     opts.parallelism.shards = 8;  // pinned: identical layout at any width
     auto result = embed::TrainPvDbow(docs, opts);
     if (!result.ok()) return std::vector<double>{};
-    return result->doc_vectors.data();
+    const la::AlignedVector& dv = result->doc_vectors.data();
+    return std::vector<double>(dv.begin(), dv.end());
   }});
 
   // --- Minibatch forward/backward (nn/), shards pinned for Conv1D's
@@ -211,6 +213,52 @@ std::vector<Stage> BuildStages(bool smoke) {
     }
     return fp;
   }});
+
+  // --- Cross-validation (core/) at both parallelism grains, side by side:
+  // cv_intra spends the threads inside each fold's matmuls (fine grain),
+  // cv_fold spends them running whole folds as tasks (coarse grain). Both
+  // pin shards so the bitwise gate compares identical configurations, and
+  // both must match their own serial baseline exactly — folds are
+  // seed-isolated and nested regions run inline. ---
+  const size_t cv_rows = smoke ? 150 : 600;
+  const size_t cv_epochs = smoke ? 6 : 15;
+  auto make_cv_stage = [=](bool fold_grain) {
+    return [=](const Parallelism& par) {
+      Rng rng(11);
+      const size_t dim = 32;
+      la::Matrix x(cv_rows, dim);
+      std::vector<int> y(cv_rows);
+      for (size_t i = 0; i < cv_rows; ++i) {
+        size_t c = i % 3;
+        double* row = x.RowPtr(i);
+        for (size_t d = 0; d < dim; ++d) {
+          row[d] = rng.Gaussian((d % 3 == c) ? 2.0 : 0.0, 0.8);
+        }
+        y[i] = static_cast<int>(c);
+      }
+      core::PredictorOptions opts;
+      opts.max_epochs = cv_epochs;
+      opts.batch_size = 32;
+      opts.early_stopping.enabled = false;
+      opts.max_restarts = 0;
+      if (fold_grain) {
+        opts.fold_parallelism = par;
+        opts.fold_parallelism.shards = 16;  // pinned
+      } else {
+        opts.parallelism = par;
+        opts.parallelism.shards = 16;  // pinned
+      }
+      auto cv = core::CrossValidate(x, y, core::NetworkKind::kMlp1, opts,
+                                    /*folds=*/4);
+      std::vector<double> fp;
+      if (!cv.ok()) return fp;
+      fp = cv->fold_accuracies;
+      fp.push_back(cv->mean_accuracy);
+      return fp;
+    };
+  };
+  stages.push_back({"cv_intra", make_cv_stage(/*fold_grain=*/false)});
+  stages.push_back({"cv_fold", make_cv_stage(/*fold_grain=*/true)});
 
   return stages;
 }

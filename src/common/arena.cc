@@ -1,0 +1,115 @@
+#include "common/arena.h"
+
+#include <cassert>
+#include <new>
+
+namespace newsdiff {
+namespace {
+
+constexpr size_t kAlignment = 64;
+/// Smallest bucket handed out (doubles). Keeps tiny requests from
+/// fragmenting the free list into many useless slots.
+constexpr size_t kMinCapacity = 64;
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+double* AllocAligned(size_t doubles) {
+  return static_cast<double*>(
+      ::operator new(doubles * sizeof(double), std::align_val_t(kAlignment)));
+}
+
+void FreeAligned(double* p) {
+  ::operator delete(p, std::align_val_t(kAlignment));
+}
+
+}  // namespace
+
+ArenaBuffer::ArenaBuffer(ArenaBuffer&& other) noexcept
+    : arena_(other.arena_),
+      slot_(other.slot_),
+      data_(other.data_),
+      size_(other.size_) {
+  other.arena_ = nullptr;
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+ArenaBuffer& ArenaBuffer::operator=(ArenaBuffer&& other) noexcept {
+  if (this != &other) {
+    Release();
+    arena_ = other.arena_;
+    slot_ = other.slot_;
+    data_ = other.data_;
+    size_ = other.size_;
+    other.arena_ = nullptr;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+ArenaBuffer::~ArenaBuffer() { Release(); }
+
+void ArenaBuffer::Release() {
+  if (arena_ != nullptr) {
+    arena_->ReleaseSlot(slot_);
+    arena_ = nullptr;
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+Arena::~Arena() {
+  assert(outstanding_ == 0 && "buffers outlived their arena");
+  for (Slot& s : slots_) FreeAligned(s.mem);
+}
+
+Arena& Arena::ThreadLocal() {
+  static thread_local Arena arena;
+  return arena;
+}
+
+ArenaBuffer Arena::Acquire(size_t doubles) {
+  const size_t need = doubles == 0 ? 1 : doubles;
+  // Best fit: the smallest free slot that holds the request.
+  size_t best = slots_.size();
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    if (s.in_use || s.capacity < need) continue;
+    if (best == slots_.size() || s.capacity < slots_[best].capacity) best = i;
+  }
+  if (best == slots_.size()) {
+    Slot s;
+    s.capacity = NextPow2(need < kMinCapacity ? kMinCapacity : need);
+    s.mem = AllocAligned(s.capacity);
+    slots_.push_back(s);
+    ++fresh_allocations_;
+  } else {
+    ++reuses_;
+  }
+  Slot& s = slots_[best];
+  s.in_use = true;
+  ++outstanding_;
+  return ArenaBuffer(this, best, s.mem, doubles);
+}
+
+void Arena::Trim() {
+  // Outstanding handles hold slot indices, so trimming is only safe when
+  // nothing is checked out; otherwise leave the list untouched.
+  if (outstanding_ != 0) return;
+  for (Slot& s : slots_) FreeAligned(s.mem);
+  slots_.clear();
+}
+
+void Arena::ReleaseSlot(size_t slot) {
+  assert(slot < slots_.size() && slots_[slot].in_use);
+  slots_[slot].in_use = false;
+  assert(outstanding_ > 0);
+  --outstanding_;
+}
+
+}  // namespace newsdiff

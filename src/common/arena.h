@@ -1,0 +1,107 @@
+#ifndef NEWSDIFF_COMMON_ARENA_H_
+#define NEWSDIFF_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace newsdiff {
+
+class Arena;
+
+/// RAII checkout of one scratch buffer. Move-only; the buffer returns to
+/// its arena's free list on destruction (or an explicit Release()). The
+/// handle must be destroyed on the thread that acquired it — arenas are
+/// single-threaded by design (see Arena).
+class ArenaBuffer {
+ public:
+  ArenaBuffer() = default;
+  ArenaBuffer(ArenaBuffer&& other) noexcept;
+  ArenaBuffer& operator=(ArenaBuffer&& other) noexcept;
+  ArenaBuffer(const ArenaBuffer&) = delete;
+  ArenaBuffer& operator=(const ArenaBuffer&) = delete;
+  ~ArenaBuffer();
+
+  /// 64-byte-aligned storage of at least size() doubles. Contents are
+  /// UNINITIALIZED (possibly stale from a previous checkout) — callers
+  /// that need zeros must fill.
+  double* data() const { return data_; }
+  /// The requested element count (the underlying capacity may be larger).
+  size_t size() const { return size_; }
+  bool valid() const { return data_ != nullptr; }
+
+  /// Returns the buffer to the arena early. No-op on an empty handle.
+  void Release();
+
+ private:
+  friend class Arena;
+  ArenaBuffer(Arena* arena, size_t slot, double* data, size_t size)
+      : arena_(arena), slot_(slot), data_(data), size_(size) {}
+
+  Arena* arena_ = nullptr;
+  size_t slot_ = 0;
+  double* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// A reusable scratch-buffer pool for kernel packing panels and minibatch
+/// temporaries: checkout/checkin instead of malloc/free per call. Buffers
+/// are 64-byte aligned (la/ kernel requirement) and persist on a free
+/// list, so steady-state hot loops allocate nothing.
+///
+/// Arenas are deliberately NOT thread-safe. Every thread — the caller and
+/// each pool worker — uses its own instance via ThreadLocal(), which makes
+/// aliasing between buffers checked out on different threads structurally
+/// impossible and keeps Acquire() lock-free. Two buffers live at the same
+/// time on one thread never alias either: a slot is handed out only while
+/// marked free.
+class Arena {
+ public:
+  Arena() = default;
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// The calling thread's arena. Worker threads of the parallel pool are
+  /// persistent, so their arenas amortize across every region they run.
+  static Arena& ThreadLocal();
+
+  /// Checks out a buffer of at least `doubles` elements (a zero request
+  /// is rounded up to one bucket). Best-fit over the free list; allocates
+  /// a fresh power-of-two-capacity buffer only when nothing fits.
+  ArenaBuffer Acquire(size_t doubles);
+
+  /// Frees all pooled buffers. No-op while anything is checked out
+  /// (handles hold slot indices that must stay stable).
+  void Trim();
+
+  // --- introspection (tests, leak checks) ---
+  /// Buffers currently checked out.
+  size_t outstanding() const { return outstanding_; }
+  /// Buffers owned by the arena (checked out + free).
+  size_t buffer_count() const { return slots_.size(); }
+  /// Checkouts served by a fresh allocation.
+  uint64_t fresh_allocations() const { return fresh_allocations_; }
+  /// Checkouts served from the free list.
+  uint64_t reuses() const { return reuses_; }
+
+ private:
+  friend class ArenaBuffer;
+
+  struct Slot {
+    double* mem = nullptr;
+    size_t capacity = 0;
+    bool in_use = false;
+  };
+
+  void ReleaseSlot(size_t slot);
+
+  std::vector<Slot> slots_;
+  size_t outstanding_ = 0;
+  uint64_t fresh_allocations_ = 0;
+  uint64_t reuses_ = 0;
+};
+
+}  // namespace newsdiff
+
+#endif  // NEWSDIFF_COMMON_ARENA_H_

@@ -51,8 +51,16 @@ struct PredictorOptions {
   double sgd_momentum = 0.0;
   double adadelta_learning_rate = 2.0;
   /// Execution parallelism forwarded to nn::FitOptions (see the determinism
-  /// notes there — trained weights do not depend on `threads`).
+  /// notes there — trained weights do not depend on `threads`). Also carries
+  /// the KernelConfig selecting the blocked or naive GEMM kernels.
   Parallelism parallelism;
+  /// Coarse-grain parallelism for CrossValidate: whole folds run as tasks
+  /// on the shared pool. Folds are fully seed-isolated (each derives its
+  /// own RNG from seed + fold * 977, trains a fresh model, and writes a
+  /// disjoint result slot), and any intra-op ParallelFor issued from inside
+  /// a fold executes inline, so fold results are bitwise identical to a
+  /// serial run at ANY fold parallelism. Defaults to serial folds.
+  Parallelism fold_parallelism;
 };
 
 /// Outcome of one train/evaluate run on a held-out split.

@@ -4,21 +4,39 @@ namespace newsdiff::core {
 
 StatusOr<TuningResult> TunePredictor(
     const la::Matrix& x, const std::vector<int>& y,
-    const std::vector<TuningCandidate>& candidates, size_t folds) {
+    const std::vector<TuningCandidate>& candidates, size_t folds,
+    const Parallelism& grid) {
   if (candidates.empty()) {
     return Status::InvalidArgument("no candidates to tune over");
   }
   TuningResult result;
+  result.per_candidate.assign(candidates.size(), CrossValidationResult{});
+  std::vector<Status> statuses(candidates.size(), Status::OK());
+  // Grid cells as coarse tasks: disjoint result slots, inline nested
+  // regions — bitwise identical to the serial sweep (see tuning.h).
+  ParallelFor(grid, candidates.size(), [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      StatusOr<CrossValidationResult> cv = CrossValidate(
+          x, y, candidates[i].kind, candidates[i].options, folds);
+      if (cv.ok()) {
+        result.per_candidate[i] = std::move(cv).value();
+      } else {
+        statuses[i] = cv.status();
+      }
+    }
+  });
+  // Lowest failing cell wins, matching the serial loop's error order.
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  // The winner is picked serially after the sweep — same scan the serial
+  // loop interleaved with training (ties resolve to the first index).
   double best = -1.0;
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    StatusOr<CrossValidationResult> cv =
-        CrossValidate(x, y, candidates[i].kind, candidates[i].options, folds);
-    if (!cv.ok()) return cv.status();
-    if (cv->mean_accuracy > best) {
-      best = cv->mean_accuracy;
+  for (size_t i = 0; i < result.per_candidate.size(); ++i) {
+    if (result.per_candidate[i].mean_accuracy > best) {
+      best = result.per_candidate[i].mean_accuracy;
       result.best_index = i;
     }
-    result.per_candidate.push_back(std::move(cv).value());
   }
   return result;
 }

@@ -27,10 +27,16 @@ struct TuningResult {
 };
 
 /// Cross-validates every candidate on (x, y) and returns the scores and
-/// the winner. `folds` as in CrossValidate.
+/// the winner. `folds` as in CrossValidate. `grid` runs whole grid cells
+/// (candidate CV runs) as coarse-grain tasks on the shared pool: each cell
+/// is already seed-isolated (CrossValidate derives everything from its
+/// candidate's options) and writes its own result slot, and nested
+/// parallel regions execute inline, so scores and the winner are bitwise
+/// identical to the serial sweep at any `grid` setting.
 StatusOr<TuningResult> TunePredictor(
     const la::Matrix& x, const std::vector<int>& y,
-    const std::vector<TuningCandidate>& candidates, size_t folds = 3);
+    const std::vector<TuningCandidate>& candidates, size_t folds = 3,
+    const Parallelism& grid = {});
 
 /// The paper's §5.6 search space: MLP/CNN crossed with SGD (lr 0.1/0.5)
 /// and ADADELTA (lr 1/2), as described in the tuning discussion.

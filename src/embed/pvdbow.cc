@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/rng.h"
+#include "la/vector_ops.h"
 
 namespace newsdiff::embed {
 namespace {
@@ -86,15 +87,13 @@ void PvDbowStep(double* dv, uint32_t word, la::Matrix& word_out,
       label = 0.0;
     }
     double* out = word_out.RowPtr(target);
-    double dot = 0.0;
-    for (size_t i = 0; i < dim; ++i) dot += dv[i] * out[i];
-    double g = (label - SigmoidClamped(dot)) * lr;
-    for (size_t i = 0; i < dim; ++i) {
-      grad[i] += g * out[i];
-      out[i] += g * dv[i];
-    }
+    double g = (label - SigmoidClamped(la::DotN(dv, out, dim))) * lr;
+    // grad reads `out` before it is updated, and none of grad/out/dv
+    // alias, so the two axpys replay the legacy fused loop bitwise.
+    la::AxpyN(grad.data(), out, g, dim);
+    la::AxpyN(out, dv, g, dim);
   }
-  for (size_t i = 0; i < dim; ++i) dv[i] += grad[i];
+  la::AxpyN(dv, grad.data(), 1.0, dim);
 }
 
 }  // namespace
@@ -265,8 +264,7 @@ StatusOr<PvDbowResult> TrainPvDm(
         size_t contributors = 1;
         for (size_t c = lo; c <= hi; ++c) {
           if (c == pos) continue;
-          const double* wv = word_in.RowPtr(ids[c]);
-          for (size_t i = 0; i < dim; ++i) hidden[i] += wv[i];
+          la::AxpyN(hidden.data(), word_in.RowPtr(ids[c]), 1.0, dim);
           ++contributors;
         }
         double inv = 1.0 / static_cast<double>(contributors);
@@ -285,20 +283,16 @@ StatusOr<PvDbowResult> TrainPvDm(
             label = 0.0;
           }
           double* out = word_out.RowPtr(target);
-          double dot = 0.0;
-          for (size_t i = 0; i < dim; ++i) dot += hidden[i] * out[i];
-          double g = (label - SigmoidClamped(dot)) * lr;
-          for (size_t i = 0; i < dim; ++i) {
-            grad[i] += g * out[i];
-            out[i] += g * hidden[i];
-          }
+          double g =
+              (label - SigmoidClamped(la::DotN(hidden.data(), out, dim))) * lr;
+          la::AxpyN(grad.data(), out, g, dim);
+          la::AxpyN(out, hidden.data(), g, dim);
         }
         // Distribute the hidden gradient to the doc vector and contexts.
-        for (size_t i = 0; i < dim; ++i) dv[i] += grad[i] * inv;
+        la::AxpyN(dv, grad.data(), inv, dim);
         for (size_t c = lo; c <= hi; ++c) {
           if (c == pos) continue;
-          double* wv = word_in.RowPtr(ids[c]);
-          for (size_t i = 0; i < dim; ++i) wv[i] += grad[i] * inv;
+          la::AxpyN(word_in.RowPtr(ids[c]), grad.data(), inv, dim);
         }
       }
     }

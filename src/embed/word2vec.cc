@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "la/matrix.h"
+#include "la/vector_ops.h"
 
 namespace newsdiff::embed {
 namespace {
@@ -192,23 +193,18 @@ StatusOr<WordVectors> TrainWord2Vec(
                 label = 0.0;
               }
               double* out = syn1.RowPtr(target);
-              double dot = 0.0;
-              for (size_t d = 0; d < dim; ++d) dot += in[d] * out[d];
-              double g = (label - sigmoid(dot)) * lr;
-              for (size_t d = 0; d < dim; ++d) {
-                neu1e[d] += g * out[d];
-                out[d] += g * in[d];
-              }
+              double g = (label - sigmoid(la::DotN(in, out, dim))) * lr;
+              la::AxpyN(neu1e.data(), out, g, dim);
+              la::AxpyN(out, in, g, dim);
             }
-            for (size_t d = 0; d < dim; ++d) in[d] += neu1e[d];
+            la::AxpyN(in, neu1e.data(), 1.0, dim);
           }
         } else {  // CBOW
           std::fill(neu1.begin(), neu1.end(), 0.0);
           size_t cw = 0;
           for (size_t cpos = lo; cpos <= hi; ++cpos) {
             if (cpos == pos) continue;
-            const double* in = syn0.RowPtr(sent_ids[cpos]);
-            for (size_t d = 0; d < dim; ++d) neu1[d] += in[d];
+            la::AxpyN(neu1.data(), syn0.RowPtr(sent_ids[cpos]), 1.0, dim);
             ++cw;
           }
           if (cw == 0) continue;
@@ -226,18 +222,14 @@ StatusOr<WordVectors> TrainWord2Vec(
               label = 0.0;
             }
             double* out = syn1.RowPtr(target);
-            double dot = 0.0;
-            for (size_t d = 0; d < dim; ++d) dot += neu1[d] * out[d];
-            double g = (label - sigmoid(dot)) * lr;
-            for (size_t d = 0; d < dim; ++d) {
-              neu1e[d] += g * out[d];
-              out[d] += g * neu1[d];
-            }
+            double g =
+                (label - sigmoid(la::DotN(neu1.data(), out, dim))) * lr;
+            la::AxpyN(neu1e.data(), out, g, dim);
+            la::AxpyN(out, neu1.data(), g, dim);
           }
           for (size_t cpos = lo; cpos <= hi; ++cpos) {
             if (cpos == pos) continue;
-            double* in = syn0.RowPtr(sent_ids[cpos]);
-            for (size_t d = 0; d < dim; ++d) in[d] += neu1e[d];
+            la::AxpyN(syn0.RowPtr(sent_ids[cpos]), neu1e.data(), 1.0, dim);
           }
         }
       }

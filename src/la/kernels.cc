@@ -1,0 +1,175 @@
+// Cache-blocked GEMM kernels. This translation unit is compiled with
+// stronger optimization flags than the rest of the tree (see
+// la/CMakeLists.txt): the micro-kernel below is written so the compiler
+// can keep the 4x8 accumulator tile in vector registers and the packed
+// panels stream linearly from L1/L2.
+//
+// Determinism: the traversal (block boundaries, packing layout, per-element
+// accumulation chain) is a pure function of (shape, KernelConfig block
+// sizes). Thread and shard counts only decide WHICH thread computes a row
+// block, never the arithmetic inside it, so outputs are bitwise identical
+// across runs and parallel configurations on a given binary. (Cross-binary
+// reproducibility is the naive kernels' job — they are compiled with the
+// tree-wide flags and never fuse multiplies and adds.)
+#include "la/kernels.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/arena.h"
+
+namespace newsdiff::la::internal {
+namespace {
+
+/// Micro-tile height (rows of A) and width (columns of B). 4x8 doubles =
+/// 32 accumulators: fits the 16 ymm registers of AVX2 two-per-register
+/// and still leaves headroom on SSE2.
+constexpr size_t kMr = 4;
+constexpr size_t kNr = 8;
+
+size_t RoundUp(size_t n, size_t multiple) {
+  return (n + multiple - 1) / multiple * multiple;
+}
+
+/// C[0..mr)x[0..nr) += packA(kc x kMr strips) * packB(kc x kNr strips).
+/// The accumulator tile lives in registers for the whole kc loop; the
+/// panel edges are zero-padded, so the arithmetic is always full-tile and
+/// only the writeback is masked.
+void MicroKernel(const double* pa, const double* pb, size_t kc, double* c,
+                 size_t ldc, size_t mr, size_t nr) {
+  double acc[kMr][kNr] = {};
+  for (size_t p = 0; p < kc; ++p) {
+    const double* ap = pa + p * kMr;
+    const double* bp = pb + p * kNr;
+    for (size_t i = 0; i < kMr; ++i) {
+      for (size_t j = 0; j < kNr; ++j) acc[i][j] += ap[i] * bp[j];
+    }
+  }
+  if (mr == kMr && nr == kNr) {
+    for (size_t i = 0; i < kMr; ++i) {
+      double* crow = c + i * ldc;
+      for (size_t j = 0; j < kNr; ++j) crow[j] += acc[i][j];
+    }
+  } else {
+    for (size_t i = 0; i < mr; ++i) {
+      double* crow = c + i * ldc;
+      for (size_t j = 0; j < nr; ++j) crow[j] += acc[i][j];
+    }
+  }
+}
+
+/// Packs kc x nc of the right operand into kNr-column strips
+/// (strip-major, p-major within a strip), zero-padding the last strip.
+/// load(p, j) reads element (pc + p, jc + j) of op(B).
+template <typename Load>
+void PackB(double* dst, size_t kc, size_t nc, Load load) {
+  for (size_t js = 0; js < nc; js += kNr) {
+    const size_t nr = std::min(kNr, nc - js);
+    double* strip = dst + (js / kNr) * (kc * kNr);
+    for (size_t p = 0; p < kc; ++p) {
+      for (size_t j = 0; j < kNr; ++j) {
+        strip[p * kNr + j] = j < nr ? load(p, js + j) : 0.0;
+      }
+    }
+  }
+}
+
+/// Packs mc x kc of the left operand into kMr-row strips (strip-major,
+/// p-major within a strip), zero-padding the last strip. load(i, p) reads
+/// element (ic + i, pc + p) of op(A).
+template <typename Load>
+void PackA(double* dst, size_t mc, size_t kc, Load load) {
+  for (size_t is = 0; is < mc; is += kMr) {
+    const size_t mr = std::min(kMr, mc - is);
+    double* strip = dst + (is / kMr) * (kc * kMr);
+    for (size_t p = 0; p < kc; ++p) {
+      for (size_t i = 0; i < kMr; ++i) {
+        strip[p * kMr + i] = i < mr ? load(is + i, p) : 0.0;
+      }
+    }
+  }
+}
+
+/// The shared blocked driver: out(n x m) = opA(n x k) * opB(k x m), where
+/// loadA(i, p) and loadB(p, j) read the operands in GLOBAL coordinates.
+/// Each shard owns whole mc row blocks and runs the full jc/pc panel loops
+/// itself (packing its own copies of the B panel — redundant work that is
+/// O(k*m) against the O(n*k*m / shards) compute, bought for determinism
+/// and zero cross-shard coordination).
+template <typename LoadA, typename LoadB>
+void BlockedGemm(size_t n, size_t k, size_t m, Matrix* out,
+                 const Parallelism& par, LoadA load_a, LoadB load_b) {
+  out->Resize(n, m);
+  if (n == 0 || k == 0 || m == 0) return;
+
+  const KernelConfig& cfg = par.kernels;
+  const size_t mc = std::max<size_t>(RoundUp(cfg.mc, kMr), kMr);
+  const size_t kc = std::max<size_t>(cfg.kc, 1);
+  const size_t nc = std::max<size_t>(RoundUp(cfg.nc, kNr), kNr);
+  const size_t row_blocks = (n + mc - 1) / mc;
+
+  ParallelFor(par, row_blocks, [&](size_t, size_t blk_begin, size_t blk_end) {
+    if (blk_begin == blk_end) return;
+    Arena& arena = Arena::ThreadLocal();
+    ArenaBuffer packb = arena.Acquire(kc * nc);
+    ArenaBuffer packa = arena.Acquire(mc * kc);
+    for (size_t jc = 0; jc < m; jc += nc) {
+      const size_t nc_eff = std::min(nc, m - jc);
+      for (size_t pc = 0; pc < k; pc += kc) {
+        const size_t kc_eff = std::min(kc, k - pc);
+        PackB(packb.data(), kc_eff, nc_eff,
+              [&](size_t p, size_t j) { return load_b(pc + p, jc + j); });
+        for (size_t blk = blk_begin; blk < blk_end; ++blk) {
+          const size_t ic = blk * mc;
+          const size_t mc_eff = std::min(mc, n - ic);
+          PackA(packa.data(), mc_eff, kc_eff,
+                [&](size_t i, size_t p) { return load_a(ic + i, pc + p); });
+          for (size_t js = 0; js < nc_eff; js += kNr) {
+            const size_t nr = std::min(kNr, nc_eff - js);
+            const double* pb = packb.data() + (js / kNr) * (kc_eff * kNr);
+            for (size_t is = 0; is < mc_eff; is += kMr) {
+              const size_t mr = std::min(kMr, mc_eff - is);
+              const double* pa = packa.data() + (is / kMr) * (kc_eff * kMr);
+              MicroKernel(pa, pb, kc_eff, out->RowPtr(ic + is) + jc + js, m,
+                          mr, nr);
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+}  // namespace
+
+void BlockedMatMul(const Matrix& a, const Matrix& b, Matrix* out,
+                   const Parallelism& par) {
+  assert(a.cols() == b.rows());
+  assert(out != &a && out != &b);
+  BlockedGemm(
+      a.rows(), a.cols(), b.cols(), out, par,
+      [&](size_t i, size_t p) { return a.RowPtr(i)[p]; },
+      [&](size_t p, size_t j) { return b.RowPtr(p)[j]; });
+}
+
+void BlockedMatMulTransA(const Matrix& a, const Matrix& b, Matrix* out,
+                         const Parallelism& par) {
+  assert(a.rows() == b.rows());
+  assert(out != &a && out != &b);
+  BlockedGemm(
+      a.cols(), a.rows(), b.cols(), out, par,
+      [&](size_t i, size_t p) { return a.RowPtr(p)[i]; },
+      [&](size_t p, size_t j) { return b.RowPtr(p)[j]; });
+}
+
+void BlockedMatMulTransB(const Matrix& a, const Matrix& b, Matrix* out,
+                         const Parallelism& par) {
+  assert(a.cols() == b.cols());
+  assert(out != &a && out != &b);
+  BlockedGemm(
+      a.rows(), a.cols(), b.rows(), out, par,
+      [&](size_t i, size_t p) { return a.RowPtr(i)[p]; },
+      [&](size_t p, size_t j) { return b.RowPtr(j)[p]; });
+}
+
+}  // namespace newsdiff::la::internal

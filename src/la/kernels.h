@@ -1,0 +1,42 @@
+#ifndef NEWSDIFF_LA_KERNELS_H_
+#define NEWSDIFF_LA_KERNELS_H_
+
+#include "common/parallel.h"
+#include "la/matrix.h"
+
+namespace newsdiff::la::internal {
+
+/// Cache-blocked, register-tiled GEMM kernels (KernelKind::kBlocked).
+/// Callers go through the MatMul*/MatMul*Into dispatchers in la/matrix.h;
+/// these entry points exist for the dispatchers, the bench, and the
+/// blocked-vs-naive regression tests.
+///
+/// Implementation (la/kernels.cc, compiled -O3 and, where supported,
+/// -march=native so the micro-kernel vectorizes):
+///   - GotoBLAS-style blocking: jc (nc columns) -> pc (kc depth, B panel
+///     packed) -> ic (mc rows, A block packed) -> 4x8 register micro-tiles.
+///   - Packing buffers come from the executing thread's Arena, so the hot
+///     path allocates nothing in steady state.
+///   - Parallelism splits the mc row blocks across shards; every output
+///     element's accumulation chain is a pure function of (shape, block
+///     sizes), so results are bitwise identical across runs, thread
+///     counts, and shard counts — but NOT bitwise equal to the naive
+///     loops (different accumulation grouping; agreement is ~1e-9
+///     relative, gated by bench/kernels_bench and tests/kernels_test).
+///
+/// `out` is resized (capacity-reusing) and fully overwritten; it must not
+/// alias `a` or `b`. `a` and `b` may alias each other (read-only).
+void BlockedMatMul(const Matrix& a, const Matrix& b, Matrix* out,
+                   const Parallelism& par);
+
+/// out = a^T * b, blocked. Shapes: (k x n)^T * (k x m) -> (n x m).
+void BlockedMatMulTransA(const Matrix& a, const Matrix& b, Matrix* out,
+                         const Parallelism& par);
+
+/// out = a * b^T, blocked. Shapes: (n x k) * (m x k)^T -> (n x m).
+void BlockedMatMulTransB(const Matrix& a, const Matrix& b, Matrix* out,
+                         const Parallelism& par);
+
+}  // namespace newsdiff::la::internal
+
+#endif  // NEWSDIFF_LA_KERNELS_H_

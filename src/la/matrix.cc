@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "la/kernels.h"
+
 namespace newsdiff::la {
 
 Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
@@ -57,7 +59,7 @@ Matrix Matrix::Transposed() const {
 
 void Matrix::Add(const Matrix& other) {
   assert(rows_ == other.rows_ && cols_ == other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  AxpyN(data_.data(), other.data_.data(), 1.0, data_.size());
 }
 
 void Matrix::Sub(const Matrix& other) {
@@ -99,9 +101,7 @@ double Matrix::Sum() const {
 }
 
 double Matrix::FrobeniusNorm() const {
-  double s = 0.0;
-  for (double v : data_) s += v * v;
-  return std::sqrt(s);
+  return std::sqrt(SumSquaresN(data_.data(), data_.size()));
 }
 
 double Matrix::MaxAbs() const {
@@ -111,10 +111,7 @@ double Matrix::MaxAbs() const {
 }
 
 double Matrix::RowNorm(size_t r) const {
-  const double* p = RowPtr(r);
-  double s = 0.0;
-  for (size_t c = 0; c < cols_; ++c) s += p[c] * p[c];
-  return std::sqrt(s);
+  return std::sqrt(SumSquaresN(RowPtr(r), cols_));
 }
 
 std::vector<double> Matrix::Row(size_t r) const {
@@ -147,17 +144,25 @@ std::string Matrix::ToString(int max_rows, int max_cols) const {
   return out;
 }
 
-Matrix MatMul(const Matrix& a, const Matrix& b, const Parallelism& par) {
-  assert(a.cols() == b.rows());
-  Matrix out(a.rows(), b.cols());
+// ---------------------------------------------------------------------------
+// Naive (seed-bitwise) GEMM loops. These write into a pre-resized `out`
+// (Resize zero-fills, matching the original fresh-Matrix construction
+// bitwise) and are kept verbatim as the KernelKind::kNaive fallback and
+// the cross-binary-reproducible reference.
+// ---------------------------------------------------------------------------
+namespace {
+
+void NaiveMatMul(const Matrix& a, const Matrix& b, Matrix* out,
+                 const Parallelism& par) {
   const size_t n = a.rows(), k = a.cols(), m = b.cols();
+  out->Resize(n, m);
   // ikj loop order: streams through b and out rows, cache-friendly. Output
   // rows are disjoint across shards and each element's accumulation runs in
   // p order regardless of sharding, so parallel == serial bitwise.
   ParallelFor(par, n, [&](size_t, size_t row_begin, size_t row_end) {
     for (size_t i = row_begin; i < row_end; ++i) {
       const double* arow = a.RowPtr(i);
-      double* orow = out.RowPtr(i);
+      double* orow = out->RowPtr(i);
       for (size_t p = 0; p < k; ++p) {
         const double av = arow[p];
         if (av == 0.0) continue;
@@ -166,20 +171,19 @@ Matrix MatMul(const Matrix& a, const Matrix& b, const Parallelism& par) {
       }
     }
   });
-  return out;
 }
 
-Matrix MatMulTransA(const Matrix& a, const Matrix& b, const Parallelism& par) {
-  assert(a.rows() == b.rows());
-  Matrix out(a.cols(), b.cols());
+void NaiveMatMulTransA(const Matrix& a, const Matrix& b, Matrix* out,
+                       const Parallelism& par) {
   const size_t k = a.rows(), n = a.cols(), m = b.cols();
+  out->Resize(n, m);
   // Gathers per output row i (column i of a) instead of scattering per
   // input row p, so shards own disjoint output rows; the per-element sum
   // still runs over p in ascending order, matching the scatter kernel's
   // accumulation chain bitwise.
   ParallelFor(par, n, [&](size_t, size_t row_begin, size_t row_end) {
     for (size_t i = row_begin; i < row_end; ++i) {
-      double* orow = out.RowPtr(i);
+      double* orow = out->RowPtr(i);
       for (size_t p = 0; p < k; ++p) {
         const double av = a.RowPtr(p)[i];
         if (av == 0.0) continue;
@@ -188,58 +192,74 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b, const Parallelism& par) {
       }
     }
   });
+}
+
+void NaiveMatMulTransB(const Matrix& a, const Matrix& b, Matrix* out,
+                       const Parallelism& par) {
+  const size_t k = a.cols(), m = b.rows();
+  out->Resize(a.rows(), m);
+  ParallelFor(par, a.rows(), [&](size_t, size_t row_begin, size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      const double* arow = a.RowPtr(i);
+      double* orow = out->RowPtr(i);
+      for (size_t j = 0; j < m; ++j) {
+        orow[j] = DotN(arow, b.RowPtr(j), k);
+      }
+    }
+  });
+}
+
+}  // namespace
+
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out,
+                const Parallelism& par) {
+  assert(a.cols() == b.rows());
+  assert(out != &a && out != &b);
+  if (par.kernels.kind == KernelKind::kNaive) {
+    NaiveMatMul(a, b, out, par);
+  } else {
+    internal::BlockedMatMul(a, b, out, par);
+  }
+}
+
+void MatMulTransAInto(const Matrix& a, const Matrix& b, Matrix* out,
+                      const Parallelism& par) {
+  assert(a.rows() == b.rows());
+  assert(out != &a && out != &b);
+  if (par.kernels.kind == KernelKind::kNaive) {
+    NaiveMatMulTransA(a, b, out, par);
+  } else {
+    internal::BlockedMatMulTransA(a, b, out, par);
+  }
+}
+
+void MatMulTransBInto(const Matrix& a, const Matrix& b, Matrix* out,
+                      const Parallelism& par) {
+  assert(a.cols() == b.cols());
+  assert(out != &a && out != &b);
+  if (par.kernels.kind == KernelKind::kNaive) {
+    NaiveMatMulTransB(a, b, out, par);
+  } else {
+    internal::BlockedMatMulTransB(a, b, out, par);
+  }
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b, const Parallelism& par) {
+  Matrix out;
+  MatMulInto(a, b, &out, par);
+  return out;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b, const Parallelism& par) {
+  Matrix out;
+  MatMulTransAInto(a, b, &out, par);
   return out;
 }
 
 Matrix MatMulTransB(const Matrix& a, const Matrix& b, const Parallelism& par) {
-  assert(a.cols() == b.cols());
-  Matrix out(a.rows(), b.rows());
-  const size_t k = a.cols(), m = b.rows();
-  ParallelFor(par, a.rows(), [&](size_t, size_t row_begin, size_t row_end) {
-    for (size_t i = row_begin; i < row_end; ++i) {
-      const double* arow = a.RowPtr(i);
-      double* orow = out.RowPtr(i);
-      for (size_t j = 0; j < m; ++j) {
-        const double* brow = b.RowPtr(j);
-        double s = 0.0;
-        for (size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
-        orow[j] = s;
-      }
-    }
-  });
+  Matrix out;
+  MatMulTransBInto(a, b, &out, par);
   return out;
-}
-
-double Dot(const std::vector<double>& a, const std::vector<double>& b) {
-  assert(a.size() == b.size());
-  double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
-}
-
-double Norm2(const std::vector<double>& v) {
-  double s = 0.0;
-  for (double x : v) s += x * x;
-  return std::sqrt(s);
-}
-
-double CosineSimilarity(const std::vector<double>& a,
-                        const std::vector<double>& b) {
-  assert(a.size() == b.size());
-  double dot = 0.0, na = 0.0, nb = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    dot += a[i] * b[i];
-    na += a[i] * a[i];
-    nb += b[i] * b[i];
-  }
-  if (na == 0.0 || nb == 0.0) return 0.0;
-  return dot / (std::sqrt(na) * std::sqrt(nb));
-}
-
-void AxpyInPlace(std::vector<double>& a, const std::vector<double>& b,
-                 double scale) {
-  assert(a.size() == b.size());
-  for (size_t i = 0; i < a.size(); ++i) a[i] += scale * b[i];
 }
 
 }  // namespace newsdiff::la

@@ -8,11 +8,19 @@
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "la/vector_ops.h"
 
 namespace newsdiff::la {
 
 /// Dense row-major matrix of doubles. The workhorse for NMF factors and
 /// neural-network activations/parameters. Copyable and movable.
+///
+/// Storage invariant: the row storage base (RowPtr(0)) is always 64-byte
+/// aligned (AlignedVector). Rows are contiguous with stride cols(), so
+/// RowPtr(r) is also 64-byte aligned whenever cols() is a multiple of 8
+/// doubles. The vectorized kernels rely on the aligned base (never on
+/// per-row alignment — they use unaligned-safe accesses for interior
+/// rows), so no shape ever hits a UB path.
 class Matrix {
  public:
   /// Creates an empty 0x0 matrix.
@@ -54,7 +62,9 @@ class Matrix {
     return data_[r * cols_ + c];
   }
 
-  /// Raw pointer to row r (cols() contiguous doubles).
+  /// Raw pointer to row r (cols() contiguous doubles). RowPtr(0) is
+  /// 64-byte aligned (see the class invariant above); RowPtr(r) for r > 0
+  /// is 64-byte aligned iff (r * cols()) % 8 == 0.
   double* RowPtr(size_t r) {
     assert(r < rows_);
     return data_.data() + r * cols_;
@@ -64,13 +74,15 @@ class Matrix {
     return data_.data() + r * cols_;
   }
 
-  std::vector<double>& data() { return data_; }
-  const std::vector<double>& data() const { return data_; }
+  AlignedVector& data() { return data_; }
+  const AlignedVector& data() const { return data_; }
 
   /// Sets every entry to `value`.
   void Fill(double value);
 
-  /// Resizes to rows x cols, zero-filling (contents are discarded).
+  /// Resizes to rows x cols, zero-filling (contents are discarded). The
+  /// underlying capacity is kept, so shrinking/regrowing a scratch matrix
+  /// does not reallocate.
   void Resize(size_t rows, size_t cols);
 
   /// Returns the transpose.
@@ -120,14 +132,22 @@ class Matrix {
  private:
   size_t rows_;
   size_t cols_;
-  std::vector<double> data_;
+  AlignedVector data_;
 };
 
+// ---------------------------------------------------------------------------
+// GEMM entry points. Each dispatches on par.kernels.kind:
+//   kBlocked (default) — the cache-blocked, register-tiled kernels of
+//     la/kernels.cc. Run-to-run, thread-count, and shard-count
+//     deterministic; agrees with kNaive to ~1e-9 relative.
+//   kNaive — the original scalar loops, bitwise identical to the
+//     pre-kernel-layer (seed) outputs.
+// Both implementations partition *output* rows across shards with each
+// element's accumulation chain independent of the partition, so for a
+// fixed kernel kind results never vary with the parallel configuration.
+// ---------------------------------------------------------------------------
+
 /// out = a * b. Shapes: (n x k) * (k x m) -> (n x m).
-///
-/// All three GEMMs partition their *output* rows across shards with each
-/// element's accumulation chain unchanged, so results are bitwise identical
-/// to the serial kernel at any thread/shard count.
 Matrix MatMul(const Matrix& a, const Matrix& b, const Parallelism& par = {});
 
 /// out = a^T * b. Shapes: (k x n)^T * (k x m) -> (n x m).
@@ -138,20 +158,15 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b,
 Matrix MatMulTransB(const Matrix& a, const Matrix& b,
                     const Parallelism& par = {});
 
-/// Dot product of equal-length vectors.
-double Dot(const std::vector<double>& a, const std::vector<double>& b);
-
-/// l2 norm of a vector.
-double Norm2(const std::vector<double>& v);
-
-/// Cosine similarity of two equal-length vectors (Eq. 11 of the paper).
-/// Returns 0 when either vector has zero norm.
-double CosineSimilarity(const std::vector<double>& a,
-                        const std::vector<double>& b);
-
-/// a += b (equal length).
-void AxpyInPlace(std::vector<double>& a, const std::vector<double>& b,
-                 double scale);
+/// In-place variants: `*out` is resized (reusing capacity — a scratch
+/// matrix hot loop allocates nothing in steady state) and overwritten.
+/// `out` must not alias `a` or `b`; `a` and `b` may alias each other.
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out,
+                const Parallelism& par = {});
+void MatMulTransAInto(const Matrix& a, const Matrix& b, Matrix* out,
+                      const Parallelism& par = {});
+void MatMulTransBInto(const Matrix& a, const Matrix& b, Matrix* out,
+                      const Parallelism& par = {});
 
 }  // namespace newsdiff::la
 

@@ -1,0 +1,52 @@
+#include "la/vector_ops.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace newsdiff::la {
+
+double DotN(const double* a, const double* b, size_t n, double init) {
+  double s = init;
+  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void AxpyN(double* y, const double* x, double alpha, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+double SumSquaresN(const double* v, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += v[i] * v[i];
+  return s;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  return DotN(a.data(), b.data(), a.size());
+}
+
+double Norm2(const std::vector<double>& v) {
+  return std::sqrt(SumSquaresN(v.data(), v.size()));
+}
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+void AxpyInPlace(std::vector<double>& a, const std::vector<double>& b,
+                 double scale) {
+  assert(a.size() == b.size());
+  AxpyN(a.data(), b.data(), scale, a.size());
+}
+
+}  // namespace newsdiff::la

@@ -1,0 +1,93 @@
+#ifndef NEWSDIFF_LA_VECTOR_OPS_H_
+#define NEWSDIFF_LA_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace newsdiff::la {
+
+/// Minimum alignment (bytes) of every Matrix row-storage allocation and
+/// arena scratch buffer. 64 covers a cache line and the widest vector
+/// registers the kernels are compiled for (AVX-512 = 64 bytes).
+inline constexpr size_t kVectorAlignment = 64;
+
+/// STL allocator returning storage aligned to `Alignment` bytes. Backs
+/// Matrix row storage so the vectorized kernels never see an unaligned
+/// base pointer.
+template <typename T, size_t Alignment = kVectorAlignment>
+struct AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not weaken the type's natural alignment");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  bool operator==(const AlignedAllocator&) const noexcept { return true; }
+  bool operator!=(const AlignedAllocator&) const noexcept { return false; }
+};
+
+/// The storage type behind Matrix: a double vector whose allocation is
+/// 64-byte aligned.
+using AlignedVector = std::vector<double, AlignedAllocator<double>>;
+
+// ---------------------------------------------------------------------------
+// Raw-pointer helpers. These are THE scalar vector kernels of the tree:
+// embed/ (PV-DBOW, PV-DM, word2vec), nn/ (dense, conv1d), and la/ all call
+// them instead of hand-rolling the loops. Each accumulates strictly in
+// ascending index order, so replacing a hand-written loop with the helper
+// is a bitwise no-op.
+// ---------------------------------------------------------------------------
+
+/// init + a[0]*b[0] + a[1]*b[1] + ... accumulated left to right. The
+/// `init` seed lets callers fold a bias into the same chain a legacy
+/// `acc = bias; acc += ...` loop produced.
+double DotN(const double* a, const double* b, size_t n, double init = 0.0);
+
+/// y[i] += alpha * x[i] for i in [0, n). alpha == 1.0 is an exact
+/// elementwise add (IEEE: 1.0 * x == x).
+void AxpyN(double* y, const double* x, double alpha, size_t n);
+
+/// v[0]^2 + v[1]^2 + ... accumulated left to right.
+double SumSquaresN(const double* v, size_t n);
+
+// ---------------------------------------------------------------------------
+// std::vector convenience wrappers (the original la/matrix.h helpers).
+// ---------------------------------------------------------------------------
+
+/// Dot product of equal-length vectors.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// l2 norm of a vector.
+double Norm2(const std::vector<double>& v);
+
+/// Cosine similarity of two equal-length vectors (Eq. 11 of the paper).
+/// Returns 0 when either vector has zero norm.
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// a += scale * b (equal length).
+void AxpyInPlace(std::vector<double>& a, const std::vector<double>& b,
+                 double scale);
+
+}  // namespace newsdiff::la
+
+#endif  // NEWSDIFF_LA_VECTOR_OPS_H_

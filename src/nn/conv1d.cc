@@ -1,8 +1,12 @@
 #include "nn/conv1d.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <limits>
+
+#include "common/arena.h"
+#include "la/vector_ops.h"
 
 namespace newsdiff::nn {
 
@@ -36,10 +40,8 @@ la::Matrix Conv1D::Forward(const la::Matrix& input, bool training) {
       for (size_t pos = 0; pos < output_length_; ++pos) {
         const double* window = x + pos * in_channels_;
         for (size_t f = 0; f < filters_; ++f) {
-          const double* k = w_.RowPtr(f);
-          double acc = b_(0, f);
-          for (size_t i = 0; i < kspan; ++i) acc += k[i] * window[i];
-          y[pos * filters_ + f] = acc;
+          y[pos * filters_ + f] =
+              la::DotN(w_.RowPtr(f), window, kspan, b_(0, f));
         }
       }
     }
@@ -58,13 +60,22 @@ la::Matrix Conv1D::Backward(const la::Matrix& grad_output) {
   // grad_input rows are disjoint per example; the weight gradients sum
   // over the batch, so each shard accumulates into its own partial and the
   // partials fold in shard order. One resolved shard reproduces the legacy
-  // per-example accumulation order exactly.
+  // per-example accumulation order exactly. The partials live in one arena
+  // checkout (reused across minibatches) instead of per-call Matrix
+  // allocations; the handle is acquired and released on this thread — pool
+  // workers only write through it inside the region, which the region
+  // barrier orders.
   const size_t num_shards = ResolveShards(par_, batch);
-  std::vector<la::Matrix> dw_part(num_shards, la::Matrix(dw_.rows(), dw_.cols()));
-  std::vector<la::Matrix> db_part(num_shards, la::Matrix(db_.rows(), db_.cols()));
+  const size_t wsz = dw_.size();
+  const size_t bsz = db_.size();
+  const size_t stride = wsz + bsz;
+  ArenaBuffer partials = Arena::ThreadLocal().Acquire(num_shards * stride);
+  std::fill(partials.data(), partials.data() + num_shards * stride, 0.0);
   ParallelFor(par_, batch, [&](size_t shard, size_t row_begin, size_t row_end) {
-    la::Matrix& dw = dw_part[shard];
-    la::Matrix& db = db_part[shard];
+    // Per-shard layout: wsz doubles of dw (flat filters x kspan, the same
+    // layout as dw_'s row-major storage) followed by bsz doubles of db.
+    double* dw = partials.data() + shard * stride;
+    double* db = dw + wsz;
     for (size_t n = row_begin; n < row_end; ++n) {
       const double* x = input_.RowPtr(n);
       const double* gy = grad_output.RowPtr(n);
@@ -75,20 +86,17 @@ la::Matrix Conv1D::Backward(const la::Matrix& grad_output) {
         for (size_t f = 0; f < filters_; ++f) {
           double g = gy[pos * filters_ + f];
           if (g == 0.0) continue;
-          db(0, f) += g;
-          double* dk = dw.RowPtr(f);
-          const double* k = w_.RowPtr(f);
-          for (size_t i = 0; i < kspan; ++i) {
-            dk[i] += g * window[i];
-            gwindow[i] += g * k[i];
-          }
+          db[f] += g;
+          la::AxpyN(dw + f * kspan, window, g, kspan);
+          la::AxpyN(gwindow, w_.RowPtr(f), g, kspan);
         }
       }
     }
   });
   for (size_t s = 0; s < num_shards; ++s) {
-    dw_.Add(dw_part[s]);
-    db_.Add(db_part[s]);
+    const double* base = partials.data() + s * stride;
+    la::AxpyN(dw_.data().data(), base, 1.0, wsz);
+    la::AxpyN(db_.RowPtr(0), base + wsz, 1.0, bsz);
   }
   return grad_input;
 }

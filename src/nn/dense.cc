@@ -35,12 +35,12 @@ la::Matrix Dense::Forward(const la::Matrix& input, bool training) {
 la::Matrix Dense::Backward(const la::Matrix& grad_output) {
   assert(grad_output.cols() == out_features_);
   assert(input_.rows() == grad_output.rows());
-  dw_ = la::MatMulTransA(input_, grad_output, par_);
+  // Into-variant reuses dw_'s storage: no allocation per minibatch.
+  la::MatMulTransAInto(input_, grad_output, &dw_, par_);
   db_.Fill(0.0);
   double* db = db_.RowPtr(0);
   for (size_t r = 0; r < grad_output.rows(); ++r) {
-    const double* g = grad_output.RowPtr(r);
-    for (size_t c = 0; c < out_features_; ++c) db[c] += g[c];
+    la::AxpyN(db, grad_output.RowPtr(r), 1.0, out_features_);
   }
   return la::MatMulTransB(grad_output, w_, par_);
 }

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/time.h"
+#include "la/vector_ops.h"
 #include "nn/activations.h"
 #include "nn/loss.h"
 #include "nn/serialize.h"
@@ -241,7 +242,10 @@ StatusOr<FitHistory> Model::Fit(const la::Matrix& x,
       if (options.clip_norm > 0.0) {
         double sq = 0.0;
         for (const Param& p : params) {
-          for (double g : p.grad->data()) sq += g * g;
+          // DotN's init seed keeps one accumulation chain across all
+          // params, matching the legacy single-loop sum bitwise.
+          const double* g = p.grad->data().data();
+          sq = la::DotN(g, g, p.grad->size(), sq);
         }
         double norm = std::sqrt(sq);
         if (norm > options.clip_norm) {
