@@ -1,13 +1,19 @@
-// Ablation: pipeline durability under storage faults. For each storage
-// fault level the supervised pipeline is repeatedly killed at a seeded
-// crash point during its snapshot writes, "rebooted", recovered from the
-// newest intact snapshot generation, and rerun. Reports how often recovery
-// restored a usable store, how many stages the ledger let the rerun skip
-// (recomputation avoided), and whether the spliced outputs stayed exactly
-// identical to an uninterrupted fault-free run.
+// Ablation: pipeline durability under storage faults, plus the storage
+// engine v2 headline — WAL group-commit sync vs full snapshot rewrite for a
+// small delta. Stage one kills the supervised pipeline at seeded crash
+// points during its snapshot writes, "reboots", recovers from the newest
+// intact snapshot generation, and reruns; it reports how often recovery
+// restored a usable store, how many stages the ledger let the rerun skip,
+// and whether the spliced outputs stayed exactly identical to an
+// uninterrupted fault-free run. Stage two (`wal_vs_snapshot`) measures the
+// bytes each durability strategy pays to persist a 1% document delta and
+// gates on the WAL being at least 5x cheaper. Results land in
+// BENCH_durability.json (see --out).
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "bench/harness.h"
 #include "common/table_printer.h"
@@ -18,10 +24,78 @@
 #include "datagen/world.h"
 #include "store/database.h"
 #include "store/json.h"
+#include "store/wal.h"
 
 using namespace newsdiff;
 
 namespace {
+
+/// Forwarding FileIo that meters durability traffic: how many bytes each
+/// strategy actually sends to disk, split by write (snapshot rewrites) and
+/// append (WAL group commits).
+class CountingFileIo : public FileIo {
+ public:
+  explicit CountingFileIo(FileIo& inner) : inner_(&inner) {}
+
+  Status WriteFile(const std::string& path,
+                   const std::string& contents) override {
+    bytes_written_ += contents.size();
+    ++writes_;
+    return inner_->WriteFile(path, contents);
+  }
+  Status AppendFile(const std::string& path,
+                    const std::string& contents) override {
+    bytes_appended_ += contents.size();
+    ++appends_;
+    return inner_->AppendFile(path, contents);
+  }
+  StatusOr<std::string> ReadFile(const std::string& path) override {
+    return inner_->ReadFile(path);
+  }
+  Status Rename(const std::string& from, const std::string& to) override {
+    return inner_->Rename(from, to);
+  }
+  Status Remove(const std::string& path) override {
+    return inner_->Remove(path);
+  }
+  Status CreateDirectories(const std::string& dir) override {
+    return inner_->CreateDirectories(dir);
+  }
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override {
+    return inner_->ListDir(dir);
+  }
+  bool Exists(const std::string& path) override {
+    return inner_->Exists(path);
+  }
+
+  void ResetCounters() {
+    bytes_written_ = bytes_appended_ = 0;
+    writes_ = appends_ = 0;
+  }
+  size_t bytes_written() const { return bytes_written_; }
+  size_t bytes_appended() const { return bytes_appended_; }
+  size_t total_bytes() const { return bytes_written_ + bytes_appended_; }
+
+ private:
+  FileIo* inner_;
+  size_t bytes_written_ = 0;
+  size_t bytes_appended_ = 0;
+  size_t writes_ = 0;
+  size_t appends_ = 0;
+};
+
+/// Stage-two results: the cost of durably persisting a 1% delta.
+struct WalVsSnapshot {
+  size_t docs = 0;
+  size_t delta_docs = 0;
+  size_t snapshot_bytes = 0;  // full SaveToDir generation
+  size_t wal_bytes = 0;       // group-commit appends for the same delta
+  double snapshot_ms = 0.0;
+  double wal_ms = 0.0;
+  double bytes_ratio = 0.0;  // snapshot_bytes / wal_bytes
+};
+
+constexpr double kMinBytesRatio = 5.0;
 
 datagen::World BenchWorld() {
   datagen::WorldOptions opts;
@@ -60,10 +134,132 @@ std::string StageFingerprint(const store::Database& db) {
   return out;
 }
 
+/// One row of the stage-one fault sweep, kept for the JSON report.
+struct SweepRow {
+  double rate = 0.0;
+  size_t kills = 0;
+  size_t recovered = 0;
+  size_t reboots = 0;
+  size_t resumed = 0;
+  size_t computed = 0;
+  size_t gens_skipped = 0;
+  double wall_ms = 0.0;
+  bool exact = true;
+};
+
+/// Stage two: build the store from the bench world, checkpoint it, then
+/// refresh 1% of the documents and compare what each durability strategy
+/// sends to disk — an O(delta) WAL group commit vs an O(store) snapshot
+/// generation.
+StatusOr<WalVsSnapshot> RunWalVsSnapshot(datagen::World& world,
+                                         const std::filesystem::path& root) {
+  namespace fs = std::filesystem;
+  WalVsSnapshot r;
+
+  CountingFileIo wal_io(DefaultFileIo());
+  const std::string wal_dir = (root / "wal_vs_snapshot").string();
+  fs::remove_all(wal_dir);
+  store::Database db;
+  world.LoadInto(db);
+  store::WalOptions wal;
+  wal.io = &wal_io;
+  store::SnapshotOptions snapshot;
+  snapshot.io = &wal_io;
+  NEWSDIFF_RETURN_IF_ERROR(db.AttachWal(wal_dir, wal));
+  NEWSDIFF_RETURN_IF_ERROR(db.Checkpoint(snapshot));  // generation 1 baseline
+
+  for (const std::string& name : db.CollectionNames()) {
+    r.docs += db.Get(name)->size();
+  }
+  r.delta_docs = r.docs / 100;  // the 1% refresh
+  if (r.delta_docs == 0) r.delta_docs = 1;
+
+  // The delta: a metadata touch on 1% of the tweets (the paper's two-hour
+  // refresh updates engagement counts on already-crawled documents).
+  store::Collection& tweets = db.GetOrCreate("tweets");
+  std::vector<store::DocId> ids;
+  tweets.ForEach(store::Filter(),
+                 [&](store::DocId id, const store::Value&) {
+                   ids.push_back(id);
+                   return ids.size() < r.delta_docs;
+                 });
+
+  wal_io.ResetCounters();
+  Status synced = Status::OK();
+  r.wal_ms = 1000.0 * bench::TimedSeconds([&] {
+    for (store::DocId id : ids) {
+      tweets.UpdateSet(
+          store::Filter().Eq("_id", store::Value(static_cast<int64_t>(id))),
+          "bench_touch", store::Value(static_cast<int64_t>(1)));
+    }
+    synced = db.WalSync();
+  });
+  NEWSDIFF_RETURN_IF_ERROR(synced);
+  r.wal_bytes = wal_io.total_bytes();
+
+  // The same store persisted the snapshot way: one full generation.
+  CountingFileIo snap_io(DefaultFileIo());
+  const std::string snap_dir = (root / "snapshot_path").string();
+  fs::remove_all(snap_dir);
+  store::SnapshotOptions full;
+  full.io = &snap_io;
+  Status saved = Status::OK();
+  r.snapshot_ms = 1000.0 * bench::TimedSeconds(
+                               [&] { saved = db.SaveToDir(snap_dir, full); });
+  NEWSDIFF_RETURN_IF_ERROR(saved);
+  r.snapshot_bytes = snap_io.total_bytes();
+
+  r.bytes_ratio = r.wal_bytes > 0 ? static_cast<double>(r.snapshot_bytes) /
+                                        static_cast<double>(r.wal_bytes)
+                                  : 0.0;
+  return r;
+}
+
+bool WriteJson(const std::vector<SweepRow>& sweep, const WalVsSnapshot& w,
+               bool gates_ok, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"gate_min_bytes_ratio\": %.1f,\n", kMinBytesRatio);
+  std::fprintf(f, "  \"gates_ok\": %s,\n", gates_ok ? "true" : "false");
+  std::fprintf(f, "  \"wal_vs_snapshot\": {\n");
+  std::fprintf(f, "    \"docs\": %zu,\n", w.docs);
+  std::fprintf(f, "    \"delta_docs\": %zu,\n", w.delta_docs);
+  std::fprintf(f, "    \"snapshot_bytes\": %zu,\n", w.snapshot_bytes);
+  std::fprintf(f, "    \"wal_bytes\": %zu,\n", w.wal_bytes);
+  std::fprintf(f, "    \"bytes_ratio\": %.1f,\n", w.bytes_ratio);
+  std::fprintf(f, "    \"snapshot_ms\": %.2f,\n", w.snapshot_ms);
+  std::fprintf(f, "    \"wal_ms\": %.2f\n", w.wal_ms);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"fault_sweep\": [\n");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepRow& s = sweep[i];
+    std::fprintf(f,
+                 "    {\"fault_rate\": %.2f, \"kills\": %zu, "
+                 "\"recovered\": %zu, \"reboots\": %zu, \"resumed\": %zu, "
+                 "\"recomputed\": %zu, \"gens_skipped\": %zu, "
+                 "\"wall_ms\": %.1f, \"outputs_exact\": %s}%s\n",
+                 s.rate, s.kills, s.recovered, s.reboots, s.resumed,
+                 s.computed, s.gens_skipped, s.wall_ms,
+                 s.exact ? "true" : "false",
+                 i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   namespace fs = std::filesystem;
+  std::string out_path = "BENCH_durability.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
   std::printf("=== Ablation: pipeline durability vs storage fault rate "
               "===\n\n");
 
@@ -98,6 +294,7 @@ int main() {
       fs::temp_directory_path() / "newsdiff_ablation_durability";
   fs::remove_all(root);
 
+  std::vector<SweepRow> sweep;
   TablePrinter table({"Fault rate", "Kills", "Recovered", "Reboots",
                       "Stages resumed", "Stages recomputed", "Gens skipped",
                       "Wall ms", "Outputs"});
@@ -173,12 +370,57 @@ int main() {
                   std::to_string(total_reboots), resumed_buf,
                   std::to_string(computed), std::to_string(gens_skipped),
                   wall_buf, all_exact ? "exact" : "DIVERGED"});
+    SweepRow row;
+    row.rate = rate;
+    row.kills = kills;
+    row.recovered = recovered_runs;
+    row.reboots = total_reboots;
+    row.resumed = resumed;
+    row.computed = computed;
+    row.gens_skipped = gens_skipped;
+    row.wall_ms = wall_ms;
+    row.exact = all_exact;
+    sweep.push_back(row);
   }
   table.Print();
   std::printf(
       "\nStages resumed = ledger entries honoured after reboot (NMF/MABED\n"
       "work the rerun did not repeat); recomputed = stages the interrupted\n"
       "run had not yet durably finished.\n");
+
+  std::printf("\n=== wal_vs_snapshot: bytes to persist a 1%% delta ===\n\n");
+  auto wvs = RunWalVsSnapshot(world, root);
+  if (!wvs.ok()) {
+    std::printf("wal_vs_snapshot stage failed: %s\n",
+                wvs.status().ToString().c_str());
+    fs::remove_all(root);
+    return 1;
+  }
+  TablePrinter wtable({"Strategy", "Bytes", "Wall ms"});
+  char snap_ms[24], wal_ms[24];
+  std::snprintf(snap_ms, sizeof(snap_ms), "%.2f", wvs->snapshot_ms);
+  std::snprintf(wal_ms, sizeof(wal_ms), "%.2f", wvs->wal_ms);
+  wtable.AddRow({"snapshot (full generation)",
+                 std::to_string(wvs->snapshot_bytes), snap_ms});
+  wtable.AddRow({"wal (group commit)", std::to_string(wvs->wal_bytes),
+                 wal_ms});
+  wtable.Print();
+  std::printf(
+      "\n%zu docs, %zu touched (1%%): WAL syncs %.1fx fewer bytes than a\n"
+      "full snapshot generation (gate: >= %.1fx).\n",
+      wvs->docs, wvs->delta_docs, wvs->bytes_ratio, kMinBytesRatio);
+
+  const bool gates_ok = wvs->bytes_ratio >= kMinBytesRatio;
+  if (!WriteJson(sweep, *wvs, gates_ok, out_path)) {
+    std::printf("failed to write %s\n", out_path.c_str());
+    fs::remove_all(root);
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  if (!gates_ok) {
+    std::printf("GATE FAILED: bytes_ratio %.1f < %.1f\n", wvs->bytes_ratio,
+                kMinBytesRatio);
+  }
   fs::remove_all(root);
-  return 0;
+  return gates_ok ? 0 : 1;
 }

@@ -19,6 +19,16 @@ Status RealFileIo::WriteFile(const std::string& path,
   return Status::OK();
 }
 
+Status RealFileIo::AppendFile(const std::string& path,
+                              const std::string& contents) {
+  std::ofstream out(path, std::ios::app | std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for appending");
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  out.flush();
+  if (!out) return Status::IoError("append failed for " + path);
+  return Status::OK();
+}
+
 StatusOr<std::string> RealFileIo::ReadFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);

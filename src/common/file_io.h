@@ -24,6 +24,13 @@ class FileIo {
   virtual Status WriteFile(const std::string& path,
                            const std::string& contents) = 0;
 
+  /// Appends `contents` to the end of `path`, creating it if absent, and
+  /// flushes. This is the write-ahead log's durability primitive: an OK
+  /// return is the group-commit acknowledgement. The fault injector models
+  /// the ways real disks betray it — torn tails, fsyncs that lie.
+  virtual Status AppendFile(const std::string& path,
+                            const std::string& contents) = 0;
+
   /// Reads the whole file.
   virtual StatusOr<std::string> ReadFile(const std::string& path) = 0;
 
@@ -47,6 +54,8 @@ class RealFileIo : public FileIo {
  public:
   Status WriteFile(const std::string& path,
                    const std::string& contents) override;
+  Status AppendFile(const std::string& path,
+                    const std::string& contents) override;
   StatusOr<std::string> ReadFile(const std::string& path) override;
   Status Rename(const std::string& from, const std::string& to) override;
   Status Remove(const std::string& path) override;

@@ -60,12 +60,68 @@ Status AppendLedger(store::Database& db, const std::string& stage,
 
 }  // namespace
 
+Status PipelineSupervisor::AcquireLeaseIfNeeded() {
+  if (!options_.lease_enabled || options_.snapshot_dir.empty()) {
+    return Status::OK();
+  }
+  if (lease_.has_value()) return Status::OK();
+  store::LeaseOptions lease_options = options_.lease;
+  if (lease_options.io == nullptr) lease_options.io = options_.snapshot.io;
+  if (lease_options.clock == nullptr) lease_options.clock = options_.clock;
+  FileIo& io = lease_options.io != nullptr ? *lease_options.io
+                                           : DefaultFileIo();
+  NEWSDIFF_RETURN_IF_ERROR(io.CreateDirectories(options_.snapshot_dir));
+  StatusOr<store::Lease> lease =
+      store::Lease::Acquire(options_.snapshot_dir, lease_options);
+  if (!lease.ok()) return lease.status();
+  lease_.emplace(std::move(lease).value());
+  NEWSDIFF_LOG(Info) << "supervisor: acquired lease on "
+                     << options_.snapshot_dir << " (token "
+                     << lease_->token() << ")";
+  return Status::OK();
+}
+
+Status PipelineSupervisor::RenewLease() {
+  if (!lease_.has_value()) return Status::OK();
+  return lease_->Renew();
+}
+
+store::WalOptions PipelineSupervisor::GatedWalOptions() {
+  store::WalOptions wal = options_.wal;
+  if (wal.io == nullptr) wal.io = options_.snapshot.io;
+  if (wal.clock == nullptr) wal.clock = options_.clock;
+  if (options_.lease_enabled && !wal.write_gate) {
+    // The gate outlives nothing: the supervisor owns both the lease and
+    // (via the Database the caller passes around) nothing else captures it.
+    wal.write_gate = [this]() {
+      return lease_.has_value() ? lease_->Check() : Status::OK();
+    };
+  }
+  return wal;
+}
+
 Status PipelineSupervisor::Recover(store::Database& db) {
   report_ = SupervisorReport{};
   if (options_.snapshot_dir.empty()) return Status::OK();
   FileIo& io =
       options_.snapshot.io != nullptr ? *options_.snapshot.io : DefaultFileIo();
-  if (!io.Exists(options_.snapshot_dir)) return Status::OK();  // first run
+  const bool first_run = !io.Exists(options_.snapshot_dir);
+  // Exclusivity comes first: recovery replays the log and (in WAL mode)
+  // attaches the write path, so no second writer may be active.
+  NEWSDIFF_RETURN_IF_ERROR(AcquireLeaseIfNeeded());
+  if (first_run) return Status::OK();
+  if (options_.use_wal) {
+    NEWSDIFF_RETURN_IF_ERROR(db.RecoverWal(options_.snapshot_dir,
+                                           options_.snapshot, GatedWalOptions(),
+                                           &report_.recovery));
+    report_.recovered = true;
+    NEWSDIFF_LOG(Info) << "supervisor: recovered checkpoint generation "
+                       << report_.recovery.generation << " + "
+                       << report_.recovery.wal_records_replayed
+                       << " replayed wal records from "
+                       << options_.snapshot_dir;
+    return Status::OK();
+  }
   NEWSDIFF_RETURN_IF_ERROR(db.LoadFromDir(
       options_.snapshot_dir, options_.snapshot, &report_.recovery));
   report_.recovered = true;
@@ -98,6 +154,18 @@ StatusOr<PipelineResult> PipelineSupervisor::Run(
   Clock* clock = options_.clock != nullptr ? options_.clock : &system_clock;
   const size_t max_attempts =
       options_.max_stage_attempts == 0 ? 1 : options_.max_stage_attempts;
+
+  NEWSDIFF_RETURN_IF_ERROR(AcquireLeaseIfNeeded());
+  const bool wal_mode = options_.use_wal && !options_.snapshot_dir.empty();
+  if (wal_mode && !db.wal_attached()) {
+    // Fresh store (no Recover, or first run): everything inserted so far —
+    // the crawl — predates logging, so attach and immediately checkpoint.
+    // From here on, every mutation hits the log before memory.
+    NEWSDIFF_RETURN_IF_ERROR(
+        db.AttachWal(options_.snapshot_dir, GatedWalOptions()));
+    NEWSDIFF_RETURN_IF_ERROR(RenewLease());
+    NEWSDIFF_RETURN_IF_ERROR(db.Checkpoint(options_.snapshot));
+  }
 
   PipelineResult result;
   NEWSDIFF_RETURN_IF_ERROR(pipeline_.LoadInputs(db, &result));
@@ -178,17 +246,44 @@ StatusOr<PipelineResult> PipelineSupervisor::Run(
     }
     if (!status.ok()) return status;
 
-    // Durability, in dependency order: stage outputs + ledger entry land in
-    // the store first, then the whole store is snapshotted. A crash between
-    // the two loses only this stage's completion record, never corrupts.
+    // Durability, in dependency order. The lease is renewed first so a
+    // fenced writer fails here instead of publishing. In WAL mode the
+    // outputs and the completion record get *separate* syncs: per-
+    // collection logs flush independently, so one sync covering both could
+    // crash with the ledger entry durable but the outputs it vouches for
+    // still pending — a resume would then trust incomplete outputs. Split,
+    // a crash can only leave outputs without a ledger entry, and the stage
+    // recomputes deterministically. Snapshot mode needs no such care: the
+    // whole-store save commits atomically at the manifest rename.
+    NEWSDIFF_RETURN_IF_ERROR(RenewLease());
     NEWSDIFF_RETURN_IF_ERROR(SaveStageOutput(stage, result, db));
-    NEWSDIFF_RETURN_IF_ERROR(AppendLedger(db, stage, sig, i));
-    if (!options_.snapshot_dir.empty()) {
-      NEWSDIFF_RETURN_IF_ERROR(
-          db.SaveToDir(options_.snapshot_dir, options_.snapshot));
+    if (wal_mode) {
+      NEWSDIFF_RETURN_IF_ERROR(db.WalSync());
+      NEWSDIFF_RETURN_IF_ERROR(AppendLedger(db, stage, sig, i));
+      NEWSDIFF_RETURN_IF_ERROR(db.WalSync());
+    } else {
+      NEWSDIFF_RETURN_IF_ERROR(AppendLedger(db, stage, sig, i));
+      if (!options_.snapshot_dir.empty()) {
+        NEWSDIFF_RETURN_IF_ERROR(
+            db.SaveToDir(options_.snapshot_dir, options_.snapshot));
+      }
     }
     report_.stages.push_back(std::move(run));
     ++report_.stages_computed;
+  }
+
+  if (wal_mode) {
+    // Fold the run's log tail into a fresh checkpoint so the next process
+    // recovers from a snapshot plus a short log, not the whole run's log.
+    NEWSDIFF_RETURN_IF_ERROR(RenewLease());
+    NEWSDIFF_RETURN_IF_ERROR(db.Checkpoint(options_.snapshot));
+  }
+  if (lease_.has_value()) {
+    // Clean exit: hand the directory to the next writer immediately. Error
+    // paths above deliberately keep the lease — it expires on its own, the
+    // crash-takeover contract.
+    NEWSDIFF_RETURN_IF_ERROR(lease_->Release());
+    lease_.reset();
   }
 
   NEWSDIFF_LOG(Info) << "supervisor: " << report_.stages_resumed

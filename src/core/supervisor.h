@@ -2,6 +2,7 @@
 #define NEWSDIFF_CORE_SUPERVISOR_H_
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -9,7 +10,9 @@
 #include "common/status.h"
 #include "core/pipeline.h"
 #include "store/database.h"
+#include "store/lease.h"
 #include "store/snapshot.h"
+#include "store/wal.h"
 
 namespace newsdiff::core {
 
@@ -48,6 +51,26 @@ struct SupervisorOptions {
   /// non-OK return is treated as that attempt failing.
   std::function<Status(const std::string& stage, size_t attempt)>
       stage_fault_hook;
+  /// Storage engine v2: log every store mutation to a per-collection
+  /// write-ahead log, and make per-stage durability an O(delta) group-
+  /// commit sync instead of a full snapshot rewrite. Recover() replays the
+  /// log tail on top of the newest intact checkpoint; Run() takes a full
+  /// checkpoint (snapshot + log rotation) when it first attaches to an
+  /// unlogged store and again when the pipeline completes. Ignored when
+  /// snapshot_dir is empty.
+  bool use_wal = false;
+  store::WalOptions wal;
+  /// Multi-writer exclusion: acquire an owner-stamped lease on
+  /// snapshot_dir before Recover()/Run() touch the store, renew it before
+  /// each stage's durable step, and release it on clean exit only (a
+  /// crashed holder's lease expires on its own). A second supervisor
+  /// pointed at the same directory fails fast with kUnavailable, waits up
+  /// to lease.wait_ms, or takes over an expired lease — its fencing token
+  /// then makes the stale writer's next sync fail instead of interleaving
+  /// writes. lease.io / lease.clock default to the snapshot seam and
+  /// `clock` above when unset.
+  bool lease_enabled = false;
+  store::LeaseOptions lease;
 };
 
 /// What happened to one stage during a supervised run.
@@ -88,15 +111,27 @@ class PipelineSupervisor {
 
   const SupervisorReport& report() const { return report_; }
 
+  /// The lease currently held (empty when lease_enabled is off or none is
+  /// held). Exposed for tests.
+  const std::optional<store::Lease>& lease() const { return lease_; }
+
  private:
   /// Dispatches to the Pipeline stage method named `stage`.
   Status RunStage(const std::string& stage,
                   const embed::PretrainedStore& store,
                   PipelineResult* result) const;
 
+  /// Acquires the writer lease when configured and not already held.
+  Status AcquireLeaseIfNeeded();
+  /// Renews the held lease, if any; kFailedPrecondition when fenced.
+  Status RenewLease();
+  /// WAL options with the fencing write gate wired to the held lease.
+  store::WalOptions GatedWalOptions();
+
   Pipeline pipeline_;
   SupervisorOptions options_;
   SupervisorReport report_;
+  std::optional<store::Lease> lease_;
 };
 
 }  // namespace newsdiff::core

@@ -153,6 +153,25 @@ FaultyFileIo::FaultyFileIo(FileIo& inner, StorageFaultOptions options)
 void FaultyFileIo::Reboot() {
   counters_.crashed = false;
   options_.crash_after_ops = SIZE_MAX;
+  // Power loss resolves every outstanding fsync lie: bytes past each
+  // path's durable floor were acknowledged but never persisted, so the
+  // "reboot" truncates them away.
+  for (const auto& [path, floor] : durable_floor_) {
+    StatusOr<std::string> contents = inner_->ReadFile(path);
+    if (!contents.ok() || contents->size() <= floor) continue;
+    inner_->WriteFile(path, contents->substr(0, floor));
+  }
+  durable_floor_.clear();
+}
+
+void FaultyFileIo::MarkDurable(const std::string& path) {
+  durable_floor_.erase(path);
+}
+
+void FaultyFileIo::NoteVolatileFloor(const std::string& path) {
+  if (durable_floor_.count(path) > 0) return;  // floor already recorded
+  StatusOr<std::string> contents = inner_->ReadFile(path);
+  durable_floor_[path] = contents.ok() ? contents->size() : 0;
 }
 
 Status FaultyFileIo::ChargeOp(const std::string* torn_target,
@@ -176,7 +195,14 @@ Status FaultyFileIo::ChargeOp(const std::string* torn_target,
 
 Status FaultyFileIo::WriteFile(const std::string& path,
                                const std::string& contents) {
-  NEWSDIFF_RETURN_IF_ERROR(ChargeOp(&path, &contents));
+  const bool was_crashed = counters_.crashed;
+  Status crash = ChargeOp(&path, &contents);
+  if (!crash.ok()) {
+    // The op that trips the crash replaces the file with a torn prefix, so
+    // any unsynced tail from an earlier lying append is gone with it.
+    if (!was_crashed && !contents.empty()) MarkDurable(path);
+    return crash;
+  }
   if (rng_.Bernoulli(options_.write_failure_rate)) {
     ++counters_.write_failures;
     if (!contents.empty() && rng_.Bernoulli(0.5)) {
@@ -184,9 +210,12 @@ Status FaultyFileIo::WriteFile(const std::string& path,
       inner_->WriteFile(path,
                         contents.substr(0, rng_.NextBelow(contents.size())));
       ++counters_.torn_writes;
+      MarkDurable(path);
     }
     return Status::IoError("injected write failure for " + path);
   }
+  // Every remaining branch rewrites the file, replacing any unsynced tail.
+  MarkDurable(path);
   if (!contents.empty() && rng_.Bernoulli(options_.lost_tail_rate)) {
     // Reported as durable, but the tail never hit the platter.
     ++counters_.lost_tails;
@@ -208,6 +237,53 @@ Status FaultyFileIo::WriteFile(const std::string& path,
   return inner_->WriteFile(path, contents);
 }
 
+Status FaultyFileIo::AppendFile(const std::string& path,
+                                const std::string& contents) {
+  const bool was_crashed = counters_.crashed;
+  Status crash = ChargeOp();
+  if (!crash.ok()) {
+    if (!was_crashed && !contents.empty()) {
+      // The crashing append tears: a prefix of the chunk lands beyond any
+      // durable floor already recorded, so Reboot() reaps it too.
+      NoteVolatileFloor(path);
+      inner_->AppendFile(path,
+                         contents.substr(0, rng_.NextBelow(contents.size())));
+      ++counters_.torn_writes;
+    }
+    return crash;
+  }
+  ++counters_.appends;
+  if (rng_.Bernoulli(options_.append_failure_rate)) {
+    ++counters_.append_failures;
+    if (!contents.empty()) {
+      // Reported failed, but a torn tail landed (and was never synced).
+      NoteVolatileFloor(path);
+      inner_->AppendFile(path,
+                         contents.substr(0, rng_.NextBelow(contents.size())));
+      ++counters_.torn_writes;
+    }
+    return Status::IoError("injected append failure for " + path);
+  }
+  if (!contents.empty() && rng_.Bernoulli(options_.append_lie_rate)) {
+    // fsync lie: acked, visible to reads, dropped by Reboot().
+    ++counters_.append_lies;
+    NoteVolatileFloor(path);
+    return inner_->AppendFile(path, contents);
+  }
+  if (!contents.empty() && rng_.Bernoulli(options_.partial_append_rate)) {
+    // Acked as durable, but the chunk's tail silently never landed.
+    ++counters_.partial_appends;
+    ++counters_.torn_writes;
+    Status s = inner_->AppendFile(
+        path, contents.substr(0, rng_.NextBelow(contents.size())));
+    if (s.ok()) MarkDurable(path);  // what did land was genuinely synced
+    return s;
+  }
+  Status s = inner_->AppendFile(path, contents);
+  if (s.ok()) MarkDurable(path);  // a real fsync flushes earlier lies too
+  return s;
+}
+
 StatusOr<std::string> FaultyFileIo::ReadFile(const std::string& path) {
   NEWSDIFF_RETURN_IF_ERROR(ChargeOp());
   if (rng_.Bernoulli(options_.read_failure_rate)) {
@@ -223,12 +299,24 @@ Status FaultyFileIo::Rename(const std::string& from, const std::string& to) {
     ++counters_.rename_failures;
     return Status::IoError("injected rename failure: " + from + " -> " + to);
   }
-  return inner_->Rename(from, to);
+  Status s = inner_->Rename(from, to);
+  if (s.ok()) {
+    // The unsynced-tail bookkeeping follows the file to its new name.
+    auto it = durable_floor_.find(from);
+    durable_floor_.erase(to);
+    if (it != durable_floor_.end()) {
+      durable_floor_[to] = it->second;
+      durable_floor_.erase(it);
+    }
+  }
+  return s;
 }
 
 Status FaultyFileIo::Remove(const std::string& path) {
   NEWSDIFF_RETURN_IF_ERROR(ChargeOp());
-  return inner_->Remove(path);
+  Status s = inner_->Remove(path);
+  if (s.ok()) durable_floor_.erase(path);
+  return s;
 }
 
 Status FaultyFileIo::CreateDirectories(const std::string& dir) {

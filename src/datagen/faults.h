@@ -2,6 +2,7 @@
 #define NEWSDIFF_DATAGEN_FAULTS_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -156,6 +157,17 @@ struct StorageFaultOptions {
   double rename_failure_rate = 0.0;
   /// ReadFile / ListDir fails (unreadable file or directory).
   double read_failure_rate = 0.0;
+  /// AppendFile reports failure and leaves a torn tail: a prefix of the
+  /// appended chunk landed before the failure (power loss mid-append).
+  double append_failure_rate = 0.0;
+  /// fsync-that-lies: AppendFile reports success and the bytes are visible
+  /// to reads (page cache), but they were never persisted — Reboot() drops
+  /// them. A later successful append to the same path flushes them for
+  /// real (the next fsync covers the whole file).
+  double append_lie_rate = 0.0;
+  /// AppendFile reports success but only a prefix of the chunk actually
+  /// lands, durably — a silent hole at the end of the log.
+  double partial_append_rate = 0.0;
   /// Hard crash: after this many intercepted operations every call fails.
   /// If the crashing operation is a write, a torn prefix is left behind —
   /// exactly what a killed process leaves on disk.
@@ -170,6 +182,10 @@ struct StorageFaultCounters {
   size_t bit_flips = 0;
   size_t rename_failures = 0;
   size_t read_failures = 0;
+  size_t appends = 0;          // AppendFile calls intercepted
+  size_t append_failures = 0;  // reported-failed appends (torn tail left)
+  size_t append_lies = 0;      // acked appends whose bytes Reboot() drops
+  size_t partial_appends = 0;  // acked appends that silently lost a tail
   bool crashed = false;
 };
 
@@ -179,6 +195,8 @@ class FaultyFileIo : public FileIo {
 
   Status WriteFile(const std::string& path,
                    const std::string& contents) override;
+  Status AppendFile(const std::string& path,
+                    const std::string& contents) override;
   StatusOr<std::string> ReadFile(const std::string& path) override;
   Status Rename(const std::string& from, const std::string& to) override;
   Status Remove(const std::string& path) override;
@@ -190,6 +208,8 @@ class FaultyFileIo : public FileIo {
   const StorageFaultOptions& options() const { return options_; }
 
   /// Clears the crash so the same instance can model a process restart.
+  /// Bytes acknowledged by a lying append but never truly persisted are
+  /// dropped here — that is the moment the lie becomes data loss.
   void Reboot();
 
  private:
@@ -199,10 +219,22 @@ class FaultyFileIo : public FileIo {
   Status ChargeOp(const std::string* torn_target = nullptr,
                   const std::string* contents = nullptr);
 
+  /// Marks everything currently in `path` as durable (a genuine fsync
+  /// happened); clears its floor entry.
+  void MarkDurable(const std::string& path);
+  /// Records `path`'s current size as its durable floor if it has none:
+  /// bytes landing beyond the floor are page-cache-only until the next
+  /// genuine sync, and Reboot() truncates back to the floor.
+  void NoteVolatileFloor(const std::string& path);
+
   FileIo* inner_;
   StorageFaultOptions options_;
   Rng rng_;
   StorageFaultCounters counters_;
+  /// path -> durable size floor. Present only for paths with acknowledged
+  /// but unpersisted tail bytes (fsync lies); Reboot() truncates each such
+  /// file to its floor, turning the lie into visible data loss.
+  std::map<std::string, size_t> durable_floor_;
 };
 
 }  // namespace newsdiff::datagen

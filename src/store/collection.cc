@@ -90,6 +90,7 @@ StatusOr<DocId> Collection::Insert(Value doc) {
   }
   DocId id = static_cast<DocId>(slots_.size());
   doc.Set("_id", Value(id));
+  if (observer_ != nullptr) observer_->OnPut(*this, id, doc);
   IndexInsert(id, doc);
   slots_.push_back({std::move(doc), true});
   ++live_count_;
@@ -225,6 +226,13 @@ size_t Collection::UpdateSet(const Filter& filter, const std::string& field,
   for (DocId id : cands) {
     Slot& slot = slots_[static_cast<size_t>(id)];
     if (!slot.live || !filter.Matches(slot.doc)) continue;
+    if (observer_ != nullptr) {
+      // Log-before-apply: hand the observer the post-image this update
+      // will produce, then mutate.
+      Value post = slot.doc;
+      post.Set(field, v);
+      observer_->OnPut(*this, id, post);
+    }
     IndexRemove(id, slot.doc);
     slot.doc.Set(field, v);
     IndexInsert(id, slot.doc);
@@ -244,8 +252,9 @@ StatusOr<DocId> Collection::Upsert(const Filter& filter, Value doc) {
   });
   if (target < 0) return Insert(std::move(doc));
   Slot& slot = slots_[static_cast<size_t>(target)];
-  IndexRemove(target, slot.doc);
   doc.Set("_id", Value(target));
+  if (observer_ != nullptr) observer_->OnPut(*this, target, doc);
+  IndexRemove(target, slot.doc);
   slot.doc = std::move(doc);
   IndexInsert(target, slot.doc);
   return target;
@@ -258,6 +267,7 @@ size_t Collection::Remove(const Filter& filter) {
   for (DocId id : cands) {
     Slot& slot = slots_[static_cast<size_t>(id)];
     if (!slot.live || !filter.Matches(slot.doc)) continue;
+    if (observer_ != nullptr) observer_->OnDelete(*this, id);
     IndexRemove(id, slot.doc);
     slot.live = false;
     slot.doc = Value();
@@ -284,6 +294,39 @@ bool Collection::HasIndex(const std::string& field) const {
 }
 
 std::vector<Value> Collection::All() const { return Find(Filter()); }
+
+Status Collection::RestorePut(DocId id, Value doc) {
+  if (id < 0) return Status::InvalidArgument("RestorePut: negative id");
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("RestorePut requires an object document");
+  }
+  PadSlots(static_cast<size_t>(id) + 1);
+  Slot& slot = slots_[static_cast<size_t>(id)];
+  doc.Set("_id", Value(id));
+  if (slot.live) {
+    IndexRemove(id, slot.doc);
+  } else {
+    slot.live = true;
+    ++live_count_;
+  }
+  slot.doc = std::move(doc);
+  IndexInsert(id, slot.doc);
+  return Status::OK();
+}
+
+void Collection::RestoreDelete(DocId id) {
+  if (id < 0 || static_cast<size_t>(id) >= slots_.size()) return;
+  Slot& slot = slots_[static_cast<size_t>(id)];
+  if (!slot.live) return;
+  IndexRemove(id, slot.doc);
+  slot.live = false;
+  slot.doc = Value();
+  --live_count_;
+}
+
+void Collection::PadSlots(size_t n) {
+  if (slots_.size() < n) slots_.resize(n);
+}
 
 void Collection::IndexInsert(DocId id, const Value& doc) {
   for (auto& [field, index] : indexes_) {

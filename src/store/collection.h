@@ -60,6 +60,26 @@ class Filter {
 /// Document id assigned by the collection on insert.
 using DocId = int64_t;
 
+class Collection;
+
+/// Mutation hook for write-ahead logging. The collection invokes the
+/// observer *before* touching its in-memory state, with the post-image the
+/// mutation will produce — append-to-log-then-apply ordering. Callbacks are
+/// infallible by design: the WAL binding only buffers here; durability
+/// errors surface at the group-commit sync, not at the mutation site.
+class CollectionObserver {
+ public:
+  virtual ~CollectionObserver() = default;
+
+  /// `doc` is the full post-image (with "_id" set) about to occupy slot
+  /// `id` — an insert, upsert replacement, or field update alike.
+  virtual void OnPut(const Collection& collection, DocId id,
+                     const Value& doc) = 0;
+
+  /// The document in slot `id` is about to be removed.
+  virtual void OnDelete(const Collection& collection, DocId id) = 0;
+};
+
 /// Query modifiers for Find: sorting, pagination, and projection
 /// (mirroring MongoDB's sort/skip/limit/projection options).
 struct FindOptions {
@@ -85,6 +105,16 @@ class Collection {
 
   const std::string& name() const { return name_; }
   size_t size() const { return live_count_; }
+
+  /// Total slots ever assigned (live + dead). Ids are never reused, so this
+  /// is also the next id Insert would assign — the WAL records it in each
+  /// segment header so recovery reproduces id assignment bit for bit.
+  size_t slot_count() const { return slots_.size(); }
+
+  /// Installs (or clears, with nullptr) the mutation observer. The observer
+  /// must outlive the collection or be cleared first.
+  void SetObserver(CollectionObserver* observer) { observer_ = observer; }
+  CollectionObserver* observer() const { return observer_; }
 
   /// Inserts `doc` (must be an object). A fresh "_id" field is added
   /// (replacing any caller-provided one). Returns the id.
@@ -139,6 +169,23 @@ class Collection {
   /// All live documents in insertion order (copies).
   std::vector<Value> All() const;
 
+  /// WAL-replay restore path: places `doc` in slot `id` exactly (padding
+  /// dead slots as needed), preserving the id assignment of the original
+  /// run. Unlike Insert, never renumbers and never notifies the observer —
+  /// replayed records must not be re-logged. Replaying a record whose
+  /// effect is already present is a no-op (physical records are
+  /// idempotent).
+  Status RestorePut(DocId id, Value doc);
+
+  /// WAL-replay counterpart of Remove for a single slot; out-of-range or
+  /// already-dead slots are a no-op (idempotent).
+  void RestoreDelete(DocId id);
+
+  /// Extends the slot vector with dead slots up to `n` total, so the next
+  /// Insert assigns id `n`. Used to restore trailing dead slots that no
+  /// surviving document pins. Never shrinks.
+  void PadSlots(size_t n);
+
  private:
   struct Slot {
     Value doc;
@@ -158,6 +205,7 @@ class Collection {
   std::string name_;
   std::vector<Slot> slots_;  // slot index == DocId
   size_t live_count_ = 0;
+  CollectionObserver* observer_ = nullptr;  // not owned
   // field -> (index key -> doc ids)
   std::unordered_map<std::string,
                      std::unordered_map<std::string, std::vector<DocId>>>

@@ -29,9 +29,11 @@ Status ValidateCollectionName(const std::string& name) {
 
 /// Parses one collection's JSONL bytes into a fresh Collection. `expect_docs`
 /// of SIZE_MAX skips the count check (legacy files carry no manifest).
+/// `preserve_ids` restores each document into the slot its "_id" names (WAL
+/// recovery); otherwise ids are renumbered densely in line order.
 StatusOr<std::unique_ptr<Collection>> ParseCollectionFile(
     const std::string& name, const std::string& contents,
-    const std::string& diag_path, uint64_t expect_docs) {
+    const std::string& diag_path, uint64_t expect_docs, bool preserve_ids) {
   auto coll = std::make_unique<Collection>(name);
   uint64_t docs = 0;
   size_t lineno = 0;
@@ -44,8 +46,24 @@ StatusOr<std::unique_ptr<Collection>> ParseCollectionFile(
       return Status::ParseError(diag_path + ":" + std::to_string(lineno) +
                                 ": " + doc.status().message());
     }
-    StatusOr<DocId> id = coll->Insert(std::move(doc).value());
-    if (!id.ok()) return id.status();
+    if (preserve_ids) {
+      const Value* id_field = doc->Find("_id");
+      if (id_field == nullptr || !id_field->is_int() ||
+          id_field->int_value() < 0) {
+        return Status::ParseError(diag_path + ":" + std::to_string(lineno) +
+                                  ": document lacks a usable _id");
+      }
+      const DocId id = id_field->int_value();
+      if (static_cast<size_t>(id) < coll->slot_count()) {
+        return Status::ParseError(diag_path + ":" + std::to_string(lineno) +
+                                  ": _id " + std::to_string(id) +
+                                  " out of order or duplicated");
+      }
+      NEWSDIFF_RETURN_IF_ERROR(coll->RestorePut(id, std::move(doc).value()));
+    } else {
+      StatusOr<DocId> id = coll->Insert(std::move(doc).value());
+      if (!id.ok()) return id.status();
+    }
     ++docs;
   }
   if (expect_docs != UINT64_MAX && docs != expect_docs) {
@@ -73,6 +91,7 @@ Collection& Database::GetOrCreate(const std::string& name) {
   auto it = collections_.find(name);
   if (it == collections_.end()) {
     it = collections_.emplace(name, std::make_unique<Collection>(name)).first;
+    AttachObserver(*it->second);
   }
   return *it->second;
 }
@@ -88,7 +107,11 @@ const Collection* Database::Get(const std::string& name) const {
 }
 
 bool Database::Drop(const std::string& name) {
-  return collections_.erase(name) > 0;
+  auto it = collections_.find(name);
+  if (it == collections_.end()) return false;
+  if (wal_ != nullptr) LogDrop(*it->second);
+  collections_.erase(it);
+  return true;
 }
 
 std::vector<std::string> Database::CollectionNames() const {
@@ -170,6 +193,21 @@ void Database::GarbageCollect(const std::string& dir, FileIo& io,
       generations.begin(),
       generations.begin() +
           std::min(retain_generations, generations.size()));
+
+  // WAL pinning: a log segment's records only make sense on top of the
+  // checkpoint generation they are based on. Deleting that generation
+  // while its segments survive would strand them, so any base generation a
+  // segment still references stays retained even past the retention count.
+  const std::set<uint64_t> all_generations(generations.begin(),
+                                           generations.end());
+  for (const std::string& name : *listing) {
+    std::string wal_collection;
+    uint64_t wal_base = 0, wal_part = 0;
+    if (ParseWalSegmentFileName(name, &wal_collection, &wal_base, &wal_part) &&
+        all_generations.count(wal_base) > 0) {
+      retained.insert(wal_base);
+    }
+  }
 
   std::set<std::string> referenced;
   for (uint64_t gen : retained) {
@@ -254,7 +292,8 @@ Status Database::LoadFromDir(const std::string& dir,
           break;
         }
         StatusOr<std::unique_ptr<Collection>> coll = ParseCollectionFile(
-            entry.collection, *contents, path, entry.docs);
+            entry.collection, *contents, path, entry.docs,
+            options.preserve_doc_ids);
         if (!coll.ok()) {
           verdict = coll.status();
           break;
@@ -265,6 +304,7 @@ Status Database::LoadFromDir(const std::string& dir,
 
     if (verdict.ok()) {
       for (auto& [name, coll] : staged) {
+        AttachObserver(*coll);
         collections_[name] = std::move(coll);
       }
       report->generation = gen;
@@ -286,6 +326,256 @@ Status Database::LoadFromDir(const std::string& dir,
   return Status::IoError("no intact snapshot generation in " + dir + detail);
 }
 
+/// CollectionObserver that turns mutations into WAL records. Heap-allocated
+/// and owned by the Database so the observer pointer installed in each
+/// collection stays valid across Database moves.
+struct Database::WalBinding : public CollectionObserver {
+  WalWriter writer;
+
+  WalBinding(std::string dir, WalOptions options)
+      : writer(std::move(dir), std::move(options)) {}
+
+  // Buffering cannot fail; a non-OK status from LogPut/LogDelete is a
+  // group-commit sync failure. The records stay pending (the writer moved
+  // them to a fresh segment part), and the error resurfaces at the next
+  // WalSync()/Checkpoint(), where the caller can act on it.
+  void OnPut(const Collection& collection, DocId id,
+             const Value& doc) override {
+    writer.OpenSegment(collection.name(), collection.slot_count());
+    Status logged = writer.LogPut(collection.name(), id, doc);
+    (void)logged;
+  }
+
+  void OnDelete(const Collection& collection, DocId id) override {
+    writer.OpenSegment(collection.name(), collection.slot_count());
+    Status logged = writer.LogDelete(collection.name(), id);
+    (void)logged;
+  }
+};
+
+Database::Database() = default;
+Database::~Database() = default;
+Database::Database(Database&&) noexcept = default;
+Database& Database::operator=(Database&&) noexcept = default;
+
+void Database::AttachObserver(Collection& collection) {
+  if (wal_ != nullptr) collection.SetObserver(wal_.get());
+}
+
+void Database::LogDrop(Collection& collection) {
+  wal_->writer.OpenSegment(collection.name(), collection.slot_count());
+  Status logged = wal_->writer.LogDrop(collection.name());
+  (void)logged;
+}
+
+WalWriter* Database::wal() {
+  return wal_ != nullptr ? &wal_->writer : nullptr;
+}
+
+Status Database::AttachWal(const std::string& dir, const WalOptions& options) {
+  if (wal_ != nullptr) {
+    return Status::FailedPrecondition("a WAL is already attached");
+  }
+  FileIo& io = options.io != nullptr ? *options.io : DefaultFileIo();
+  NEWSDIFF_RETURN_IF_ERROR(io.CreateDirectories(dir));
+  StatusOr<std::vector<std::string>> listing = io.ListDir(dir);
+  if (!listing.ok()) return listing.status();
+
+  uint64_t newest_gen = 0;
+  for (const std::string& name : *listing) {
+    uint64_t gen = 0;
+    if (ParseManifestFileName(name, &gen)) {
+      newest_gen = std::max(newest_gen, gen);
+    }
+  }
+  // Never append after a possibly-torn tail: each collection resumes one
+  // part past the newest segment already on disk.
+  std::map<std::string, std::pair<uint64_t, uint64_t>> resume;
+  for (const WalSegmentInfo& segment : ListWalSegments(*listing)) {
+    auto& point = resume[segment.collection];
+    point = std::max(point,
+                     std::make_pair(segment.base_generation, segment.part));
+  }
+
+  wal_ = std::make_unique<WalBinding>(dir, options);
+  wal_->writer.set_base_generation(newest_gen);
+  for (auto& [name, coll] : collections_) {
+    auto it = resume.find(name);
+    if (it != resume.end() && it->second.first >= newest_gen) {
+      wal_->writer.ResumeSegment(name, it->second.first, it->second.second + 1,
+                                 coll->slot_count());
+    } else {
+      // No segments, or only stale ones from before the newest checkpoint —
+      // a fresh segment based on that checkpoint cannot collide with them.
+      wal_->writer.OpenSegment(name, coll->slot_count());
+    }
+    coll->SetObserver(wal_.get());
+  }
+  return Status::OK();
+}
+
+Status Database::WalSync() {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition("no WAL attached");
+  }
+  return wal_->writer.Sync();
+}
+
+Status Database::Checkpoint(const SnapshotOptions& options) {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Checkpoint requires an attached WAL (AttachWal/RecoverWal)");
+  }
+  const std::string dir = wal_->writer.dir();
+  // 1. Everything acknowledged must be durable before the snapshot can
+  //    claim to supersede it.
+  NEWSDIFF_RETURN_IF_ERROR(wal_->writer.Sync());
+  // 2. Commit the new generation. The garbage collector inside pins any
+  //    generation still referenced by a log segment.
+  NEWSDIFF_RETURN_IF_ERROR(SaveToDir(dir, options));
+
+  FileIo& io = options.io != nullptr ? *options.io : DefaultFileIo();
+  StatusOr<std::vector<std::string>> listing = io.ListDir(dir);
+  if (!listing.ok()) return listing.status();
+  std::vector<uint64_t> generations;
+  for (const std::string& name : *listing) {
+    uint64_t gen = 0;
+    if (ParseManifestFileName(name, &gen)) generations.push_back(gen);
+  }
+  if (generations.empty()) {
+    return Status::Internal("checkpoint committed but no manifest found in " +
+                            dir);
+  }
+  std::sort(generations.rbegin(), generations.rend());
+  const uint64_t committed = generations.front();
+
+  // 3. Mark the old segments finished and rotate every collection's log to
+  //    the new base.
+  std::map<std::string, uint64_t> slot_counts;
+  for (const auto& [name, coll] : collections_) {
+    slot_counts[name] = coll->slot_count();
+  }
+  NEWSDIFF_RETURN_IF_ERROR(wal_->writer.Checkpoint(committed, slot_counts));
+
+  // 4. Prune segments whose base fell out of count-based retention. (Not
+  //    "out of the retained set": generations pinned by these very
+  //    segments would keep their own logs alive forever.)
+  size_t keep = options.retain_generations == 0 ? 1 : options.retain_generations;
+  keep = std::min(keep, generations.size());
+  wal_->writer.PruneSegments(generations[keep - 1]);
+  return Status::OK();
+}
+
+Status Database::RecoverWal(const std::string& dir,
+                            const SnapshotOptions& snapshot_options,
+                            const WalOptions& wal_options,
+                            SnapshotLoadReport* report) {
+  if (wal_ != nullptr) {
+    return Status::FailedPrecondition("a WAL is already attached");
+  }
+  SnapshotLoadReport local_report;
+  if (report == nullptr) report = &local_report;
+  FileIo& io =
+      snapshot_options.io != nullptr ? *snapshot_options.io : DefaultFileIo();
+  NEWSDIFF_RETURN_IF_ERROR(io.CreateDirectories(dir));
+  StatusOr<std::vector<std::string>> listing = io.ListDir(dir);
+  if (!listing.ok()) return listing.status();
+
+  bool have_manifest = false;
+  for (const std::string& name : *listing) {
+    uint64_t gen = 0;
+    if (ParseManifestFileName(name, &gen)) have_manifest = true;
+  }
+  if (have_manifest) {
+    // Ids must survive the load verbatim: the log addresses documents by
+    // the ids of the original run.
+    SnapshotOptions load_options = snapshot_options;
+    load_options.preserve_doc_ids = true;
+    NEWSDIFF_RETURN_IF_ERROR(LoadFromDir(dir, load_options, report));
+  }
+  const uint64_t base = report->generation;
+
+  // Replay every intact record from segments based on the loaded
+  // generation or later (later bases appear when a newer checkpoint's
+  // manifest was damaged; full-segment replay of physical records passes
+  // through that checkpoint's state on the way).
+  for (const WalSegmentInfo& segment : ListWalSegments(*listing)) {
+    if (segment.base_generation < base) continue;
+    ++report->wal_segments;
+    StatusOr<std::string> bytes = io.ReadFile(dir + "/" + segment.file);
+    if (!bytes.ok()) {
+      ++report->wal_records_rejected;
+      report->problems.push_back("wal " + segment.file + ": " +
+                                 bytes.status().message());
+      continue;
+    }
+    WalSegmentContents decoded = DecodeWalSegment(*bytes);
+    report->wal_records_truncated += decoded.truncated;
+    report->wal_records_rejected += decoded.rejected;
+    if (!decoded.problem.empty()) {
+      report->problems.push_back("wal " + segment.file + ": " +
+                                 decoded.problem);
+    }
+    if (decoded.records.empty()) continue;
+    // The first record must be this segment's own header; anything else
+    // means the file was renamed or damaged, and none of it can be trusted.
+    const WalRecord& header = decoded.records.front();
+    if (header.type != WalRecord::Type::kSegmentHeader ||
+        header.collection != segment.collection ||
+        header.base_generation != segment.base_generation ||
+        header.part != segment.part) {
+      report->wal_records_rejected += decoded.records.size();
+      report->problems.push_back("wal " + segment.file +
+                                 ": header does not match file name");
+      continue;
+    }
+    GetOrCreate(segment.collection).PadSlots(header.slot_count);
+    for (size_t i = 1; i < decoded.records.size(); ++i) {
+      const WalRecord& record = decoded.records[i];
+      switch (record.type) {
+        case WalRecord::Type::kPut: {
+          StatusOr<Value> doc = ParseJson(record.doc_json);
+          if (!doc.ok() || !doc->is_object()) {
+            // Indistinguishable from bit rot inside a CRC collision; stop
+            // trusting the segment.
+            ++report->wal_records_rejected;
+            report->problems.push_back("wal " + segment.file +
+                                       ": unparseable put document");
+            i = decoded.records.size();
+            break;
+          }
+          NEWSDIFF_RETURN_IF_ERROR(GetOrCreate(segment.collection)
+                                       .RestorePut(record.id,
+                                                   std::move(doc).value()));
+          ++report->wal_records_replayed;
+          break;
+        }
+        case WalRecord::Type::kDelete:
+          GetOrCreate(segment.collection).RestoreDelete(record.id);
+          ++report->wal_records_replayed;
+          break;
+        case WalRecord::Type::kDrop:
+          Drop(segment.collection);
+          ++report->wal_records_replayed;
+          break;
+        case WalRecord::Type::kCheckpoint:
+          // End-of-segment marker; the state it names was captured by that
+          // checkpoint's snapshot. Nothing to apply.
+          break;
+        case WalRecord::Type::kSegmentHeader:
+          // A second header mid-segment is damage.
+          ++report->wal_records_rejected;
+          report->problems.push_back("wal " + segment.file +
+                                     ": unexpected mid-segment header");
+          i = decoded.records.size();
+          break;
+      }
+    }
+  }
+
+  return AttachWal(dir, wal_options);
+}
+
 Status Database::LoadLegacyDir(const std::string& dir, FileIo& io,
                                const std::vector<std::string>& listing,
                                SnapshotLoadReport* report) {
@@ -302,7 +592,8 @@ Status Database::LoadLegacyDir(const std::string& dir, FileIo& io,
     StatusOr<std::string> contents = io.ReadFile(path);
     if (!contents.ok()) return contents.status();
     StatusOr<std::unique_ptr<Collection>> coll =
-        ParseCollectionFile(stem, *contents, path, UINT64_MAX);
+        ParseCollectionFile(stem, *contents, path, UINT64_MAX,
+                            /*preserve_ids=*/false);
     if (!coll.ok()) return coll.status();
     collections_[stem] = std::move(coll).value();
   }

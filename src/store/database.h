@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "store/collection.h"
 #include "store/snapshot.h"
+#include "store/wal.h"
 
 namespace newsdiff::store {
 
@@ -25,12 +26,14 @@ namespace newsdiff::store {
 class Database {
  public:
   /// Creates an empty in-memory database.
-  Database() = default;
+  Database();
+  ~Database();
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
-  Database(Database&&) = default;
-  Database& operator=(Database&&) = default;
+  // Defined out of line: the WAL binding is an incomplete type here.
+  Database(Database&&) noexcept;
+  Database& operator=(Database&&) noexcept;
 
   /// Returns the collection, creating it if absent.
   Collection& GetOrCreate(const std::string& name);
@@ -65,7 +68,54 @@ class Database {
   Status LoadFromDir(const std::string& dir, const SnapshotOptions& options,
                      SnapshotLoadReport* report = nullptr);
 
+  /// Write-ahead logging (storage engine v2; see store/wal.h). Once a WAL
+  /// is attached, every mutation on every collection is logged before it is
+  /// applied, and durability becomes O(delta): WalSync() flushes the
+  /// group-commit buffer instead of rewriting the store. Snapshots turn
+  /// into checkpoints taken via Checkpoint().
+  ///
+  /// Attaches a WAL under `dir` (the snapshot/checkpoint directory).
+  /// Existing collections resume logging past any segment files already on
+  /// disk — a recovered writer never appends after a possibly-torn tail.
+  Status AttachWal(const std::string& dir, const WalOptions& options = {});
+
+  bool wal_attached() const { return wal_ != nullptr; }
+
+  /// The attached writer (stats, tests); nullptr when no WAL is attached.
+  WalWriter* wal();
+
+  /// Flushes all pending WAL records. After OK, every acknowledged
+  /// mutation survives a crash. kFailedPrecondition when no WAL is
+  /// attached, or when the write gate reports this writer fenced.
+  Status WalSync();
+
+  /// Checkpoint protocol: sync the WAL, write a snapshot generation (the
+  /// manifest commit makes it the recovery base), append checkpoint
+  /// markers and rotate every collection's log to the new base, then prune
+  /// segments older than the oldest *retained* generation — a fallback
+  /// generation keeps its log tail. Requires an attached WAL.
+  Status Checkpoint(const SnapshotOptions& options = {});
+
+  /// Crash recovery for a WAL-enabled store: loads the newest intact
+  /// snapshot generation (preserving document ids), replays every intact
+  /// log record based on it, reports replay statistics in `report`, and
+  /// attaches the WAL for the write path. The result is byte-identical to
+  /// the uninterrupted run up to the group-commit boundary. Works on a
+  /// fresh or empty directory (starts empty with the WAL attached).
+  Status RecoverWal(const std::string& dir,
+                    const SnapshotOptions& snapshot_options,
+                    const WalOptions& wal_options,
+                    SnapshotLoadReport* report = nullptr);
+
  private:
+  struct WalBinding;
+
+  /// Points `collection`'s mutation observer at the attached WAL binding
+  /// (no-op when none is attached).
+  void AttachObserver(Collection& collection);
+
+  /// Buffers a drop record for `collection` on the attached WAL.
+  void LogDrop(Collection& collection);
   /// Deletes manifests beyond the newest `retain_generations` and snapshot
   /// artifacts referenced by no retained manifest. Best-effort.
   static void GarbageCollect(const std::string& dir, FileIo& io,
@@ -77,6 +127,9 @@ class Database {
                        SnapshotLoadReport* report);
 
   std::map<std::string, std::unique_ptr<Collection>> collections_;
+  /// Observer + writer for the attached WAL (heap-allocated so the
+  /// observer pointers held by collections survive a Database move).
+  std::unique_ptr<WalBinding> wal_;
 };
 
 }  // namespace newsdiff::store

@@ -1,0 +1,206 @@
+#include "store/lease.h"
+
+#include <string_view>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/strings.h"
+
+namespace newsdiff::store {
+
+namespace {
+
+constexpr char kLeaseFile[] = "LEASE";
+constexpr char kMagic[] = "newsdiff-lease";
+constexpr int kFormatVersion = 1;
+
+bool ParseU64(std::string_view text, uint64_t* out) {
+  if (text.empty() || text.size() > 20) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseI64(std::string_view text, int64_t* out) {
+  bool negative = false;
+  if (!text.empty() && text.front() == '-') {
+    negative = true;
+    text.remove_prefix(1);
+  }
+  uint64_t magnitude = 0;
+  if (!ParseU64(text, &magnitude)) return false;
+  *out = negative ? -static_cast<int64_t>(magnitude)
+                  : static_cast<int64_t>(magnitude);
+  return true;
+}
+
+}  // namespace
+
+std::string SerializeLeaseRecord(const LeaseRecord& record) {
+  std::string body = std::string(kMagic) + " " +
+                     std::to_string(kFormatVersion) + "\n";
+  body += "owner " + record.owner + "\n";
+  body += "token " + std::to_string(record.token) + "\n";
+  body += "expires_ms " + std::to_string(record.expires_ms) + "\n";
+  body += "crc " + Crc32Hex(Crc32(body)) + "\n";
+  return body;
+}
+
+StatusOr<LeaseRecord> ParseLeaseRecord(const std::string& text) {
+  size_t crc_pos = text.rfind("crc ");
+  if (crc_pos == std::string::npos ||
+      (crc_pos != 0 && text[crc_pos - 1] != '\n')) {
+    return Status::ParseError("lease missing crc trailer");
+  }
+  std::string crc_line = text.substr(crc_pos);
+  while (!crc_line.empty() &&
+         (crc_line.back() == '\n' || crc_line.back() == '\r')) {
+    crc_line.pop_back();
+  }
+  uint32_t stated = 0;
+  if (!ParseCrc32Hex(std::string_view(crc_line).substr(4), &stated)) {
+    return Status::ParseError("lease crc trailer malformed");
+  }
+  if (Crc32(text.substr(0, crc_pos)) != stated) {
+    return Status::ParseError("lease checksum mismatch");
+  }
+
+  LeaseRecord record;
+  bool saw_magic = false, saw_owner = false, saw_token = false,
+       saw_expiry = false;
+  for (const std::string& line : Split(text.substr(0, crc_pos), '\n')) {
+    if (line.empty()) continue;
+    const std::vector<std::string> tokens = SplitWhitespace(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] == kMagic) {
+      if (tokens.size() != 2 || tokens[1] != std::to_string(kFormatVersion)) {
+        return Status::ParseError("unsupported lease format: " + line);
+      }
+      saw_magic = true;
+    } else if (tokens[0] == "owner") {
+      // Owner names are free-form but whitespace-free (they come from
+      // SupervisorOptions); rejoin defensively anyway.
+      record.owner = line.substr(std::string("owner ").size());
+      saw_owner = true;
+    } else if (tokens[0] == "token") {
+      if (tokens.size() != 2 || !ParseU64(tokens[1], &record.token)) {
+        return Status::ParseError("malformed lease token: " + line);
+      }
+      saw_token = true;
+    } else if (tokens[0] == "expires_ms") {
+      if (tokens.size() != 2 || !ParseI64(tokens[1], &record.expires_ms)) {
+        return Status::ParseError("malformed lease expiry: " + line);
+      }
+      saw_expiry = true;
+    } else {
+      return Status::ParseError("unknown lease directive: " + tokens[0]);
+    }
+  }
+  if (!saw_magic || !saw_owner || !saw_token || !saw_expiry) {
+    return Status::ParseError("lease file missing required fields");
+  }
+  return record;
+}
+
+std::string Lease::FileName() { return kLeaseFile; }
+
+std::string Lease::path() const { return dir_ + "/" + kLeaseFile; }
+
+FileIo& Lease::io() const {
+  return options_.io != nullptr ? *options_.io : DefaultFileIo();
+}
+
+Clock& Lease::clock() const {
+  static SystemClock system_clock;
+  return options_.clock != nullptr ? *options_.clock : system_clock;
+}
+
+StatusOr<LeaseRecord> Lease::ReadRecord() const {
+  if (!io().Exists(path())) return Status::NotFound("no lease file");
+  StatusOr<std::string> contents = io().ReadFile(path());
+  if (!contents.ok()) {
+    // An unreadable lease file is indistinguishable from a torn renewal;
+    // treat it like a corrupt one (claimable) rather than wedging every
+    // future writer forever.
+    return Status::NotFound("unreadable lease file: " +
+                            contents.status().message());
+  }
+  StatusOr<LeaseRecord> record = ParseLeaseRecord(contents.value());
+  if (!record.ok()) {
+    return Status::NotFound("corrupt lease file: " +
+                            record.status().message());
+  }
+  return record;
+}
+
+Status Lease::WriteRecord(const LeaseRecord& record) const {
+  return WriteFileAtomic(io(), path(), SerializeLeaseRecord(record));
+}
+
+StatusOr<Lease> Lease::Acquire(const std::string& dir,
+                               const LeaseOptions& options) {
+  Lease lease(dir, options, /*token=*/0);
+  const int64_t give_up_ms = lease.clock().NowMillis() + options.wait_ms;
+  while (true) {
+    StatusOr<LeaseRecord> incumbent = lease.ReadRecord();
+    const int64_t now_ms = lease.clock().NowMillis();
+    uint64_t next_token = 1;
+    bool claimable = true;
+    if (incumbent.ok()) {
+      next_token = incumbent->token + 1;
+      claimable = incumbent->expires_ms <= now_ms;  // holder presumed dead
+    }
+    if (claimable) {
+      LeaseRecord record;
+      record.owner = options.owner;
+      record.token = next_token;
+      record.expires_ms = now_ms + options.ttl_ms;
+      NEWSDIFF_RETURN_IF_ERROR(lease.WriteRecord(record));
+      lease.token_ = next_token;
+      return lease;
+    }
+    if (now_ms >= give_up_ms) {
+      return Status::Unavailable(
+          "lease on " + dir + " held by " + incumbent->owner + " (token " +
+          std::to_string(incumbent->token) + ", expires in " +
+          std::to_string(incumbent->expires_ms - now_ms) + "ms)");
+    }
+    lease.clock().SleepMillis(options.poll_ms);
+  }
+}
+
+Status Lease::Check() {
+  StatusOr<LeaseRecord> current = ReadRecord();
+  if (!current.ok()) {
+    // Our own lease file vanished or turned to garbage under us. We cannot
+    // prove we still hold exclusivity, so the safe verdict is "fenced".
+    return Status::FailedPrecondition("lease lost: " +
+                                      current.status().message());
+  }
+  if (current->token != token_) {
+    return Status::FailedPrecondition(
+        "fenced: lease token " + std::to_string(current->token) + " (held by " +
+        current->owner + ") supersedes ours (" + std::to_string(token_) + ")");
+  }
+  return Status::OK();
+}
+
+Status Lease::Renew() {
+  NEWSDIFF_RETURN_IF_ERROR(Check());
+  LeaseRecord record;
+  record.owner = options_.owner;
+  record.token = token_;
+  record.expires_ms = clock().NowMillis() + options_.ttl_ms;
+  return WriteRecord(record);
+}
+
+Status Lease::Release() {
+  NEWSDIFF_RETURN_IF_ERROR(Check());
+  return io().Remove(path());
+}
+
+}  // namespace newsdiff::store

@@ -1,0 +1,109 @@
+#ifndef NEWSDIFF_STORE_LEASE_H_
+#define NEWSDIFF_STORE_LEASE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/file_io.h"
+#include "common/retry.h"
+#include "common/status.h"
+
+namespace newsdiff::store {
+
+/// Multi-writer exclusion for a store directory.
+///
+/// The store is single-writer by design; the lease makes that safe when two
+/// supervisors point at the same directory. A writer acquires the lease
+/// before Recover+Run, renews it while working, and releases it on clean
+/// exit. A second writer either fails fast (kUnavailable), waits for the
+/// holder to finish, or takes over once the lease's TTL expires without a
+/// renewal (the holder is presumed dead).
+///
+/// Takeover is fenced: every acquisition increments a monotonically
+/// increasing token stored in the lease file. A stale writer that wakes up
+/// after losing its lease sees the larger token on its next Renew()/Check()
+/// and gets kFailedPrecondition — wired into the WAL's write_gate, that
+/// stops its buffered records from ever reaching the shared log.
+///
+/// The lease file lives *inside* the store directory (`LEASE`), is updated
+/// with WriteFileAtomic, and carries a CRC trailer like the snapshot
+/// manifest; a corrupt lease file is treated as absent (safe: corruption
+/// means the holder's last renewal never landed intact). Expiry compares
+/// timestamps from the acquirer's own Clock, so this protects processes on
+/// one host (or simulated processes sharing a ManualClock in tests), not
+/// machines with unsynchronised clocks.
+struct LeaseOptions {
+  /// Identifies the holder in the lease file (diagnostics only; exclusion
+  /// is by token, so two writers may even share a name).
+  std::string owner = "writer";
+  /// Renewal deadline: a lease not renewed for this long is presumed
+  /// abandoned and may be taken over.
+  int64_t ttl_ms = 10'000;
+  /// How long Acquire() polls for a held lease to free up before giving up
+  /// with kUnavailable. 0 = fail fast.
+  int64_t wait_ms = 0;
+  /// Poll interval while waiting (slept on `clock`).
+  int64_t poll_ms = 100;
+  Clock* clock = nullptr;  // nullptr uses the wall clock
+  FileIo* io = nullptr;    // nullptr uses the real filesystem
+};
+
+/// Decoded contents of a lease file.
+struct LeaseRecord {
+  std::string owner;
+  uint64_t token = 0;
+  int64_t expires_ms = 0;
+};
+
+std::string SerializeLeaseRecord(const LeaseRecord& record);
+StatusOr<LeaseRecord> ParseLeaseRecord(const std::string& text);
+
+class Lease {
+ public:
+  /// Tries to take the lease for `dir`. Missing, expired, or corrupt lease
+  /// files are claimed immediately (with a fencing token one above the
+  /// incumbent's); a live lease is polled for up to `options.wait_ms`, then
+  /// kUnavailable.
+  static StatusOr<Lease> Acquire(const std::string& dir,
+                                 const LeaseOptions& options);
+
+  /// Extends the expiry by another TTL. kFailedPrecondition ("fenced") if
+  /// another writer has taken over — the caller must stop writing.
+  Status Renew();
+
+  /// Verifies this holder still owns the lease without extending it. Cheap
+  /// enough to use as the WAL's write_gate.
+  Status Check();
+
+  /// Removes the lease file so the next writer acquires instantly. Only on
+  /// clean exit — a crashing holder leaves the file to expire naturally.
+  Status Release();
+
+  const std::string& dir() const { return dir_; }
+  uint64_t token() const { return token_; }
+  const LeaseOptions& options() const { return options_; }
+
+  /// Name of the lease file within the store directory.
+  static std::string FileName();
+
+ private:
+  Lease(std::string dir, LeaseOptions options, uint64_t token)
+      : dir_(std::move(dir)), options_(std::move(options)), token_(token) {}
+
+  /// Reads the current lease file; kNotFound when absent or corrupt.
+  StatusOr<LeaseRecord> ReadRecord() const;
+  /// Writes `record` atomically.
+  Status WriteRecord(const LeaseRecord& record) const;
+  std::string path() const;
+
+  FileIo& io() const;
+  Clock& clock() const;
+
+  std::string dir_;
+  LeaseOptions options_;
+  uint64_t token_ = 0;
+};
+
+}  // namespace newsdiff::store
+
+#endif  // NEWSDIFF_STORE_LEASE_H_

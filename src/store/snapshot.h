@@ -35,6 +35,12 @@ struct SnapshotOptions {
   /// Filesystem seam; nullptr uses the real filesystem. Tests inject
   /// datagen::FaultyFileIo here.
   FileIo* io = nullptr;
+  /// Restore each document into the slot named by its "_id" field instead
+  /// of renumbering densely. WAL recovery requires this: log records
+  /// address documents by their original ids, so the checkpoint must load
+  /// with id assignment intact (including gaps left by removals). The
+  /// legacy manifest-less format always renumbers regardless.
+  bool preserve_doc_ids = false;
 };
 
 /// What recovery actually did, for operators and tests.
@@ -47,6 +53,14 @@ struct SnapshotLoadReport {
   bool legacy_format = false;
   /// Human-readable reason each damaged generation was skipped.
   std::vector<std::string> problems;
+  /// Write-ahead log replay (Database::RecoverWal): segments scanned, and
+  /// per-record dispositions — applied on top of the checkpoint, dropped as
+  /// a torn tail (incomplete trailing frame), or rejected outright (CRC or
+  /// parse failure; that segment's scan stops so damage is never applied).
+  size_t wal_segments = 0;
+  size_t wal_records_replayed = 0;
+  size_t wal_records_truncated = 0;
+  size_t wal_records_rejected = 0;
 };
 
 struct ManifestEntry {

@@ -171,6 +171,114 @@ TEST_F(StorageFaultsFixture, WriteFailureReportsErrorAndAtWorstTears) {
   EXPECT_EQ(io.counters().write_failures, 10u);
 }
 
+TEST_F(StorageFaultsFixture, AppendPassesThroughAndCounts) {
+  FaultyFileIo io(DefaultFileIo(), StorageFaultOptions{});
+  ASSERT_TRUE(io.AppendFile(path("log"), "one").ok());
+  ASSERT_TRUE(io.AppendFile(path("log"), "two").ok());
+  EXPECT_EQ(ReadBack("log"), "onetwo");
+  EXPECT_EQ(io.counters().appends, 2u);
+  EXPECT_EQ(io.counters().append_failures, 0u);
+  io.Reboot();  // nothing was lied about, nothing to lose
+  EXPECT_EQ(ReadBack("log"), "onetwo");
+}
+
+TEST_F(StorageFaultsFixture, AppendFailureLeavesTornTail) {
+  StorageFaultOptions opts;
+  opts.seed = 19;
+  opts.append_failure_rate = 1.0;
+  FaultyFileIo io(DefaultFileIo(), opts);
+  ASSERT_TRUE(DefaultFileIo().WriteFile(path("log"), "base|").ok());
+  const std::string chunk(200, 'z');
+  EXPECT_FALSE(io.AppendFile(path("log"), chunk).ok());
+  EXPECT_EQ(io.counters().append_failures, 1u);
+  std::string on_disk = ReadBack("log");
+  // The failed append tore: the pre-append prefix survives intact, a
+  // strict prefix of the chunk landed after it.
+  EXPECT_EQ(on_disk.substr(0, 5), "base|");
+  EXPECT_LT(on_disk.size(), 5 + chunk.size());
+  EXPECT_EQ(on_disk.substr(5), chunk.substr(0, on_disk.size() - 5));
+  // The torn bytes were never synced: a reboot reaps them too.
+  io.Reboot();
+  EXPECT_EQ(ReadBack("log"), "base|");
+}
+
+TEST_F(StorageFaultsFixture, AppendLieVisibleUntilRebootDropsIt) {
+  StorageFaultOptions opts;
+  opts.seed = 23;
+  opts.append_lie_rate = 1.0;
+  FaultyFileIo io(DefaultFileIo(), opts);
+  ASSERT_TRUE(io.WriteFile(path("log"), "durable|").ok());
+  ASSERT_TRUE(io.AppendFile(path("log"), "lied").ok());  // acked, not synced
+  EXPECT_EQ(io.counters().append_lies, 1u);
+  // Visible to reads (page cache)…
+  StatusOr<std::string> read = io.ReadFile(path("log"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "durable|lied");
+  // …until power loss, when the unsynced tail vanishes.
+  io.Reboot();
+  EXPECT_EQ(ReadBack("log"), "durable|");
+}
+
+TEST_F(StorageFaultsFixture, RewriteReplacesAnUnsyncedLiedTail) {
+  StorageFaultOptions opts;
+  opts.seed = 29;
+  opts.append_lie_rate = 1.0;
+  FaultyFileIo io(DefaultFileIo(), opts);
+  ASSERT_TRUE(io.WriteFile(path("log"), "base|").ok());
+  ASSERT_TRUE(io.AppendFile(path("log"), "lied").ok());  // unsynced tail
+  // A full rewrite of the path (how WriteFileAtomic commits) is a genuine
+  // sync: it replaces the lied-about bytes wholesale, so the path has no
+  // volatile tail left for the reboot to reap.
+  ASSERT_TRUE(io.WriteFile(path("log"), "rewritten").ok());
+  io.Reboot();
+  EXPECT_EQ(ReadBack("log"), "rewritten");
+}
+
+TEST_F(StorageFaultsFixture, PartialAppendKeepsDurablePrefixThroughReboot) {
+  StorageFaultOptions opts;
+  opts.seed = 31;
+  opts.partial_append_rate = 1.0;
+  FaultyFileIo io(DefaultFileIo(), opts);
+  ASSERT_TRUE(io.WriteFile(path("log"), "base|").ok());
+  const std::string chunk(200, 'p');
+  ASSERT_TRUE(io.AppendFile(path("log"), chunk).ok());  // acked!
+  EXPECT_EQ(io.counters().partial_appends, 1u);
+  std::string on_disk = ReadBack("log");
+  EXPECT_LT(on_disk.size(), 5 + chunk.size());
+  EXPECT_EQ(on_disk.substr(5), chunk.substr(0, on_disk.size() - 5));
+  // What did land was genuinely synced: the hole is silent, not volatile.
+  io.Reboot();
+  EXPECT_EQ(ReadBack("log"), on_disk);
+}
+
+TEST_F(StorageFaultsFixture, AppendFaultSequenceIsDeterministic) {
+  auto run = [&](const std::string& subdir) {
+    fs::create_directories(dir_ / subdir);
+    StorageFaultOptions opts;
+    opts.seed = 37;
+    opts.append_failure_rate = 0.3;
+    opts.append_lie_rate = 0.2;
+    opts.partial_append_rate = 0.2;
+    FaultyFileIo io(DefaultFileIo(), opts);
+    std::vector<bool> verdicts;
+    for (int i = 0; i < 40; ++i) {
+      verdicts.push_back(
+          io.AppendFile(path(subdir + "/log"), "chunk-" + std::to_string(i))
+              .ok());
+    }
+    io.Reboot();
+    return std::make_pair(verdicts, io.counters());
+  };
+  auto [v1, c1] = run("one");
+  auto [v2, c2] = run("two");
+  EXPECT_EQ(v1, v2);
+  EXPECT_EQ(c1.append_failures, c2.append_failures);
+  EXPECT_EQ(c1.append_lies, c2.append_lies);
+  EXPECT_EQ(c1.partial_appends, c2.partial_appends);
+  EXPECT_GT(c1.append_failures + c1.append_lies + c1.partial_appends, 0u);
+  EXPECT_EQ(ReadBack("one/log"), ReadBack("two/log"));
+}
+
 TEST_F(StorageFaultsFixture, ReadAndListFailuresInjected) {
   StorageFaultOptions opts;
   opts.read_failure_rate = 1.0;

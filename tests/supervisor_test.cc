@@ -287,5 +287,127 @@ TEST_F(SupervisorFixture, KilledMidSaveRecoversByteIdentical) {
       << "no crash point exercised ledger-based stage resumption";
 }
 
+TEST_F(SupervisorFixture, WalLeaseExcludesASecondSupervisor) {
+  ManualClock clock;
+  SupervisorOptions sopts;
+  sopts.snapshot_dir = dir();
+  sopts.clock = &clock;
+  sopts.lease_enabled = true;
+
+  store::Database db_a;
+  world_->LoadInto(db_a);
+  PipelineSupervisor a(Pipeline(SmallOptions()), sopts);
+  ASSERT_TRUE(a.Recover(db_a).ok());  // acquires the writer lease
+  ASSERT_TRUE(a.lease().has_value());
+
+  // A second supervisor pointed at the same directory fails fast, before
+  // touching the store.
+  store::Database db_b;
+  world_->LoadInto(db_b);
+  PipelineSupervisor b(Pipeline(SmallOptions()), sopts);
+  auto blocked = b.Run(db_b, *store_);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.status().code(), StatusCode::kUnavailable);
+
+  // The holder completes and releases on clean exit…
+  auto finished = a.Run(db_a, *store_);
+  ASSERT_TRUE(finished.ok()) << finished.status().ToString();
+  EXPECT_FALSE(a.lease().has_value());
+
+  // …after which the second supervisor acquires immediately and succeeds.
+  auto unblocked = b.Run(db_b, *store_);
+  ASSERT_TRUE(unblocked.ok()) << unblocked.status().ToString();
+}
+
+TEST_F(SupervisorFixture, WalLeaseTakeoverFencesThePresumedDeadSupervisor) {
+  ManualClock clock;
+  SupervisorOptions sopts;
+  sopts.snapshot_dir = dir();
+  sopts.clock = &clock;
+  sopts.use_wal = true;
+  sopts.lease_enabled = true;
+  sopts.lease.ttl_ms = 1'000;
+
+  // Supervisor "a" acquires the lease and then hangs (no renewals).
+  store::Database db_a;
+  world_->LoadInto(db_a);
+  PipelineSupervisor a(Pipeline(SmallOptions()), sopts);
+  ASSERT_TRUE(a.Recover(db_a).ok());
+  ASSERT_TRUE(a.lease().has_value());
+
+  // Past the TTL it is presumed dead; "b" takes over and completes a full
+  // WAL-mode run.
+  clock.Advance(1'500);
+  store::Database db_b;
+  world_->LoadInto(db_b);
+  PipelineSupervisor b(Pipeline(SmallOptions()), sopts);
+  auto takeover = b.Run(db_b, *store_);
+  ASSERT_TRUE(takeover.ok()) << takeover.status().ToString();
+
+  // "a" wakes up: its stale lease is fenced, so its Run fails before a
+  // single byte of its state reaches the shared directory.
+  auto stale = a.Run(db_a, *store_);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SupervisorFixture, WalModeKilledRunRecoversByteIdentical) {
+  // Reference: uninterrupted, fault-free supervised run.
+  store::Database base_db;
+  world_->LoadInto(base_db);
+  PipelineSupervisor baseline(Pipeline(SmallOptions()), SupervisorOptions{});
+  auto want = baseline.Run(base_db, *store_);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  const std::string want_dump = DumpStageOutputs(base_db);
+
+  bool any_crashed = false;
+  bool any_replayed = false;
+  for (size_t crash_at : {12u, 40u, 60u, 90u}) {
+    SCOPED_TRACE("crash_after_ops=" + std::to_string(crash_at));
+    const std::string snap_dir = dir() + "_" + std::to_string(crash_at);
+    fs::remove_all(snap_dir);
+
+    datagen::StorageFaultOptions fopts;
+    fopts.seed = 4000 + crash_at;
+    fopts.crash_after_ops = crash_at;
+    datagen::FaultyFileIo faulty(DefaultFileIo(), fopts);
+    SupervisorOptions sopts;
+    sopts.snapshot_dir = snap_dir;
+    sopts.snapshot.io = &faulty;
+    sopts.use_wal = true;
+
+    store::Database db1;
+    world_->LoadInto(db1);
+    PipelineSupervisor first(Pipeline(SmallOptions()), sopts);
+    auto killed = first.Run(db1, *store_);
+
+    if (killed.ok()) {
+      EXPECT_EQ(DumpStageOutputs(db1), want_dump);
+    } else {
+      any_crashed = true;
+      // Rebooted process: checkpoint load + WAL replay, then the ledger
+      // splices the run back together from where durability really stopped.
+      faulty.Reboot();
+      store::Database db2;
+      PipelineSupervisor second(Pipeline(SmallOptions()), sopts);
+      ASSERT_TRUE(second.Recover(db2).ok());
+      any_replayed |= second.report().recovery.wal_records_replayed > 0;
+      if (db2.Get("news") == nullptr) {
+        // Crashed before the crawl became durable: the crawler refills the
+        // store (its inserts now flow through the attached WAL).
+        world_->LoadInto(db2);
+      }
+      auto completed = second.Run(db2, *store_);
+      ASSERT_TRUE(completed.ok()) << completed.status().ToString();
+      EXPECT_EQ(DumpStageOutputs(db2), want_dump)
+          << "spliced WAL-mode run diverged from the uninterrupted one";
+    }
+    fs::remove_all(snap_dir);
+  }
+  EXPECT_TRUE(any_crashed) << "crash points never fired; test is vacuous";
+  EXPECT_TRUE(any_replayed)
+      << "no crash point exercised WAL replay on recovery";
+}
+
 }  // namespace
 }  // namespace newsdiff::core
