@@ -1,0 +1,548 @@
+// Ablation: WAL-tailing replication. Stage one (`catchup_delta`) meters
+// the bytes a caught-up replica reads to absorb a 1% writer delta against
+// the bytes a cold bootstrap pays, and gates on the incremental path being
+// at least 5x cheaper — the tailer really is O(delta), not O(store).
+// Stage two (`staleness`) follows a live writer through >=10% injected
+// read faults on a ManualClock and reports the worst observed staleness,
+// gating on the replica always re-proving freshness within a bounded
+// window and ending provably caught up. Stage three (`chaos_failover`)
+// kills the writer at every single io operation, promotes the replica
+// under the same read chaos, and gates on the promoted store being
+// byte-identical to the writer's acknowledged synced prefix with the
+// revived stale writer fenced every time. Results land in
+// BENCH_replication.json (see --out).
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/table_printer.h"
+#include "datagen/faults.h"
+#include "store/database.h"
+#include "store/json.h"
+#include "store/lease.h"
+#include "store/replica.h"
+#include "store/wal.h"
+
+using namespace newsdiff;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Forwarding FileIo that meters the replica's read traffic: whole-file
+/// loads (bootstrap) and incremental tail reads (catch-up) separately.
+class ReadMeterIo : public FileIo {
+ public:
+  explicit ReadMeterIo(FileIo& inner) : inner_(&inner) {}
+
+  Status WriteFile(const std::string& path,
+                   const std::string& contents) override {
+    return inner_->WriteFile(path, contents);
+  }
+  Status AppendFile(const std::string& path,
+                    const std::string& contents) override {
+    return inner_->AppendFile(path, contents);
+  }
+  StatusOr<std::string> ReadFile(const std::string& path) override {
+    StatusOr<std::string> got = inner_->ReadFile(path);
+    if (got.ok()) bytes_read_ += got->size();
+    return got;
+  }
+  StatusOr<std::string> ReadFileFrom(const std::string& path,
+                                     uint64_t offset) override {
+    StatusOr<std::string> got = inner_->ReadFileFrom(path, offset);
+    if (got.ok()) bytes_read_ += got->size();
+    return got;
+  }
+  Status Rename(const std::string& from, const std::string& to) override {
+    return inner_->Rename(from, to);
+  }
+  Status Remove(const std::string& path) override {
+    return inner_->Remove(path);
+  }
+  Status CreateDirectories(const std::string& dir) override {
+    return inner_->CreateDirectories(dir);
+  }
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override {
+    return inner_->ListDir(dir);
+  }
+  bool Exists(const std::string& path) override {
+    return inner_->Exists(path);
+  }
+
+  void Reset() { bytes_read_ = 0; }
+  size_t bytes_read() const { return bytes_read_; }
+
+ private:
+  FileIo* inner_;
+  size_t bytes_read_ = 0;
+};
+
+std::string Fingerprint(const store::Database& db) {
+  std::string out;
+  for (const std::string& name : db.CollectionNames()) {
+    const store::Collection* coll = db.Get(name);
+    out += "== " + name + " slots=" + std::to_string(coll->slot_count()) +
+           "\n";
+    for (const store::Value& doc : coll->All()) {
+      out += store::ToJson(doc) + "\n";
+    }
+  }
+  return out;
+}
+
+/// The scripted insert/upsert/remove mix the WAL crash sweeps use: one log
+/// record per step, so synced-record counts index reference states.
+bool ApplyOp(store::Database& db, int j) {
+  store::Collection& articles = db.GetOrCreate("articles");
+  if (j % 7 == 3 && j >= 3) {
+    return articles
+        .Upsert(store::Filter().Eq("k",
+                                   store::Value(static_cast<int64_t>(j - 3))),
+                store::MakeObject({{"k", static_cast<int64_t>(j - 3)},
+                                   {"v", static_cast<int64_t>(j * 100)}}))
+        .ok();
+  }
+  if (j % 5 == 4 && (j - 1) % 7 != 3) {
+    return articles.Remove(store::Filter().Eq(
+               "k", store::Value(static_cast<int64_t>(j - 1)))) == 1;
+  }
+  return articles
+      .Insert(store::MakeObject({{"k", static_cast<int64_t>(j)},
+                                 {"v", static_cast<int64_t>(j)}}))
+      .ok();
+}
+
+constexpr int kScriptOps = 30;
+
+std::vector<std::string> ReferenceStates() {
+  std::vector<std::string> states;
+  store::Database db;
+  states.push_back(Fingerprint(db));
+  for (int j = 0; j < kScriptOps; ++j) {
+    ApplyOp(db, j);
+    states.push_back(Fingerprint(db));
+  }
+  return states;
+}
+
+datagen::StorageFaultOptions ReplicaFaults(uint64_t seed) {
+  datagen::StorageFaultOptions faults;
+  faults.seed = seed;
+  faults.read_failure_rate = 0.10;
+  faults.read_tear_rate = 0.10;
+  faults.read_flip_rate = 0.05;
+  return faults;
+}
+
+// -------------------------------------------------------------------------
+// Stage one: catch-up bytes are O(delta).
+
+struct CatchupDelta {
+  size_t docs = 0;
+  size_t delta_docs = 0;
+  size_t bootstrap_bytes = 0;  // cold replica: snapshot + full tail
+  size_t catchup_bytes = 0;    // caught-up replica absorbing the delta
+  double bytes_ratio = 0.0;    // bootstrap_bytes / catchup_bytes
+};
+
+constexpr double kMinCatchupRatio = 5.0;
+
+StatusOr<CatchupDelta> RunCatchupDelta(const fs::path& root) {
+  CatchupDelta r;
+  const std::string dir = (root / "catchup").string();
+  fs::remove_all(dir);
+
+  store::Database db;
+  store::WalOptions wal;
+  NEWSDIFF_RETURN_IF_ERROR(db.AttachWal(dir, wal));
+  store::Collection& articles = db.GetOrCreate("articles");
+  r.docs = 2000;
+  for (size_t i = 0; i < r.docs; ++i) {
+    StatusOr<store::DocId> id = articles.Insert(store::MakeObject(
+        {{"k", static_cast<int64_t>(i)},
+         {"score", static_cast<int64_t>(i * 17 % 1000)},
+         {"bucket", static_cast<int64_t>(i % 24)}}));
+    if (!id.ok()) return id.status();
+  }
+  NEWSDIFF_RETURN_IF_ERROR(db.WalSync());
+  NEWSDIFF_RETURN_IF_ERROR(db.Checkpoint());
+
+  // Cold bootstrap: the replica loads the checkpoint and replays the tail.
+  ReadMeterIo rio(DefaultFileIo());
+  store::ReplicaOptions opts;
+  opts.snapshot.io = &rio;
+  store::Database rdb;
+  store::Replica rep(dir, &rdb, opts);
+  NEWSDIFF_RETURN_IF_ERROR(rep.Poll());
+  if (!rep.stats().caught_up) {
+    return Status::Internal("replica not caught up after bootstrap");
+  }
+  r.bootstrap_bytes = rio.bytes_read();
+
+  // A 1% metadata refresh, then one incremental poll.
+  r.delta_docs = r.docs / 100;
+  for (size_t i = 0; i < r.delta_docs; ++i) {
+    articles.UpdateSet(
+        store::Filter().Eq("k", store::Value(static_cast<int64_t>(i))),
+        "touched", store::Value(static_cast<int64_t>(1)));
+  }
+  NEWSDIFF_RETURN_IF_ERROR(db.WalSync());
+  rio.Reset();
+  NEWSDIFF_RETURN_IF_ERROR(rep.Poll());
+  if (!rep.stats().caught_up) {
+    return Status::Internal("replica not caught up after delta poll");
+  }
+  r.catchup_bytes = rio.bytes_read();
+  if (Fingerprint(rdb) != Fingerprint(db)) {
+    return Status::Internal("replica diverged from writer");
+  }
+
+  r.bytes_ratio = r.catchup_bytes > 0
+                      ? static_cast<double>(r.bootstrap_bytes) /
+                            static_cast<double>(r.catchup_bytes)
+                      : 0.0;
+  return r;
+}
+
+// -------------------------------------------------------------------------
+// Stage two: bounded staleness through read chaos.
+
+struct StalenessRun {
+  size_t ticks = 0;
+  int64_t tick_ms = 0;
+  size_t read_failures = 0;
+  int64_t max_staleness_ms = 0;
+  int64_t final_staleness_ms = 0;
+  bool caught_up = false;
+};
+
+constexpr int64_t kStalenessBoundMs = 2000;
+
+StatusOr<StalenessRun> RunStaleness(const fs::path& root) {
+  StalenessRun r;
+  r.ticks = 200;
+  r.tick_ms = 100;
+  const std::string dir = (root / "staleness").string();
+  fs::remove_all(dir);
+
+  ManualClock clock;
+  store::Database db;
+  store::WalOptions wal;
+  wal.clock = &clock;
+  wal.sync_every_records = 1;
+  NEWSDIFF_RETURN_IF_ERROR(db.AttachWal(dir, wal));
+
+  datagen::FaultyFileIo rio(DefaultFileIo(), ReplicaFaults(4242));
+  store::ReplicaOptions opts;
+  opts.snapshot.io = &rio;
+  opts.clock = &clock;
+  store::Database rdb;
+  store::Replica rep(dir, &rdb, opts);
+
+  // One synced record and one poll per tick; a poll that hits a fault (or
+  // a torn read) cannot prove freshness, so staleness accrues until the
+  // next clean poll — the gate bounds how long that ever takes.
+  for (size_t t = 0; t < r.ticks; ++t) {
+    clock.Advance(r.tick_ms);
+    if (!ApplyOp(db, static_cast<int>(t) % kScriptOps)) {
+      return Status::Internal("writer op failed");
+    }
+    const Status polled = rep.Poll();
+    (void)polled;  // transient faults retry on the next tick
+    r.max_staleness_ms = std::max(r.max_staleness_ms,
+                                  rep.stats().staleness_ms);
+  }
+  for (int i = 0; i < 200 && !rep.stats().caught_up; ++i) {
+    const Status polled = rep.Poll();
+    (void)polled;
+  }
+  r.caught_up = rep.stats().caught_up;
+  r.final_staleness_ms = rep.stats().staleness_ms;
+  if (rep.tailer_stats() != nullptr) {
+    r.read_failures = rep.tailer_stats()->read_failures;
+  }
+  if (Fingerprint(rdb) != Fingerprint(db)) {
+    return Status::Internal("replica diverged from writer");
+  }
+  return r;
+}
+
+// -------------------------------------------------------------------------
+// Stage three: failover chaos sweep.
+
+struct ChaosFailover {
+  size_t crash_points = 0;
+  size_t promoted = 0;
+  size_t exact = 0;   // promoted store == writer's synced prefix
+  size_t fenced = 0;  // revived stale writer rejected at its next sync
+  size_t fence_checks = 0;
+  double wall_ms = 0.0;
+};
+
+StatusOr<ChaosFailover> RunChaosFailover(const fs::path& root) {
+  ChaosFailover r;
+  const std::vector<std::string> states = ReferenceStates();
+
+  // Dry run on a clean io to count the writer's operations.
+  size_t total_ops = 0;
+  {
+    const std::string d = (root / "chaos_dry").string();
+    fs::remove_all(d);
+    fs::create_directories(d);
+    ManualClock clock;
+    datagen::FaultyFileIo wio(DefaultFileIo(), {});
+    store::LeaseOptions lease_opts;
+    lease_opts.io = &wio;
+    lease_opts.clock = &clock;
+    lease_opts.owner = "writer";
+    lease_opts.ttl_ms = 1'000;
+    StatusOr<store::Lease> lease = store::Lease::Acquire(d, lease_opts);
+    NEWSDIFF_RETURN_IF_ERROR(lease.status());
+    store::WalOptions wal;
+    wal.io = &wio;
+    wal.clock = &clock;
+    wal.sync_every_records = 1;
+    wal.write_gate = [&]() { return lease->Check(); };
+    store::SnapshotOptions snap;
+    snap.io = &wio;
+    store::Database db;
+    NEWSDIFF_RETURN_IF_ERROR(db.AttachWal(d, wal));
+    for (int j = 0; j < kScriptOps; ++j) {
+      if (!ApplyOp(db, j)) return Status::Internal("dry-run op failed");
+      if (j == kScriptOps / 2) {
+        NEWSDIFF_RETURN_IF_ERROR(db.Checkpoint(snap));
+      }
+    }
+    total_ops = wio.counters().ops;
+  }
+
+  Status sweep_error = Status::OK();
+  r.wall_ms = 1000.0 * bench::TimedSeconds([&] {
+    for (size_t k = 0; k <= total_ops; ++k) {
+      const std::string d =
+          (root / ("chaos_" + std::to_string(k))).string();
+      fs::create_directories(d);
+      ManualClock clock;
+      datagen::StorageFaultOptions writer_faults;
+      writer_faults.crash_after_ops = k;
+      datagen::FaultyFileIo wio(DefaultFileIo(), writer_faults);
+      datagen::FaultyFileIo rio(DefaultFileIo(), ReplicaFaults(5'000 + k));
+
+      store::ReplicaOptions replica_opts;
+      replica_opts.snapshot.io = &rio;
+      replica_opts.clock = &clock;
+      replica_opts.promote_drain_polls = 8;
+      replica_opts.promote_attempts = 16;
+      store::Database rdb;
+      store::Replica rep(d, &rdb, replica_opts);
+
+      store::LeaseOptions lease_opts;
+      lease_opts.io = &wio;
+      lease_opts.clock = &clock;
+      lease_opts.owner = "writer";
+      lease_opts.ttl_ms = 1'000;
+      StatusOr<store::Lease> lease = store::Lease::Acquire(d, lease_opts);
+      store::Database db;
+      bool writing = false;
+      size_t synced = 0;
+      if (lease.ok()) {
+        store::WalOptions wal;
+        wal.io = &wio;
+        wal.clock = &clock;
+        wal.sync_every_records = 1;
+        wal.write_gate = [&]() { return lease->Check(); };
+        writing = db.AttachWal(d, wal).ok();
+      }
+      if (writing) {
+        store::SnapshotOptions snap;
+        snap.io = &wio;
+        for (int j = 0; j < kScriptOps; ++j) {
+          ApplyOp(db, j);
+          if (j == kScriptOps / 2) {
+            const Status checkpointed = db.Checkpoint(snap);
+            (void)checkpointed;  // best-effort once the crash hits
+          }
+          if (j % 2 == 1) {
+            const Status polled = rep.Poll();
+            (void)polled;
+          }
+        }
+        synced = db.wal()->stats().records_synced;
+      }
+
+      wio.Reboot();
+      clock.Advance(5'000);
+      store::LeaseOptions promote_opts;
+      promote_opts.owner = "replica";
+      promote_opts.ttl_ms = 60'000;
+      StatusOr<uint64_t> token = rep.Promote(promote_opts);
+      if (!token.ok()) {
+        sweep_error = token.status();
+        fs::remove_all(d);
+        continue;
+      }
+      ++r.promoted;
+
+      const std::string got = Fingerprint(rdb);
+      const bool header_only =
+          synced == 0 && got == "== articles slots=0\n";
+      if (synced < states.size() && (got == states[synced] || header_only)) {
+        ++r.exact;
+      }
+      if (writing) {
+        ++r.fence_checks;
+        const size_t synced_before = db.wal()->stats().records_synced;
+        db.GetOrCreate("articles")
+            .Insert(store::MakeObject({{"k", static_cast<int64_t>(777)}}));
+        if (db.WalSync().code() == StatusCode::kFailedPrecondition &&
+            db.wal()->stats().records_synced == synced_before) {
+          ++r.fenced;
+        }
+      }
+      fs::remove_all(d);
+    }
+  });
+  NEWSDIFF_RETURN_IF_ERROR(sweep_error);
+  r.crash_points = total_ops + 1;
+  return r;
+}
+
+bool WriteJson(const CatchupDelta& c, const StalenessRun& s,
+               const ChaosFailover& f, bool gates_ok,
+               const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"gate_min_catchup_ratio\": %.1f,\n",
+               kMinCatchupRatio);
+  std::fprintf(out, "  \"gate_staleness_bound_ms\": %lld,\n",
+               static_cast<long long>(kStalenessBoundMs));
+  std::fprintf(out, "  \"gates_ok\": %s,\n", gates_ok ? "true" : "false");
+  std::fprintf(out, "  \"catchup_delta\": {\n");
+  std::fprintf(out, "    \"docs\": %zu,\n", c.docs);
+  std::fprintf(out, "    \"delta_docs\": %zu,\n", c.delta_docs);
+  std::fprintf(out, "    \"bootstrap_bytes\": %zu,\n", c.bootstrap_bytes);
+  std::fprintf(out, "    \"catchup_bytes\": %zu,\n", c.catchup_bytes);
+  std::fprintf(out, "    \"bytes_ratio\": %.1f\n", c.bytes_ratio);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"staleness\": {\n");
+  std::fprintf(out, "    \"ticks\": %zu,\n", s.ticks);
+  std::fprintf(out, "    \"tick_ms\": %lld,\n",
+               static_cast<long long>(s.tick_ms));
+  std::fprintf(out, "    \"read_failures\": %zu,\n", s.read_failures);
+  std::fprintf(out, "    \"max_staleness_ms\": %lld,\n",
+               static_cast<long long>(s.max_staleness_ms));
+  std::fprintf(out, "    \"final_staleness_ms\": %lld,\n",
+               static_cast<long long>(s.final_staleness_ms));
+  std::fprintf(out, "    \"caught_up\": %s\n",
+               s.caught_up ? "true" : "false");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"chaos_failover\": {\n");
+  std::fprintf(out, "    \"crash_points\": %zu,\n", f.crash_points);
+  std::fprintf(out, "    \"promoted\": %zu,\n", f.promoted);
+  std::fprintf(out, "    \"exact_prefix\": %zu,\n", f.exact);
+  std::fprintf(out, "    \"fence_checks\": %zu,\n", f.fence_checks);
+  std::fprintf(out, "    \"fenced\": %zu,\n", f.fenced);
+  std::fprintf(out, "    \"wall_ms\": %.1f\n", f.wall_ms);
+  std::fprintf(out, "  }\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_replication.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  std::printf("=== Ablation: WAL-tailing replication ===\n\n");
+  const fs::path root =
+      fs::temp_directory_path() / "newsdiff_ablation_replication";
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  auto catchup = RunCatchupDelta(root);
+  if (!catchup.ok()) {
+    std::printf("catchup_delta stage failed: %s\n",
+                catchup.status().ToString().c_str());
+    fs::remove_all(root);
+    return 1;
+  }
+  TablePrinter ctable({"Path", "Bytes read"});
+  ctable.AddRow({"cold bootstrap (snapshot + tail)",
+                 std::to_string(catchup->bootstrap_bytes)});
+  ctable.AddRow({"incremental catch-up (1% delta)",
+                 std::to_string(catchup->catchup_bytes)});
+  ctable.Print();
+  std::printf(
+      "\n%zu docs, %zu touched (1%%): catch-up reads %.1fx fewer bytes\n"
+      "than a cold bootstrap (gate: >= %.1fx).\n\n",
+      catchup->docs, catchup->delta_docs, catchup->bytes_ratio,
+      kMinCatchupRatio);
+
+  auto staleness = RunStaleness(root);
+  if (!staleness.ok()) {
+    std::printf("staleness stage failed: %s\n",
+                staleness.status().ToString().c_str());
+    fs::remove_all(root);
+    return 1;
+  }
+  std::printf(
+      "=== staleness: %zu ticks x %lldms through injected read faults "
+      "===\n\n"
+      "read faults hit: %zu, max staleness: %lldms (bound: %lldms),\n"
+      "final staleness: %lldms, caught up: %s\n\n",
+      staleness->ticks, static_cast<long long>(staleness->tick_ms),
+      staleness->read_failures,
+      static_cast<long long>(staleness->max_staleness_ms),
+      static_cast<long long>(kStalenessBoundMs),
+      static_cast<long long>(staleness->final_staleness_ms),
+      staleness->caught_up ? "yes" : "NO");
+
+  auto chaos = RunChaosFailover(root);
+  if (!chaos.ok()) {
+    std::printf("chaos_failover stage failed: %s\n",
+                chaos.status().ToString().c_str());
+    fs::remove_all(root);
+    return 1;
+  }
+  TablePrinter ftable({"Crash points", "Promoted", "Exact prefix",
+                       "Fence checks", "Fenced", "Wall ms"});
+  char wall_buf[24];
+  std::snprintf(wall_buf, sizeof(wall_buf), "%.1f", chaos->wall_ms);
+  ftable.AddRow({std::to_string(chaos->crash_points),
+                 std::to_string(chaos->promoted),
+                 std::to_string(chaos->exact),
+                 std::to_string(chaos->fence_checks),
+                 std::to_string(chaos->fenced), wall_buf});
+  ftable.Print();
+  std::printf(
+      "\nWriter killed at every io op under >=10%% replica read faults:\n"
+      "every promotion must equal the synced prefix and every revived\n"
+      "stale writer must be fenced.\n\n");
+
+  const bool gates_ok =
+      catchup->bytes_ratio >= kMinCatchupRatio &&
+      staleness->caught_up && staleness->final_staleness_ms == 0 &&
+      staleness->max_staleness_ms <= kStalenessBoundMs &&
+      chaos->promoted == chaos->crash_points &&
+      chaos->exact == chaos->crash_points &&
+      chaos->fenced == chaos->fence_checks;
+  if (!WriteJson(*catchup, *staleness, *chaos, gates_ok, out_path)) {
+    std::printf("failed to write %s\n", out_path.c_str());
+    fs::remove_all(root);
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  if (!gates_ok) std::printf("GATE FAILED\n");
+  fs::remove_all(root);
+  return gates_ok ? 0 : 1;
+}

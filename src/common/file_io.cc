@@ -38,6 +38,18 @@ StatusOr<std::string> RealFileIo::ReadFile(const std::string& path) {
   return std::move(buf).str();
 }
 
+StatusOr<std::string> RealFileIo::ReadFileFrom(const std::string& path,
+                                               uint64_t offset) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  in.seekg(static_cast<std::streamoff>(offset), std::ios::beg);
+  if (!in) return std::string();  // offset at or past EOF
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed for " + path);
+  return std::move(buf).str();
+}
+
 Status RealFileIo::Rename(const std::string& from, const std::string& to) {
   std::error_code ec;
   fs::rename(from, to, ec);
@@ -93,6 +105,14 @@ StatusOr<std::vector<std::string>> RealFileIo::ListDir(
 bool RealFileIo::Exists(const std::string& path) {
   std::error_code ec;
   return fs::exists(path, ec) && !ec;
+}
+
+StatusOr<std::string> FileIo::ReadFileFrom(const std::string& path,
+                                           uint64_t offset) {
+  StatusOr<std::string> whole = ReadFile(path);
+  if (!whole.ok()) return whole.status();
+  if (offset >= whole->size()) return std::string();
+  return whole->substr(offset);
 }
 
 FileIo& DefaultFileIo() {

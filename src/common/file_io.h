@@ -34,6 +34,16 @@ class FileIo {
   /// Reads the whole file.
   virtual StatusOr<std::string> ReadFile(const std::string& path) = 0;
 
+  /// Reads the file's bytes from `offset` to end-of-file; empty when
+  /// `offset` is at or past the end. This is the WAL tailer's incremental
+  /// primitive: a replica following a live log re-reads only the bytes
+  /// appended since its last poll, keeping catch-up traffic O(delta). The
+  /// default implementation reads the whole file and slices; RealFileIo
+  /// seeks instead, and the fault injector overrides it to model reads
+  /// racing appends (torn reads, in-flight bit flips).
+  virtual StatusOr<std::string> ReadFileFrom(const std::string& path,
+                                             uint64_t offset);
+
   /// Atomically renames `from` to `to`, replacing `to` if it exists.
   virtual Status Rename(const std::string& from, const std::string& to) = 0;
 
@@ -57,6 +67,8 @@ class RealFileIo : public FileIo {
   Status AppendFile(const std::string& path,
                     const std::string& contents) override;
   StatusOr<std::string> ReadFile(const std::string& path) override;
+  StatusOr<std::string> ReadFileFrom(const std::string& path,
+                                     uint64_t offset) override;
   Status Rename(const std::string& from, const std::string& to) override;
   Status Remove(const std::string& path) override;
   Status CreateDirectories(const std::string& dir) override;

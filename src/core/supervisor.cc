@@ -65,6 +65,10 @@ Status PipelineSupervisor::AcquireLeaseIfNeeded() {
     return Status::OK();
   }
   if (lease_.has_value()) return Status::OK();
+  // A promoted follower already holds the directory's lease (with the
+  // fencing token that ended the previous writer); acquiring a second one
+  // would fence ourselves.
+  if (replica_ != nullptr && replica_->lease() != nullptr) return Status::OK();
   store::LeaseOptions lease_options = options_.lease;
   if (lease_options.io == nullptr) lease_options.io = options_.snapshot.io;
   if (lease_options.clock == nullptr) lease_options.clock = options_.clock;
@@ -82,8 +86,11 @@ Status PipelineSupervisor::AcquireLeaseIfNeeded() {
 }
 
 Status PipelineSupervisor::RenewLease() {
-  if (!lease_.has_value()) return Status::OK();
-  return lease_->Renew();
+  if (lease_.has_value()) return lease_->Renew();
+  if (replica_ != nullptr && replica_->lease() != nullptr) {
+    return replica_->RenewLease();
+  }
+  return Status::OK();
 }
 
 store::WalOptions PipelineSupervisor::GatedWalOptions() {
@@ -93,11 +100,55 @@ store::WalOptions PipelineSupervisor::GatedWalOptions() {
   if (options_.lease_enabled && !wal.write_gate) {
     // The gate outlives nothing: the supervisor owns both the lease and
     // (via the Database the caller passes around) nothing else captures it.
+    // A promoted follower's lease gates the same way.
     wal.write_gate = [this]() {
-      return lease_.has_value() ? lease_->Check() : Status::OK();
+      if (lease_.has_value()) return lease_->Check();
+      if (replica_ != nullptr && replica_->lease() != nullptr) {
+        return replica_->lease()->Check();
+      }
+      return Status::OK();
     };
   }
   return wal;
+}
+
+Status PipelineSupervisor::Follow(store::Database& db) {
+  if (options_.snapshot_dir.empty()) {
+    return Status::InvalidArgument("follower mode requires a snapshot_dir");
+  }
+  store::ReplicaOptions replica_options;
+  replica_options.snapshot = options_.snapshot;
+  replica_options.clock = options_.clock;
+  replica_ = std::make_unique<store::Replica>(options_.snapshot_dir, &db,
+                                              replica_options);
+  NEWSDIFF_RETURN_IF_ERROR(replica_->Bootstrap());
+  NEWSDIFF_LOG(Info) << "supervisor: following " << options_.snapshot_dir
+                     << " from checkpoint generation "
+                     << replica_->stats().bootstrap_generation;
+  return Status::OK();
+}
+
+Status PipelineSupervisor::PollFollower() {
+  if (replica_ == nullptr) {
+    return Status::FailedPrecondition("not in follower mode (call Follow)");
+  }
+  return replica_->Poll();
+}
+
+StatusOr<uint64_t> PipelineSupervisor::PromoteFollower() {
+  if (replica_ == nullptr) {
+    return Status::FailedPrecondition("not in follower mode (call Follow)");
+  }
+  store::LeaseOptions lease_options = options_.lease;
+  if (lease_options.io == nullptr) lease_options.io = options_.snapshot.io;
+  if (lease_options.clock == nullptr) lease_options.clock = options_.clock;
+  StatusOr<uint64_t> token = replica_->Promote(lease_options, options_.wal);
+  if (token.ok()) {
+    NEWSDIFF_LOG(Info) << "supervisor: promoted follower of "
+                       << options_.snapshot_dir << " (fencing token "
+                       << token.value() << ")";
+  }
+  return token;
 }
 
 Status PipelineSupervisor::Recover(store::Database& db) {
@@ -284,6 +335,8 @@ StatusOr<PipelineResult> PipelineSupervisor::Run(
     // crash-takeover contract.
     NEWSDIFF_RETURN_IF_ERROR(lease_->Release());
     lease_.reset();
+  } else if (replica_ != nullptr && replica_->lease() != nullptr) {
+    NEWSDIFF_RETURN_IF_ERROR(replica_->ReleaseLease());
   }
 
   NEWSDIFF_LOG(Info) << "supervisor: " << report_.stages_resumed

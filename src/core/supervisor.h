@@ -6,11 +6,14 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "common/retry.h"
 #include "common/status.h"
 #include "core/pipeline.h"
 #include "store/database.h"
 #include "store/lease.h"
+#include "store/replica.h"
 #include "store/snapshot.h"
 #include "store/wal.h"
 
@@ -104,6 +107,28 @@ class PipelineSupervisor {
   /// resume a killed process.
   Status Recover(store::Database& db);
 
+  /// Follower mode (replication; see store/replica.h): instead of
+  /// recovering for writing, bootstrap `db` as a read replica of
+  /// options.snapshot_dir and tail the live writer's log. The database
+  /// serves reads between polls; `db` must outlive the supervisor and must
+  /// not have a WAL attached. Mutually exclusive with Recover()/Run()
+  /// until PromoteFollower() succeeds.
+  Status Follow(store::Database& db);
+
+  /// One catch-up pass of the follower (see Replica::Poll). Resyncs
+  /// automatically when the writer's pruning outruns the tail.
+  Status PollFollower();
+
+  /// Fenced failover: takes over the store once the writer's lease has
+  /// expired (options.lease supplies owner/TTL; options.wal the write
+  /// path). On OK the followed database is the writer — a subsequent Run()
+  /// picks up its attached, gated WAL — and the fencing token is returned;
+  /// the partitioned previous writer's next sync fails at the write gate.
+  StatusOr<uint64_t> PromoteFollower();
+
+  /// The replica driving follower mode (nullptr unless Follow was called).
+  store::Replica* replica() { return replica_.get(); }
+
   /// Runs the pipeline under supervision. `db` must hold the raw news /
   /// tweets collections (either freshly crawled or restored by Recover).
   StatusOr<PipelineResult> Run(store::Database& db,
@@ -132,6 +157,10 @@ class PipelineSupervisor {
   SupervisorOptions options_;
   SupervisorReport report_;
   std::optional<store::Lease> lease_;
+  /// Follower mode. Owns the post-promotion lease, and the promoted
+  /// database's write gate points into it — it must outlive any use of
+  /// that database's WAL, so the supervisor keeps it for its own lifetime.
+  std::unique_ptr<store::Replica> replica_;
 };
 
 }  // namespace newsdiff::core

@@ -293,6 +293,32 @@ StatusOr<std::string> FaultyFileIo::ReadFile(const std::string& path) {
   return inner_->ReadFile(path);
 }
 
+StatusOr<std::string> FaultyFileIo::ReadFileFrom(const std::string& path,
+                                                 uint64_t offset) {
+  NEWSDIFF_RETURN_IF_ERROR(ChargeOp());
+  if (rng_.Bernoulli(options_.read_failure_rate)) {
+    ++counters_.read_failures;
+    return Status::IoError("injected read failure for " + path);
+  }
+  StatusOr<std::string> bytes = inner_->ReadFileFrom(path, offset);
+  if (!bytes.ok()) return bytes;
+  // Both faults are transient, against the returned copy only: the file on
+  // disk keeps its real bytes, so the tailer's next poll redraws.
+  if (!bytes->empty() && rng_.Bernoulli(options_.read_tear_rate)) {
+    ++counters_.read_tears;
+    return bytes->substr(0, rng_.NextBelow(bytes->size()));
+  }
+  if (!bytes->empty() && rng_.Bernoulli(options_.read_flip_rate)) {
+    ++counters_.read_flips;
+    std::string damaged = std::move(bytes).value();
+    const size_t pos = rng_.NextBelow(damaged.size());
+    damaged[pos] = static_cast<char>(
+        damaged[pos] ^ static_cast<char>(1 + rng_.NextBelow(255)));
+    return damaged;
+  }
+  return bytes;
+}
+
 Status FaultyFileIo::Rename(const std::string& from, const std::string& to) {
   NEWSDIFF_RETURN_IF_ERROR(ChargeOp());
   if (rng_.Bernoulli(options_.rename_failure_rate)) {

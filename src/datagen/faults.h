@@ -168,6 +168,14 @@ struct StorageFaultOptions {
   /// AppendFile reports success but only a prefix of the chunk actually
   /// lands, durably — a silent hole at the end of the log.
   double partial_append_rate = 0.0;
+  /// ReadFileFrom (the WAL tailer's incremental read) returns only a
+  /// prefix of the available bytes — a read racing an in-flight append
+  /// observes a torn tail that a later read will see completed. The file
+  /// itself is untouched (the fault is transient, unlike append faults).
+  double read_tear_rate = 0.0;
+  /// ReadFileFrom returns the bytes with a bit flipped in transit — a bad
+  /// DMA / cable on the read path. Transient: the next read redraws.
+  double read_flip_rate = 0.0;
   /// Hard crash: after this many intercepted operations every call fails.
   /// If the crashing operation is a write, a torn prefix is left behind —
   /// exactly what a killed process leaves on disk.
@@ -186,6 +194,8 @@ struct StorageFaultCounters {
   size_t append_failures = 0;  // reported-failed appends (torn tail left)
   size_t append_lies = 0;      // acked appends whose bytes Reboot() drops
   size_t partial_appends = 0;  // acked appends that silently lost a tail
+  size_t read_tears = 0;       // incremental reads returning a torn prefix
+  size_t read_flips = 0;       // incremental reads with in-transit bit rot
   bool crashed = false;
 };
 
@@ -198,6 +208,8 @@ class FaultyFileIo : public FileIo {
   Status AppendFile(const std::string& path,
                     const std::string& contents) override;
   StatusOr<std::string> ReadFile(const std::string& path) override;
+  StatusOr<std::string> ReadFileFrom(const std::string& path,
+                                     uint64_t offset) override;
   Status Rename(const std::string& from, const std::string& to) override;
   Status Remove(const std::string& path) override;
   Status CreateDirectories(const std::string& dir) override;

@@ -213,8 +213,16 @@ void Database::GarbageCollect(const std::string& dir, FileIo& io,
   for (uint64_t gen : retained) {
     referenced.insert(ManifestFileName(gen));
     StatusOr<std::string> text = io.ReadFile(dir + "/" + ManifestFileName(gen));
-    if (!text.ok()) continue;
+    if (!text.ok()) {
+      // An unreadable retained manifest might reference anything; reaping
+      // on a transient read fault could delete a live generation's files.
+      // Skip the whole reap — the next save retries it.
+      NEWSDIFF_LOG(Warning) << "snapshot gc: " << text.status().message();
+      return;
+    }
     StatusOr<Manifest> manifest = ParseManifest(*text);
+    // A manifest that reads cleanly but does not parse is durably corrupt:
+    // recovery skips its generation, so its files are safe to reap.
     if (!manifest.ok()) continue;
     for (const ManifestEntry& entry : manifest->entries) {
       referenced.insert(entry.file);
@@ -561,6 +569,12 @@ Status Database::RecoverWal(const std::string& dir,
         case WalRecord::Type::kCheckpoint:
           // End-of-segment marker; the state it names was captured by that
           // checkpoint's snapshot. Nothing to apply.
+          break;
+        case WalRecord::Type::kPromotion:
+          // Replication control: a fenced failover happened here. Mutates
+          // nothing; surface the token for operators and replicas.
+          report->wal_fencing_token =
+              std::max(report->wal_fencing_token, record.token);
           break;
         case WalRecord::Type::kSegmentHeader:
           // A second header mid-segment is damage.

@@ -1,5 +1,6 @@
 #include "store/lease.h"
 
+#include <algorithm>
 #include <string_view>
 #include <vector>
 
@@ -11,7 +12,9 @@ namespace newsdiff::store {
 namespace {
 
 constexpr char kLeaseFile[] = "LEASE";
+constexpr char kHighWaterFile[] = "LEASE.hwm";
 constexpr char kMagic[] = "newsdiff-lease";
+constexpr char kHwmMagic[] = "newsdiff-lease-hwm";
 constexpr int kFormatVersion = 1;
 
 bool ParseU64(std::string_view text, uint64_t* out) {
@@ -108,6 +111,8 @@ StatusOr<LeaseRecord> ParseLeaseRecord(const std::string& text) {
 
 std::string Lease::FileName() { return kLeaseFile; }
 
+std::string Lease::HighWaterFileName() { return kHighWaterFile; }
+
 std::string Lease::path() const { return dir_ + "/" + kLeaseFile; }
 
 FileIo& Lease::io() const {
@@ -123,11 +128,11 @@ StatusOr<LeaseRecord> Lease::ReadRecord() const {
   if (!io().Exists(path())) return Status::NotFound("no lease file");
   StatusOr<std::string> contents = io().ReadFile(path());
   if (!contents.ok()) {
-    // An unreadable lease file is indistinguishable from a torn renewal;
-    // treat it like a corrupt one (claimable) rather than wedging every
-    // future writer forever.
-    return Status::NotFound("unreadable lease file: " +
-                            contents.status().message());
+    // A failed read proves nothing about the file's contents: claiming on
+    // top of it could mint a token the live holder already owns. Propagate
+    // the fault and let the caller retry; only a file that reads cleanly
+    // but fails its CRC (below) is durably corrupt and claimable.
+    return contents.status();
   }
   StatusOr<LeaseRecord> record = ParseLeaseRecord(contents.value());
   if (!record.ok()) {
@@ -141,20 +146,63 @@ Status Lease::WriteRecord(const LeaseRecord& record) const {
   return WriteFileAtomic(io(), path(), SerializeLeaseRecord(record));
 }
 
+StatusOr<uint64_t> Lease::ReadTokenHighWater() const {
+  const std::string hwm_path = dir_ + "/" + kHighWaterFile;
+  if (!io().Exists(hwm_path)) return uint64_t{0};
+  StatusOr<std::string> contents = io().ReadFile(hwm_path);
+  // A transient read fault must not be mistaken for an absent mark: the
+  // mark is exactly what keeps a re-minted token above every fenced one.
+  if (!contents.ok()) return contents.status();
+  // Format: "newsdiff-lease-hwm <token>\ncrc <hex>\n". A mark that fails
+  // its CRC is treated as absent — the incumbent lease record still bounds
+  // the token, so a lost mark only matters when both files are damaged at
+  // once, and even then the fallback is the pre-mark behaviour.
+  const std::vector<std::string> lines = Split(contents.value(), '\n');
+  if (lines.size() < 2) return uint64_t{0};
+  const std::vector<std::string> head = SplitWhitespace(lines[0]);
+  const std::vector<std::string> trailer = SplitWhitespace(lines[1]);
+  if (head.size() != 2 || head[0] != kHwmMagic) return uint64_t{0};
+  if (trailer.size() != 2 || trailer[0] != "crc") return uint64_t{0};
+  uint32_t stated = 0;
+  if (!ParseCrc32Hex(trailer[1], &stated)) return uint64_t{0};
+  if (Crc32(lines[0] + "\n") != stated) return uint64_t{0};
+  uint64_t token = 0;
+  if (!ParseU64(head[1], &token)) return uint64_t{0};
+  return token;
+}
+
 StatusOr<Lease> Lease::Acquire(const std::string& dir,
                                const LeaseOptions& options) {
   Lease lease(dir, options, /*token=*/0);
   const int64_t give_up_ms = lease.clock().NowMillis() + options.wait_ms;
   while (true) {
     StatusOr<LeaseRecord> incumbent = lease.ReadRecord();
+    if (!incumbent.ok() &&
+        incumbent.status().code() != StatusCode::kNotFound) {
+      // Transient read fault: retrying is the caller's call, claiming on
+      // an unproven view of the incumbent is not.
+      return incumbent.status();
+    }
     const int64_t now_ms = lease.clock().NowMillis();
-    uint64_t next_token = 1;
+    StatusOr<uint64_t> hwm = lease.ReadTokenHighWater();
+    if (!hwm.ok()) return hwm.status();
+    uint64_t floor = *hwm;
     bool claimable = true;
     if (incumbent.ok()) {
-      next_token = incumbent->token + 1;
+      floor = std::max(floor, incumbent->token);
       claimable = incumbent->expires_ms <= now_ms;  // holder presumed dead
     }
     if (claimable) {
+      const uint64_t next_token = floor + 1;
+      // Persist the high-water mark *before* the lease record: if we crash
+      // between the two, the next claimant still starts above next_token,
+      // so a fenced writer can never be handed its own token back even
+      // when the lease file is later lost or corrupted.
+      const std::string hwm_line =
+          std::string(kHwmMagic) + " " + std::to_string(next_token) + "\n";
+      NEWSDIFF_RETURN_IF_ERROR(WriteFileAtomic(
+          lease.io(), dir + "/" + kHighWaterFile,
+          hwm_line + "crc " + Crc32Hex(Crc32(hwm_line)) + "\n"));
       LeaseRecord record;
       record.owner = options.owner;
       record.token = next_token;
@@ -176,12 +224,17 @@ StatusOr<Lease> Lease::Acquire(const std::string& dir,
 Status Lease::Check() {
   StatusOr<LeaseRecord> current = ReadRecord();
   if (!current.ok()) {
+    if (current.status().code() != StatusCode::kNotFound) {
+      // A transient read fault is retryable — it is not evidence that
+      // someone else took the lease, so do not self-fence on it.
+      return current.status();
+    }
     // Our own lease file vanished or turned to garbage under us. We cannot
     // prove we still hold exclusivity, so the safe verdict is "fenced".
     return Status::FailedPrecondition("lease lost: " +
                                       current.status().message());
   }
-  if (current->token != token_) {
+  if (current->token != token_ || current->owner != options_.owner) {
     return Status::FailedPrecondition(
         "fenced: lease token " + std::to_string(current->token) + " (held by " +
         current->owner + ") supersedes ours (" + std::to_string(token_) + ")");

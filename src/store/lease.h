@@ -32,6 +32,22 @@ namespace newsdiff::store {
 /// timestamps from the acquirer's own Clock, so this protects processes on
 /// one host (or simulated processes sharing a ManualClock in tests), not
 /// machines with unsynchronised clocks.
+///
+/// TTL boundary semantics (promotion correctness depends on these; the
+/// LeaseBoundary tests lock them in):
+///   - A lease whose `expires_ms` equals `now` is *expired*: takeover is
+///     allowed at exactly the expiry instant, and one clock tick before it
+///     is not.
+///   - An expired-but-untaken lease still belongs to its holder: Check()
+///     and Renew() compare tokens only, so the incumbent may resurrect its
+///     own expired lease right up until someone else claims it. Whichever
+///     write lands last wins, and the token decides who is fenced.
+///   - Fencing tokens are monotonic across takeovers even when the lease
+///     file itself is lost or corrupted: every acquisition also persists a
+///     token high-water mark (`LEASE.hwm`, CRC'd, written before the lease
+///     record) and claims strictly above both the incumbent's token and
+///     that mark. Without it, a corrupt lease file would restart tokens at
+///     1 and could hand a long-fenced writer its own token back.
 struct LeaseOptions {
   /// Identifies the holder in the lease file (diagnostics only; exclusion
   /// is by token, so two writers may even share a name).
@@ -86,14 +102,21 @@ class Lease {
   /// Name of the lease file within the store directory.
   static std::string FileName();
 
+  /// Name of the token high-water-mark file within the store directory.
+  static std::string HighWaterFileName();
+
  private:
   Lease(std::string dir, LeaseOptions options, uint64_t token)
       : dir_(std::move(dir)), options_(std::move(options)), token_(token) {}
 
-  /// Reads the current lease file; kNotFound when absent or corrupt.
+  /// Reads the current lease file; kNotFound when absent or durably
+  /// corrupt, any other error when the read itself failed (retryable).
   StatusOr<LeaseRecord> ReadRecord() const;
   /// Writes `record` atomically.
   Status WriteRecord(const LeaseRecord& record) const;
+  /// Highest token ever persisted for this directory (0 when the mark is
+  /// absent or fails its CRC); an error only when the read itself failed.
+  StatusOr<uint64_t> ReadTokenHighWater() const;
   std::string path() const;
 
   FileIo& io() const;

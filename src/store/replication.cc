@@ -1,0 +1,273 @@
+#include "store/replication.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/crc32.h"
+
+namespace newsdiff::store {
+
+namespace {
+
+constexpr size_t kFrameHeaderBytes = 8;  // u32le length + u32le CRC-32
+
+uint32_t ReadU32Le(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+}  // namespace
+
+WalTailer::WalTailer(std::string dir, uint64_t base_generation,
+                     WalTailerOptions options)
+    : dir_(std::move(dir)),
+      base_generation_(base_generation),
+      options_(options) {}
+
+FileIo& WalTailer::io() const {
+  return options_.io != nullptr ? *options_.io : DefaultFileIo();
+}
+
+void WalTailer::AbandonSegment(Cursor& cursor) {
+  ++stats_.damaged_segments;
+  cursor.done = true;
+  cursor.unconsumed = 0;  // the bytes past the damage will never be applied
+  cursor.last_reject.clear();
+  cursor.reject_polls = 0;
+}
+
+void WalTailer::ConsumeDelta(const std::string& collection, Cursor& cursor,
+                             const std::string& bytes, bool closed,
+                             const Apply& apply) {
+  size_t pos = 0;
+  while (true) {
+    const size_t remaining = bytes.size() - pos;
+    if (remaining == 0) {
+      // Clean frame boundary: everything observed is applied.
+      cursor.last_reject.clear();
+      cursor.reject_polls = 0;
+      cursor.unconsumed = 0;
+      // A closed segment that ends cleanly (no ckpt marker — the writer
+      // rotated on size or a poisoned append) is simply finished.
+      if (closed) cursor.done = true;
+      return;
+    }
+
+    // Frame header and payload must be complete before anything verifies.
+    bool torn = remaining < kFrameHeaderBytes;
+    uint32_t length = 0;
+    if (!torn) {
+      length = ReadU32Le(bytes.data() + pos);
+      torn = length != 0 && remaining - kFrameHeaderBytes < length;
+    }
+    if (torn) {
+      if (closed) {
+        // Nothing more will ever arrive: this is the poisoned tail of a
+        // part the writer rotated away from — the bytes recovery drops.
+        cursor.done = true;
+        cursor.unconsumed = 0;
+        cursor.last_reject.clear();
+        cursor.reject_polls = 0;
+      } else {
+        // An append in flight, or a transiently torn read; wait it out.
+        ++stats_.torn_waits;
+        cursor.unconsumed = remaining;
+      }
+      return;
+    }
+
+    const uint32_t stated_crc = ReadU32Le(bytes.data() + pos + 4);
+    const std::string payload =
+        length == 0 ? std::string()
+                    : bytes.substr(pos + kFrameHeaderBytes, length);
+    if (length == 0 || Crc32(payload) != stated_crc) {
+      // Unverifiable bytes: in-flight rot on the read path redraws next
+      // poll, durable rot in the file repeats byte-for-byte.
+      if (closed) {
+        // Closed segments are read with ReadFile, which cannot race an
+        // append — the damage is already known durable.
+        AbandonSegment(cursor);
+        return;
+      }
+      const std::string chunk = bytes.substr(pos);
+      if (chunk == cursor.last_reject) {
+        if (++cursor.reject_polls >= options_.max_reject_polls) {
+          AbandonSegment(cursor);
+          return;
+        }
+      } else {
+        cursor.last_reject = chunk;
+        cursor.reject_polls = 1;
+      }
+      cursor.unconsumed = remaining;
+      return;
+    }
+
+    StatusOr<WalRecord> record = ParseWalPayload(payload);
+    if (!record.ok()) {
+      // CRC-valid garbage is durable logical damage, not a transient read
+      // artifact; stop trusting the segment, as recovery does.
+      AbandonSegment(cursor);
+      return;
+    }
+
+    if (!cursor.started) {
+      // The first record must be this segment's own header; anything else
+      // means the file was renamed or damaged.
+      if (record->type != WalRecord::Type::kSegmentHeader ||
+          record->collection != collection ||
+          record->base_generation != cursor.base ||
+          record->part != cursor.part) {
+        AbandonSegment(cursor);
+        return;
+      }
+      cursor.started = true;
+    } else {
+      switch (record->type) {
+        case WalRecord::Type::kSegmentHeader:
+          // A second header mid-segment is damage.
+          AbandonSegment(cursor);
+          return;
+        case WalRecord::Type::kCheckpoint:
+          stats_.checkpoint_generation =
+              std::max(stats_.checkpoint_generation, record->generation);
+          // End-of-segment marker: the writer rotated to the new base.
+          cursor.done = true;
+          break;
+        case WalRecord::Type::kPromotion:
+          stats_.fencing_token =
+              std::max(stats_.fencing_token, record->token);
+          break;
+        default:
+          break;
+      }
+    }
+
+    const Status applied = apply(collection, *record);
+    if (!applied.ok()) {
+      AbandonSegment(cursor);
+      return;
+    }
+    pos += kFrameHeaderBytes + length;
+    cursor.offset += kFrameHeaderBytes + length;
+    cursor.last_reject.clear();
+    cursor.reject_polls = 0;
+    ++stats_.records_delivered;
+    if (cursor.done) {
+      cursor.unconsumed = 0;
+      return;
+    }
+  }
+}
+
+Status WalTailer::Poll(const Apply& apply) {
+  ++stats_.polls;
+  StatusOr<std::vector<std::string>> listing = io().ListDir(dir_);
+  if (!listing.ok()) {
+    ++stats_.read_failures;
+    return Status::OK();  // transient; retry next poll
+  }
+
+  std::map<std::string, std::vector<WalSegmentInfo>> groups;
+  for (WalSegmentInfo& segment : ListWalSegments(*listing)) {
+    if (segment.base_generation < base_generation_) continue;
+    groups[segment.collection].push_back(std::move(segment));
+  }
+
+  // A cursor whose collection lost every segment mid-read fell out of
+  // checkpoint retention; nothing it still needed can be recovered here.
+  for (const auto& [collection, cursor] : cursors_) {
+    if (!cursor.done && groups.find(collection) == groups.end()) {
+      return Status::Unavailable("wal segments for '" + collection +
+                                 "' pruned under the tailer; resync");
+    }
+  }
+
+  for (auto& [collection, segments] : groups) {
+    Cursor& cursor = cursors_[collection];
+    if (!cursor.positioned) {
+      cursor.positioned = true;
+      cursor.base = segments.front().base_generation;
+      cursor.part = segments.front().part;
+      ++stats_.segments_tracked;
+    }
+    while (true) {
+      if (cursor.done) {
+        // Advance to the next segment in (base, part) order, if one exists
+        // in this listing.
+        const WalSegmentInfo* next = nullptr;
+        for (const WalSegmentInfo& segment : segments) {
+          if (std::make_pair(segment.base_generation, segment.part) >
+              std::make_pair(cursor.base, cursor.part)) {
+            next = &segment;
+            break;
+          }
+        }
+        if (next == nullptr) break;  // caught up; wait for rotation
+        cursor.base = next->base_generation;
+        cursor.part = next->part;
+        cursor.offset = 0;
+        cursor.started = false;
+        cursor.done = false;
+        cursor.last_reject.clear();
+        cursor.reject_polls = 0;
+        cursor.unconsumed = 0;
+        ++stats_.segments_tracked;
+      }
+
+      const WalSegmentInfo* current = nullptr;
+      bool later_exists = false;
+      for (const WalSegmentInfo& segment : segments) {
+        const auto key = std::make_pair(segment.base_generation, segment.part);
+        const auto here = std::make_pair(cursor.base, cursor.part);
+        if (key == here) current = &segment;
+        if (key > here) later_exists = true;
+      }
+      if (current == nullptr) {
+        // The segment under the cursor vanished before it was finished —
+        // the prune race. Whatever it still held is only in newer
+        // snapshots now.
+        return Status::Unavailable(
+            "wal segment " +
+            WalSegmentFileName(collection, cursor.base, cursor.part) +
+            " pruned under the tailer; resync");
+      }
+
+      const std::string path = dir_ + "/" + current->file;
+      const bool closed = later_exists;
+      std::string delta;
+      if (closed) {
+        // A closed segment cannot race an append, so read it whole: the
+        // result is its final contents and every verdict on it is final.
+        StatusOr<std::string> whole = io().ReadFile(path);
+        if (!whole.ok()) {
+          ++stats_.read_failures;
+          break;  // transient; retry next poll
+        }
+        if (whole->size() > cursor.offset) delta = whole->substr(cursor.offset);
+      } else {
+        StatusOr<std::string> tail = io().ReadFileFrom(path, cursor.offset);
+        if (!tail.ok()) {
+          ++stats_.read_failures;
+          break;  // transient; retry next poll
+        }
+        delta = std::move(tail).value();
+      }
+      stats_.bytes_read += delta.size();
+      ConsumeDelta(collection, cursor, delta, closed, apply);
+      if (!cursor.done) break;  // waiting for more bytes in an open segment
+    }
+  }
+
+  uint64_t behind = 0;
+  for (const auto& [collection, cursor] : cursors_) {
+    behind += cursor.unconsumed;
+  }
+  stats_.bytes_behind = behind;
+  return Status::OK();
+}
+
+}  // namespace newsdiff::store

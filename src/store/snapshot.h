@@ -61,6 +61,9 @@ struct SnapshotLoadReport {
   size_t wal_records_replayed = 0;
   size_t wal_records_truncated = 0;
   size_t wal_records_rejected = 0;
+  /// Highest fencing token among replication promotion records replayed
+  /// (0 when the log never changed writers; see store/replica.h).
+  uint64_t wal_fencing_token = 0;
 };
 
 struct ManifestEntry {

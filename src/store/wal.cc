@@ -63,6 +63,9 @@ std::string RecordPayload(const WalRecord& record) {
       return "drop";
     case WalRecord::Type::kCheckpoint:
       return "ckpt " + std::to_string(record.generation);
+    case WalRecord::Type::kPromotion:
+      return "promo " + std::to_string(record.token) +
+             (record.owner.empty() ? "" : " " + record.owner);
   }
   return "";  // unreachable
 }
@@ -131,6 +134,21 @@ StatusOr<WalRecord> ParseWalPayload(const std::string& payload) {
     record.type = WalRecord::Type::kCheckpoint;
     if (!ParseU64(rest, &record.generation)) {
       return Status::ParseError("wal: malformed ckpt record");
+    }
+    return record;
+  }
+  if (op == "promo") {
+    record.type = WalRecord::Type::kPromotion;
+    // Owner is free-form (it may contain spaces), so it is everything after
+    // the token rather than a whitespace-split field.
+    const size_t token_end = rest.find(' ');
+    const std::string_view token_text =
+        std::string_view(rest).substr(0, token_end);
+    if (!ParseU64(token_text, &record.token)) {
+      return Status::ParseError("wal: malformed promo record");
+    }
+    if (token_end != std::string::npos) {
+      record.owner = rest.substr(token_end + 1);
     }
     return record;
   }
@@ -308,6 +326,15 @@ Status WalWriter::LogDelete(const std::string& collection, DocId id) {
 Status WalWriter::LogDrop(const std::string& collection) {
   WalRecord record;
   record.type = WalRecord::Type::kDrop;
+  return Buffer(collection, record);
+}
+
+Status WalWriter::LogPromotion(const std::string& collection, uint64_t token,
+                               const std::string& owner) {
+  WalRecord record;
+  record.type = WalRecord::Type::kPromotion;
+  record.token = token;
+  record.owner = owner;
   return Buffer(collection, record);
 }
 

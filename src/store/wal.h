@@ -44,7 +44,17 @@ namespace newsdiff::store {
 
 /// One decoded log record.
 struct WalRecord {
-  enum class Type { kSegmentHeader, kPut, kDelete, kDrop, kCheckpoint };
+  enum class Type {
+    kSegmentHeader,
+    kPut,
+    kDelete,
+    kDrop,
+    kCheckpoint,
+    // Replication control: a new writer took over the store with fencing
+    // token `token`. Tailing replicas record the token (ReplicaStats) and
+    // use it to order leadership changes; it mutates no data.
+    kPromotion,
+  };
   Type type = Type::kPut;
   // kSegmentHeader: identity of the segment (validated against its file
   // name) plus the collection's slot count at the segment's base state.
@@ -57,6 +67,10 @@ struct WalRecord {
   std::string doc_json;  // kPut only: compact JSON of the post-image
   // kCheckpoint: the snapshot generation whose manifest committed.
   uint64_t generation = 0;
+  // kPromotion: the fencing token the promoted writer acquired, plus its
+  // owner string (diagnostics; may contain spaces, parsed as the tail).
+  uint64_t token = 0;
+  std::string owner;
 };
 
 /// Renders one record in its framed on-disk form:
@@ -156,6 +170,12 @@ class WalWriter {
   Status LogPut(const std::string& collection, DocId id, const Value& doc);
   Status LogDelete(const std::string& collection, DocId id);
   Status LogDrop(const std::string& collection);
+
+  /// Buffers a replication-control promotion record (fenced failover, see
+  /// store/replica.h): announces to every tailing replica that the writer
+  /// holding fencing token `token` now owns this collection's log.
+  Status LogPromotion(const std::string& collection, uint64_t token,
+                      const std::string& owner);
 
   /// Flushes every collection's pending records. After an OK return the
   /// log covers every acknowledged mutation.

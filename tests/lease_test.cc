@@ -170,11 +170,12 @@ TEST_F(LeaseFixture, LeaseReleaseLetsTheNextWriterAcquireImmediately) {
   StatusOr<Lease> first = Lease::Acquire(dir(), With(&clock, "a"));
   ASSERT_TRUE(first.ok());
   ASSERT_TRUE(first->Release().ok());
-  // No TTL wait: the file is gone, so "b" claims instantly (fresh fencing
-  // token still above the released one).
+  // No TTL wait: the file is gone, so "b" claims instantly. The token
+  // high-water mark survives the release, so the fencing token still
+  // advances past the released one.
   StatusOr<Lease> second = Lease::Acquire(dir(), With(&clock, "b"));
   ASSERT_TRUE(second.ok());
-  EXPECT_EQ(second->token(), 1u);
+  EXPECT_EQ(second->token(), 2u);
 }
 
 TEST_F(LeaseFixture, LeaseCorruptFileIsClaimable) {
@@ -187,10 +188,120 @@ TEST_F(LeaseFixture, LeaseCorruptFileIsClaimable) {
     out << "garbage that is not a lease record";
   }
   // Corruption means the holder's last renewal never landed intact; the
-  // file is treated as absent and claimed without waiting.
+  // file is treated as absent and claimed without waiting. The token
+  // high-water mark keeps the fencing token monotonic even though the
+  // incumbent's token is unreadable.
   StatusOr<Lease> next = Lease::Acquire(dir(), With(&clock, "b"));
   ASSERT_TRUE(next.ok());
-  EXPECT_EQ(next->token(), 1u);
+  EXPECT_EQ(next->token(), 2u);
+  EXPECT_EQ(holder->Check().code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// TTL boundary semantics (see the contract in store/lease.h). Promotion
+// correctness leans on these exact edges, so they are pinned here.
+
+TEST_F(LeaseFixture, LeaseBoundaryTakeoverAllowedExactlyAtExpiry) {
+  ManualClock clock;
+  LeaseOptions a = With(&clock, "a");
+  a.ttl_ms = 1'000;
+  StatusOr<Lease> holder = Lease::Acquire(dir(), a);
+  ASSERT_TRUE(holder.ok());
+
+  // One tick before expiry the lease is still live: contention fails fast.
+  clock.Advance(999);
+  StatusOr<Lease> early = Lease::Acquire(dir(), With(&clock, "b"));
+  ASSERT_FALSE(early.ok());
+  EXPECT_EQ(early.status().code(), StatusCode::kUnavailable);
+
+  // At exactly `expires_ms` the holder is presumed dead: takeover allowed.
+  clock.Advance(1);
+  StatusOr<Lease> takeover = Lease::Acquire(dir(), With(&clock, "b"));
+  ASSERT_TRUE(takeover.ok());
+  EXPECT_EQ(takeover->token(), 2u);
+  EXPECT_EQ(holder->Check().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(LeaseFixture, LeaseBoundaryExpiredButUntakenStillBelongsToHolder) {
+  ManualClock clock;
+  LeaseOptions a = With(&clock, "a");
+  a.ttl_ms = 1'000;
+  StatusOr<Lease> holder = Lease::Acquire(dir(), a);
+  ASSERT_TRUE(holder.ok());
+
+  // Expiry alone does not fence: Check and Renew compare tokens only, so
+  // the incumbent may resurrect its own expired lease right up until
+  // someone else claims it.
+  clock.Advance(5'000);
+  EXPECT_TRUE(holder->Check().ok());
+  ASSERT_TRUE(holder->Renew().ok());
+
+  // The renewal restored a live TTL; a contender is locked out again.
+  StatusOr<Lease> contender = Lease::Acquire(dir(), With(&clock, "b"));
+  ASSERT_FALSE(contender.ok());
+  EXPECT_EQ(contender.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(LeaseFixture, LeaseBoundaryFencedRenewAndReleaseLeaveFileIntact) {
+  ManualClock clock;
+  LeaseOptions a = With(&clock, "a");
+  a.ttl_ms = 1'000;
+  StatusOr<Lease> stale = Lease::Acquire(dir(), a);
+  ASSERT_TRUE(stale.ok());
+  clock.Advance(1'000);
+  StatusOr<Lease> takeover = Lease::Acquire(dir(), With(&clock, "b"));
+  ASSERT_TRUE(takeover.ok());
+
+  // The fenced holder can neither renew nor release: both check the token
+  // first, so the new holder's lease file is never touched.
+  EXPECT_EQ(stale->Renew().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(stale->Release().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(takeover->Check().ok());
+  EXPECT_TRUE(takeover->Renew().ok());
+}
+
+TEST_F(LeaseFixture, LeaseBoundaryHighWaterKeepsTokensMonotonicThroughCorruption) {
+  ManualClock clock;
+  LeaseOptions a = With(&clock, "a");
+  a.ttl_ms = 1'000;
+  StatusOr<Lease> first = Lease::Acquire(dir(), a);  // token 1
+  ASSERT_TRUE(first.ok());
+  clock.Advance(1'000);
+  LeaseOptions b = With(&clock, "b");
+  b.ttl_ms = 1'000;
+  StatusOr<Lease> second = Lease::Acquire(dir(), b);  // token 2 fences "a"
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second->token(), 2u);
+
+  // The lease file rots away entirely. Without the high-water mark the next
+  // claimant would restart at token 1 — handing the long-fenced "a" its own
+  // token back and re-opening split brain.
+  {
+    std::ofstream out(dir_ / Lease::FileName(),
+                      std::ios::trunc | std::ios::binary);
+    out << "garbage";
+  }
+  StatusOr<Lease> third = Lease::Acquire(dir(), With(&clock, "c"));
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->token(), 3u);
+  EXPECT_EQ(first->Check().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(second->Check().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(LeaseFixture, LeaseBoundaryMissingHighWaterFallsBackToIncumbentToken) {
+  ManualClock clock;
+  LeaseOptions a = With(&clock, "a");
+  a.ttl_ms = 1'000;
+  StatusOr<Lease> first = Lease::Acquire(dir(), a);
+  ASSERT_TRUE(first.ok());
+  // A corrupt or missing mark is treated as absent; the incumbent's token
+  // still bounds the claim, so fencing is preserved.
+  fs::remove(dir_ / Lease::HighWaterFileName());
+  clock.Advance(1'000);
+  StatusOr<Lease> second = Lease::Acquire(dir(), With(&clock, "b"));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->token(), 2u);
+  EXPECT_EQ(first->Check().code(), StatusCode::kFailedPrecondition);
 }
 
 }  // namespace
