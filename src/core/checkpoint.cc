@@ -278,30 +278,30 @@ Status LoadAssignments(const store::Collection& coll,
 Status SaveStageOutput(const std::string& stage, const PipelineResult& result,
                        store::Database& db) {
   if (stage == "topics") {
-    db.Drop(kTopicsCollection);
+    (void)db.Drop(kTopicsCollection);
     return SaveTopics(result.topics, db.GetOrCreate(kTopicsCollection));
   }
   if (stage == "news_events") {
-    db.Drop(kNewsEventsCollection);
+    (void)db.Drop(kNewsEventsCollection);
     return SaveEvents(result.news_events,
                       db.GetOrCreate(kNewsEventsCollection));
   }
   if (stage == "twitter_events") {
-    db.Drop(kTwitterEventsCollection);
+    (void)db.Drop(kTwitterEventsCollection);
     return SaveEvents(result.twitter_events,
                       db.GetOrCreate(kTwitterEventsCollection));
   }
   if (stage == "trending") {
-    db.Drop(kTrendingCollection);
+    (void)db.Drop(kTrendingCollection);
     return SaveTrending(result.trending, db.GetOrCreate(kTrendingCollection));
   }
   if (stage == "correlations") {
-    db.Drop(kCorrelationsCollection);
+    (void)db.Drop(kCorrelationsCollection);
     return SaveCorrelations(result.correlations,
                             db.GetOrCreate(kCorrelationsCollection));
   }
   if (stage == "assignments") {
-    db.Drop(kAssignmentsCollection);
+    (void)db.Drop(kAssignmentsCollection);
     return SaveAssignments(result.assignments,
                            db.GetOrCreate(kAssignmentsCollection));
   }

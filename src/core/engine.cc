@@ -1,0 +1,188 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "core/collection.h"
+#include "core/preprocess.h"
+#include "datagen/world.h"
+#include "text/pipeline.h"
+
+namespace newsdiff {
+
+namespace {
+
+constexpr char kNewsIndex[] = "news";
+constexpr char kTweetsIndex[] = "tweets";
+
+}  // namespace
+
+core::PipelineOptions EngineOptions::PipelineView() const {
+  core::PipelineOptions view = pipeline;
+  view.parallelism = parallelism;
+  return view;
+}
+
+core::PredictorOptions EngineOptions::PredictorView() const {
+  core::PredictorOptions view = predictor;
+  view.parallelism = parallelism;
+  return view;
+}
+
+core::SupervisorOptions EngineOptions::SupervisorView() const {
+  return supervisor;
+}
+
+std::string EngineOptions::IndexDir() const {
+  if (!index_dir.empty()) return index_dir;
+  if (!supervisor.snapshot_dir.empty()) {
+    return supervisor.snapshot_dir + "/index";
+  }
+  return "";
+}
+
+Engine::Engine(EngineOptions options)
+    : options_(std::move(options)),
+      supervisor_(core::Pipeline(options_.PipelineView()),
+                  options_.SupervisorView()) {}
+
+FileIo& Engine::io() const {
+  return options_.io != nullptr ? *options_.io : DefaultFileIo();
+}
+
+Status Engine::Recover(store::Database& db) {
+  NEWSDIFF_RETURN_IF_ERROR(supervisor_.Recover(db));
+  if (options_.IndexDir().empty()) return Status::OK();
+  StatusOr<index::IndexLoadReport> report = LoadIndex();
+  if (!report.ok()) return report.status();
+  return Status::OK();
+}
+
+StatusOr<core::PipelineResult> Engine::RunPipeline(
+    store::Database& db, const embed::PretrainedStore& embeddings) {
+  return supervisor_.Run(db, embeddings);
+}
+
+StatusOr<BuildIndexReport> Engine::BuildIndex(store::Database& db) {
+  StatusOr<std::vector<core::NewsRecord>> news = core::LoadNews(db);
+  if (!news.ok()) return news.status();
+  StatusOr<std::vector<core::TweetRecord>> tweets = core::LoadTweets(db);
+  if (!tweets.ok()) return tweets.status();
+
+  // The same tokenisation the offline event-detection stages use, so a
+  // query phrased like a headline meets the corpus on equal terms.
+  const corpus::Corpus news_corpus = core::BuildNewsED(*news);
+  const corpus::Corpus tweet_corpus = core::BuildTwitterED(*tweets);
+
+  std::vector<double> tweet_labels;
+  tweet_labels.reserve(tweets->size());
+  for (const core::TweetRecord& t : *tweets) {
+    tweet_labels.push_back(
+        static_cast<double>(datagen::EncodeCountClass(t.likes)));
+  }
+
+  StatusOr<index::InvertedIndex> news_ix =
+      index::InvertedIndex::Build(news_corpus, options_.index);
+  if (!news_ix.ok()) return news_ix.status();
+  StatusOr<index::InvertedIndex> tweets_ix =
+      index::InvertedIndex::Build(tweet_corpus, options_.index, tweet_labels);
+  if (!tweets_ix.ok()) return tweets_ix.status();
+
+  std::map<std::string, index::InvertedIndex> built;
+  built.emplace(kNewsIndex, std::move(*news_ix));
+  built.emplace(kTweetsIndex, std::move(*tweets_ix));
+
+  BuildIndexReport report;
+  report.news_docs = news_corpus.size();
+  report.tweet_docs = tweet_corpus.size();
+  report.news_terms = built[kNewsIndex].num_terms();
+  report.tweet_terms = built[kTweetsIndex].num_terms();
+
+  const std::string dir = options_.IndexDir();
+  if (!dir.empty()) {
+    index::IndexStore store(io(), dir, options_.index_retain);
+    NEWSDIFF_RETURN_IF_ERROR(store.Save(built));
+    report.generation = store.generation();
+  }
+  indexes_ = std::move(built);
+  index_generation_ = report.generation;
+  return report;
+}
+
+StatusOr<index::IndexLoadReport> Engine::LoadIndex() {
+  const std::string dir = options_.IndexDir();
+  if (dir.empty()) {
+    return Status::FailedPrecondition("engine: no index directory configured");
+  }
+  index::IndexStore store(io(), dir, options_.index_retain);
+  StatusOr<index::IndexLoadReport> report = store.Load(&indexes_);
+  if (report.ok()) index_generation_ = report->generation;
+  return report;
+}
+
+const index::InvertedIndex* Engine::GetIndex(const std::string& name) const {
+  auto it = indexes_.find(name);
+  return it == indexes_.end() ? nullptr : &it->second;
+}
+
+StatusOr<std::vector<QueryHit>> Engine::Query(
+    const std::string& index_name, const std::vector<std::string>& terms,
+    size_t k, index::QueryStats* stats) const {
+  const index::InvertedIndex* ix = GetIndex(index_name);
+  if (ix == nullptr) {
+    return Status::FailedPrecondition(
+        "engine: index '" + index_name +
+        "' not loaded; call BuildIndex or LoadIndex first");
+  }
+  std::vector<QueryHit> hits;
+  for (const index::SearchResult& r : ix->TopK(terms, k, stats)) {
+    const index::DocInfo& info = ix->doc(r.doc);
+    QueryHit hit;
+    hit.doc = r.doc;
+    hit.external_id = info.external_id;
+    hit.timestamp = info.timestamp;
+    hit.score = r.score;
+    hit.label = info.label;
+    hits.push_back(hit);
+  }
+  return hits;
+}
+
+StatusOr<std::vector<QueryHit>> Engine::QueryTrending(
+    const std::string& query, size_t k, index::QueryStats* stats) const {
+  return Query(kNewsIndex, text::PreprocessNewsED(query), k, stats);
+}
+
+StatusOr<InterestPrediction> Engine::PredictInterest(
+    const std::string& draft, size_t k, index::QueryStats* stats) const {
+  StatusOr<std::vector<QueryHit>> hits =
+      Query(kTweetsIndex, text::PreprocessNewsED(draft), k, stats);
+  if (!hits.ok()) return hits.status();
+  if (hits->empty()) {
+    return Status::NotFound("engine: no tweets match the draft");
+  }
+  InterestPrediction prediction;
+  const size_t num_classes = std::max<size_t>(options_.predictor.num_classes, 1);
+  prediction.class_weights.assign(num_classes, 0.0);
+  double total = 0.0;
+  for (const QueryHit& h : *hits) {
+    size_t cls = h.label >= 0.0 ? static_cast<size_t>(h.label) : 0;
+    if (cls >= num_classes) cls = num_classes - 1;
+    prediction.class_weights[cls] += h.score;
+    total += h.score;
+  }
+  if (total > 0.0) {
+    for (double& w : prediction.class_weights) w /= total;
+  }
+  for (size_t c = 1; c < num_classes; ++c) {
+    if (prediction.class_weights[c] >
+        prediction.class_weights[static_cast<size_t>(prediction.predicted_class)]) {
+      prediction.predicted_class = static_cast<int>(c);
+    }
+  }
+  prediction.confidence =
+      prediction.class_weights[static_cast<size_t>(prediction.predicted_class)];
+  prediction.neighbors = std::move(*hits);
+  return prediction;
+}
+
+}  // namespace newsdiff

@@ -1,0 +1,175 @@
+#ifndef NEWSDIFF_CORE_ENGINE_H_
+#define NEWSDIFF_CORE_ENGINE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/file_io.h"
+#include "common/parallel.h"
+#include "common/status.h"
+#include "core/pipeline.h"
+#include "core/predictor.h"
+#include "core/supervisor.h"
+#include "index/index.h"
+#include "store/database.h"
+
+namespace newsdiff {
+
+/// The one configuration aggregate for the public Engine API. Before this
+/// existed, callers assembled Parallelism, KernelConfig, PipelineOptions,
+/// PredictorOptions, and the supervisor's snapshot/WAL/lease knobs by hand
+/// and had to keep the embedded copies consistent themselves. EngineOptions
+/// owns the authoritative copy of each and hands the per-module views out
+/// itself: set `parallelism` once here and every module view carries it.
+struct EngineOptions {
+  /// Execution parallelism for every compute path — pipeline stages, the
+  /// blocked GEMM kernels (via the embedded KernelConfig), and predictor
+  /// training. This field is authoritative: the copies inside `pipeline`
+  /// and `predictor` are overwritten by the view accessors.
+  Parallelism parallelism;
+
+  /// Analysis-pipeline stage configuration (thresholds, slice widths).
+  core::PipelineOptions pipeline;
+
+  /// Interest-predictor training regime (§5.6 networks).
+  core::PredictorOptions predictor;
+
+  /// Durability: snapshot directory, WAL, writer lease. The supervisor view
+  /// is handed to PipelineSupervisor unchanged.
+  core::SupervisorOptions supervisor;
+
+  /// Inverted-index build parameters (block size, BM25 k1/b).
+  index::IndexOptions index;
+
+  /// Where index generations live. Empty uses
+  /// `<supervisor.snapshot_dir>/index` when a snapshot dir is set, and
+  /// disables index persistence otherwise (queries still work in memory).
+  std::string index_dir;
+
+  /// Index generations kept on disk (>= 1).
+  size_t index_retain = 2;
+
+  /// Filesystem seam for index persistence; nullptr = DefaultFileIo().
+  /// Tests point this at the storage fault injector.
+  FileIo* io = nullptr;
+
+  /// Per-module views: the aggregate copied down with the authoritative
+  /// `parallelism` substituted in.
+  core::PipelineOptions PipelineView() const;
+  core::PredictorOptions PredictorView() const;
+  core::SupervisorOptions SupervisorView() const;
+  /// Resolved index directory (may be empty: in-memory only).
+  std::string IndexDir() const;
+};
+
+/// One ranked document from an Engine query, joined with its DocInfo.
+struct QueryHit {
+  uint32_t doc = 0;          // dense id inside the queried index
+  int64_t external_id = 0;   // store DocId of the article / tweet
+  int64_t timestamp = 0;     // published / created time
+  double score = 0.0;        // BM25 score
+  double label = 0.0;        // carried label (tweets: Table-2 likes class)
+};
+
+/// PredictInterest outcome: a score-weighted vote of the retrieved
+/// neighbours' Table-2 interest classes.
+struct InterestPrediction {
+  int predicted_class = 0;            // argmax of class_weights
+  std::vector<double> class_weights;  // BM25-mass per class, normalised
+  double confidence = 0.0;            // class_weights[predicted_class]
+  std::vector<QueryHit> neighbors;    // the supporting tweets
+};
+
+/// What Engine::BuildIndex produced.
+struct BuildIndexReport {
+  size_t news_docs = 0;
+  size_t tweet_docs = 0;
+  size_t news_terms = 0;
+  size_t tweet_terms = 0;
+  /// Generation committed to disk (0 when persistence is disabled).
+  uint64_t generation = 0;
+};
+
+/// The public serving facade: one object that owns the supervised analysis
+/// pipeline (offline refresh), the durable document store recovery, and the
+/// online top-k query path over block-compressed inverted indexes. All
+/// entrypoints return Status/StatusOr — no bool-or-crash seams.
+///
+///   newsdiff::Engine engine(options);
+///   engine.Recover(db);                    // load snapshot + newest index
+///   engine.RunPipeline(db, embeddings);    // offline refresh (§4 stages)
+///   engine.BuildIndex(db);                 // invert news + tweets
+///   engine.QueryTrending("federal bank rate", 10);
+///   engine.PredictInterest(draft_text, 50);
+///
+/// Queries are served from two indexes named "news" and "tweets", built
+/// with the same text pipelines the offline stages use (PreprocessNewsED /
+/// PreprocessTwitterED), so online tokenisation matches the corpora
+/// byte-for-byte. Rankings are exactly the brute-force BM25 ranking — the
+/// index only changes the cost, never the answer (see index/index.h).
+class Engine {
+ public:
+  explicit Engine(EngineOptions options);
+
+  const EngineOptions& options() const { return options_; }
+
+  /// Restores the document store from the newest intact snapshot and loads
+  /// the newest intact index generation. Missing state is not an error —
+  /// a fresh deployment recovers to empty.
+  Status Recover(store::Database& db);
+
+  /// Runs the supervised analysis pipeline (checkpointed, WAL-synced, and
+  /// lease-fenced per the supervisor options).
+  StatusOr<core::PipelineResult> RunPipeline(
+      store::Database& db, const embed::PretrainedStore& embeddings);
+
+  /// Inverts the store's "news" and "tweets" collections into the two
+  /// query indexes and commits them as one new generation (when an index
+  /// directory is configured). Tweet DocInfo labels carry the Table-2
+  /// likes class, which PredictInterest votes over.
+  StatusOr<BuildIndexReport> BuildIndex(store::Database& db);
+
+  /// Loads the newest intact index generation from disk, replacing the
+  /// in-memory indexes. No directory configured → kFailedPrecondition.
+  StatusOr<index::IndexLoadReport> LoadIndex();
+
+  /// Top-k articles for a free-text query against the "news" index.
+  /// kFailedPrecondition until an index is built or loaded.
+  StatusOr<std::vector<QueryHit>> QueryTrending(
+      const std::string& query, size_t k,
+      index::QueryStats* stats = nullptr) const;
+
+  /// Audience-interest estimate for a draft article: retrieves the top-k
+  /// most similar tweets and takes the BM25-weighted vote of their
+  /// interest classes. Returns kNotFound when nothing matches.
+  StatusOr<InterestPrediction> PredictInterest(
+      const std::string& draft, size_t k,
+      index::QueryStats* stats = nullptr) const;
+
+  /// The named index ("news" / "tweets"), or nullptr.
+  const index::InvertedIndex* GetIndex(const std::string& name) const;
+
+  /// Index generation currently in memory (0 = unsaved / in-memory only).
+  uint64_t index_generation() const { return index_generation_; }
+
+  /// Escape hatch to the supervisor for follower/promotion flows.
+  core::PipelineSupervisor& supervisor() { return supervisor_; }
+
+ private:
+  FileIo& io() const;
+  StatusOr<std::vector<QueryHit>> Query(const std::string& index_name,
+                                        const std::vector<std::string>& terms,
+                                        size_t k,
+                                        index::QueryStats* stats) const;
+
+  EngineOptions options_;
+  core::PipelineSupervisor supervisor_;
+  std::map<std::string, index::InvertedIndex> indexes_;
+  uint64_t index_generation_ = 0;
+};
+
+}  // namespace newsdiff
+
+#endif  // NEWSDIFF_CORE_ENGINE_H_

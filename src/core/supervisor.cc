@@ -235,8 +235,9 @@ StatusOr<PipelineResult> PipelineSupervisor::Run(
   }
 
   // The ledger is rewritten from scratch so stale entries (older inputs,
-  // stages past the resume point) cannot linger.
-  db.Drop(kStageLedgerCollection);
+  // stages past the resume point) cannot linger. A first run has no ledger
+  // to drop.
+  (void)db.Drop(kStageLedgerCollection);
 
   size_t resumed = 0;
   for (; resumed < done_prefix; ++resumed) {

@@ -1,0 +1,56 @@
+#ifndef NEWSDIFF_INDEX_BM25_H_
+#define NEWSDIFF_INDEX_BM25_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace newsdiff::index {
+
+/// BM25 scoring over the inverted index (the PISA bm25.hpp recipe with the
+/// Lucene-style always-positive idf, so term upper bounds are usable for
+/// dynamic pruning). The default k1/b pair matches PISA's.
+///
+/// Determinism contract: Score is a fixed sequence of IEEE-754 double
+/// operations of its inputs — the index's top-k path and the brute-force
+/// reference scan call this same inline function with the same inputs, so
+/// their per-(term, doc) contributions are bit-identical and rankings can
+/// be compared byte-exactly.
+struct Bm25 {
+  double k1 = 0.9;
+  double b = 0.4;
+  /// Collection statistics (fixed at build time).
+  uint64_t num_docs = 0;
+  double avg_doc_length = 0.0;
+
+  /// log(1 + (N - df + 0.5) / (df + 0.5)): > 0 for every df <= N.
+  double IdfWeight(uint64_t doc_freq) const {
+    const double n = static_cast<double>(num_docs);
+    const double df = static_cast<double>(doc_freq);
+    return std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+  }
+
+  /// Contribution of one (term, doc) pair. `idf` is IdfWeight(df) computed
+  /// once per term; tf >= 1.
+  double Score(double idf, uint32_t term_freq, uint32_t doc_length) const {
+    const double tf = static_cast<double>(term_freq);
+    const double norm =
+        k1 * (1.0 - b + b * static_cast<double>(doc_length) / avg_doc_length);
+    return idf * (tf * (k1 + 1.0)) / (tf + norm);
+  }
+};
+
+/// Multiplicative slack applied to every stored upper bound (term max and
+/// per-block max scores). Pruning compares a left-fold of exact
+/// contributions against sums and differences of these bounds; the fold
+/// orders differ, so strict float monotonicity alone does not make
+/// "bound <= threshold" a safe skip. Inflating the bounds by 1e-9 relative
+/// dwarfs the worst-case accumulated rounding (~#terms * DBL_EPSILON)
+/// while staying tight enough that pruning power is unaffected. Bounds
+/// only gate skipping — reported scores are always the exact fold.
+inline double InflateBound(double upper_bound) {
+  return upper_bound * (1.0 + 1e-9);
+}
+
+}  // namespace newsdiff::index
+
+#endif  // NEWSDIFF_INDEX_BM25_H_

@@ -1,0 +1,146 @@
+#include "index/codec.h"
+
+#include <cstring>
+
+namespace newsdiff::index {
+
+namespace {
+
+Status Truncated(const char* what) {
+  return Status::ParseError(std::string("index codec: truncated ") + what);
+}
+
+}  // namespace
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xFF);
+  buf[1] = static_cast<char>((v >> 8) & 0xFF);
+  buf[2] = static_cast<char>((v >> 16) & 0xFF);
+  buf[3] = static_cast<char>((v >> 24) & 0xFF);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+  out->append(buf, 8);
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutVarint32(std::string* out, uint32_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+void PutVarint64(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+void PutLengthPrefixed(std::string* out, std::string_view s) {
+  PutVarint64(out, s.size());
+  out->append(s.data(), s.size());
+}
+
+Status ByteReader::ReadU32(uint32_t* v) {
+  if (remaining() < 4) return Truncated("u32");
+  uint32_t r = 0;
+  for (int i = 0; i < 4; ++i) {
+    r |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  *v = r;
+  return Status::OK();
+}
+
+Status ByteReader::ReadU64(uint64_t* v) {
+  if (remaining() < 8) return Truncated("u64");
+  uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    r |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  *v = r;
+  return Status::OK();
+}
+
+Status ByteReader::ReadF64(double* v) {
+  uint64_t bits = 0;
+  NEWSDIFF_RETURN_IF_ERROR(ReadU64(&bits));
+  std::memcpy(v, &bits, sizeof(*v));
+  return Status::OK();
+}
+
+Status ByteReader::ReadVarint32(uint32_t* v) {
+  uint32_t r = 0;
+  for (int shift = 0; shift < 35; shift += 7) {
+    if (pos_ >= data_.size()) return Truncated("varint32");
+    const auto byte = static_cast<unsigned char>(data_[pos_++]);
+    r |= static_cast<uint32_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      // Reject non-canonical bits above 32 in the final (5th) byte.
+      if (shift == 28 && (byte >> 4) != 0) {
+        return Status::ParseError("index codec: varint32 overflow");
+      }
+      *v = r;
+      return Status::OK();
+    }
+  }
+  return Status::ParseError("index codec: varint32 too long");
+}
+
+Status ByteReader::ReadVarint64(uint64_t* v) {
+  uint64_t r = 0;
+  for (int shift = 0; shift < 70; shift += 7) {
+    if (pos_ >= data_.size()) return Truncated("varint64");
+    const auto byte = static_cast<unsigned char>(data_[pos_++]);
+    r |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      if (shift == 63 && (byte >> 1) != 0) {
+        return Status::ParseError("index codec: varint64 overflow");
+      }
+      *v = r;
+      return Status::OK();
+    }
+  }
+  return Status::ParseError("index codec: varint64 too long");
+}
+
+Status ByteReader::ReadBytes(size_t n, std::string_view* s) {
+  if (remaining() < n) return Truncated("bytes");
+  *s = data_.substr(pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status ByteReader::ReadLengthPrefixed(std::string_view* s) {
+  uint64_t len = 0;
+  NEWSDIFF_RETURN_IF_ERROR(ReadVarint64(&len));
+  if (len > remaining()) return Truncated("length-prefixed bytes");
+  return ReadBytes(static_cast<size_t>(len), s);
+}
+
+Status ByteReader::Skip(size_t n) {
+  if (remaining() < n) return Truncated("skip");
+  pos_ += n;
+  return Status::OK();
+}
+
+}  // namespace newsdiff::index

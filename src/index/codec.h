@@ -1,0 +1,57 @@
+#ifndef NEWSDIFF_INDEX_CODEC_H_
+#define NEWSDIFF_INDEX_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace newsdiff::index {
+
+/// Byte-level codec for the index file format: little-endian fixed-width
+/// integers, LEB128 varints for the compressed posting blocks, and
+/// length-prefixed byte strings. Writers append to a std::string; readers
+/// go through ByteReader, which is *total* — every read is bounds-checked
+/// and malformed input yields kParseError, never undefined behaviour. The
+/// byte-flip fuzz sweep in tests/index_test.cc leans on that totality.
+
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+/// IEEE-754 bit pattern, little-endian — doubles round-trip bit-exactly.
+void PutF64(std::string* out, double v);
+void PutVarint32(std::string* out, uint32_t v);
+void PutVarint64(std::string* out, uint64_t v);
+/// Varint length followed by the raw bytes.
+void PutLengthPrefixed(std::string* out, std::string_view s);
+
+/// A bounds-checked sequential reader over a byte span. The span must
+/// outlive the reader (views returned by ReadBytes/ReadLengthPrefixed
+/// alias it).
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  size_t offset() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+  Status ReadU32(uint32_t* v);
+  Status ReadU64(uint64_t* v);
+  Status ReadF64(double* v);
+  /// Varints longer than the canonical maximum (5 / 10 bytes) are
+  /// malformed input, not an invitation to keep shifting.
+  Status ReadVarint32(uint32_t* v);
+  Status ReadVarint64(uint64_t* v);
+  Status ReadBytes(size_t n, std::string_view* s);
+  Status ReadLengthPrefixed(std::string_view* s);
+  Status Skip(size_t n);
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace newsdiff::index
+
+#endif  // NEWSDIFF_INDEX_CODEC_H_

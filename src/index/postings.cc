@@ -1,0 +1,215 @@
+#include "index/postings.h"
+
+#include <cassert>
+
+#include "index/bm25.h"
+#include "index/codec.h"
+
+namespace newsdiff::index {
+
+void PostingList::ComputeTailMax() {
+  double running = 0.0;
+  for (size_t i = blocks.size(); i-- > 0;) {
+    if (blocks[i].max_score > running) running = blocks[i].max_score;
+    blocks[i].tail_max = InflateBound(running);
+  }
+}
+
+PostingListBuilder::PostingListBuilder(size_t block_size)
+    : block_size_(block_size == 0 ? 1 : block_size) {}
+
+void PostingListBuilder::Add(uint32_t doc, uint32_t term_freq) {
+  assert(doc != kInvalidDoc);
+  assert(docs_.empty() || doc > docs_.back());
+  assert(term_freq >= 1);
+  docs_.push_back(doc);
+  freqs_.push_back(term_freq);
+}
+
+PostingList PostingListBuilder::Finalize(
+    const std::function<double(uint32_t doc, uint32_t tf)>& score) {
+  PostingList list;
+  list.doc_count = static_cast<uint32_t>(docs_.size());
+  for (size_t begin = 0; begin < docs_.size(); begin += block_size_) {
+    const size_t end = std::min(begin + block_size_, docs_.size());
+    PostingBlockMeta meta;
+    meta.offset = list.bytes.size();
+    meta.count = static_cast<uint32_t>(end - begin);
+    meta.last_doc = docs_[end - 1];
+    // Doc ids: first absolute, then strictly positive gaps.
+    PutVarint32(&list.bytes, docs_[begin]);
+    for (size_t i = begin + 1; i < end; ++i) {
+      PutVarint32(&list.bytes, docs_[i] - docs_[i - 1]);
+    }
+    for (size_t i = begin; i < end; ++i) {
+      PutVarint32(&list.bytes, freqs_[i]);
+      const double s = score(docs_[i], freqs_[i]);
+      if (s > meta.max_score) meta.max_score = s;
+    }
+    if (meta.max_score > list.max_score) list.max_score = meta.max_score;
+    list.blocks.push_back(meta);
+  }
+  list.ComputeTailMax();
+  docs_.clear();
+  freqs_.clear();
+  return list;
+}
+
+Status DecodeBlock(const PostingList& list, const PostingBlockMeta& meta,
+                   uint32_t base_check_last_doc, std::vector<uint32_t>* docs,
+                   std::vector<uint32_t>* freqs) {
+  if (meta.count == 0) return Status::ParseError("postings: empty block");
+  if (meta.offset > list.bytes.size()) {
+    return Status::ParseError("postings: block offset out of range");
+  }
+  ByteReader reader(
+      std::string_view(list.bytes).substr(static_cast<size_t>(meta.offset)));
+  docs->resize(meta.count);
+  freqs->resize(meta.count);
+  uint32_t prev = 0;
+  for (uint32_t i = 0; i < meta.count; ++i) {
+    uint32_t v = 0;
+    NEWSDIFF_RETURN_IF_ERROR(reader.ReadVarint32(&v));
+    if (i == 0) {
+      prev = v;
+    } else {
+      if (v == 0) return Status::ParseError("postings: zero doc gap");
+      if (v > kInvalidDoc - prev) {
+        return Status::ParseError("postings: doc id overflow");
+      }
+      prev += v;
+    }
+    (*docs)[i] = prev;
+  }
+  if ((*docs)[meta.count - 1] != meta.last_doc) {
+    return Status::ParseError("postings: block last_doc mismatch");
+  }
+  if ((*docs)[0] != kInvalidDoc && (*docs)[0] <= base_check_last_doc &&
+      base_check_last_doc != kInvalidDoc) {
+    return Status::ParseError("postings: blocks not increasing");
+  }
+  for (uint32_t i = 0; i < meta.count; ++i) {
+    uint32_t tf = 0;
+    NEWSDIFF_RETURN_IF_ERROR(reader.ReadVarint32(&tf));
+    if (tf == 0) return Status::ParseError("postings: zero term frequency");
+    (*freqs)[i] = tf;
+  }
+  return Status::OK();
+}
+
+Status ValidatePostingList(const PostingList& list, uint32_t num_docs) {
+  if (list.blocks.empty() || list.doc_count == 0) {
+    return Status::ParseError("postings: empty list");
+  }
+  std::vector<uint32_t> docs;
+  std::vector<uint32_t> freqs;
+  uint64_t total = 0;
+  uint32_t prev_last = kInvalidDoc;  // sentinel: no previous block
+  uint64_t expect_offset = 0;
+  for (size_t b = 0; b < list.blocks.size(); ++b) {
+    const PostingBlockMeta& meta = list.blocks[b];
+    if (meta.offset != expect_offset) {
+      // Offsets are recomputed during load; a mismatch means the block
+      // lengths and the serialized offsets disagree.
+      return Status::ParseError("postings: block offset mismatch");
+    }
+    NEWSDIFF_RETURN_IF_ERROR(DecodeBlock(
+        list, meta, b == 0 ? kInvalidDoc : prev_last, &docs, &freqs));
+    if (b > 0 && docs[0] <= prev_last) {
+      return Status::ParseError("postings: blocks not increasing");
+    }
+    if (meta.last_doc >= num_docs) {
+      return Status::ParseError("postings: doc id out of range");
+    }
+    ByteReader probe(std::string_view(list.bytes)
+                         .substr(static_cast<size_t>(meta.offset)));
+    // Re-walk to find the block's byte length so the next offset checks out.
+    for (uint32_t i = 0; i < 2 * meta.count; ++i) {
+      uint32_t scratch = 0;
+      NEWSDIFF_RETURN_IF_ERROR(probe.ReadVarint32(&scratch));
+    }
+    expect_offset = meta.offset + probe.offset();
+    prev_last = meta.last_doc;
+    total += meta.count;
+  }
+  if (expect_offset != list.bytes.size()) {
+    return Status::ParseError("postings: trailing bytes after last block");
+  }
+  if (total != list.doc_count) {
+    return Status::ParseError("postings: doc_count mismatch");
+  }
+  return Status::OK();
+}
+
+PostingCursor::PostingCursor(const PostingList* list) : list_(list) {
+  if (list_ == nullptr || list_->blocks.empty()) {
+    Exhaust();
+    return;
+  }
+  LoadBlock(0);
+}
+
+void PostingCursor::Exhaust() {
+  doc_ = kInvalidDoc;
+  tail_max_ = 0.0;
+  pos_ = 0;
+}
+
+void PostingCursor::LoadBlock(size_t block) {
+  block_ = block;
+  const PostingBlockMeta& meta = list_->blocks[block];
+  // Input was validated at build/load time; a decode failure here would be
+  // a program bug, and the cursor fails safe by exhausting.
+  Status st = DecodeBlock(*list_, meta, kInvalidDoc, &docs_, &freqs_);
+  if (!st.ok()) {
+    Exhaust();
+    return;
+  }
+  ++blocks_decoded_;
+  pos_ = 0;
+  doc_ = docs_[0];
+  tail_max_ = meta.tail_max;
+}
+
+void PostingCursor::Next() {
+  if (exhausted()) return;
+  if (pos_ + 1 < docs_.size()) {
+    ++pos_;
+    doc_ = docs_[pos_];
+    return;
+  }
+  if (block_ + 1 >= list_->blocks.size()) {
+    Exhaust();
+    return;
+  }
+  LoadBlock(block_ + 1);
+}
+
+void PostingCursor::NextGeq(uint32_t target) {
+  if (exhausted() || doc_ >= target) return;
+  if (target > list_->blocks.back().last_doc) {
+    Exhaust();
+    return;
+  }
+  // The skip: find the first block whose last_doc >= target, starting from
+  // the current one (galloping is overkill at our block counts).
+  size_t b = block_;
+  if (list_->blocks[b].last_doc < target) {
+    size_t lo = b + 1;
+    size_t hi = list_->blocks.size() - 1;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (list_->blocks[mid].last_doc < target) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    LoadBlock(lo);
+    if (exhausted()) return;
+  }
+  while (docs_[pos_] < target) ++pos_;  // last_doc >= target ⇒ terminates
+  doc_ = docs_[pos_];
+}
+
+}  // namespace newsdiff::index

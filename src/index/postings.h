@@ -1,0 +1,119 @@
+#ifndef NEWSDIFF_INDEX_POSTINGS_H_
+#define NEWSDIFF_INDEX_POSTINGS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace newsdiff::index {
+
+/// Sentinel for an exhausted cursor (no valid document).
+inline constexpr uint32_t kInvalidDoc = 0xFFFFFFFFu;
+
+/// Metadata for one compressed block of postings (the block_freq_index /
+/// block_posting_list layout of PISA, reduced to what BM25 pruning needs).
+struct PostingBlockMeta {
+  /// Largest document id in the block — the skip key for NextGeq.
+  uint32_t last_doc = 0;
+  /// Postings in the block (1 .. block_size).
+  uint32_t count = 0;
+  /// Byte offset of the block's encoded body in PostingList::bytes.
+  uint64_t offset = 0;
+  /// Exact maximum of the scorer over the block's postings (block-max).
+  double max_score = 0.0;
+  /// Inflated max of max_score over this block and every later one;
+  /// computed at build/load time (not serialized). A valid upper bound on
+  /// any contribution a cursor at or past this block can still produce.
+  double tail_max = 0.0;
+};
+
+/// One term's compressed posting list: doc ids delta-encoded per block
+/// (first id absolute, then gaps), term frequencies as varints, block
+/// metadata alongside for skipping and block-max pruning.
+struct PostingList {
+  uint32_t doc_count = 0;   // == total postings == document frequency
+  double max_score = 0.0;   // exact term upper bound (max over block maxes)
+  std::vector<PostingBlockMeta> blocks;
+  std::string bytes;
+
+  /// Fills tail_max for every block (inflated; see InflateBound).
+  void ComputeTailMax();
+};
+
+/// Accumulates (doc, tf) pairs in increasing doc order and encodes them
+/// into fixed-size compressed blocks. `score(doc, tf)` supplies the exact
+/// per-posting contribution used for the block-max metadata.
+class PostingListBuilder {
+ public:
+  explicit PostingListBuilder(size_t block_size);
+
+  /// Documents must arrive strictly increasing; tf >= 1.
+  void Add(uint32_t doc, uint32_t term_freq);
+
+  size_t size() const { return docs_.size(); }
+
+  /// Encodes the accumulated postings. The builder can be reused after.
+  PostingList Finalize(
+      const std::function<double(uint32_t doc, uint32_t tf)>& score);
+
+ private:
+  size_t block_size_;
+  std::vector<uint32_t> docs_;
+  std::vector<uint32_t> freqs_;
+};
+
+/// Decodes block `meta` of `list` into `docs` / `freqs` (resized to
+/// meta.count). Total: malformed bytes yield kParseError. Load-time
+/// validation decodes every block once, so cursors run on proven input.
+Status DecodeBlock(const PostingList& list, const PostingBlockMeta& meta,
+                   uint32_t base_check_last_doc, std::vector<uint32_t>* docs,
+                   std::vector<uint32_t>* freqs);
+
+/// Validates that every block of `list` decodes, doc ids are strictly
+/// increasing across the whole list, counts sum to doc_count, and each
+/// block's last_doc matches its metadata.
+Status ValidatePostingList(const PostingList& list, uint32_t num_docs);
+
+/// A document-at-a-time cursor over one posting list: doc()/freq() expose
+/// the current posting, Next() steps, NextGeq() skips whole blocks via the
+/// last_doc keys, and tail_max() bounds every contribution the cursor can
+/// still produce (the block-max tail bound driving MaxScore pruning).
+class PostingCursor {
+ public:
+  /// `list` must outlive the cursor and have been validated.
+  explicit PostingCursor(const PostingList* list);
+
+  uint32_t doc() const { return doc_; }
+  uint32_t freq() const { return freqs_[pos_]; }
+  bool exhausted() const { return doc_ == kInvalidDoc; }
+
+  /// Upper bound (inflated) on the contribution of any posting at or after
+  /// the current position; 0 once exhausted.
+  double tail_max() const { return tail_max_; }
+
+  void Next();
+  void NextGeq(uint32_t target);
+
+  /// Blocks decoded so far (bench/query diagnostics).
+  size_t blocks_decoded() const { return blocks_decoded_; }
+
+ private:
+  void LoadBlock(size_t block);
+  void Exhaust();
+
+  const PostingList* list_;
+  size_t block_ = 0;   // current block index
+  size_t pos_ = 0;     // position within the decoded block
+  uint32_t doc_ = kInvalidDoc;
+  double tail_max_ = 0.0;
+  size_t blocks_decoded_ = 0;
+  std::vector<uint32_t> docs_;
+  std::vector<uint32_t> freqs_;
+};
+
+}  // namespace newsdiff::index
+
+#endif  // NEWSDIFF_INDEX_POSTINGS_H_

@@ -92,10 +92,14 @@ void PackA(double* dst, size_t mc, size_t kc, Load load) {
 
 /// The shared blocked driver: out(n x m) = opA(n x k) * opB(k x m), where
 /// loadA(i, p) and loadB(p, j) read the operands in GLOBAL coordinates.
-/// Each shard owns whole mc row blocks and runs the full jc/pc panel loops
-/// itself (packing its own copies of the B panel — redundant work that is
-/// O(k*m) against the O(n*k*m / shards) compute, bought for determinism
-/// and zero cross-shard coordination).
+/// The jc/pc panel loops run on the calling thread, which packs each B
+/// panel exactly once into a buffer every shard then reads; the parallel
+/// region inside a panel covers the mc row blocks, each shard packing only
+/// its own A strips. (Earlier, every shard re-packed the same B panel —
+/// O(k*m) redundant work per shard.) Determinism is unchanged: each output
+/// element's accumulation chain is jc-outer/pc-inner over identical packed
+/// values regardless of thread or shard counts, and shards never share a
+/// written cache line — C row blocks are disjoint.
 template <typename LoadA, typename LoadB>
 void BlockedGemm(size_t n, size_t k, size_t m, Matrix* out,
                  const Parallelism& par, LoadA load_a, LoadB load_b) {
@@ -108,17 +112,18 @@ void BlockedGemm(size_t n, size_t k, size_t m, Matrix* out,
   const size_t nc = std::max<size_t>(RoundUp(cfg.nc, kNr), kNr);
   const size_t row_blocks = (n + mc - 1) / mc;
 
-  ParallelFor(par, row_blocks, [&](size_t, size_t blk_begin, size_t blk_end) {
-    if (blk_begin == blk_end) return;
-    Arena& arena = Arena::ThreadLocal();
-    ArenaBuffer packb = arena.Acquire(kc * nc);
-    ArenaBuffer packa = arena.Acquire(mc * kc);
-    for (size_t jc = 0; jc < m; jc += nc) {
-      const size_t nc_eff = std::min(nc, m - jc);
-      for (size_t pc = 0; pc < k; pc += kc) {
-        const size_t kc_eff = std::min(kc, k - pc);
-        PackB(packb.data(), kc_eff, nc_eff,
-              [&](size_t p, size_t j) { return load_b(pc + p, jc + j); });
+  Arena& caller_arena = Arena::ThreadLocal();
+  ArenaBuffer packb = caller_arena.Acquire(kc * nc);
+  for (size_t jc = 0; jc < m; jc += nc) {
+    const size_t nc_eff = std::min(nc, m - jc);
+    for (size_t pc = 0; pc < k; pc += kc) {
+      const size_t kc_eff = std::min(kc, k - pc);
+      PackB(packb.data(), kc_eff, nc_eff,
+            [&](size_t p, size_t j) { return load_b(pc + p, jc + j); });
+      ParallelFor(par, row_blocks,
+                  [&](size_t, size_t blk_begin, size_t blk_end) {
+        if (blk_begin == blk_end) return;
+        ArenaBuffer packa = Arena::ThreadLocal().Acquire(mc * kc);
         for (size_t blk = blk_begin; blk < blk_end; ++blk) {
           const size_t ic = blk * mc;
           const size_t mc_eff = std::min(mc, n - ic);
@@ -135,9 +140,9 @@ void BlockedGemm(size_t n, size_t k, size_t m, Matrix* out,
             }
           }
         }
-      }
+      });
     }
-  });
+  }
 }
 
 }  // namespace

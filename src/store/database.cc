@@ -75,8 +75,7 @@ StatusOr<std::unique_ptr<Collection>> ParseCollectionFile(
 }
 
 bool IsSnapshotArtifact(const std::string& name) {
-  uint64_t gen = 0;
-  if (ParseManifestFileName(name, &gen)) return true;
+  if (ParseManifestFileName(name).ok()) return true;
   auto ends_with = [&name](const char* suffix) {
     std::string s(suffix);
     return name.size() >= s.size() &&
@@ -106,12 +105,14 @@ const Collection* Database::Get(const std::string& name) const {
   return it == collections_.end() ? nullptr : it->second.get();
 }
 
-bool Database::Drop(const std::string& name) {
+Status Database::Drop(const std::string& name) {
   auto it = collections_.find(name);
-  if (it == collections_.end()) return false;
+  if (it == collections_.end()) {
+    return Status::NotFound("no collection named " + name);
+  }
   if (wal_ != nullptr) LogDrop(*it->second);
   collections_.erase(it);
-  return true;
+  return Status::OK();
 }
 
 std::vector<std::string> Database::CollectionNames() const {
@@ -136,7 +137,6 @@ Status Database::SaveToDir(const std::string& dir,
   if (!listing.ok()) return listing.status();
   uint64_t generation = 0;
   for (const std::string& name : *listing) {
-    uint64_t gen = 0;
     std::string stem = name;
     const std::string tmp_suffix = ".tmp";
     if (stem.size() > tmp_suffix.size() &&
@@ -144,7 +144,8 @@ Status Database::SaveToDir(const std::string& dir,
                      tmp_suffix) == 0) {
       stem.resize(stem.size() - tmp_suffix.size());
     }
-    if (ParseManifestFileName(stem, &gen)) generation = std::max(generation, gen);
+    StatusOr<uint64_t> gen = ParseManifestFileName(stem);
+    if (gen.ok()) generation = std::max(generation, *gen);
   }
   ++generation;
 
@@ -184,8 +185,8 @@ void Database::GarbageCollect(const std::string& dir, FileIo& io,
   if (!listing.ok()) return;
   std::vector<uint64_t> generations;
   for (const std::string& name : *listing) {
-    uint64_t gen = 0;
-    if (ParseManifestFileName(name, &gen)) generations.push_back(gen);
+    StatusOr<uint64_t> gen = ParseManifestFileName(name);
+    if (gen.ok()) generations.push_back(*gen);
   }
   std::sort(generations.rbegin(), generations.rend());
   if (retain_generations == 0) retain_generations = 1;
@@ -201,11 +202,9 @@ void Database::GarbageCollect(const std::string& dir, FileIo& io,
   const std::set<uint64_t> all_generations(generations.begin(),
                                            generations.end());
   for (const std::string& name : *listing) {
-    std::string wal_collection;
-    uint64_t wal_base = 0, wal_part = 0;
-    if (ParseWalSegmentFileName(name, &wal_collection, &wal_base, &wal_part) &&
-        all_generations.count(wal_base) > 0) {
-      retained.insert(wal_base);
+    StatusOr<WalSegmentName> segment = ParseWalSegmentFileName(name);
+    if (segment.ok() && all_generations.count(segment->base_generation) > 0) {
+      retained.insert(segment->base_generation);
     }
   }
 
@@ -257,8 +256,8 @@ Status Database::LoadFromDir(const std::string& dir,
 
   std::vector<uint64_t> generations;
   for (const std::string& name : *listing) {
-    uint64_t gen = 0;
-    if (ParseManifestFileName(name, &gen)) generations.push_back(gen);
+    StatusOr<uint64_t> gen = ParseManifestFileName(name);
+    if (gen.ok()) generations.push_back(*gen);
   }
   if (generations.empty()) return LoadLegacyDir(dir, io, *listing, report);
   std::sort(generations.rbegin(), generations.rend());
@@ -391,10 +390,8 @@ Status Database::AttachWal(const std::string& dir, const WalOptions& options) {
 
   uint64_t newest_gen = 0;
   for (const std::string& name : *listing) {
-    uint64_t gen = 0;
-    if (ParseManifestFileName(name, &gen)) {
-      newest_gen = std::max(newest_gen, gen);
-    }
+    StatusOr<uint64_t> gen = ParseManifestFileName(name);
+    if (gen.ok()) newest_gen = std::max(newest_gen, *gen);
   }
   // Never append after a possibly-torn tail: each collection resumes one
   // part past the newest segment already on disk.
@@ -447,8 +444,8 @@ Status Database::Checkpoint(const SnapshotOptions& options) {
   if (!listing.ok()) return listing.status();
   std::vector<uint64_t> generations;
   for (const std::string& name : *listing) {
-    uint64_t gen = 0;
-    if (ParseManifestFileName(name, &gen)) generations.push_back(gen);
+    StatusOr<uint64_t> gen = ParseManifestFileName(name);
+    if (gen.ok()) generations.push_back(*gen);
   }
   if (generations.empty()) {
     return Status::Internal("checkpoint committed but no manifest found in " +
@@ -491,8 +488,7 @@ Status Database::RecoverWal(const std::string& dir,
 
   bool have_manifest = false;
   for (const std::string& name : *listing) {
-    uint64_t gen = 0;
-    if (ParseManifestFileName(name, &gen)) have_manifest = true;
+    if (ParseManifestFileName(name).ok()) have_manifest = true;
   }
   if (have_manifest) {
     // Ids must survive the load verbatim: the log addresses documents by
@@ -563,7 +559,8 @@ Status Database::RecoverWal(const std::string& dir,
           ++report->wal_records_replayed;
           break;
         case WalRecord::Type::kDrop:
-          Drop(segment.collection);
+          // Dropping an already-absent collection during replay is benign.
+          (void)Drop(segment.collection);
           ++report->wal_records_replayed;
           break;
         case WalRecord::Type::kCheckpoint:

@@ -42,8 +42,9 @@ class Database {
   Collection* Get(const std::string& name);
   const Collection* Get(const std::string& name) const;
 
-  /// Drops a collection; returns true if it existed.
-  bool Drop(const std::string& name);
+  /// Drops a collection; kNotFound if it does not exist (callers that
+  /// treat "already gone" as success can ignore that code explicitly).
+  Status Drop(const std::string& name);
 
   /// Names of all collections, sorted.
   std::vector<std::string> CollectionNames() const;

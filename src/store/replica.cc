@@ -36,15 +36,14 @@ Status Replica::Bootstrap() {
   }
   // Start from scratch every time: Bootstrap doubles as Resync's reset.
   for (const std::string& name : db_->CollectionNames()) {
-    db_->Drop(name);
+    (void)db_->Drop(name);
   }
   NEWSDIFF_RETURN_IF_ERROR(io().CreateDirectories(dir_));
   StatusOr<std::vector<std::string>> listing = io().ListDir(dir_);
   if (!listing.ok()) return listing.status();
   bool have_manifest = false;
   for (const std::string& name : *listing) {
-    uint64_t generation = 0;
-    if (ParseManifestFileName(name, &generation)) have_manifest = true;
+    if (ParseManifestFileName(name).ok()) have_manifest = true;
   }
   SnapshotLoadReport report;
   if (have_manifest) {
@@ -93,7 +92,8 @@ Status Replica::ApplyRecord(const std::string& collection,
       ++stats_.records_applied;
       return Status::OK();
     case WalRecord::Type::kDrop:
-      db_->Drop(collection);
+      // Replaying a drop of an already-absent collection is benign.
+      (void)db_->Drop(collection);
       ++stats_.records_applied;
       return Status::OK();
     case WalRecord::Type::kCheckpoint:

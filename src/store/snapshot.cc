@@ -127,11 +127,15 @@ std::string ManifestFileName(uint64_t generation) {
   return std::string(kManifestPrefix) + GenToken(generation);
 }
 
-bool ParseManifestFileName(const std::string& name, uint64_t* generation) {
+StatusOr<uint64_t> ParseManifestFileName(const std::string& name) {
   const size_t prefix_len = sizeof(kManifestPrefix) - 1;
-  if (name.size() != prefix_len + kGenDigits) return false;
-  if (name.compare(0, prefix_len, kManifestPrefix) != 0) return false;
-  return ParseU64(name.substr(prefix_len), generation);
+  uint64_t generation = 0;
+  if (name.size() != prefix_len + kGenDigits ||
+      name.compare(0, prefix_len, kManifestPrefix) != 0 ||
+      !ParseU64(name.substr(prefix_len), &generation)) {
+    return Status::ParseError("not a manifest file name: " + name);
+  }
+  return generation;
 }
 
 std::string SnapshotCollectionFileName(const std::string& collection,

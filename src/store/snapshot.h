@@ -88,9 +88,9 @@ StatusOr<Manifest> ParseManifest(const std::string& text);
 /// "MANIFEST-0000000042" for generation 42.
 std::string ManifestFileName(uint64_t generation);
 
-/// Recovers the generation number from a manifest file name; false if the
-/// name is not a well-formed manifest name.
-bool ParseManifestFileName(const std::string& name, uint64_t* generation);
+/// Recovers the generation number from a manifest file name; kParseError
+/// if the name is not a well-formed manifest name.
+StatusOr<uint64_t> ParseManifestFileName(const std::string& name);
 
 /// "news-0000000042.jsonl" for collection "news", generation 42.
 std::string SnapshotCollectionFileName(const std::string& collection,

@@ -203,40 +203,47 @@ std::string WalSegmentFileName(const std::string& collection,
          PaddedDecimal(part, kPartDigits) + kWalSuffix;
 }
 
-bool ParseWalSegmentFileName(const std::string& name, std::string* collection,
-                             uint64_t* base_generation, uint64_t* part) {
+StatusOr<WalSegmentName> ParseWalSegmentFileName(const std::string& name) {
+  const auto malformed = [&name] {
+    return Status::ParseError("not a WAL segment file name: " + name);
+  };
   // Parse from the right: collection names may themselves contain '-'.
   const std::string suffix(kWalSuffix);
-  if (name.size() <= suffix.size() + kGenDigits + kPartDigits + 2) return false;
+  if (name.size() <= suffix.size() + kGenDigits + kPartDigits + 2) {
+    return malformed();
+  }
   if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
-    return false;
+    return malformed();
   }
   const std::string stem = name.substr(0, name.size() - suffix.size());
   const size_t part_dash = stem.size() - kPartDigits - 1;
   const size_t gen_dash = part_dash - kGenDigits - 1;
-  if (stem[part_dash] != '-' || stem[gen_dash] != '-') return false;
-  if (!ParseU64(std::string_view(stem).substr(part_dash + 1), part)) {
-    return false;
+  if (stem[part_dash] != '-' || stem[gen_dash] != '-') return malformed();
+  WalSegmentName parsed;
+  if (!ParseU64(std::string_view(stem).substr(part_dash + 1), &parsed.part)) {
+    return malformed();
   }
   if (!ParseU64(std::string_view(stem).substr(gen_dash + 1, kGenDigits),
-                base_generation)) {
-    return false;
+                &parsed.base_generation)) {
+    return malformed();
   }
-  if (gen_dash == 0) return false;  // empty collection name
-  *collection = stem.substr(0, gen_dash);
-  return true;
+  if (gen_dash == 0) return malformed();  // empty collection name
+  parsed.collection = stem.substr(0, gen_dash);
+  return parsed;
 }
 
 std::vector<WalSegmentInfo> ListWalSegments(
     const std::vector<std::string>& listing) {
   std::vector<WalSegmentInfo> segments;
   for (const std::string& name : listing) {
+    StatusOr<WalSegmentName> parsed = ParseWalSegmentFileName(name);
+    if (!parsed.ok()) continue;
     WalSegmentInfo info;
-    if (ParseWalSegmentFileName(name, &info.collection, &info.base_generation,
-                                &info.part)) {
-      info.file = name;
-      segments.push_back(std::move(info));
-    }
+    info.collection = std::move(parsed->collection);
+    info.base_generation = parsed->base_generation;
+    info.part = parsed->part;
+    info.file = name;
+    segments.push_back(std::move(info));
   }
   std::sort(segments.begin(), segments.end(),
             [](const WalSegmentInfo& a, const WalSegmentInfo& b) {

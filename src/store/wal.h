@@ -99,10 +99,16 @@ WalSegmentContents DecodeWalSegment(const std::string& bytes);
 std::string WalSegmentFileName(const std::string& collection,
                                uint64_t base_generation, uint64_t part);
 
-/// Inverse of WalSegmentFileName; false if `name` is not a well-formed
-/// segment name.
-bool ParseWalSegmentFileName(const std::string& name, std::string* collection,
-                             uint64_t* base_generation, uint64_t* part);
+/// The components of a WAL segment file name.
+struct WalSegmentName {
+  std::string collection;
+  uint64_t base_generation = 0;
+  uint64_t part = 0;
+};
+
+/// Inverse of WalSegmentFileName; kParseError if `name` is not a
+/// well-formed segment name.
+StatusOr<WalSegmentName> ParseWalSegmentFileName(const std::string& name);
 
 /// One segment discovered in a store directory.
 struct WalSegmentInfo {

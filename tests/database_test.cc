@@ -44,8 +44,8 @@ TEST_F(DatabaseFixture, GetMissingReturnsNull) {
 TEST_F(DatabaseFixture, Drop) {
   Database db;
   db.GetOrCreate("a");
-  EXPECT_TRUE(db.Drop("a"));
-  EXPECT_FALSE(db.Drop("a"));
+  EXPECT_TRUE(db.Drop("a").ok());
+  EXPECT_EQ(db.Drop("a").code(), StatusCode::kNotFound);
   EXPECT_EQ(db.Get("a"), nullptr);
 }
 

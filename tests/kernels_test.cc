@@ -5,6 +5,7 @@
 // runs under tsan in CI (selected by the `Parallel` test-name regex).
 #include <cstdint>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -236,6 +237,43 @@ TEST(ParallelKernelsTest, DenseProductExactAcrossShardCounts) {
     Matrix out;
     MatMulInto(a, b, &out, par);
     ExpectBitwise(out, baseline);
+  }
+}
+
+// The shared-B-panel driver packs each (jc, pc) panel once on the calling
+// thread and fans the row blocks out per panel. Force many small panels so
+// every jc/pc edge case (full panels, ragged tails) crosses the shared
+// buffer, and check the result is bitwise identical across thread and
+// shard counts — and to the one-shard run that never shares anything.
+TEST(ParallelKernelsTest, SharedBPanelExactAcrossConfigsWithManyPanels) {
+  Matrix a = RandomMatrix(70, 90, 31);
+  Matrix b = RandomMatrix(90, 50, 32);
+  Matrix at = a.Transposed();
+  Matrix bt = b.Transposed();
+  auto tiny_blocks = [](size_t threads, size_t shards) {
+    Parallelism par = Blocked(threads);
+    par.shards = shards;
+    par.kernels.mc = 8;    // 9 row blocks
+    par.kernels.kc = 16;   // 6 depth panels (one ragged)
+    par.kernels.nc = 16;   // 4 column panels (one ragged)
+    return par;
+  };
+  Matrix serial_mm, serial_ta, serial_tb;
+  MatMulInto(a, b, &serial_mm, tiny_blocks(1, 1));
+  MatMulTransAInto(at, b, &serial_ta, tiny_blocks(1, 1));
+  MatMulTransBInto(a, bt, &serial_tb, tiny_blocks(1, 1));
+  Matrix naive;
+  MatMulInto(a, b, &naive, Naive());
+  ExpectNear(serial_mm, naive, 1e-12);
+  for (const auto& [threads, shards] :
+       {std::pair<size_t, size_t>{2, 5}, {4, 16}, {3, 64}}) {
+    Matrix mm, ta, tb;
+    MatMulInto(a, b, &mm, tiny_blocks(threads, shards));
+    MatMulTransAInto(at, b, &ta, tiny_blocks(threads, shards));
+    MatMulTransBInto(a, bt, &tb, tiny_blocks(threads, shards));
+    ExpectBitwise(mm, serial_mm);
+    ExpectBitwise(ta, serial_ta);
+    ExpectBitwise(tb, serial_tb);
   }
 }
 

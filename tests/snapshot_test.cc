@@ -50,8 +50,7 @@ class SnapshotFixture : public ::testing::Test {
   std::vector<std::string> ManifestsOnDisk() const {
     std::vector<std::string> names;
     for (const auto& entry : fs::directory_iterator(dir_)) {
-      uint64_t gen = 0;
-      if (ParseManifestFileName(entry.path().filename().string(), &gen)) {
+      if (ParseManifestFileName(entry.path().filename().string()).ok()) {
         names.push_back(entry.path().filename().string());
       }
     }
@@ -80,14 +79,14 @@ TEST(SnapshotFormatTest, ManifestSerializeParseRoundTrip) {
 
 TEST(SnapshotFormatTest, ManifestFileNames) {
   EXPECT_EQ(ManifestFileName(42), "MANIFEST-0000000042");
-  uint64_t gen = 0;
-  EXPECT_TRUE(ParseManifestFileName("MANIFEST-0000000042", &gen));
-  EXPECT_EQ(gen, 42u);
-  EXPECT_FALSE(ParseManifestFileName("MANIFEST-00000000x2", &gen));
-  EXPECT_FALSE(ParseManifestFileName("MANIFEST-", &gen));
-  EXPECT_FALSE(ParseManifestFileName("MANIFEST-0000000042.tmp", &gen));
-  EXPECT_FALSE(ParseManifestFileName("news-0000000042.jsonl", &gen));
-  EXPECT_FALSE(ParseManifestFileName("", &gen));
+  StatusOr<uint64_t> gen = ParseManifestFileName("MANIFEST-0000000042");
+  ASSERT_TRUE(gen.ok());
+  EXPECT_EQ(*gen, 42u);
+  EXPECT_FALSE(ParseManifestFileName("MANIFEST-00000000x2").ok());
+  EXPECT_FALSE(ParseManifestFileName("MANIFEST-").ok());
+  EXPECT_FALSE(ParseManifestFileName("MANIFEST-0000000042.tmp").ok());
+  EXPECT_FALSE(ParseManifestFileName("news-0000000042.jsonl").ok());
+  EXPECT_FALSE(ParseManifestFileName("").ok());
   EXPECT_EQ(SnapshotCollectionFileName("news", 7), "news-0000000007.jsonl");
 }
 
@@ -130,7 +129,7 @@ TEST_F(SnapshotFixture, DroppedCollectionIsNotResurrectedOnLoad) {
   db.GetOrCreate("gone").Insert(MakeObject({{"v", 2}}));
   ASSERT_TRUE(db.SaveToDir(dir()).ok());
 
-  db.Drop("gone");
+  ASSERT_TRUE(db.Drop("gone").ok());
   ASSERT_TRUE(db.SaveToDir(dir()).ok());
 
   Database loaded;

@@ -176,20 +176,16 @@ TEST(WalSegmentName, RoundTripIncludingDashedCollections) {
        {std::string("news"), std::string("dead-letter"),
         std::string("a-b-c")}) {
     const std::string name = WalSegmentFileName(collection, 42, 3);
-    std::string parsed_collection;
-    uint64_t base = 0, part = 0;
-    ASSERT_TRUE(ParseWalSegmentFileName(name, &parsed_collection, &base, &part))
-        << name;
-    EXPECT_EQ(parsed_collection, collection);
-    EXPECT_EQ(base, 42u);
-    EXPECT_EQ(part, 3u);
+    StatusOr<WalSegmentName> parsed = ParseWalSegmentFileName(name);
+    ASSERT_TRUE(parsed.ok()) << name;
+    EXPECT_EQ(parsed->collection, collection);
+    EXPECT_EQ(parsed->base_generation, 42u);
+    EXPECT_EQ(parsed->part, 3u);
   }
-  std::string c;
-  uint64_t g = 0, p = 0;
-  EXPECT_FALSE(ParseWalSegmentFileName("news-0000000042.jsonl", &c, &g, &p));
-  EXPECT_FALSE(ParseWalSegmentFileName("MANIFEST-0000000042", &c, &g, &p));
-  EXPECT_FALSE(ParseWalSegmentFileName("-0000000001-000001.wal", &c, &g, &p));
-  EXPECT_FALSE(ParseWalSegmentFileName("news-42-000001.wal", &c, &g, &p));
+  EXPECT_FALSE(ParseWalSegmentFileName("news-0000000042.jsonl").ok());
+  EXPECT_FALSE(ParseWalSegmentFileName("MANIFEST-0000000042").ok());
+  EXPECT_FALSE(ParseWalSegmentFileName("-0000000001-000001.wal").ok());
+  EXPECT_FALSE(ParseWalSegmentFileName("news-42-000001.wal").ok());
 }
 
 TEST_F(WalFixture, WalCrashAtEveryOpRecoversToSyncedPrefix) {
@@ -427,7 +423,7 @@ TEST_F(WalFixture, WalDropAndRecreateReplaysFaithfully) {
         scratch.Insert(MakeObject({{"k", static_cast<int64_t>(2)}})).ok());
     ASSERT_TRUE(
         scratch.Insert(MakeObject({{"k", static_cast<int64_t>(3)}})).ok());
-    ASSERT_TRUE(db.Drop("scratch"));
+    ASSERT_TRUE(db.Drop("scratch").ok());
     // Recreated after the drop: ids restart from 0.
     Collection& again = db.GetOrCreate("scratch");
     StatusOr<DocId> id =
@@ -500,15 +496,10 @@ TEST_F(WalFixture, WalCheckpointRotatesPrunesAndRecovers) {
   bool saw_old = false;
   uint64_t newest_manifest = 0;
   for (const std::string& name : Listing()) {
-    std::string collection;
-    uint64_t base = 0, part = 0;
-    if (ParseWalSegmentFileName(name, &collection, &base, &part)) {
-      if (base < 2) saw_old = true;
-    }
-    uint64_t gen = 0;
-    if (ParseManifestFileName(name, &gen)) {
-      newest_manifest = std::max(newest_manifest, gen);
-    }
+    StatusOr<WalSegmentName> segment = ParseWalSegmentFileName(name);
+    if (segment.ok() && segment->base_generation < 2) saw_old = true;
+    StatusOr<uint64_t> gen = ParseManifestFileName(name);
+    if (gen.ok()) newest_manifest = std::max(newest_manifest, *gen);
   }
   EXPECT_FALSE(saw_old);
   EXPECT_EQ(newest_manifest, 2u);
@@ -543,8 +534,8 @@ TEST_F(WalFixture, WalSegmentPinsItsBaseGenerationAgainstGc) {
   }
   bool gen1_manifest = false;
   for (const std::string& name : Listing()) {
-    uint64_t gen = 0;
-    if (ParseManifestFileName(name, &gen) && gen == 1) gen1_manifest = true;
+    StatusOr<uint64_t> gen = ParseManifestFileName(name);
+    if (gen.ok() && *gen == 1) gen1_manifest = true;
   }
   EXPECT_TRUE(gen1_manifest) << "GC reaped a generation a live segment needs";
 

@@ -71,14 +71,15 @@ std::string DescribeRecord(const WalRecord& record) {
 bool DumpSegment(FileIo& io, const std::string& path, const std::string& name,
                  bool verify_only) {
   std::printf("== %s\n", path.c_str());
-  std::string collection;
-  uint64_t base = 0, part = 0;
-  const bool well_named =
-      ParseWalSegmentFileName(name, &collection, &base, &part);
-  if (!well_named) {
+  StatusOr<newsdiff::store::WalSegmentName> parsed =
+      ParseWalSegmentFileName(name);
+  if (!parsed.ok()) {
     std::printf("-- DAMAGED: not a well-formed segment file name\n");
     return false;
   }
+  const std::string& collection = parsed->collection;
+  const uint64_t base = parsed->base_generation;
+  const uint64_t part = parsed->part;
 
   StatusOr<std::string> bytes = io.ReadFile(path);
   if (!bytes.ok()) {
