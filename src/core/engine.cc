@@ -43,7 +43,38 @@ std::string EngineOptions::IndexDir() const {
 Engine::Engine(EngineOptions options)
     : options_(std::move(options)),
       supervisor_(core::Pipeline(options_.PipelineView()),
-                  options_.SupervisorView()) {}
+                  options_.SupervisorView()),
+      indexes_(std::make_shared<const IndexMap>()) {}
+
+std::shared_ptr<const Engine::IndexMap> Engine::IndexSnapshot() const {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  return indexes_;
+}
+
+void Engine::SwapIndexes(IndexMap built, uint64_t generation) {
+  std::shared_ptr<const IndexMap> next =
+      std::make_shared<const IndexMap>(std::move(built));
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    indexes_ = std::move(next);
+  }
+  index_generation_.store(generation, std::memory_order_relaxed);
+  counters_.index_swaps.fetch_add(1, std::memory_order_relaxed);
+}
+
+EngineStatsSnapshot Engine::stats() const {
+  EngineStatsSnapshot s;
+  s.trending_queries =
+      counters_.trending_queries.load(std::memory_order_relaxed);
+  s.interest_predictions =
+      counters_.interest_predictions.load(std::memory_order_relaxed);
+  s.serving_errors = counters_.serving_errors.load(std::memory_order_relaxed);
+  s.not_found = counters_.not_found.load(std::memory_order_relaxed);
+  s.index_swaps = counters_.index_swaps.load(std::memory_order_relaxed);
+  s.docs_scored = counters_.docs_scored.load(std::memory_order_relaxed);
+  s.blocks_decoded = counters_.blocks_decoded.load(std::memory_order_relaxed);
+  return s;
+}
 
 FileIo& Engine::io() const {
   return options_.io != nullptr ? *options_.io : DefaultFileIo();
@@ -87,7 +118,7 @@ StatusOr<BuildIndexReport> Engine::BuildIndex(store::Database& db) {
       index::InvertedIndex::Build(tweet_corpus, options_.index, tweet_labels);
   if (!tweets_ix.ok()) return tweets_ix.status();
 
-  std::map<std::string, index::InvertedIndex> built;
+  IndexMap built;
   built.emplace(kNewsIndex, std::move(*news_ix));
   built.emplace(kTweetsIndex, std::move(*tweets_ix));
 
@@ -103,8 +134,7 @@ StatusOr<BuildIndexReport> Engine::BuildIndex(store::Database& db) {
     NEWSDIFF_RETURN_IF_ERROR(store.Save(built));
     report.generation = store.generation();
   }
-  indexes_ = std::move(built);
-  index_generation_ = report.generation;
+  SwapIndexes(std::move(built), report.generation);
   return report;
 }
 
@@ -114,27 +144,35 @@ StatusOr<index::IndexLoadReport> Engine::LoadIndex() {
     return Status::FailedPrecondition("engine: no index directory configured");
   }
   index::IndexStore store(io(), dir, options_.index_retain);
-  StatusOr<index::IndexLoadReport> report = store.Load(&indexes_);
-  if (report.ok()) index_generation_ = report->generation;
+  IndexMap loaded;
+  StatusOr<index::IndexLoadReport> report = store.Load(&loaded);
+  if (report.ok()) SwapIndexes(std::move(loaded), report->generation);
   return report;
 }
 
 const index::InvertedIndex* Engine::GetIndex(const std::string& name) const {
-  auto it = indexes_.find(name);
-  return it == indexes_.end() ? nullptr : &it->second;
+  std::shared_ptr<const IndexMap> snapshot = IndexSnapshot();
+  auto it = snapshot->find(name);
+  return it == snapshot->end() ? nullptr : &it->second;
 }
 
 StatusOr<std::vector<QueryHit>> Engine::Query(
     const std::string& index_name, const std::vector<std::string>& terms,
     size_t k, index::QueryStats* stats) const {
-  const index::InvertedIndex* ix = GetIndex(index_name);
-  if (ix == nullptr) {
+  // Pin the current generation: a concurrent BuildIndex/LoadIndex swap
+  // retires the map we are reading only after this snapshot releases it.
+  std::shared_ptr<const IndexMap> snapshot = IndexSnapshot();
+  auto found = snapshot->find(index_name);
+  if (found == snapshot->end()) {
+    counters_.serving_errors.fetch_add(1, std::memory_order_relaxed);
     return Status::FailedPrecondition(
         "engine: index '" + index_name +
         "' not loaded; call BuildIndex or LoadIndex first");
   }
+  const index::InvertedIndex* ix = &found->second;
+  index::QueryStats local_stats;
   std::vector<QueryHit> hits;
-  for (const index::SearchResult& r : ix->TopK(terms, k, stats)) {
+  for (const index::SearchResult& r : ix->TopK(terms, k, &local_stats)) {
     const index::DocInfo& info = ix->doc(r.doc);
     QueryHit hit;
     hit.doc = r.doc;
@@ -144,20 +182,28 @@ StatusOr<std::vector<QueryHit>> Engine::Query(
     hit.label = info.label;
     hits.push_back(hit);
   }
+  counters_.docs_scored.fetch_add(local_stats.docs_scored,
+                                  std::memory_order_relaxed);
+  counters_.blocks_decoded.fetch_add(local_stats.blocks_decoded,
+                                     std::memory_order_relaxed);
+  if (stats != nullptr) *stats = local_stats;
   return hits;
 }
 
 StatusOr<std::vector<QueryHit>> Engine::QueryTrending(
     const std::string& query, size_t k, index::QueryStats* stats) const {
+  counters_.trending_queries.fetch_add(1, std::memory_order_relaxed);
   return Query(kNewsIndex, text::PreprocessNewsED(query), k, stats);
 }
 
 StatusOr<InterestPrediction> Engine::PredictInterest(
     const std::string& draft, size_t k, index::QueryStats* stats) const {
+  counters_.interest_predictions.fetch_add(1, std::memory_order_relaxed);
   StatusOr<std::vector<QueryHit>> hits =
       Query(kTweetsIndex, text::PreprocessNewsED(draft), k, stats);
   if (!hits.ok()) return hits.status();
   if (hits->empty()) {
+    counters_.not_found.fetch_add(1, std::memory_order_relaxed);
     return Status::NotFound("engine: no tweets match the draft");
   }
   InterestPrediction prediction;

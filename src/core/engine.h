@@ -1,7 +1,10 @@
 #ifndef NEWSDIFF_CORE_ENGINE_H_
 #define NEWSDIFF_CORE_ENGINE_H_
 
+#include <atomic>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -82,6 +85,20 @@ struct InterestPrediction {
   std::vector<QueryHit> neighbors;    // the supporting tweets
 };
 
+/// A point-in-time copy of the Engine's serving counters. The counters
+/// themselves are relaxed atomics bumped on the serving hot path (the load
+/// harness's stats hook); Engine::stats() materialises this plain snapshot
+/// so callers can diff before/after a run without touching atomics.
+struct EngineStatsSnapshot {
+  uint64_t trending_queries = 0;     // QueryTrending calls
+  uint64_t interest_predictions = 0; // PredictInterest calls
+  uint64_t serving_errors = 0;       // non-OK, non-NotFound outcomes
+  uint64_t not_found = 0;            // PredictInterest with no matching tweet
+  uint64_t index_swaps = 0;          // BuildIndex / LoadIndex generation swaps
+  uint64_t docs_scored = 0;          // summed QueryStats::docs_scored
+  uint64_t blocks_decoded = 0;       // summed QueryStats::blocks_decoded
+};
+
 /// What Engine::BuildIndex produced.
 struct BuildIndexReport {
   size_t news_docs = 0;
@@ -109,8 +126,19 @@ struct BuildIndexReport {
 /// PreprocessTwitterED), so online tokenisation matches the corpora
 /// byte-for-byte. Rankings are exactly the brute-force BM25 ranking — the
 /// index only changes the cost, never the answer (see index/index.h).
+///
+/// Concurrency: QueryTrending / PredictInterest are safe to call from any
+/// number of threads concurrently with BuildIndex / LoadIndex. The index
+/// map lives behind an immutable shared_ptr snapshot that a swap replaces
+/// atomically: in-flight queries keep the generation they started on alive
+/// until they finish, and never observe a half-built map. The offline
+/// entrypoints (Recover, RunPipeline, BuildIndex over a mutating Database)
+/// are NOT safe against concurrent writers of the same Database — the load
+/// driver serialises store writes behind its own mutex (loadgen/driver.h).
 class Engine {
  public:
+  using IndexMap = std::map<std::string, index::InvertedIndex>;
+
   explicit Engine(EngineOptions options);
 
   const EngineOptions& options() const { return options_; }
@@ -148,26 +176,56 @@ class Engine {
       const std::string& draft, size_t k,
       index::QueryStats* stats = nullptr) const;
 
-  /// The named index ("news" / "tweets"), or nullptr.
+  /// The current index generation as an immutable snapshot. Holding the
+  /// returned shared_ptr keeps that generation alive across any number of
+  /// concurrent BuildIndex / LoadIndex swaps — the handle concurrent
+  /// readers (and the load driver's workers) query through.
+  std::shared_ptr<const IndexMap> IndexSnapshot() const;
+
+  /// The named index ("news" / "tweets") in the current snapshot, or
+  /// nullptr. The pointer is valid until the next swap retires the
+  /// snapshot; concurrent callers should hold IndexSnapshot() instead.
   const index::InvertedIndex* GetIndex(const std::string& name) const;
 
   /// Index generation currently in memory (0 = unsaved / in-memory only).
-  uint64_t index_generation() const { return index_generation_; }
+  uint64_t index_generation() const {
+    return index_generation_.load(std::memory_order_relaxed);
+  }
+
+  /// Serving counters since construction (see EngineStatsSnapshot).
+  EngineStatsSnapshot stats() const;
 
   /// Escape hatch to the supervisor for follower/promotion flows.
   core::PipelineSupervisor& supervisor() { return supervisor_; }
 
  private:
+  /// Relaxed atomics bumped on the serving hot path. Relaxed is enough:
+  /// the counters are monotonic telemetry, never used for synchronisation.
+  struct Counters {
+    std::atomic<uint64_t> trending_queries{0};
+    std::atomic<uint64_t> interest_predictions{0};
+    std::atomic<uint64_t> serving_errors{0};
+    std::atomic<uint64_t> not_found{0};
+    std::atomic<uint64_t> index_swaps{0};
+    std::atomic<uint64_t> docs_scored{0};
+    std::atomic<uint64_t> blocks_decoded{0};
+  };
+
   FileIo& io() const;
   StatusOr<std::vector<QueryHit>> Query(const std::string& index_name,
                                         const std::vector<std::string>& terms,
                                         size_t k,
                                         index::QueryStats* stats) const;
+  /// Publishes `built` as the new current generation.
+  void SwapIndexes(IndexMap built, uint64_t generation);
 
   EngineOptions options_;
   core::PipelineSupervisor supervisor_;
-  std::map<std::string, index::InvertedIndex> indexes_;
-  uint64_t index_generation_ = 0;
+  /// Guards the snapshot pointer only; the pointee is immutable.
+  mutable std::mutex index_mu_;
+  std::shared_ptr<const IndexMap> indexes_;
+  std::atomic<uint64_t> index_generation_{0};
+  mutable Counters counters_;
 };
 
 }  // namespace newsdiff

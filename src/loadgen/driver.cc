@@ -1,0 +1,262 @@
+#include "loadgen/driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "store/value.h"
+
+namespace newsdiff::loadgen {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ToNanos(Clock::duration d) {
+  const int64_t n =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+  return n > 0 ? static_cast<uint64_t>(n) : 0;
+}
+
+enum class Outcome { kOk, kNotFound, kError };
+
+}  // namespace
+
+void OpClassStats::Merge(const OpClassStats& other) {
+  issued += other.issued;
+  ok += other.ok;
+  not_found += other.not_found;
+  errors += other.errors;
+  latency.Merge(other.latency);
+  service.Merge(other.service);
+}
+
+double RunReport::AchievedRatio() const {
+  if (elapsed_seconds <= 0.0 || scheduled_seconds <= 0.0) return 1.0;
+  return std::min(1.0, scheduled_seconds / elapsed_seconds);
+}
+
+double RunReport::WorstPercentileMs(double p) const {
+  double worst = 0.0;
+  for (const OpClassStats& s : per_class) {
+    if (s.latency.count() > 0) {
+      worst = std::max(worst, s.latency.PercentileMillis(p));
+    }
+  }
+  return worst;
+}
+
+bool RunReport::SloOk(const SloSpec& slo, std::string* why) const {
+  if (errors > 0) {
+    if (why != nullptr) *why = "serving errors";
+    return false;
+  }
+  if (AchievedRatio() < slo.min_achieved_ratio) {
+    if (why != nullptr) *why = "achieved/offered ratio";
+    return false;
+  }
+  struct Bound {
+    double p;
+    double limit_ms;
+    const char* name;
+  };
+  const Bound bounds[] = {{0.50, slo.p50_ms, "p50"},
+                          {0.99, slo.p99_ms, "p99"},
+                          {0.999, slo.p999_ms, "p999"}};
+  for (size_t c = 0; c < kNumOpClasses; ++c) {
+    const OpClassStats& s = per_class[c];
+    if (s.latency.count() == 0) continue;
+    for (const Bound& b : bounds) {
+      if (s.latency.PercentileMillis(b.p) > b.limit_ms) {
+        if (why != nullptr) {
+          *why = std::string(OpClassName(static_cast<OpClass>(c))) + " " +
+                 b.name;
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+LoadDriver::LoadDriver(Engine& engine, store::Database& db,
+                       DriverOptions options)
+    : engine_(engine), db_(db), options_(options) {
+  if (options_.threads == 0) options_.threads = 1;
+}
+
+RunReport LoadDriver::Run(const std::vector<Request>& trace) {
+  RunReport report;
+  if (trace.empty()) return report;
+  size_t num_phases = 0;
+  for (const Request& r : trace) {
+    num_phases = std::max(num_phases, static_cast<size_t>(r.phase) + 1);
+  }
+
+  // Per-worker, per-phase accumulators: the measurement path touches only
+  // its own worker's slots, so there is no sharing to synchronise.
+  std::vector<std::vector<std::array<OpClassStats, kNumOpClasses>>> locals(
+      options_.threads);
+  for (auto& per_worker : locals) per_worker.resize(num_phases);
+
+  std::atomic<size_t> cursor{0};
+  std::atomic<int64_t> last_completion_nanos{0};
+  const Clock::time_point start = Clock::now();
+
+  auto worker = [&](size_t w) {
+    auto& mine = locals[w];
+    for (;;) {
+      const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= trace.size()) break;
+      const Request& r = trace[i];
+      const Clock::time_point target =
+          start + std::chrono::nanoseconds(r.arrival_nanos);
+      std::this_thread::sleep_until(target);
+      const Clock::time_point dispatched = Clock::now();
+      const Outcome outcome = [&] {
+        switch (r.op) {
+          case OpClass::kTweetIngest: {
+            std::lock_guard<std::mutex> lock(db_mu_);
+            StatusOr<store::DocId> id =
+                db_.GetOrCreate("tweets").Insert(store::MakeObject({
+                    {"tweet_id",
+                     options_.ingest_id_base + static_cast<int64_t>(r.seq)},
+                    {"user_id", static_cast<int64_t>(r.user)},
+                    {"text", r.text},
+                    {"created", options_.ingest_time_base +
+                                    static_cast<int64_t>(r.seq)},
+                    {"likes", static_cast<int64_t>(0)},
+                    {"retweets", static_cast<int64_t>(0)},
+                }));
+            return id.ok() ? Outcome::kOk : Outcome::kError;
+          }
+          case OpClass::kArticleUpsert: {
+            std::lock_guard<std::mutex> lock(db_mu_);
+            StatusOr<store::DocId> id =
+                db_.GetOrCreate("news").Insert(store::MakeObject({
+                    {"article_id",
+                     options_.ingest_id_base + static_cast<int64_t>(r.seq)},
+                    {"outlet", std::string("loadgen")},
+                    {"title", r.text},
+                    {"body", r.body},
+                    {"published", options_.ingest_time_base +
+                                      static_cast<int64_t>(r.seq)},
+                }));
+            return id.ok() ? Outcome::kOk : Outcome::kError;
+          }
+          case OpClass::kQueryTrending: {
+            StatusOr<std::vector<QueryHit>> hits =
+                engine_.QueryTrending(r.text, options_.query_k);
+            if (hits.ok()) return Outcome::kOk;
+            return hits.status().code() == StatusCode::kNotFound
+                       ? Outcome::kNotFound
+                       : Outcome::kError;
+          }
+          case OpClass::kPredictInterest: {
+            StatusOr<InterestPrediction> prediction =
+                engine_.PredictInterest(r.text, options_.query_k);
+            if (prediction.ok()) return Outcome::kOk;
+            return prediction.status().code() == StatusCode::kNotFound
+                       ? Outcome::kNotFound
+                       : Outcome::kError;
+          }
+        }
+        return Outcome::kError;
+      }();
+      const Clock::time_point done = Clock::now();
+      OpClassStats& s = mine[r.phase][static_cast<size_t>(r.op)];
+      ++s.issued;
+      switch (outcome) {
+        case Outcome::kOk:
+          ++s.ok;
+          break;
+        case Outcome::kNotFound:
+          ++s.not_found;
+          break;
+        case Outcome::kError:
+          ++s.errors;
+          break;
+      }
+      s.latency.Record(ToNanos(done - target));
+      s.service.Record(ToNanos(done - dispatched));
+      const int64_t completion = static_cast<int64_t>(ToNanos(done - start));
+      int64_t prev = last_completion_nanos.load(std::memory_order_relaxed);
+      while (prev < completion &&
+             !last_completion_nanos.compare_exchange_weak(
+                 prev, completion, std::memory_order_relaxed)) {
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(options_.threads);
+  for (size_t w = 0; w < options_.threads; ++w) threads.emplace_back(worker, w);
+  for (std::thread& t : threads) t.join();
+
+  report.per_phase.resize(num_phases);
+  for (const auto& per_worker : locals) {
+    for (size_t p = 0; p < num_phases; ++p) {
+      for (size_t c = 0; c < kNumOpClasses; ++c) {
+        report.per_phase[p][c].Merge(per_worker[p][c]);
+      }
+    }
+  }
+  for (size_t p = 0; p < num_phases; ++p) {
+    for (size_t c = 0; c < kNumOpClasses; ++c) {
+      report.per_class[c].Merge(report.per_phase[p][c]);
+      report.issued += report.per_phase[p][c].issued;
+      report.errors += report.per_phase[p][c].errors;
+    }
+  }
+  report.scheduled_seconds =
+      static_cast<double>(trace.back().arrival_nanos) / 1.0e9;
+  report.elapsed_seconds =
+      static_cast<double>(last_completion_nanos.load()) / 1.0e9;
+  if (report.scheduled_seconds > 0.0) {
+    report.offered_rate =
+        static_cast<double>(report.issued) / report.scheduled_seconds;
+  }
+  if (report.elapsed_seconds > 0.0) {
+    report.achieved_rate =
+        static_cast<double>(report.issued) / report.elapsed_seconds;
+  }
+  return report;
+}
+
+SaturationResult SaturationSearch(LoadDriver& driver,
+                                  const WorkloadOptions& base,
+                                  const SloSpec& slo, double start_rate,
+                                  double growth, size_t max_steps,
+                                  double window_seconds) {
+  SaturationResult result;
+  double rate = start_rate;
+  for (size_t step = 0; step < max_steps; ++step) {
+    WorkloadOptions options = base;
+    options.seed = base.seed + 1000 + step;
+    PhaseSpec steady;
+    steady.name = "saturation";
+    steady.duration_seconds = window_seconds;
+    steady.arrival_rate = rate;
+    options.phases = {steady};
+    const WorkloadGenerator generator(options);
+    const RunReport report = driver.Run(generator.GenerateTrace());
+
+    SaturationStep s;
+    s.offered_rate = rate;
+    s.achieved_ratio = report.AchievedRatio();
+    s.p99_ms = report.WorstPercentileMs(0.99);
+    s.slo_ok = report.SloOk(slo, &s.violation);
+    result.steps.push_back(s);
+    if (!s.slo_ok) {
+      result.breaking_rate = rate;
+      break;
+    }
+    result.max_sustained_rate = rate;
+    rate *= growth;
+  }
+  return result;
+}
+
+}  // namespace newsdiff::loadgen

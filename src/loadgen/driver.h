@@ -1,0 +1,144 @@
+#ifndef NEWSDIFF_LOADGEN_DRIVER_H_
+#define NEWSDIFF_LOADGEN_DRIVER_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "loadgen/histogram.h"
+#include "loadgen/workload.h"
+#include "store/database.h"
+
+namespace newsdiff::loadgen {
+
+/// Per-op-class latency SLO plus the throughput-fidelity floor. The
+/// latency thresholds drive the saturation search's breaking condition;
+/// the achieved/offered ratio is the wall-clock-noise-proof property CI
+/// actually gates on (a saturated driver falls behind its own schedule,
+/// which no amount of runner jitter fakes in the passing direction).
+struct SloSpec {
+  double p50_ms = 10.0;
+  double p99_ms = 50.0;
+  double p999_ms = 250.0;
+  /// Minimum achieved/offered throughput ratio (1.0 = kept pace exactly).
+  double min_achieved_ratio = 0.9;
+};
+
+/// Counters + latency histograms for one op class.
+struct OpClassStats {
+  uint64_t issued = 0;
+  uint64_t ok = 0;
+  uint64_t not_found = 0;  // Engine NotFound: a valid "no match" answer
+  uint64_t errors = 0;     // anything else non-OK: a correctness failure
+  /// Open-loop latency: completion minus *scheduled* arrival. Includes
+  /// queueing delay, so it is immune to coordinated omission.
+  LatencyHistogram latency;
+  /// Service time: completion minus dispatch (the op's own cost).
+  LatencyHistogram service;
+
+  void Merge(const OpClassStats& other);
+};
+
+/// What one LoadDriver::Run measured.
+struct RunReport {
+  double offered_rate = 0.0;       // trace size / scheduled duration
+  double achieved_rate = 0.0;      // trace size / actual elapsed
+  double scheduled_seconds = 0.0;  // last scheduled arrival
+  double elapsed_seconds = 0.0;    // wall clock, start to last completion
+  uint64_t issued = 0;
+  uint64_t errors = 0;
+  std::array<OpClassStats, kNumOpClasses> per_class;
+  /// Per-phase breakdown, indexed by Request::phase.
+  std::vector<std::array<OpClassStats, kNumOpClasses>> per_phase;
+
+  /// achieved/offered, capped at 1. Falls below 1 exactly when the driver
+  /// could not keep the open-loop schedule (saturation).
+  double AchievedRatio() const;
+  /// Worst latency percentile across op classes with samples, in ms.
+  double WorstPercentileMs(double p) const;
+  /// True when every op class meets `slo` and the achieved ratio holds.
+  /// On failure `why` (when non-null) names the first violated bound.
+  bool SloOk(const SloSpec& slo, std::string* why = nullptr) const;
+};
+
+struct DriverOptions {
+  /// Worker threads replaying the trace. Open loop: when every worker is
+  /// busy, later requests start late and the lateness is *measured* (not
+  /// silently absorbed, as a closed loop would).
+  size_t threads = 4;
+  /// k for QueryTrending / PredictInterest.
+  size_t query_k = 10;
+  /// External ids assigned to ingested docs start here, clear of any
+  /// world-generated id.
+  int64_t ingest_id_base = 50'000'000;
+  /// Synthetic timestamp base for ingested docs (determinism: the driver
+  /// never stamps wall-clock time into the store).
+  int64_t ingest_time_base = 1554076800;
+};
+
+/// Open-loop trace replayer. Workers claim requests in arrival order from
+/// a shared atomic cursor, sleep until each request's scheduled time, run
+/// it against the Engine (queries/predictions, concurrently) or the
+/// Database (ingests, serialized behind db_mutex()), and record latency
+/// into per-worker histograms merged after the join — nothing allocates or
+/// locks on the measurement path itself.
+class LoadDriver {
+ public:
+  LoadDriver(Engine& engine, store::Database& db, DriverOptions options);
+
+  /// Replays `trace` (must be sorted by arrival_nanos, as GenerateTrace
+  /// produces) and returns the measured report.
+  RunReport Run(const std::vector<Request>& trace);
+
+  /// Serializes all store writes. A background index refresher must hold
+  /// this while it reads the store (Engine::BuildIndex), so ingests and
+  /// the rebuild never race on the collections.
+  std::mutex& db_mutex() { return db_mu_; }
+
+ private:
+  friend struct DriverWorker;
+
+  Engine& engine_;
+  store::Database& db_;
+  DriverOptions options_;
+  std::mutex db_mu_;
+};
+
+/// One step of the saturation search.
+struct SaturationStep {
+  double offered_rate = 0.0;
+  double achieved_ratio = 0.0;
+  double p99_ms = 0.0;  // worst across op classes
+  bool slo_ok = false;
+  std::string violation;  // empty when slo_ok
+};
+
+struct SaturationResult {
+  /// Highest offered rate that met the SLO (0 when even the first step
+  /// failed).
+  double max_sustained_rate = 0.0;
+  /// First offered rate that broke the SLO (0 when the search exhausted
+  /// max_steps without breaking).
+  double breaking_rate = 0.0;
+  std::vector<SaturationStep> steps;
+};
+
+/// Steps the offered arrival rate geometrically (rate, rate*growth, ...)
+/// through short steady-state windows until the SLO breaks or `max_steps`
+/// is exhausted. Each step derives its trace deterministically from
+/// `base` (same phases mix, seed offset by the step index), so two
+/// machines search the identical request schedule and differ only in
+/// where their hardware taps out.
+SaturationResult SaturationSearch(LoadDriver& driver,
+                                  const WorkloadOptions& base,
+                                  const SloSpec& slo, double start_rate,
+                                  double growth, size_t max_steps,
+                                  double window_seconds);
+
+}  // namespace newsdiff::loadgen
+
+#endif  // NEWSDIFF_LOADGEN_DRIVER_H_

@@ -1,0 +1,98 @@
+#include "loadgen/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace newsdiff::loadgen {
+
+namespace {
+
+/// Upper boundary (exclusive) of every bucket, in nanoseconds. Bucket 0 is
+/// [0, 1us); bucket 1+i is [1us * 10^(i/32), 1us * 10^((i+1)/32)); the
+/// last bucket's boundary is UINT64_MAX. Computed once; lookups and
+/// percentile walks never touch libm again.
+const std::array<uint64_t, LatencyHistogram::kNumBuckets>& Boundaries() {
+  static const std::array<uint64_t, LatencyHistogram::kNumBuckets> kUpper =
+      [] {
+        std::array<uint64_t, LatencyHistogram::kNumBuckets> upper{};
+        upper[0] = LatencyHistogram::kMinNanos;
+        const size_t log_buckets =
+            LatencyHistogram::kBucketsPerDecade * LatencyHistogram::kDecades;
+        for (size_t i = 0; i < log_buckets; ++i) {
+          const double exponent =
+              static_cast<double>(i + 1) /
+              static_cast<double>(LatencyHistogram::kBucketsPerDecade);
+          upper[1 + i] = static_cast<uint64_t>(std::llround(
+              static_cast<double>(LatencyHistogram::kMinNanos) *
+              std::pow(10.0, exponent)));
+        }
+        upper[LatencyHistogram::kNumBuckets - 1] = UINT64_MAX;
+        return upper;
+      }();
+  return kUpper;
+}
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() { buckets_.fill(0); }
+
+size_t LatencyHistogram::BucketFor(uint64_t nanos) {
+  const auto& upper = Boundaries();
+  if (nanos < kMinNanos) return 0;
+  // First bucket whose (exclusive) upper bound is above the sample.
+  auto it = std::upper_bound(upper.begin(), upper.end() - 1, nanos);
+  return static_cast<size_t>(it - upper.begin());
+}
+
+uint64_t LatencyHistogram::BucketUpperNanos(size_t bucket) {
+  return Boundaries()[std::min(bucket, kNumBuckets - 1)];
+}
+
+void LatencyHistogram::Record(uint64_t nanos) {
+  ++buckets_[BucketFor(nanos)];
+  ++count_;
+  sum_ += nanos;
+  max_ = std::max(max_, nanos);
+  min_ = std::min(min_, nanos);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+  min_ = std::min(min_, other.min_);
+}
+
+void LatencyHistogram::Reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  max_ = 0;
+  min_ = UINT64_MAX;
+}
+
+double LatencyHistogram::MeanNanos() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double LatencyHistogram::PercentileNanos(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p * static_cast<double>(count_)));
+  rank = std::clamp<uint64_t>(rank, 1, count_);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) {
+      const uint64_t upper = BucketUpperNanos(i);
+      return static_cast<double>(
+          std::clamp(upper, min_nanos(), max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+}  // namespace newsdiff::loadgen

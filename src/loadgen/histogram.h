@@ -1,0 +1,68 @@
+#ifndef NEWSDIFF_LOADGEN_HISTOGRAM_H_
+#define NEWSDIFF_LOADGEN_HISTOGRAM_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace newsdiff::loadgen {
+
+/// Fixed-bucket log-scale latency histogram (HdrHistogram-style geometry,
+/// vastly simplified). The bucket array is a member `std::array`, so
+/// recording a sample is a binary search over precomputed boundaries plus
+/// a counter increment — no allocation, no locking; the load driver keeps
+/// one histogram per worker per op class and merges after the run.
+///
+/// Geometry: bucket 0 is the underflow bucket [0, 1us); then
+/// kBucketsPerDecade log-spaced buckets per decade across kDecades decades
+/// (1us .. 100s, ~7.5% relative resolution); the final bucket absorbs
+/// everything >= 100s. Percentiles are resolved to the upper boundary of
+/// the bucket holding the rank (clamped to the observed max), so a
+/// reported p99 is an upper bound at bucket resolution — deterministic for
+/// a given multiset of samples regardless of arrival order.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBucketsPerDecade = 32;
+  static constexpr size_t kDecades = 8;  // 1us .. 100s
+  static constexpr size_t kNumBuckets = kBucketsPerDecade * kDecades + 2;
+  static constexpr uint64_t kMinNanos = 1000;  // 1us: floor of bucket 1
+
+  LatencyHistogram();
+
+  /// Adds one sample. Hot path: no allocations, O(log buckets).
+  void Record(uint64_t nanos);
+
+  /// Adds every sample of `other` into this histogram.
+  void Merge(const LatencyHistogram& other);
+
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t max_nanos() const { return max_; }
+  /// 0 when empty.
+  uint64_t min_nanos() const { return count_ == 0 ? 0 : min_; }
+  double MeanNanos() const;
+
+  /// Latency at quantile `p` in (0, 1], e.g. 0.5 / 0.99 / 0.999. Returns
+  /// the upper boundary of the bucket containing the rank-`ceil(p*count)`
+  /// sample, clamped to [min, max]. 0 when empty.
+  double PercentileNanos(double p) const;
+  double PercentileMillis(double p) const {
+    return PercentileNanos(p) / 1.0e6;
+  }
+
+  /// Exposed for tests: the bucket a sample lands in and its upper bound.
+  static size_t BucketFor(uint64_t nanos);
+  static uint64_t BucketUpperNanos(size_t bucket);
+
+ private:
+  std::array<uint64_t, kNumBuckets> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+  uint64_t min_ = UINT64_MAX;
+};
+
+}  // namespace newsdiff::loadgen
+
+#endif  // NEWSDIFF_LOADGEN_HISTOGRAM_H_

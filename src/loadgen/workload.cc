@@ -1,0 +1,205 @@
+#include "loadgen/workload.h"
+
+#include <cmath>
+
+#include "datagen/themes.h"
+
+namespace newsdiff::loadgen {
+
+namespace {
+
+/// Appends `n` words drawn uniformly from `pool` to `out` (space-joined).
+void AppendWords(Rng& rng, const std::vector<std::string>& pool, size_t n,
+                 std::string* out) {
+  for (size_t i = 0; i < n; ++i) {
+    if (!out->empty()) out->push_back(' ');
+    out->append(pool[rng.NextBelow(pool.size())]);
+  }
+}
+
+void HashBytes(const void* data, size_t len, uint64_t* h) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    *h ^= bytes[i];
+    *h *= 0x100000001b3ULL;  // FNV-1a prime
+  }
+}
+
+void HashU64(uint64_t v, uint64_t* h) { HashBytes(&v, sizeof(v), h); }
+
+void HashString(const std::string& s, uint64_t* h) {
+  HashU64(s.size(), h);
+  HashBytes(s.data(), s.size(), h);
+}
+
+}  // namespace
+
+const char* OpClassName(OpClass op) {
+  switch (op) {
+    case OpClass::kTweetIngest:
+      return "tweet_ingest";
+    case OpClass::kArticleUpsert:
+      return "article_upsert";
+    case OpClass::kQueryTrending:
+      return "query_trending";
+    case OpClass::kPredictInterest:
+      return "predict_interest";
+  }
+  return "unknown";
+}
+
+bool Request::operator==(const Request& other) const {
+  return seq == other.seq && op == other.op &&
+         arrival_nanos == other.arrival_nanos && phase == other.phase &&
+         topic == other.topic && user == other.user && text == other.text &&
+         body == other.body;
+}
+
+std::vector<PhaseSpec> StandardPhases(double rate, double seconds,
+                                      double burst_multiplier) {
+  PhaseSpec steady;
+  steady.name = "steady";
+  steady.duration_seconds = seconds;
+  steady.arrival_rate = rate;
+
+  PhaseSpec flash;
+  flash.name = "flash_crowd";
+  flash.duration_seconds = seconds * 0.5;
+  flash.arrival_rate = rate * burst_multiplier;
+  flash.hot_topic_boost = 0.6;
+
+  PhaseSpec outage;
+  outage.name = "outlet_outage";
+  outage.duration_seconds = seconds * 0.5;
+  outage.arrival_rate = rate;
+  // The outlet stops publishing: article upserts vanish and their share
+  // shifts to reads (users keep refreshing while the feed goes quiet).
+  outage.mix[static_cast<size_t>(OpClass::kArticleUpsert)] = 0.0;
+  outage.mix[static_cast<size_t>(OpClass::kQueryTrending)] = 0.55;
+  return {steady, flash, outage};
+}
+
+uint32_t NURand(Rng& rng, uint32_t a, uint32_t x, uint32_t y, uint32_t c) {
+  const uint32_t range = y - x + 1;
+  const uint32_t lhs = static_cast<uint32_t>(rng.NextBelow(a + 1));
+  const uint32_t rhs = x + static_cast<uint32_t>(rng.NextBelow(range));
+  return ((lhs | rhs) + c) % range + x;
+}
+
+WorkloadGenerator::WorkloadGenerator(WorkloadOptions options)
+    : options_(std::move(options)) {
+  if (options_.num_topics == 0) options_.num_topics = 1;
+  if (options_.num_users == 0) options_.num_users = 1;
+  if (options_.phases.empty()) options_.phases.push_back(PhaseSpec{});
+}
+
+uint32_t WorkloadGenerator::HotTopic() const {
+  // Zipf rank 1 lands on topic (1 - 1 + C) % n = C % n after the rotation.
+  return options_.nurand_c % options_.num_topics;
+}
+
+uint32_t WorkloadGenerator::DrawTopic(Rng& rng,
+                                      const PhaseSpec& phase) const {
+  // The boost draw is consumed unconditionally so a phase boundary does
+  // not shift the stream for every later request class.
+  const bool forced_hot = rng.Bernoulli(phase.hot_topic_boost);
+  const uint64_t rank = rng.Zipf(options_.num_topics, options_.topic_zipf_s);
+  if (forced_hot) return HotTopic();
+  // Rotate ranks by the NURand C constant so the hot topic is seed-chosen.
+  return static_cast<uint32_t>((rank - 1 + options_.nurand_c) %
+                               options_.num_topics);
+}
+
+void WorkloadGenerator::SynthesizeText(Rng& rng, Request* request) const {
+  const std::vector<datagen::Theme>& themes = datagen::NewsThemes();
+  const datagen::Theme& theme = themes[request->topic % themes.size()];
+  const std::vector<std::string>& generic = datagen::GenericWords();
+  switch (request->op) {
+    case OpClass::kQueryTrending: {
+      // Headline-shaped query: 2..4 theme words.
+      AppendWords(rng, theme.words, 2 + rng.NextBelow(3), &request->text);
+      break;
+    }
+    case OpClass::kPredictInterest: {
+      // A draft article lede: 3..6 theme words plus filler.
+      AppendWords(rng, theme.words, 3 + rng.NextBelow(4), &request->text);
+      AppendWords(rng, generic, 2, &request->text);
+      break;
+    }
+    case OpClass::kTweetIngest: {
+      AppendWords(rng, theme.words, 3 + rng.NextBelow(4), &request->text);
+      AppendWords(rng, generic, 1 + rng.NextBelow(3), &request->text);
+      break;
+    }
+    case OpClass::kArticleUpsert: {
+      AppendWords(rng, theme.words, 3 + rng.NextBelow(2), &request->text);
+      AppendWords(rng, theme.words, 12 + rng.NextBelow(6), &request->body);
+      AppendWords(rng, generic, 6, &request->body);
+      break;
+    }
+  }
+}
+
+std::vector<Request> WorkloadGenerator::GenerateTrace() const {
+  std::vector<Request> trace;
+  Rng rng(options_.seed);
+  double now_seconds = 0.0;
+  double phase_start = 0.0;
+  uint64_t seq = 0;
+  for (size_t p = 0; p < options_.phases.size(); ++p) {
+    const PhaseSpec& phase = options_.phases[p];
+    const double phase_end = phase_start + phase.duration_seconds;
+    now_seconds = phase_start;
+    double mix_total = 0.0;
+    for (double m : phase.mix) mix_total += m;
+    if (phase.arrival_rate <= 0.0 || mix_total <= 0.0) {
+      phase_start = phase_end;
+      continue;
+    }
+    for (;;) {
+      // Poisson arrivals: exponential inter-arrival gaps at the offered
+      // rate. The schedule is fixed up front — the definition of open
+      // loop — so a slow server makes requests *late*, never fewer.
+      now_seconds +=
+          -std::log(1.0 - rng.NextDouble()) / phase.arrival_rate;
+      if (now_seconds >= phase_end) break;
+      Request request;
+      request.seq = seq++;
+      request.arrival_nanos =
+          static_cast<int64_t>(std::llround(now_seconds * 1.0e9));
+      request.phase = static_cast<uint32_t>(p);
+      double pick = rng.NextDouble() * mix_total;
+      size_t op = 0;
+      for (; op + 1 < kNumOpClasses; ++op) {
+        pick -= phase.mix[op];
+        if (pick < 0.0) break;
+      }
+      request.op = static_cast<OpClass>(op);
+      request.topic = DrawTopic(rng, phase);
+      request.user = NURand(rng, options_.nurand_a, 0,
+                            options_.num_users - 1, options_.nurand_c);
+      SynthesizeText(rng, &request);
+      trace.push_back(std::move(request));
+    }
+    phase_start = phase_end;
+  }
+  return trace;
+}
+
+uint64_t TraceHash(const std::vector<Request>& trace) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  HashU64(trace.size(), &h);
+  for (const Request& r : trace) {
+    HashU64(r.seq, &h);
+    HashU64(static_cast<uint64_t>(r.op), &h);
+    HashU64(static_cast<uint64_t>(r.arrival_nanos), &h);
+    HashU64(r.phase, &h);
+    HashU64(r.topic, &h);
+    HashU64(r.user, &h);
+    HashString(r.text, &h);
+    HashString(r.body, &h);
+  }
+  return h;
+}
+
+}  // namespace newsdiff::loadgen

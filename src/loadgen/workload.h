@@ -1,0 +1,131 @@
+#ifndef NEWSDIFF_LOADGEN_WORKLOAD_H_
+#define NEWSDIFF_LOADGEN_WORKLOAD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace newsdiff::loadgen {
+
+/// The four request classes the serving harness drives through the Engine
+/// facade and the document store. The enum values index the per-class
+/// arrays in PhaseSpec and the driver's report.
+enum class OpClass : uint8_t {
+  kTweetIngest = 0,     // insert a synthetic tweet into "tweets"
+  kArticleUpsert = 1,   // insert a synthetic article into "news"
+  kQueryTrending = 2,   // Engine::QueryTrending
+  kPredictInterest = 3  // Engine::PredictInterest
+};
+inline constexpr size_t kNumOpClasses = 4;
+
+const char* OpClassName(OpClass op);
+
+/// One synthesized request. The full trace for a fixed seed is identical
+/// across runs — arrival times, op classes, topics, users, and text are
+/// all drawn from one seeded Rng stream — which is what makes two bench
+/// runs comparable: they replay the same requests, only the wall-clock
+/// measurements differ.
+struct Request {
+  uint64_t seq = 0;
+  OpClass op = OpClass::kQueryTrending;
+  /// Scheduled (open-loop) arrival offset from the start of the run.
+  int64_t arrival_nanos = 0;
+  /// Phase index into WorkloadOptions::phases.
+  uint32_t phase = 0;
+  /// Hot-key domain: the news theme the request is about.
+  uint32_t topic = 0;
+  /// Zipf/NURand-skewed simulated author (ingests).
+  uint32_t user = 0;
+  /// Query / draft / tweet text, or the article title for upserts.
+  std::string text;
+  /// Article body (kArticleUpsert only).
+  std::string body;
+
+  bool operator==(const Request& other) const;
+};
+
+/// One traffic phase: a duration at an offered arrival rate with an op-mix
+/// and a skew modifier. Phases run back to back, so a trace models e.g.
+/// steady traffic -> flash crowd -> outlet outage without a seam.
+struct PhaseSpec {
+  std::string name = "steady";
+  double duration_seconds = 1.0;
+  /// Offered throughput (requests/second). Open loop: arrivals are
+  /// scheduled from a Poisson process at this rate regardless of how fast
+  /// the system under test drains them.
+  double arrival_rate = 100.0;
+  /// Relative op-class weights, indexed by OpClass. Need not sum to 1.
+  double mix[kNumOpClasses] = {0.20, 0.10, 0.45, 0.25};
+  /// Flash-crowd knob: probability that a request's topic draw is forced
+  /// onto the single hottest topic, on top of the baseline Zipf skew.
+  /// 0 = baseline skew only; 0.6 models a story absorbing the feed.
+  double hot_topic_boost = 0.0;
+};
+
+/// Generator knobs. The skew model follows the tpccbench randomgenerator
+/// idiom: topics are rank-skewed (Zipf) and then rotated by a NURand-style
+/// constant C so *which* topic is hot is a property of the seed, not
+/// always id 0; users are drawn with the TPC-C NURand(A, 0, n-1) bitwise-OR
+/// generator, giving the classic "a few hot authors, a long warm tail".
+struct WorkloadOptions {
+  uint64_t seed = 2021;
+  /// Topic domain size. Topics map onto datagen::NewsThemes() modulo its
+  /// size, so synthesized text always hits real theme vocabulary.
+  uint32_t num_topics = 12;
+  uint32_t num_users = 1500;
+  /// Zipf exponent for topic popularity (higher = more skew).
+  double topic_zipf_s = 1.05;
+  /// NURand A constant for user draws (TPC-C uses 1023 for the 3000-row
+  /// customer domain; the same order works for the default 1500 users).
+  uint32_t nurand_a = 1023;
+  /// NURand C run constant; also rotates which topic is hottest.
+  uint32_t nurand_c = 259;
+  std::vector<PhaseSpec> phases;
+};
+
+/// The standard three-phase plan every serving bench run uses: `seconds`
+/// of steady traffic at `rate`, a flash-crowd burst at `burst_multiplier`x
+/// the rate with 60% of traffic on the hot topic, then an outlet outage
+/// (article upserts vanish; queries keep arriving).
+std::vector<PhaseSpec> StandardPhases(double rate, double seconds,
+                                      double burst_multiplier = 3.0);
+
+/// TPC-C 2.1.6 NURand(A, x, y): ((random(0,A) | random(x,y)) + C) % (y-x+1)
+/// + x. The bitwise OR biases toward values with more set bits; C
+/// relocates the hot set per run.
+uint32_t NURand(Rng& rng, uint32_t a, uint32_t x, uint32_t y, uint32_t c);
+
+/// Deterministic open-loop request synthesizer. Construction is cheap;
+/// GenerateTrace replays the seeded stream from scratch every call, so the
+/// same generator produces the same trace twice (the determinism gate).
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadOptions options);
+
+  const WorkloadOptions& options() const { return options_; }
+
+  /// The full request trace, sorted by arrival time.
+  std::vector<Request> GenerateTrace() const;
+
+  /// The topic the flash-crowd phases concentrate on (rank-1 under Zipf
+  /// after the C rotation).
+  uint32_t HotTopic() const;
+
+ private:
+  uint32_t DrawTopic(Rng& rng, const PhaseSpec& phase) const;
+  void SynthesizeText(Rng& rng, Request* request) const;
+
+  WorkloadOptions options_;
+};
+
+/// FNV-1a over the canonical serialization of every request field. Two
+/// traces hash equal iff they are elementwise identical; the bench gates
+/// on this to prove seed-determinism.
+uint64_t TraceHash(const std::vector<Request>& trace);
+
+}  // namespace newsdiff::loadgen
+
+#endif  // NEWSDIFF_LOADGEN_WORKLOAD_H_

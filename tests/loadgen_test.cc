@@ -1,0 +1,493 @@
+// Tests for the load harness (src/loadgen): histogram geometry, seeded
+// trace determinism, NURand/Zipf hot-key skew, phase semantics, and an
+// end-to-end open-loop driver run against a real Engine. Suite names carry
+// the `Loadgen` prefix: the sanitizer CI jobs select them by that regex.
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "datagen/world.h"
+#include "loadgen/driver.h"
+#include "loadgen/histogram.h"
+#include "loadgen/workload.h"
+#include "store/database.h"
+
+namespace newsdiff::loadgen {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+
+TEST(LoadgenHistogram, EmptyHistogramReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max_nanos(), 0u);
+  EXPECT_EQ(h.min_nanos(), 0u);
+  EXPECT_EQ(h.PercentileNanos(0.5), 0.0);
+  EXPECT_EQ(h.MeanNanos(), 0.0);
+}
+
+TEST(LoadgenHistogram, RecordsCountSumMinMax) {
+  LatencyHistogram h;
+  h.Record(1'000'000);   // 1ms
+  h.Record(2'000'000);   // 2ms
+  h.Record(10'000'000);  // 10ms
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min_nanos(), 1'000'000u);
+  EXPECT_EQ(h.max_nanos(), 10'000'000u);
+  EXPECT_NEAR(h.MeanNanos(), (1.0 + 2.0 + 10.0) / 3.0 * 1e6, 1.0);
+}
+
+TEST(LoadgenHistogram, PercentileIsBucketUpperBoundWithinResolution) {
+  LatencyHistogram h;
+  // 100 samples at exactly 5ms: every percentile resolves to the bucket
+  // holding 5ms, whose upper bound is within one log-step (~7.5%).
+  for (int i = 0; i < 100; ++i) h.Record(5'000'000);
+  for (double p : {0.5, 0.99, 0.999}) {
+    const double v = h.PercentileNanos(p);
+    EXPECT_GE(v, 5.0e6 * 0.999) << p;
+    EXPECT_LE(v, 5.0e6 * 1.08) << p;
+  }
+}
+
+TEST(LoadgenHistogram, PercentilesAreMonotoneAndOrderIndependent) {
+  LatencyHistogram forward;
+  LatencyHistogram backward;
+  std::vector<uint64_t> samples;
+  for (uint64_t i = 1; i <= 1000; ++i) samples.push_back(i * 37'000);
+  for (uint64_t s : samples) forward.Record(s);
+  std::reverse(samples.begin(), samples.end());
+  for (uint64_t s : samples) backward.Record(s);
+  double prev = 0.0;
+  for (double p : {0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const double v = forward.PercentileNanos(p);
+    EXPECT_GE(v, prev);
+    EXPECT_EQ(v, backward.PercentileNanos(p)) << p;
+    prev = v;
+  }
+}
+
+TEST(LoadgenHistogram, UnderflowAndOverflowClampIntoEdgeBuckets) {
+  LatencyHistogram h;
+  h.Record(0);                       // below 1us -> bucket 0
+  h.Record(500);                     // still bucket 0
+  h.Record(3'600'000'000'000ULL);    // 1 hour -> overflow bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(LatencyHistogram::BucketFor(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketFor(999), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketFor(3'600'000'000'000ULL),
+            LatencyHistogram::kNumBuckets - 1);
+  // The overflow percentile clamps to the observed max, not infinity.
+  EXPECT_EQ(h.PercentileNanos(1.0), 3.6e12);
+}
+
+TEST(LoadgenHistogram, MergeEqualsRecordingEverySample) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram combined;
+  for (uint64_t i = 1; i <= 500; ++i) {
+    const uint64_t sample = i * 91'000;
+    if (i % 2 == 0) {
+      a.Record(sample);
+    } else {
+      b.Record(sample);
+    }
+    combined.Record(sample);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.max_nanos(), combined.max_nanos());
+  EXPECT_EQ(a.min_nanos(), combined.min_nanos());
+  for (double p : {0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.PercentileNanos(p), combined.PercentileNanos(p)) << p;
+  }
+}
+
+TEST(LoadgenHistogram, BucketBoundariesAreMonotone) {
+  uint64_t prev = 0;
+  for (size_t i = 0; i + 1 < LatencyHistogram::kNumBuckets; ++i) {
+    const uint64_t upper = LatencyHistogram::BucketUpperNanos(i);
+    EXPECT_GT(upper, prev) << i;
+    prev = upper;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WorkloadGenerator
+
+WorkloadOptions SmallWorkload(uint64_t seed = 7) {
+  WorkloadOptions options;
+  options.seed = seed;
+  options.num_users = 300;
+  options.phases = StandardPhases(/*rate=*/400.0, /*seconds=*/2.0);
+  return options;
+}
+
+TEST(LoadgenWorkload, SameSeedYieldsIdenticalTrace) {
+  const WorkloadGenerator generator(SmallWorkload());
+  const std::vector<Request> a = generator.GenerateTrace();
+  const std::vector<Request> b = generator.GenerateTrace();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(TraceHash(a), TraceHash(b));
+  // And a second generator built from equal options agrees too.
+  const WorkloadGenerator again(SmallWorkload());
+  EXPECT_EQ(TraceHash(again.GenerateTrace()), TraceHash(a));
+}
+
+TEST(LoadgenWorkload, DifferentSeedsDiverge) {
+  const std::vector<Request> a =
+      WorkloadGenerator(SmallWorkload(7)).GenerateTrace();
+  const std::vector<Request> b =
+      WorkloadGenerator(SmallWorkload(8)).GenerateTrace();
+  EXPECT_NE(TraceHash(a), TraceHash(b));
+}
+
+TEST(LoadgenWorkload, ArrivalsAreSortedAndSeqDense) {
+  const std::vector<Request> trace =
+      WorkloadGenerator(SmallWorkload()).GenerateTrace();
+  ASSERT_FALSE(trace.empty());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].seq, i);
+    if (i > 0) {
+      EXPECT_GE(trace[i].arrival_nanos, trace[i - 1].arrival_nanos);
+    }
+  }
+}
+
+TEST(LoadgenWorkload, OfferedRateMatchesPoissonExpectation) {
+  WorkloadOptions options;
+  options.seed = 11;
+  PhaseSpec steady;
+  steady.duration_seconds = 10.0;
+  steady.arrival_rate = 500.0;
+  options.phases = {steady};
+  const std::vector<Request> trace =
+      WorkloadGenerator(options).GenerateTrace();
+  // Poisson(5000): 5 sigma is ~354.
+  EXPECT_NEAR(static_cast<double>(trace.size()), 5000.0, 360.0);
+}
+
+TEST(LoadgenWorkload, MixRatiosAreRespected) {
+  WorkloadOptions options;
+  options.seed = 13;
+  PhaseSpec steady;
+  steady.duration_seconds = 20.0;
+  steady.arrival_rate = 400.0;
+  options.phases = {steady};
+  const std::vector<Request> trace =
+      WorkloadGenerator(options).GenerateTrace();
+  size_t counts[kNumOpClasses] = {0, 0, 0, 0};
+  for (const Request& r : trace) ++counts[static_cast<size_t>(r.op)];
+  const double n = static_cast<double>(trace.size());
+  EXPECT_NEAR(counts[0] / n, 0.20, 0.03);  // tweet_ingest
+  EXPECT_NEAR(counts[1] / n, 0.10, 0.03);  // article_upsert
+  EXPECT_NEAR(counts[2] / n, 0.45, 0.03);  // query_trending
+  EXPECT_NEAR(counts[3] / n, 0.25, 0.03);  // predict_interest
+}
+
+TEST(LoadgenWorkload, TopicsAreHotKeySkewed) {
+  WorkloadOptions options;
+  options.seed = 17;
+  PhaseSpec steady;
+  steady.duration_seconds = 20.0;
+  steady.arrival_rate = 500.0;
+  options.phases = {steady};
+  const WorkloadGenerator generator(options);
+  const std::vector<Request> trace = generator.GenerateTrace();
+  std::map<uint32_t, size_t> by_topic;
+  for (const Request& r : trace) ++by_topic[r.topic];
+  // The Zipf rank-1 topic (rotated by C) must be the hottest, and carry
+  // far more than the uniform share (1/12 ~ 8.3%).
+  const uint32_t hot = generator.HotTopic();
+  size_t hottest_count = 0;
+  uint32_t hottest_topic = 0;
+  for (const auto& [topic, count] : by_topic) {
+    if (count > hottest_count) {
+      hottest_count = count;
+      hottest_topic = topic;
+    }
+  }
+  EXPECT_EQ(hottest_topic, hot);
+  EXPECT_GT(static_cast<double>(hottest_count) /
+                static_cast<double>(trace.size()),
+            0.20);
+}
+
+TEST(LoadgenWorkload, UsersAreNURandSkewed) {
+  WorkloadOptions options = SmallWorkload(19);
+  const std::vector<Request> trace =
+      WorkloadGenerator(options).GenerateTrace();
+  std::map<uint32_t, size_t> by_user;
+  for (const Request& r : trace) {
+    EXPECT_LT(r.user, options.num_users);
+    ++by_user[r.user];
+  }
+  // The NURand OR-bias concentrates mass: the most-hit decile of users
+  // must absorb well above a uniform decile's share.
+  std::vector<size_t> counts;
+  for (const auto& [user, count] : by_user) counts.push_back(count);
+  std::sort(counts.rbegin(), counts.rend());
+  size_t top_decile = 0;
+  size_t total = 0;
+  const size_t decile = std::max<size_t>(1, options.num_users / 10);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (i < decile) top_decile += counts[i];
+    total += counts[i];
+  }
+  EXPECT_GT(static_cast<double>(top_decile) / static_cast<double>(total),
+            0.2);
+}
+
+TEST(LoadgenWorkload, FlashCrowdPhaseConcentratesOnTheHotTopic) {
+  const WorkloadGenerator generator(SmallWorkload(23));
+  const std::vector<Request> trace = generator.GenerateTrace();
+  const uint32_t hot = generator.HotTopic();
+  size_t steady_total = 0, steady_hot = 0, flash_total = 0, flash_hot = 0;
+  for (const Request& r : trace) {
+    if (r.phase == 0) {
+      ++steady_total;
+      if (r.topic == hot) ++steady_hot;
+    } else if (r.phase == 1) {
+      ++flash_total;
+      if (r.topic == hot) ++flash_hot;
+    }
+  }
+  ASSERT_GT(steady_total, 0u);
+  ASSERT_GT(flash_total, 0u);
+  const double steady_share =
+      static_cast<double>(steady_hot) / static_cast<double>(steady_total);
+  const double flash_share =
+      static_cast<double>(flash_hot) / static_cast<double>(flash_total);
+  // hot_topic_boost=0.6 forces ~60% on top of the baseline Zipf share.
+  EXPECT_GT(flash_share, steady_share + 0.2);
+  EXPECT_GT(flash_share, 0.55);
+}
+
+TEST(LoadgenWorkload, OutageGeneratesNoArticleUpserts) {
+  const WorkloadGenerator generator(SmallWorkload(29));
+  const std::vector<Request> trace = generator.GenerateTrace();
+  size_t outage_total = 0;
+  for (const Request& r : trace) {
+    if (r.phase != 2) continue;
+    ++outage_total;
+    EXPECT_NE(r.op, OpClass::kArticleUpsert) << r.seq;
+  }
+  EXPECT_GT(outage_total, 0u);
+}
+
+TEST(LoadgenWorkload, BurstPhaseRaisesArrivalDensity) {
+  const WorkloadGenerator generator(SmallWorkload(31));
+  const std::vector<Request> trace = generator.GenerateTrace();
+  // StandardPhases(400, 2.0): steady 2s @ 400/s, flash 1s @ 1200/s.
+  size_t steady = 0, flash = 0;
+  for (const Request& r : trace) {
+    if (r.phase == 0) ++steady;
+    if (r.phase == 1) ++flash;
+  }
+  const double steady_rate = static_cast<double>(steady) / 2.0;
+  const double flash_rate = static_cast<double>(flash) / 1.0;
+  EXPECT_GT(flash_rate, steady_rate * 2.0);
+}
+
+TEST(LoadgenWorkload, NURandStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const uint32_t v = NURand(rng, 1023, 0, 2999, 259);
+    EXPECT_LT(v, 3000u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const uint32_t v = NURand(rng, 255, 10, 20, 7);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(LoadgenWorkload, TextSynthesisProducesNonEmptyQueries) {
+  const std::vector<Request> trace =
+      WorkloadGenerator(SmallWorkload(37)).GenerateTrace();
+  for (const Request& r : trace) {
+    EXPECT_FALSE(r.text.empty()) << r.seq;
+    if (r.op == OpClass::kArticleUpsert) {
+      EXPECT_FALSE(r.body.empty()) << r.seq;
+    } else {
+      EXPECT_TRUE(r.body.empty()) << r.seq;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LoadDriver end to end (a real Engine over a small world)
+
+class LoadgenDriverFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    datagen::WorldOptions world_options;
+    world_options.num_articles = 250;
+    world_options.num_tweets = 700;
+    world_options.num_users = 150;
+    world_ = datagen::GenerateWorld(world_options);
+    world_.LoadInto(db_);
+    engine_.emplace(EngineOptions{});
+    ASSERT_TRUE(engine_->BuildIndex(db_).ok());
+  }
+
+  datagen::World world_;
+  store::Database db_;
+  std::optional<Engine> engine_;
+};
+
+TEST_F(LoadgenDriverFixture, ReplaysEveryRequestWithoutErrors) {
+  WorkloadOptions workload;
+  workload.seed = 41;
+  workload.num_users = 150;
+  PhaseSpec steady;
+  steady.duration_seconds = 1.0;
+  steady.arrival_rate = 200.0;
+  workload.phases = {steady};
+  const std::vector<Request> trace =
+      WorkloadGenerator(workload).GenerateTrace();
+  ASSERT_FALSE(trace.empty());
+
+  const size_t tweets_before = db_.GetOrCreate("tweets").size();
+  const size_t news_before = db_.GetOrCreate("news").size();
+  const EngineStatsSnapshot stats_before = engine_->stats();
+
+  DriverOptions driver_options;
+  driver_options.threads = 4;
+  LoadDriver driver(*engine_, db_, driver_options);
+  const RunReport report = driver.Run(trace);
+
+  EXPECT_EQ(report.issued, trace.size());
+  EXPECT_EQ(report.errors, 0u);
+  size_t per_class_issued = 0;
+  size_t expected[kNumOpClasses] = {0, 0, 0, 0};
+  for (const Request& r : trace) ++expected[static_cast<size_t>(r.op)];
+  for (size_t c = 0; c < kNumOpClasses; ++c) {
+    EXPECT_EQ(report.per_class[c].issued, expected[c]) << c;
+    per_class_issued += report.per_class[c].issued;
+    EXPECT_EQ(report.per_class[c].latency.count(),
+              report.per_class[c].issued);
+  }
+  EXPECT_EQ(per_class_issued, trace.size());
+
+  // Ingests really landed in the store.
+  EXPECT_EQ(db_.GetOrCreate("tweets").size(),
+            tweets_before +
+                expected[static_cast<size_t>(OpClass::kTweetIngest)]);
+  EXPECT_EQ(db_.GetOrCreate("news").size(),
+            news_before +
+                expected[static_cast<size_t>(OpClass::kArticleUpsert)]);
+
+  // The Engine's stats hook saw exactly the query traffic.
+  const EngineStatsSnapshot stats_after = engine_->stats();
+  EXPECT_EQ(stats_after.trending_queries - stats_before.trending_queries,
+            expected[static_cast<size_t>(OpClass::kQueryTrending)]);
+  EXPECT_EQ(
+      stats_after.interest_predictions - stats_before.interest_predictions,
+      expected[static_cast<size_t>(OpClass::kPredictInterest)]);
+  EXPECT_EQ(stats_after.serving_errors, stats_before.serving_errors);
+
+  EXPECT_GT(report.offered_rate, 0.0);
+  EXPECT_GT(report.achieved_rate, 0.0);
+  EXPECT_GT(report.AchievedRatio(), 0.0);
+  EXPECT_LE(report.AchievedRatio(), 1.0);
+}
+
+TEST_F(LoadgenDriverFixture, BackgroundIndexSwapUnderLoadIsClean) {
+  WorkloadOptions workload;
+  workload.seed = 43;
+  workload.num_users = 150;
+  PhaseSpec steady;
+  steady.duration_seconds = 1.2;
+  steady.arrival_rate = 250.0;
+  workload.phases = {steady};
+  const std::vector<Request> trace =
+      WorkloadGenerator(workload).GenerateTrace();
+
+  DriverOptions driver_options;
+  driver_options.threads = 4;
+  LoadDriver driver(*engine_, db_, driver_options);
+  const uint64_t swaps_before = engine_->stats().index_swaps;
+  std::thread refresher([&] {
+    // Holding the driver's db mutex: ingests pause while the rebuild
+    // reads the collections; queries keep flowing against the old
+    // generation until the swap.
+    std::lock_guard<std::mutex> lock(driver.db_mutex());
+    ASSERT_TRUE(engine_->BuildIndex(db_).ok());
+  });
+  const RunReport report = driver.Run(trace);
+  refresher.join();
+
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_EQ(report.issued, trace.size());
+  EXPECT_EQ(engine_->stats().index_swaps, swaps_before + 1);
+}
+
+TEST_F(LoadgenDriverFixture, SloEvaluationFlagsSaturation) {
+  // A fabricated report that missed its schedule badly must fail the
+  // ratio bound, and one with slow p99 must name the class and bound.
+  RunReport report;
+  report.scheduled_seconds = 1.0;
+  report.elapsed_seconds = 2.0;  // ratio 0.5
+  SloSpec slo;
+  std::string why;
+  EXPECT_FALSE(report.SloOk(slo, &why));
+  EXPECT_EQ(why, "achieved/offered ratio");
+
+  report.elapsed_seconds = 1.0;
+  for (int i = 0; i < 1000; ++i) {
+    report.per_class[2].latency.Record(1'000'000);  // 1ms
+  }
+  report.per_class[2].latency.Record(400'000'000);  // one 400ms straggler
+  EXPECT_TRUE(report.SloOk(slo, &why)) << why;  // p999 over 1001 samples...
+  for (int i = 0; i < 20; ++i) {
+    report.per_class[2].latency.Record(400'000'000);  // now p99 breaks too
+  }
+  EXPECT_FALSE(report.SloOk(slo, &why));
+  EXPECT_EQ(why, "query_trending p99");
+}
+
+TEST_F(LoadgenDriverFixture, SaturationSearchStopsAtTheBreakingRate) {
+  WorkloadOptions base;
+  base.seed = 47;
+  base.num_users = 150;
+  DriverOptions driver_options;
+  driver_options.threads = 2;
+  LoadDriver driver(*engine_, db_, driver_options);
+  // An impossible SLO (p99 <= 0.000001ms) breaks on the first step: the
+  // search must report it as the breaking rate and sustain nothing.
+  SloSpec impossible;
+  impossible.p50_ms = 1e-6;
+  impossible.p99_ms = 1e-6;
+  impossible.p999_ms = 1e-6;
+  const SaturationResult broke =
+      SaturationSearch(driver, base, impossible, /*start_rate=*/50.0,
+                       /*growth=*/2.0, /*max_steps=*/3,
+                       /*window_seconds=*/0.3);
+  ASSERT_EQ(broke.steps.size(), 1u);
+  EXPECT_EQ(broke.max_sustained_rate, 0.0);
+  EXPECT_EQ(broke.breaking_rate, 50.0);
+  EXPECT_FALSE(broke.steps[0].slo_ok);
+
+  // A permissive SLO walks all steps and sustains the last rate.
+  SloSpec permissive;
+  permissive.p50_ms = 1e9;
+  permissive.p99_ms = 1e9;
+  permissive.p999_ms = 1e9;
+  permissive.min_achieved_ratio = 0.0;
+  const SaturationResult held =
+      SaturationSearch(driver, base, permissive, /*start_rate=*/50.0,
+                       /*growth=*/2.0, /*max_steps=*/3,
+                       /*window_seconds=*/0.3);
+  ASSERT_EQ(held.steps.size(), 3u);
+  EXPECT_EQ(held.breaking_rate, 0.0);
+  EXPECT_EQ(held.max_sustained_rate, 200.0);
+}
+
+}  // namespace
+}  // namespace newsdiff::loadgen
