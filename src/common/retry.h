@@ -1,6 +1,7 @@
 #ifndef NEWSDIFF_COMMON_RETRY_H_
 #define NEWSDIFF_COMMON_RETRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -33,18 +34,24 @@ class SystemClock : public Clock {
 
 /// Deterministic clock for tests and simulations: sleeping advances
 /// simulated time, so a 10-second backoff schedule runs in microseconds.
+/// The counter is atomic so one thread can Advance() while another polls
+/// NowMillis() (the inference server's deadline tests do exactly that).
 class ManualClock : public Clock {
  public:
   explicit ManualClock(int64_t start_ms = 0) : now_ms_(start_ms) {}
 
-  int64_t NowMillis() override { return now_ms_; }
-  void SleepMillis(int64_t ms) override { now_ms_ += ms; }
+  int64_t NowMillis() override {
+    return now_ms_.load(std::memory_order_relaxed);
+  }
+  void SleepMillis(int64_t ms) override {
+    now_ms_.fetch_add(ms, std::memory_order_relaxed);
+  }
 
   /// Advances time without anyone sleeping (e.g. to cool down a breaker).
-  void Advance(int64_t ms) { now_ms_ += ms; }
+  void Advance(int64_t ms) { now_ms_.fetch_add(ms, std::memory_order_relaxed); }
 
  private:
-  int64_t now_ms_;
+  std::atomic<int64_t> now_ms_;
 };
 
 /// True for the transient upstream conditions worth retrying —

@@ -16,6 +16,8 @@
 #include "core/predictor.h"
 #include "core/supervisor.h"
 #include "index/index.h"
+#include "la/matrix.h"
+#include "serve/inference_server.h"
 #include "store/database.h"
 
 namespace newsdiff {
@@ -58,11 +60,18 @@ struct EngineOptions {
   /// Tests point this at the storage fault injector.
   FileIo* io = nullptr;
 
+  /// Batched model serving: PredictInterest reranks retrieved candidates
+  /// through a small MLP (trained per BuildIndex over hashed features)
+  /// via the coalescing InferenceServer. Disable `serving.enable_model`
+  /// to reproduce the PR-8 BM25 class vote exactly.
+  serve::ServingOptions serving;
+
   /// Per-module views: the aggregate copied down with the authoritative
   /// `parallelism` substituted in.
   core::PipelineOptions PipelineView() const;
   core::PredictorOptions PredictorView() const;
   core::SupervisorOptions SupervisorView() const;
+  serve::ServingOptions ServingView() const;
   /// Resolved index directory (may be empty: in-memory only).
   std::string IndexDir() const;
 };
@@ -74,15 +83,23 @@ struct QueryHit {
   int64_t timestamp = 0;     // published / created time
   double score = 0.0;        // BM25 score
   double label = 0.0;        // carried label (tweets: Table-2 likes class)
+  /// Model-predicted expected interest class (sum_c c * P(c)); 0 on the
+  /// BM25-vote fallback path.
+  double model_score = 0.0;
 };
 
-/// PredictInterest outcome: a score-weighted vote of the retrieved
-/// neighbours' Table-2 interest classes.
+/// PredictInterest outcome. With the serving model enabled the retrieved
+/// candidates are scored by the trained MLP and the class weights are the
+/// retrieval-score-weighted average of the model's per-candidate class
+/// probabilities (neighbors come back reranked by model interest);
+/// without it, the PR-8 BM25 class vote.
 struct InterestPrediction {
   int predicted_class = 0;            // argmax of class_weights
-  std::vector<double> class_weights;  // BM25-mass per class, normalised
+  std::vector<double> class_weights;  // per-class mass, normalised to 1
   double confidence = 0.0;            // class_weights[predicted_class]
   std::vector<QueryHit> neighbors;    // the supporting tweets
+  bool model_reranked = false;        // true when the MLP scored the hits
+  uint64_t model_version = 0;         // serving-model generation used
 };
 
 /// A point-in-time copy of the Engine's serving counters. The counters
@@ -97,6 +114,21 @@ struct EngineStatsSnapshot {
   uint64_t index_swaps = 0;          // BuildIndex / LoadIndex generation swaps
   uint64_t docs_scored = 0;          // summed QueryStats::docs_scored
   uint64_t blocks_decoded = 0;       // summed QueryStats::blocks_decoded
+  // Batched-inference telemetry, merged from InferenceServerStats (all
+  // zero when the serving model is disabled).
+  uint64_t model_predictions = 0;    // PredictInterest answered by the MLP
+  uint64_t inference_batches = 0;    // coalesced batches executed
+  uint64_t inference_batched_rows = 0;
+  uint64_t inference_queue_rejections = 0;
+  uint64_t model_swaps = 0;          // serving-model generations installed
+
+  /// Mean rows per coalesced batch (0 before the first batch).
+  double MeanBatchFill() const {
+    return inference_batches == 0
+               ? 0.0
+               : static_cast<double>(inference_batched_rows) /
+                     static_cast<double>(inference_batches);
+  }
 };
 
 /// What Engine::BuildIndex produced.
@@ -170,11 +202,22 @@ class Engine {
       index::QueryStats* stats = nullptr) const;
 
   /// Audience-interest estimate for a draft article: retrieves the top-k
-  /// most similar tweets and takes the BM25-weighted vote of their
-  /// interest classes. Returns kNotFound when nothing matches.
+  /// most similar tweets and — when the serving model is live — scores
+  /// them through the batched inference server, weighting each
+  /// candidate's class probabilities by its retrieval score. Falls back
+  /// to the BM25 class vote until a model is trained (BuildIndex trains
+  /// one per generation). Returns kNotFound when nothing matches.
   StatusOr<InterestPrediction> PredictInterest(
       const std::string& draft, size_t k,
       index::QueryStats* stats = nullptr) const;
+
+  /// Scores many drafts in one call: all candidates retrieved for all
+  /// drafts are concatenated into a single inference batch (one GEMM
+  /// chain), then split back per draft. Per-draft failures (e.g. no
+  /// matching tweets) come back as that element's Status without failing
+  /// the rest.
+  std::vector<StatusOr<InterestPrediction>> PredictInterestBatch(
+      const std::vector<std::string>& drafts, size_t k) const;
 
   /// The current index generation as an immutable snapshot. Holding the
   /// returned shared_ptr keeps that generation alive across any number of
@@ -195,10 +238,31 @@ class Engine {
   /// Serving counters since construction (see EngineStatsSnapshot).
   EngineStatsSnapshot stats() const;
 
+  /// The batched inference server, or nullptr when the serving model is
+  /// disabled. Benches use it to compare the coalesced path against the
+  /// per-call fallback on identical inputs.
+  serve::InferenceServer* inference_server() const {
+    return inference_.get();
+  }
+
+  /// Serving-model generation currently installed (0 = none yet).
+  uint64_t model_version() const {
+    return inference_ == nullptr ? 0 : inference_->model_version();
+  }
+
   /// Escape hatch to the supervisor for follower/promotion flows.
   core::PipelineSupervisor& supervisor() { return supervisor_; }
 
  private:
+  /// Everything one PredictInterest needs pinned together: the index
+  /// generation AND the candidate feature rows aligned with the "tweets"
+  /// index's dense doc ids. One shared_ptr swap publishes both, so a
+  /// query can never score generation-G docs with generation-G' features.
+  struct ServingData {
+    IndexMap indexes;
+    la::Matrix tweet_features;
+  };
+
   /// Relaxed atomics bumped on the serving hot path. Relaxed is enough:
   /// the counters are monotonic telemetry, never used for synchronisation.
   struct Counters {
@@ -209,22 +273,40 @@ class Engine {
     std::atomic<uint64_t> index_swaps{0};
     std::atomic<uint64_t> docs_scored{0};
     std::atomic<uint64_t> blocks_decoded{0};
+    std::atomic<uint64_t> model_predictions{0};
   };
 
   FileIo& io() const;
+  std::shared_ptr<const ServingData> ServingSnapshot() const;
+  StatusOr<std::vector<QueryHit>> QueryOn(const ServingData& data,
+                                          const std::string& index_name,
+                                          const std::vector<std::string>& terms,
+                                          size_t k,
+                                          index::QueryStats* stats) const;
   StatusOr<std::vector<QueryHit>> Query(const std::string& index_name,
                                         const std::vector<std::string>& terms,
                                         size_t k,
                                         index::QueryStats* stats) const;
-  /// Publishes `built` as the new current generation.
+  /// Publishes `built` (indexes without features) as the new generation.
   void SwapIndexes(IndexMap built, uint64_t generation);
+  /// Publishes a full serving snapshot (indexes + candidate features).
+  void SwapServing(ServingData data, uint64_t generation);
+  /// Combines retrieval hits and per-candidate model probabilities into a
+  /// prediction (weights normalised, neighbors reranked by model score).
+  InterestPrediction CombineModelPrediction(std::vector<QueryHit> hits,
+                                            const la::Matrix& probs,
+                                            size_t first_row) const;
+  /// BM25 class vote over the hits (the pre-model fallback path).
+  InterestPrediction VotePrediction(std::vector<QueryHit> hits) const;
 
   EngineOptions options_;
   core::PipelineSupervisor supervisor_;
   /// Guards the snapshot pointer only; the pointee is immutable.
   mutable std::mutex index_mu_;
-  std::shared_ptr<const IndexMap> indexes_;
+  std::shared_ptr<const ServingData> serving_;
   std::atomic<uint64_t> index_generation_{0};
+  std::atomic<uint64_t> model_generation_{0};
+  std::unique_ptr<serve::InferenceServer> inference_;
   mutable Counters counters_;
 };
 

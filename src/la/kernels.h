@@ -4,7 +4,56 @@
 #include "common/parallel.h"
 #include "la/matrix.h"
 
-namespace newsdiff::la::internal {
+#include <cstdint>
+#include <vector>
+
+namespace newsdiff::la {
+
+/// The right operand of a blocked GEMM, pre-packed into the exact
+/// (jc, pc)-panel layout the blocked driver consumes. Packing B is O(k*m)
+/// work per call; for inference the weights are immutable across calls, so
+/// the weight cache (la/weight_cache.h) packs once per model generation and
+/// every call reuses the panels. BlockedMatMulPrepacked over a PackedB is
+/// bitwise identical to BlockedMatMul over the original matrix when the
+/// kc/nc block sizes match — the packed values and the traversal are the
+/// same; only WHO packed them changes.
+struct PackedB {
+  size_t k = 0;   ///< Rows of the original B.
+  size_t m = 0;   ///< Columns of the original B.
+  size_t kc = 0;  ///< Effective depth block used at pack time.
+  size_t nc = 0;  ///< Effective column block used at pack time.
+  AlignedVector data;
+  /// Offset of panel (jc/nc, pc/kc) in `data`, pc-major within a jc band:
+  /// panel_offset[(jc/nc) * num_pc_blocks + (pc/kc)].
+  std::vector<size_t> panel_offset;
+};
+
+/// Packs all (jc, pc) panels of `b` for the block sizes in `cfg` (after the
+/// same micro-kernel rounding BlockedMatMul applies).
+PackedB PackMatrixB(const Matrix& b, const KernelConfig& cfg);
+
+/// B quantized with a per-column linear quantizer (pisa linear_quantizer
+/// idiom): column j maps [min_j, max_j] onto the 256 int8 codes, so
+/// b[p][j] ~= scale[j] * q[p][j] + offset[j]. Codes are stored
+/// column-major (column j is `k` contiguous bytes) so the int8 micro-dot
+/// streams linearly. ~8x smaller than the f32 panels.
+struct QuantizedB {
+  size_t k = 0;  ///< Rows of the original B.
+  size_t m = 0;  ///< Columns of the original B.
+  std::vector<int8_t> data;    ///< Column-major codes, data[j * k + p].
+  std::vector<double> scale;   ///< Per-column dequantization scale.
+  std::vector<double> offset;  ///< Per-column dequantization offset.
+  /// Per-column sum of codes. The kernel quantizes A rows into unsigned
+  /// bytes biased by +128 (so one staging feeds the u8 x s8 VNNI
+  /// instruction, the AVX2 vpmaddwd path, and the scalar fallback alike)
+  /// and removes the bias exactly: dot_biased - 128 * colsum[j].
+  std::vector<int32_t> colsum;
+};
+
+/// Quantizes `b` column-by-column into int8 codes.
+QuantizedB QuantizeMatrixB(const Matrix& b);
+
+namespace internal {
 
 /// Cache-blocked, register-tiled GEMM kernels (KernelKind::kBlocked).
 /// Callers go through the MatMul*/MatMul*Into dispatchers in la/matrix.h;
@@ -37,6 +86,28 @@ void BlockedMatMulTransA(const Matrix& a, const Matrix& b, Matrix* out,
 void BlockedMatMulTransB(const Matrix& a, const Matrix& b, Matrix* out,
                          const Parallelism& par);
 
-}  // namespace newsdiff::la::internal
+/// out = a * b over pre-packed panels. Uses the kc/nc recorded in `b` (so
+/// the result is bitwise identical to BlockedMatMul packed under the same
+/// KernelConfig) and par.kernels.mc for the row blocking, which never
+/// affects the arithmetic. Same determinism contract as BlockedMatMul;
+/// additionally, because every output row's accumulation chain reads only
+/// that row of A, results are bitwise invariant to batch composition:
+/// row i of a batch-of-N product equals the corresponding batch-of-1.
+void BlockedMatMulPrepacked(const Matrix& a, const PackedB& b, Matrix* out,
+                            const Parallelism& par);
+
+/// out = a * b over int8 codes: each row of `a` is quantized on the fly
+/// with a symmetric per-row scale (maxabs/127), the k-length integer dot
+/// runs in int32, and the result is dequantized as
+///   out[i][j] = scale[j] * sa[i] * idot + offset[j] * rowsum(a[i]).
+/// Integer arithmetic is exact and every row is processed independently,
+/// so the output is bitwise invariant to threads, shards, AND batch
+/// composition — but it approximates the f32 result (accuracy delta gated
+/// by bench/kernels_bench). Parallelism splits the rows of `a`.
+void Int8MatMulPrepacked(const Matrix& a, const QuantizedB& b, Matrix* out,
+                         const Parallelism& par);
+
+}  // namespace internal
+}  // namespace newsdiff::la
 
 #endif  // NEWSDIFF_LA_KERNELS_H_

@@ -1,0 +1,79 @@
+#ifndef NEWSDIFF_LA_WEIGHT_CACHE_H_
+#define NEWSDIFF_LA_WEIGHT_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "la/kernels.h"
+#include "la/matrix.h"
+
+namespace newsdiff::la {
+
+/// Counters for the cache. Snapshots are taken under the cache mutex, so
+/// they are internally consistent.
+struct WeightCacheStats {
+  uint64_t hits = 0;    ///< Lookups served from an existing entry.
+  uint64_t misses = 0;  ///< Lookups that packed/quantized fresh data.
+  uint64_t swaps = 0;   ///< Misses that replaced an older generation.
+};
+
+/// Cross-call cache of packed (and optionally quantized) right-hand GEMM
+/// operands, keyed by (weights identity, version, kernel config).
+///
+/// PR 8 deduplicated B packing *within* one GEMM; this removes it *across*
+/// calls: inference weights are immutable between model reloads, so each
+/// dense layer's weights are packed exactly once per model generation and
+/// every subsequent forward pass reuses the panels. Entries swap RCU-style,
+/// mirroring Engine::IndexSnapshot(): a lookup returns a shared_ptr, a
+/// version change installs a fresh entry under the mutex, and in-flight
+/// GEMMs keep the generation they pinned until they drop the pointer.
+///
+/// Determinism: PackMatrixB produces exactly the panels BlockedMatMul
+/// would pack internally, so routing a GEMM through the cache never
+/// changes its bits. The quantized entries feed Int8MatMulPrepacked, which
+/// is deterministic but approximate (opt-in, see KernelConfig).
+class PackedWeightCache {
+ public:
+  PackedWeightCache() = default;
+  PackedWeightCache(const PackedWeightCache&) = delete;
+  PackedWeightCache& operator=(const PackedWeightCache&) = delete;
+
+  /// Returns the packed panels for `weights` at `version`, packing them if
+  /// the entry is missing, stale, or was packed under a different kc/nc.
+  /// Packing happens outside the mutex; concurrent misses may both pack
+  /// (idempotent — identical panels) and the last one wins the map slot.
+  std::shared_ptr<const PackedB> GetPacked(uint64_t key, uint64_t version,
+                                           const Matrix& weights,
+                                           const KernelConfig& cfg);
+
+  /// Returns the int8 quantization of `weights` at `version`, quantizing
+  /// on a miss. Shares the entry (and the generation swap) with GetPacked.
+  std::shared_ptr<const QuantizedB> GetQuantized(uint64_t key,
+                                                 uint64_t version,
+                                                 const Matrix& weights);
+
+  WeightCacheStats stats() const;
+
+  /// Drops every entry (test hook; in-flight holders keep their pointers).
+  void Clear();
+
+ private:
+  struct Entry {
+    uint64_t version = 0;
+    /// kc/nc the f32 panels were packed under; a config change repacks.
+    size_t kc = 0;
+    size_t nc = 0;
+    std::shared_ptr<const PackedB> packed;
+    std::shared_ptr<const QuantizedB> quantized;
+  };
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, Entry> entries_;
+  WeightCacheStats stats_;
+};
+
+}  // namespace newsdiff::la
+
+#endif  // NEWSDIFF_LA_WEIGHT_CACHE_H_

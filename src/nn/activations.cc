@@ -28,6 +28,21 @@ la::Matrix Activation::Forward(const la::Matrix& input, bool training) {
   return out;
 }
 
+bool Activation::ForwardInPlace(la::Matrix* h) {
+  switch (kind_) {
+    case ActivationKind::kRelu:
+      for (double& v : h->data()) v = ReluScalar(v);
+      break;
+    case ActivationKind::kSigmoid:
+      for (double& v : h->data()) v = SigmoidScalar(v);
+      break;
+    case ActivationKind::kTanh:
+      for (double& v : h->data()) v = TanhScalar(v);
+      break;
+  }
+  return true;
+}
+
 la::Matrix Activation::Backward(const la::Matrix& grad_output) {
   la::Matrix grad = grad_output;
   const auto& y = output_.data();
@@ -60,20 +75,24 @@ std::string Activation::Name() const {
   return "Activation";
 }
 
-la::Matrix Softmax(const la::Matrix& logits) {
-  la::Matrix out = logits;
-  for (size_t r = 0; r < out.rows(); ++r) {
-    double* row = out.RowPtr(r);
+void SoftmaxInPlace(la::Matrix* m) {
+  for (size_t r = 0; r < m->rows(); ++r) {
+    double* row = m->RowPtr(r);
     double mx = row[0];
-    for (size_t c = 1; c < out.cols(); ++c) mx = std::max(mx, row[c]);
+    for (size_t c = 1; c < m->cols(); ++c) mx = std::max(mx, row[c]);
     double sum = 0.0;
-    for (size_t c = 0; c < out.cols(); ++c) {
+    for (size_t c = 0; c < m->cols(); ++c) {
       row[c] = std::exp(row[c] - mx);
       sum += row[c];
     }
     double inv = 1.0 / sum;
-    for (size_t c = 0; c < out.cols(); ++c) row[c] *= inv;
+    for (size_t c = 0; c < m->cols(); ++c) row[c] *= inv;
   }
+}
+
+la::Matrix Softmax(const la::Matrix& logits) {
+  la::Matrix out = logits;
+  SoftmaxInPlace(&out);
   return out;
 }
 

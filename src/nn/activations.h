@@ -18,6 +18,7 @@ class Activation : public Layer {
 
   la::Matrix Forward(const la::Matrix& input, bool training) override;
   la::Matrix Backward(const la::Matrix& grad_output) override;
+  bool ForwardInPlace(la::Matrix* h) override;
   size_t OutputSize(size_t input_size) const override { return input_size; }
   std::string Name() const override;
 
@@ -35,6 +36,10 @@ double TanhScalar(double z);
 
 /// Row-wise softmax of `logits` (numerically stabilised).
 la::Matrix Softmax(const la::Matrix& logits);
+
+/// Row-wise softmax in place — the copy-free variant the inference path
+/// uses on the logits it already owns. Same arithmetic as Softmax.
+void SoftmaxInPlace(la::Matrix* m);
 
 }  // namespace newsdiff::nn
 

@@ -3,6 +3,9 @@
 #include <cassert>
 #include <cmath>
 
+#include "la/kernels.h"
+#include "la/weight_cache.h"
+
 namespace newsdiff::nn {
 
 Dense::Dense(size_t in_features, size_t out_features, Rng& rng)
@@ -21,7 +24,24 @@ Dense::Dense(size_t in_features, size_t out_features, Rng& rng)
 la::Matrix Dense::Forward(const la::Matrix& input, bool training) {
   assert(input.cols() == in_features_);
   if (training) input_ = input;
-  la::Matrix out = la::MatMul(input, w_, par_);
+  la::Matrix out;
+  if (!training && cache_.cache != nullptr &&
+      par_.kernels.kind == KernelKind::kBlocked) {
+    // Inference with a bound cache: the weights were packed once for this
+    // model generation. The f32 prepacked product is bitwise identical to
+    // the per-call blocked GEMM; the int8 route is the opt-in approximate
+    // mode (KernelConfig::int8_inference).
+    if (cache_.int8) {
+      auto qb = cache_.cache->GetQuantized(cache_.key, cache_.version, w_);
+      la::internal::Int8MatMulPrepacked(input, *qb, &out, par_);
+    } else {
+      auto pb =
+          cache_.cache->GetPacked(cache_.key, cache_.version, w_, par_.kernels);
+      la::internal::BlockedMatMulPrepacked(input, *pb, &out, par_);
+    }
+  } else {
+    out = la::MatMul(input, w_, par_);
+  }
   ParallelFor(par_, out.rows(), [&](size_t, size_t begin, size_t end) {
     const double* bias = b_.RowPtr(0);
     for (size_t r = begin; r < end; ++r) {

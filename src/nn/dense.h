@@ -19,6 +19,9 @@ class Dense : public Layer {
   std::vector<Param> Params() override;
   size_t OutputSize(size_t input_size) const override;
   std::string Name() const override { return "Dense"; }
+  void BindInferenceCache(const InferenceCacheBinding& binding) override {
+    cache_ = binding;
+  }
 
   size_t in_features() const { return in_features_; }
   size_t out_features() const { return out_features_; }
@@ -33,6 +36,9 @@ class Dense : public Layer {
   la::Matrix dw_;
   la::Matrix db_;
   la::Matrix input_;   // cached for backward
+  /// Optional shared packed-weight cache for inference forwards; unset
+  /// (null cache) keeps the legacy per-call GEMM.
+  InferenceCacheBinding cache_;
 };
 
 }  // namespace newsdiff::nn

@@ -18,6 +18,8 @@ class Dropout : public Layer {
 
   la::Matrix Forward(const la::Matrix& input, bool training) override;
   la::Matrix Backward(const la::Matrix& grad_output) override;
+  /// Inference dropout is the identity: in-place means "leave h alone".
+  bool ForwardInPlace(la::Matrix*) override { return true; }
   size_t OutputSize(size_t input_size) const override { return input_size; }
   std::string Name() const override { return "Dropout"; }
 

@@ -8,7 +8,23 @@
 #include "common/rng.h"
 #include "la/matrix.h"
 
+namespace newsdiff::la {
+class PackedWeightCache;
+}
+
 namespace newsdiff::nn {
+
+/// Binds a layer's immutable inference-time weights to a shared cross-call
+/// packed-weight cache (la/weight_cache.h). `key` identifies the weights
+/// (layer index within the model), `version` is the model generation —
+/// bumped on every reload so stale packs swap out RCU-style. `int8` routes
+/// the layer's inference GEMM through the quantized path.
+struct InferenceCacheBinding {
+  la::PackedWeightCache* cache = nullptr;
+  uint64_t key = 0;
+  uint64_t version = 0;
+  bool int8 = false;
+};
 
 /// A trainable parameter: value and the gradient from the last backward
 /// pass. Both live inside the owning layer; the optimizer mutates `value`.
@@ -32,6 +48,14 @@ class Layer {
   /// dLoss/dInput. Must be called after Forward on the same batch.
   virtual la::Matrix Backward(const la::Matrix& grad_output) = 0;
 
+  /// Inference-only in-place variant: a layer whose output shape equals
+  /// its input shape and whose transform is elementwise may mutate `*h`
+  /// directly and return true, letting Model::Forward skip one
+  /// alloc+copy per layer on the batched serving path. Same arithmetic,
+  /// same element order as Forward — bitwise identical results. Records
+  /// no backward state; callers must fall back to Forward when training.
+  virtual bool ForwardInPlace(la::Matrix* /*h*/) { return false; }
+
   /// Trainable parameters (empty for activations/pooling).
   virtual std::vector<Param> Params() { return {}; }
 
@@ -50,6 +74,14 @@ class Layer {
   /// count, and the legacy sum when the resolved shard count is 1).
   void set_parallelism(const Parallelism& par) { par_ = par; }
   const Parallelism& parallelism() const { return par_; }
+
+  /// Binds the layer's inference-time GEMM weights to `binding.cache`.
+  /// Only layers whose forward pass is a weights-on-the-right GEMM (Dense)
+  /// participate; the default is a no-op. (Conv1D's forward is per-row
+  /// DotN over call-resident filter taps — there is no per-call packing to
+  /// hoist.) Training passes never read the cache, so Fit behaviour is
+  /// unchanged by a binding.
+  virtual void BindInferenceCache(const InferenceCacheBinding&) {}
 
  protected:
   Parallelism par_;

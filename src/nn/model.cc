@@ -21,6 +21,18 @@ Model& Model::Add(std::unique_ptr<Layer> layer) {
   return *this;
 }
 
+void Model::SetParallelism(const Parallelism& par) {
+  for (auto& layer : layers_) layer->set_parallelism(par);
+}
+
+void Model::BindInferenceCache(la::PackedWeightCache* cache, uint64_t version,
+                               bool int8) {
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->BindInferenceCache(InferenceCacheBinding{cache, i, version,
+                                                         int8});
+  }
+}
+
 size_t Model::ParameterCount() {
   size_t n = 0;
   for (const Param& p : AllParams()) n += p.value->size();
@@ -28,13 +40,23 @@ size_t Model::ParameterCount() {
 }
 
 la::Matrix Model::Forward(const la::Matrix& x, bool training) {
-  la::Matrix h = x;
-  for (auto& layer : layers_) h = layer->Forward(h, training);
+  if (layers_.empty()) return x;
+  // The first layer reads `x` directly — the h = x copy the old loop paid
+  // existed only to unify the iteration. Later shape-preserving layers
+  // (activations, inference dropout) transform h in place when not
+  // training; ForwardInPlace is bitwise-identical to Forward by contract.
+  la::Matrix h = layers_.front()->Forward(x, training);
+  for (size_t i = 1; i < layers_.size(); ++i) {
+    if (!training && layers_[i]->ForwardInPlace(&h)) continue;
+    h = layers_[i]->Forward(h, training);
+  }
   return h;
 }
 
 la::Matrix Model::PredictProba(const la::Matrix& x) {
-  return Softmax(Forward(x, /*training=*/false));
+  la::Matrix probs = Forward(x, /*training=*/false);
+  SoftmaxInPlace(&probs);
+  return probs;
 }
 
 std::vector<int> Model::Predict(const la::Matrix& x) {

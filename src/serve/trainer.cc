@@ -1,0 +1,64 @@
+#include "serve/trainer.h"
+
+#include <utility>
+
+#include "nn/architectures.h"
+#include "nn/optimizer.h"
+
+namespace newsdiff::serve {
+
+StatusOr<nn::Model> TrainInterestModel(const la::Matrix& x,
+                                       const std::vector<int>& labels,
+                                       const InterestModelOptions& options) {
+  if (x.rows() != labels.size()) {
+    return Status::InvalidArgument("features/labels row mismatch");
+  }
+  if (x.cols() != options.feature_dim) {
+    return Status::InvalidArgument("feature dim mismatch");
+  }
+
+  // Deterministic stride subsample: every stride-th row, independent of
+  // the total row count's exact value, so two builds of the same world
+  // train on the same examples.
+  const la::Matrix* train_x = &x;
+  const std::vector<int>* train_y = &labels;
+  la::Matrix sub_x;
+  std::vector<int> sub_y;
+  if (options.max_rows > 0 && x.rows() > options.max_rows) {
+    const size_t stride = (x.rows() + options.max_rows - 1) / options.max_rows;
+    const size_t rows = (x.rows() + stride - 1) / stride;
+    sub_x.Resize(rows, x.cols());
+    sub_y.reserve(rows);
+    size_t out = 0;
+    for (size_t r = 0; r < x.rows(); r += stride, ++out) {
+      const double* src = x.RowPtr(r);
+      double* dst = sub_x.RowPtr(out);
+      for (size_t c = 0; c < x.cols(); ++c) dst[c] = src[c];
+      sub_y.push_back(labels[r]);
+    }
+    train_x = &sub_x;
+    train_y = &sub_y;
+  }
+
+  nn::MlpConfig config;
+  config.input_size = options.feature_dim;
+  config.hidden_sizes = options.hidden;
+  config.num_classes = options.num_classes;
+  config.seed = options.seed;
+  nn::Model model = nn::BuildMlp(config);
+
+  nn::Sgd optimizer(nn::SgdOptions{options.learning_rate, options.momentum});
+  nn::FitOptions fit;
+  fit.epochs = options.epochs;
+  fit.batch_size = options.batch_size;
+  // Fixed epoch count: a serving model's training cost must be a constant
+  // of the options, not of the loss trajectory.
+  fit.early_stopping.enabled = false;
+  fit.seed = options.seed;
+  fit.parallelism = options.parallelism;
+  auto history = model.Fit(*train_x, *train_y, optimizer, fit);
+  if (!history.ok()) return history.status();
+  return model;
+}
+
+}  // namespace newsdiff::serve

@@ -1,0 +1,295 @@
+// Tests for the batched inference server (serve/inference_server.*) and
+// the cross-call packed-weight cache it serves from: bitwise batch
+// invariance on the f32 path, deadline-driven flushes on a ManualClock,
+// queue-full backpressure, and model hot-swap racing in-flight batches.
+// The Inference*/InferenceConcurrency* suites run under the sanitizer CI
+// jobs (selected by the `Inference` test-name regex).
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "common/retry.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "la/matrix.h"
+#include "nn/architectures.h"
+#include "serve/inference_server.h"
+
+namespace newsdiff::serve {
+namespace {
+
+constexpr size_t kDim = 16;
+constexpr size_t kClasses = 3;
+
+nn::Model TestModel(uint64_t seed = 41) {
+  nn::MlpConfig config;
+  config.input_size = kDim;
+  config.hidden_sizes = {12, 8};
+  config.num_classes = kClasses;
+  config.seed = seed;
+  return nn::BuildMlp(config);
+}
+
+la::Matrix RandomFeatures(size_t rows, uint64_t seed) {
+  la::Matrix m(rows, kDim);
+  Rng rng(seed);
+  for (double& v : m.data()) v = rng.Uniform(-1.0, 1.0);
+  return m;
+}
+
+InferenceServerOptions Options() {
+  InferenceServerOptions options;
+  options.parallelism.kernels.kind = KernelKind::kBlocked;
+  return options;
+}
+
+void ExpectRowBitwise(const la::Matrix& got, size_t got_row,
+                      const la::Matrix& want, size_t want_row) {
+  ASSERT_EQ(got.cols(), want.cols());
+  const double* g = got.RowPtr(got_row);
+  const double* w = want.RowPtr(want_row);
+  for (size_t c = 0; c < got.cols(); ++c) {
+    EXPECT_EQ(g[c], w[c]) << "row " << got_row << " col " << c;
+  }
+}
+
+TEST(InferenceServerTest, RejectsBeforeModelLoaded) {
+  InferenceServer server(Options());
+  EXPECT_FALSE(server.has_model());
+  EXPECT_EQ(server.model_version(), 0u);
+  auto result = server.Predict(RandomFeatures(1, 1));
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(InferenceServerTest, RejectsMismatchedFeatureWidth) {
+  InferenceServer server(Options());
+  server.LoadModel(TestModel(), 1);
+  la::Matrix narrow(1, kDim - 1);
+  EXPECT_EQ(server.Predict(narrow).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(InferenceServerTest, PredictMatchesDirectBitwise) {
+  InferenceServer server(Options());
+  server.LoadModel(TestModel(), 1);
+  la::Matrix features = RandomFeatures(7, 2);
+  auto queued = server.Predict(features);
+  auto direct = server.PredictDirect(features);
+  ASSERT_TRUE(queued.ok()) << queued.status().message();
+  ASSERT_TRUE(direct.ok()) << direct.status().message();
+  ASSERT_EQ(queued->rows(), 7u);
+  ASSERT_EQ(queued->cols(), kClasses);
+  for (size_t r = 0; r < 7; ++r) ExpectRowBitwise(*queued, r, *direct, r);
+}
+
+// The f32 contract the coalescer depends on: batch-of-N row i is bitwise
+// equal to the same row predicted alone, so WHAT a request is batched
+// with never changes its answer.
+TEST(InferenceServerTest, BatchCompositionIsBitwiseInvariant) {
+  InferenceServer server(Options());
+  server.LoadModel(TestModel(), 1);
+  la::Matrix batch = RandomFeatures(9, 3);
+  auto all = server.Predict(batch);
+  ASSERT_TRUE(all.ok());
+  for (size_t r = 0; r < batch.rows(); ++r) {
+    la::Matrix one(1, kDim);
+    for (size_t c = 0; c < kDim; ++c) one.RowPtr(0)[c] = batch.RowPtr(r)[c];
+    auto single = server.Predict(one);
+    ASSERT_TRUE(single.ok());
+    ExpectRowBitwise(*all, r, *single, 0);
+  }
+}
+
+TEST(InferenceServerTest, DeadlineFlushDrivenByManualClock) {
+  ManualClock clock;
+  InferenceServerOptions options = Options();
+  options.batch_deadline_ms = 50;
+  options.max_batch_rows = 64;  // far above what we queue: only the
+                                // deadline can flush
+  options.clock = &clock;
+  InferenceServer server(options);
+  server.LoadModel(TestModel(), 1);
+
+  auto fut = server.Submit(RandomFeatures(2, 4));
+  ASSERT_TRUE(fut.ok());
+  // Below the deadline the worker must hold the batch.
+  clock.Advance(49);
+  EXPECT_EQ(fut->wait_for(std::chrono::milliseconds(30)),
+            std::future_status::timeout);
+  // Crossing it must flush promptly (the worker polls real time at ~1ms).
+  clock.Advance(1);
+  auto result = fut->get();
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result->rows(), 2u);
+  EXPECT_GE(server.stats().batches, 1u);
+}
+
+TEST(InferenceServerTest, FullQueueRejectsWithResourceExhausted) {
+  ManualClock clock;
+  InferenceServerOptions options = Options();
+  options.batch_deadline_ms = 1'000'000;  // park the worker: nothing flushes
+  options.max_batch_rows = 1024;
+  options.queue_capacity = 4;
+  options.clock = &clock;
+  InferenceServer server(options);
+  server.LoadModel(TestModel(), 1);
+
+  auto a = server.Submit(RandomFeatures(3, 5));
+  ASSERT_TRUE(a.ok());
+  auto b = server.Submit(RandomFeatures(2, 6));  // 3 + 2 > 4: rejected
+  EXPECT_EQ(b.status().code(), StatusCode::kResourceExhausted);
+  auto c = server.Submit(RandomFeatures(1, 7));  // 3 + 1 == 4: fits
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(server.stats().queue_full_rejections, 1u);
+
+  // Release the parked batch so Stop() does not fail the futures.
+  clock.Advance(1'000'000);
+  EXPECT_TRUE(a->get().ok());
+  EXPECT_TRUE(c->get().ok());
+}
+
+TEST(InferenceServerTest, StopFailsQueuedRequestsWithUnavailable) {
+  ManualClock clock;
+  InferenceServerOptions options = Options();
+  options.batch_deadline_ms = 1'000'000;
+  options.clock = &clock;
+  InferenceServer server(options);
+  server.LoadModel(TestModel(), 1);
+  auto fut = server.Submit(RandomFeatures(1, 8));
+  ASSERT_TRUE(fut.ok());
+  server.Stop();
+  EXPECT_EQ(fut->get().status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(server.Predict(RandomFeatures(1, 9)).status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(InferenceServerTest, PackedCacheHitsAfterWarmup) {
+  InferenceServer server(Options());
+  server.LoadModel(TestModel(), 1);  // warmup forward packs every layer
+  const la::WeightCacheStats before = server.cache_stats();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(server.Predict(RandomFeatures(2, 10 + i)).ok());
+  }
+  const la::WeightCacheStats after = server.cache_stats();
+  EXPECT_GT(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses)
+      << "serving traffic must never re-pack an installed generation";
+}
+
+TEST(InferenceServerTest, ReloadSwapsGenerationAndRepacks) {
+  InferenceServer server(Options());
+  server.LoadModel(TestModel(41), 1);
+  la::Matrix features = RandomFeatures(3, 11);
+  auto v1 = server.Predict(features);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(server.model_version(), 1u);
+
+  server.LoadModel(TestModel(99), 2);  // different init: different outputs
+  EXPECT_EQ(server.model_version(), 2u);
+  EXPECT_GE(server.cache_stats().swaps, 1u);
+  auto v2 = server.Predict(features);
+  ASSERT_TRUE(v2.ok());
+  bool any_diff = false;
+  for (size_t i = 0; i < v1->size(); ++i) {
+    if (v1->data()[i] != v2->data()[i]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff) << "new generation must actually serve new weights";
+  EXPECT_GE(server.stats().model_swaps, 2u);
+}
+
+TEST(InferenceServerTest, Int8ModeServesApproximateProbabilities) {
+  InferenceServerOptions options = Options();
+  options.parallelism.kernels.int8_inference = true;
+  InferenceServer server(options);
+  server.LoadModel(TestModel(), 1);
+
+  InferenceServer reference(Options());
+  reference.LoadModel(TestModel(), 1);
+
+  la::Matrix features = RandomFeatures(6, 12);
+  auto q = server.Predict(features);
+  auto f = reference.Predict(features);
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(f.ok());
+  for (size_t r = 0; r < q->rows(); ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < q->cols(); ++c) {
+      sum += q->RowPtr(r)[c];
+      EXPECT_NEAR(q->RowPtr(r)[c], f->RowPtr(r)[c], 0.15)
+          << "int8 drifted far from f32 at row " << r << " col " << c;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);  // still a softmax distribution
+  }
+}
+
+// --- Concurrency: run under tsan via the Inference regex. ---
+
+TEST(InferenceConcurrencyTest, ConcurrentSubmittersGetConsistentAnswers) {
+  InferenceServerOptions options = Options();
+  options.max_batch_rows = 8;  // force multi-batch coalescing under load
+  InferenceServer server(options);
+  server.LoadModel(TestModel(), 1);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        la::Matrix features =
+            RandomFeatures(1 + (i % 3), 100 + t * 1000 + i);
+        auto batched = server.Predict(features);
+        auto direct = server.PredictDirect(features);
+        if (!batched.ok() || !direct.ok()) {
+          ++mismatches;
+          continue;
+        }
+        for (size_t j = 0; j < batched->size(); ++j) {
+          if (batched->data()[j] != direct->data()[j]) ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const InferenceServerStats stats = server.stats();
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_EQ(stats.queue_full_rejections, 0u);
+}
+
+TEST(InferenceConcurrencyTest, HotSwapRacesInFlightBatches) {
+  InferenceServer server(Options());
+  server.LoadModel(TestModel(41), 1);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> predictors;
+  for (int t = 0; t < 3; ++t) {
+    predictors.emplace_back([&, t] {
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto result = server.Predict(RandomFeatures(2, 500 + t * 1000 + i++));
+        // Every outcome must be OK: same input width across generations,
+        // so a swap mid-flight is invisible to correctness.
+        if (!result.ok()) ++errors;
+      }
+    });
+  }
+  for (uint64_t version = 2; version <= 12; ++version) {
+    server.LoadModel(TestModel(40 + version), version);
+  }
+  stop.store(true);
+  for (auto& th : predictors) th.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(server.model_version(), 12u);
+  EXPECT_GE(server.cache_stats().swaps, 1u);
+}
+
+}  // namespace
+}  // namespace newsdiff::serve

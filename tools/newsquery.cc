@@ -9,9 +9,13 @@
 //       INDEX-<gen> generation under <dir>/index.
 //   newsquery trending <dir> <query...> [--k N]
 //       Top-k articles for a free-text query (BM25 / MaxScore).
-//   newsquery predict <dir> <draft...> [--k N]
-//       Audience-interest estimate for a draft headline: the BM25-weighted
-//       vote of the k most similar tweets' Table-2 likes classes.
+//   newsquery predict <dir> <draft...> [--k N] [--batch <file>]
+//       Audience-interest estimate for a draft headline: the k most
+//       similar tweets are retrieved by BM25 and reranked through the
+//       trained MLP via the batched inference server (the model is
+//       trained as part of the in-memory index build, so this command
+//       needs the full store, not just <dir>/index). --batch scores one
+//       draft per line of <file> in a single coalesced call.
 //
 // Exit status is 0 on success, 1 on any error (message on stderr).
 #include <cstdio>
@@ -20,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/file_io.h"
 #include "common/status.h"
 #include "core/engine.h"
 #include "datagen/world.h"
@@ -40,7 +45,7 @@ int Usage() {
                "  synth <dir> [--seed N] [--articles N] [--tweets N]\n"
                "  build <dir>\n"
                "  trending <dir> <query words...> [--k N]\n"
-               "  predict <dir> <draft words...> [--k N]\n");
+               "  predict <dir> <draft words...> [--k N] [--batch <file>]\n");
   return 1;
 }
 
@@ -59,6 +64,7 @@ EngineOptions OptionsFor(const std::string& dir) {
 /// flags are an error; everything else joins the query text.
 struct Args {
   std::vector<std::string> words;
+  std::string batch_file;
   size_t k = 10;
   uint64_t seed = 2021;
   size_t articles = 2000;
@@ -85,6 +91,8 @@ Args ParseArgs(int argc, char** argv, int first) {
       if (const char* v = take_value("--articles")) args.articles = std::strtoull(v, nullptr, 10);
     } else if (std::strcmp(argv[i], "--tweets") == 0) {
       if (const char* v = take_value("--tweets")) args.tweets = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      if (const char* v = take_value("--batch")) args.batch_file = v;
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "newsquery: unknown flag %s\n", argv[i]);
       args.ok = false;
@@ -163,18 +171,84 @@ int RunTrending(const std::string& dir, const Args& args) {
   return 0;
 }
 
+/// One draft per non-empty line of `path`.
+StatusOr<std::vector<std::string>> ReadDrafts(const std::string& path) {
+  StatusOr<std::string> bytes = newsdiff::DefaultFileIo().ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  std::vector<std::string> drafts;
+  std::string line;
+  for (char c : *bytes) {
+    if (c == '\n') {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!line.empty()) drafts.push_back(line);
+      line.clear();
+    } else {
+      line += c;
+    }
+  }
+  if (!line.empty()) drafts.push_back(line);
+  return drafts;
+}
+
 int RunPredict(const std::string& dir, const Args& args) {
-  if (args.words.empty()) return Usage();
+  if (args.words.empty() && args.batch_file.empty()) return Usage();
+  // The serving model is trained during the index build (the index dir
+  // alone has no model), so predict rebuilds from the full store — that
+  // also warms the inference server's packed-weight cache.
+  newsdiff::store::Database db;
+  Status loaded = db.LoadFromDir(dir);
+  if (!loaded.ok()) return Fail(loaded);
   Engine engine(OptionsFor(dir));
-  StatusOr<newsdiff::index::IndexLoadReport> loaded = engine.LoadIndex();
-  if (!loaded.ok()) return Fail(loaded.status());
+  StatusOr<newsdiff::BuildIndexReport> built = engine.BuildIndex(db);
+  if (!built.ok()) return Fail(built.status());
+
+  if (!args.batch_file.empty()) {
+    StatusOr<std::vector<std::string>> drafts = ReadDrafts(args.batch_file);
+    if (!drafts.ok()) return Fail(drafts.status());
+    if (drafts->empty()) {
+      std::fprintf(stderr, "newsquery: %s has no drafts\n",
+                   args.batch_file.c_str());
+      return 1;
+    }
+    std::vector<StatusOr<InterestPrediction>> results =
+        engine.PredictInterestBatch(*drafts, args.k);
+    size_t failures = 0;
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok()) {
+        ++failures;
+        std::printf("  %-40.40s  ERROR %s\n", (*drafts)[i].c_str(),
+                    results[i].status().ToString().c_str());
+        continue;
+      }
+      const InterestPrediction& p = *results[i];
+      std::printf("  %-40.40s  class %d  confidence %.3f  %s\n",
+                  (*drafts)[i].c_str(), p.predicted_class, p.confidence,
+                  p.model_reranked ? "model" : "vote");
+    }
+    const newsdiff::EngineStatsSnapshot stats = engine.stats();
+    std::printf(
+        "batch: %zu drafts, %zu failed  [batches=%llu mean_fill=%.1f "
+        "rejections=%llu model_version=%llu]\n",
+        results.size(), failures,
+        static_cast<unsigned long long>(stats.inference_batches),
+        stats.MeanBatchFill(),
+        static_cast<unsigned long long>(stats.inference_queue_rejections),
+        static_cast<unsigned long long>(engine.model_version()));
+    return failures == 0 ? 0 : 1;
+  }
+
   newsdiff::index::QueryStats stats;
   StatusOr<InterestPrediction> prediction =
       engine.PredictInterest(JoinWords(args.words), args.k, &stats);
   if (!prediction.ok()) return Fail(prediction.status());
-  std::printf("predict: class %d (confidence %.3f) from %zu neighbours\n",
+  std::printf("predict: class %d (confidence %.3f) from %zu neighbours%s\n",
               prediction->predicted_class, prediction->confidence,
-              prediction->neighbors.size());
+              prediction->neighbors.size(),
+              prediction->model_reranked ? " (model-reranked)" : "");
+  if (prediction->model_reranked) {
+    std::printf("  model version %llu\n",
+                static_cast<unsigned long long>(prediction->model_version));
+  }
   for (size_t c = 0; c < prediction->class_weights.size(); ++c) {
     std::printf("  class %zu weight %.3f\n", c, prediction->class_weights[c]);
   }
